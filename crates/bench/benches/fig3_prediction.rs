@@ -1,0 +1,45 @@
+//! Figure 3 regeneration bench: learning the per-taxi Markov models and
+//! evaluating top-k prediction accuracy on the held-out trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_bench::dataset;
+use mcs_mobility::learn::{learn_all, MobilityModel, Smoothing};
+use mcs_mobility::predict::{top_k_accuracy, visit_profile};
+use std::hint::black_box;
+
+fn bench_learning(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("fig3_learning");
+    group.sample_size(10);
+    group.bench_function("learn_all_paper_smoothing", |b| {
+        b.iter(|| learn_all(black_box(ds.train()), Smoothing::Paper))
+    });
+    // One representative single-taxi fit for per-unit cost.
+    let taxi = ds.train().taxis().next().expect("nonempty");
+    group.bench_function("learn_one_taxi", |b| {
+        b.iter(|| MobilityModel::learn(black_box(ds.train()), taxi, Smoothing::Paper))
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("fig3_prediction_accuracy");
+    group.sample_size(10);
+    for &k in &[3usize, 9, 15] {
+        group.bench_with_input(BenchmarkId::new("top_k_accuracy", k), &k, |b, &k| {
+            b.iter(|| top_k_accuracy(black_box(ds.models()), ds.test(), k).unwrap())
+        });
+    }
+    // The sensing-window visit profile of one taxi (the auction pipeline's
+    // per-user cost).
+    let (_, model) = ds.sensing_models().iter().next().expect("nonempty");
+    let origin = model.visited()[0];
+    group.bench_function("visit_profile_h12", |b| {
+        b.iter(|| visit_profile(black_box(model), origin, 12))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_learning, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Benches for the remaining figures' computational pieces:
+//!
+//! * Figure 4 — building the predicted-PoS sample (next-slot predictions
+//!   across the fleet).
+//! * Figure 6 — the ECDF construction over winner utilities (the reward
+//!   side itself is covered by the `reward_schemes` bench).
+//! * Figure 7 — the VCG-like baselines' winner determination, for
+//!   comparison with the fault-tolerant algorithms of `fig5a`/`fig5bc`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_bench::{dataset, multi_task_population, single_task_population};
+use mcs_core::baselines::{MtVcg, StVcg};
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_sim::population::Dataset;
+use mcs_sim::stats::{Ecdf, Histogram};
+use std::hint::black_box;
+
+fn bench_fig4_pos_sample(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("fig4_predicted_pos");
+    group.sample_size(10);
+    group.bench_function("predict_all_fleet", |b| {
+        b.iter(|| {
+            mcs_mobility::predict::predict_all(
+                black_box(ds.models()),
+                ds.train(),
+                Dataset::MAX_PREDICTIONS,
+            )
+        })
+    });
+    let predictions =
+        mcs_mobility::predict::predict_all(ds.models(), ds.train(), Dataset::MAX_PREDICTIONS);
+    let values = mcs_mobility::predict::predicted_pos_values(&predictions);
+    group.bench_function("histogram_20_bins", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new(0.0, 1.0, 20);
+            h.extend(black_box(&values).iter().copied());
+            h.density()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig6_ecdf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_ecdf");
+    // A representative utility sample size (hundreds of winners).
+    let sample: Vec<f64> = (0..500).map(|i| (i as f64 * 0.73) % 10.0).collect();
+    group.bench_function("build_and_query", |b| {
+        b.iter(|| {
+            let ecdf = Ecdf::new(black_box(sample.clone()));
+            (ecdf.eval(5.0), ecdf.curve().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig7_vcg_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_vcg_baselines");
+    let single = single_task_population(100, 4700);
+    let st_vcg = StVcg::new();
+    group.bench_with_input(
+        BenchmarkId::new("st_vcg", 100),
+        &single.profile,
+        |b, p| b.iter(|| st_vcg.select_winners(black_box(p)).unwrap()),
+    );
+    let multi = multi_task_population(15, 100, 4800);
+    let mt_vcg = MtVcg::new();
+    group.bench_with_input(
+        BenchmarkId::new("mt_vcg", "t15_n100"),
+        &multi.profile,
+        |b, p| b.iter(|| mt_vcg.select_winners(black_box(p)).unwrap()),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4_pos_sample,
+    bench_fig6_ecdf,
+    bench_fig7_vcg_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 5(a) regeneration bench: the four single-task winner-
+//! determination algorithms on pipeline-generated instances across the
+//! paper's user-count sweep (n ∈ {20, 60, 100}).
+//!
+//! The quantity of interest is winner-determination latency; the social
+//! costs themselves are produced by `repro fig5a`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_bench::single_task_population;
+use mcs_core::baselines::{MinGreedy, OptimalSingleTask};
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::single_task::FptasWinnerDetermination;
+use std::hint::black_box;
+
+fn bench_fig5a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_winner_determination");
+    for &n in &[20usize, 60, 100] {
+        let population = single_task_population(n, 5000 + n as u64);
+        let profile = &population.profile;
+
+        let fptas_05 = FptasWinnerDetermination::new(0.5).unwrap();
+        group.bench_with_input(BenchmarkId::new("fptas_eps_0.5", n), profile, |b, p| {
+            b.iter(|| fptas_05.select_winners(black_box(p)).unwrap())
+        });
+
+        let fptas_01 = FptasWinnerDetermination::new(0.1).unwrap();
+        group.bench_with_input(BenchmarkId::new("fptas_eps_0.1", n), profile, |b, p| {
+            b.iter(|| fptas_01.select_winners(black_box(p)).unwrap())
+        });
+
+        let optimal = OptimalSingleTask::new();
+        group.bench_with_input(
+            BenchmarkId::new("opt_branch_and_bound", n),
+            profile,
+            |b, p| b.iter(|| optimal.select_winners(black_box(p)).unwrap()),
+        );
+
+        let greedy = MinGreedy::new();
+        group.bench_with_input(BenchmarkId::new("min_greedy", n), profile, |b, p| {
+            b.iter(|| greedy.select_winners(black_box(p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5a);
+criterion_main!(benches);

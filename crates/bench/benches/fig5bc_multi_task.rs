@@ -1,0 +1,48 @@
+//! Figures 5(b)/(c) regeneration bench: greedy winner determination and
+//! the exact branch-and-bound solver across the Table III grids
+//! (n ∈ {10, 50, 100} at t = 15, and t ∈ {10, 30, 50} at n = 30).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_bench::multi_task_population;
+use mcs_core::baselines::OptimalMultiTask;
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::multi_task::GreedyWinnerDetermination;
+use std::hint::black_box;
+
+fn bench_fig5b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_users_sweep_t15");
+    let greedy = GreedyWinnerDetermination::new();
+    let optimal = OptimalMultiTask::new();
+    for &n in &[10usize, 50, 100] {
+        let population = multi_task_population(15, n, 6000 + n as u64);
+        let profile = &population.profile;
+        group.bench_with_input(BenchmarkId::new("greedy", n), profile, |b, p| {
+            b.iter(|| greedy.select_winners(black_box(p)))
+        });
+        // OPT is only benchmarked where it reliably terminates fast.
+        if n <= 50 && optimal.select_winners(profile).is_ok() {
+            group.bench_with_input(
+                BenchmarkId::new("opt_branch_and_bound", n),
+                profile,
+                |b, p| b.iter(|| optimal.select_winners(black_box(p)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig5c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5c_tasks_sweep_n30");
+    let greedy = GreedyWinnerDetermination::new();
+    for &t in &[10usize, 30, 50] {
+        let population = multi_task_population(t, 30, 7000 + t as u64);
+        let profile = &population.profile;
+        group.bench_with_input(BenchmarkId::new("greedy", t), profile, |b, p| {
+            b.iter(|| greedy.select_winners(black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5b, bench_fig5c);
+criterion_main!(benches);

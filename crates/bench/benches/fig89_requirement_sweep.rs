@@ -1,0 +1,55 @@
+//! Figures 8/9 regeneration bench: the winner-determination work behind
+//! the PoS-requirement sweep (n = 100, and t = 50 for the multi-task
+//! side) at low, default, and high requirements.
+//!
+//! Harder requirements mean larger winner sets, so the per-instance
+//! latency grows along the sweep — this quantifies by how much.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_bench::dataset;
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::multi_task::GreedyWinnerDetermination;
+use mcs_core::single_task::FptasWinnerDetermination;
+use mcs_sim::config::SimParams;
+use mcs_sim::population::PopulationBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_requirement_sweep(c: &mut Criterion) {
+    let ds = dataset();
+    let fptas = FptasWinnerDetermination::new(0.5).unwrap();
+    let greedy = GreedyWinnerDetermination::new();
+    let task = ds.single_task_location(120).expect("covered cell");
+
+    let mut group = c.benchmark_group("fig89_requirement_sweep");
+    for &requirement in &[0.5f64, 0.8, 0.9] {
+        let params = SimParams {
+            pos_requirement: requirement,
+            ..SimParams::default()
+        };
+        let builder = PopulationBuilder::new(ds, params);
+
+        let single = builder
+            .single_task(task, 100, &mut StdRng::seed_from_u64(11))
+            .expect("population builds");
+        group.bench_with_input(
+            BenchmarkId::new("single_task_n100", format!("T{requirement}")),
+            &single.profile,
+            |b, p| b.iter(|| fptas.select_winners(black_box(p))),
+        );
+
+        let multi = builder
+            .multi_task(50, 100, &mut StdRng::seed_from_u64(12))
+            .expect("population builds");
+        group.bench_with_input(
+            BenchmarkId::new("multi_task_t50_n100", format!("T{requirement}")),
+            &multi.profile,
+            |b, p| b.iter(|| greedy.select_winners(black_box(p))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_requirement_sweep);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Reward-scheme benches and the critical-bid ablation.
+//!
+//! Compares the multi-task critical-bid computations:
+//! * the robust bisection search (`critical_contribution`, the default —
+//!   strategy-proof even when residual caps bind), and
+//! * the paper's per-iteration rule (`algorithm5_critical_contribution`,
+//!   `O(n²t)` per winner but exploitable under caps).
+//!
+//! This is the ablation DESIGN.md calls out: the paper's rule is ~60×
+//! cheaper (one rerun versus a bisection's worth of reruns); the bench
+//! quantifies what the robustness costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_bench::{multi_task_population, single_task_population};
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::multi_task::{
+    algorithm5_critical_contribution, critical_contribution as multi_critical,
+    GreedyWinnerDetermination,
+};
+use mcs_core::single_task::{critical_contribution as single_critical, FptasWinnerDetermination};
+use std::hint::black_box;
+
+fn bench_single_task_reward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reward_single_task_critical_bid");
+    group.sample_size(10);
+    let fptas = FptasWinnerDetermination::new(0.5).unwrap();
+    for &n in &[30usize, 60] {
+        let population = single_task_population(n, 8000 + n as u64);
+        let profile = &population.profile;
+        let allocation = fptas.select_winners(profile).unwrap();
+        let winner = allocation.winners().next().expect("nonempty");
+        group.bench_with_input(BenchmarkId::from_parameter(n), profile, |b, p| {
+            b.iter(|| single_critical(&fptas, black_box(p), winner).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_task_reward_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reward_multi_task_ablation");
+    group.sample_size(10);
+    let greedy = GreedyWinnerDetermination::new();
+    for &(t, n) in &[(15usize, 40usize), (15, 80)] {
+        let population = multi_task_population(t, n, 9000 + n as u64);
+        let profile = &population.profile;
+        let allocation = greedy.select_winners(profile).unwrap();
+        let winner = allocation.winners().next().expect("nonempty");
+        group.bench_with_input(
+            BenchmarkId::new("robust_bisection", format!("t{t}_n{n}")),
+            profile,
+            |b, p| b.iter(|| multi_critical(&greedy, black_box(p), winner).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("paper_algorithm5", format!("t{t}_n{n}")),
+            profile,
+            |b, p| {
+                b.iter(|| algorithm5_critical_contribution(&greedy, black_box(p), winner).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_task_reward,
+    bench_multi_task_reward_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Theorem 3 (computational efficiency, single task): the FPTAS runs in
+//! `O(n⁴/ε)` and the reward scheme adds a `log(Q)` factor. This bench
+//! measures the scaling empirically on synthetic instances:
+//!
+//! * winner determination versus `n` at fixed `ε`,
+//! * winner determination versus `1/ε` at fixed `n`,
+//! * one full critical-bid computation (the reward scheme's unit of work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_bench::synthetic_single_task;
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::single_task::{critical_contribution, FptasWinnerDetermination};
+use std::hint::black_box;
+
+fn bench_scaling_in_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3_fptas_scaling_in_n");
+    let fptas = FptasWinnerDetermination::new(0.5).unwrap();
+    for &n in &[25usize, 50, 100, 200] {
+        let profile = synthetic_single_task(n, 0.8, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &profile, |b, p| {
+            b.iter(|| fptas.select_winners(black_box(p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3_fptas_scaling_in_epsilon");
+    let profile = synthetic_single_task(80, 0.8, 43);
+    for &epsilon in &[2.0f64, 1.0, 0.5, 0.25, 0.1] {
+        let fptas = FptasWinnerDetermination::new(epsilon).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps_{epsilon}")),
+            &profile,
+            |b, p| b.iter(|| fptas.select_winners(black_box(p)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reward_scheme(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3_critical_bid");
+    group.sample_size(10);
+    for &n in &[25usize, 50] {
+        let profile = synthetic_single_task(n, 0.8, 44);
+        let fptas = FptasWinnerDetermination::new(0.5).unwrap();
+        let allocation = fptas.select_winners(&profile).unwrap();
+        let winner = allocation.winners().next().expect("nonempty");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &profile, |b, p| {
+            b.iter(|| critical_contribution(&fptas, black_box(p), winner).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling_in_n,
+    bench_scaling_in_epsilon,
+    bench_reward_scheme
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Theorem 6 (computational efficiency, multi-task): the greedy winner
+//! determination runs in `O(n²t)` and the reward scheme in `O(n³t)`.
+//! Measured empirically on synthetic instances versus `n` and `t`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_bench::synthetic_multi_task;
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::multi_task::GreedyWinnerDetermination;
+use std::hint::black_box;
+
+fn bench_scaling_in_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm6_greedy_scaling_in_n");
+    let greedy = GreedyWinnerDetermination::new();
+    for &n in &[50usize, 100, 200, 400] {
+        let profile = synthetic_multi_task(n, 20, 0.8, 52);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &profile, |b, p| {
+            b.iter(|| greedy.select_winners(black_box(p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_t(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm6_greedy_scaling_in_t");
+    let greedy = GreedyWinnerDetermination::new();
+    for &t in &[10usize, 25, 50, 100] {
+        let profile = synthetic_multi_task(150, t, 0.8, 53);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &profile, |b, p| {
+            b.iter(|| greedy.select_winners(black_box(p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_in_n, bench_scaling_in_t);
+criterion_main!(benches);

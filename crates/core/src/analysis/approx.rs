@@ -1,0 +1,163 @@
+//! Empirical approximation-ratio measurement against the exact solvers.
+
+use crate::error::Result;
+use crate::mechanism::WinnerDetermination;
+use crate::types::TypeProfile;
+
+/// The measured cost ratio between an approximate and a reference (optimal)
+/// winner-determination algorithm on one instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioMeasurement {
+    /// Social cost of the approximate algorithm.
+    pub approximate_cost: f64,
+    /// Social cost of the reference algorithm.
+    pub optimal_cost: f64,
+}
+
+impl RatioMeasurement {
+    /// `approximate / optimal`; `1.0` when both are zero.
+    pub fn ratio(&self) -> f64 {
+        if self.optimal_cost == 0.0 {
+            if self.approximate_cost == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.approximate_cost / self.optimal_cost
+        }
+    }
+}
+
+/// Runs both algorithms on `profile` and reports their social costs.
+///
+/// # Errors
+///
+/// Propagates either algorithm's errors (e.g. infeasibility, exhausted
+/// search budget).
+pub fn measure_ratio<A, O>(
+    approximate: &A,
+    optimal: &O,
+    profile: &TypeProfile,
+) -> Result<RatioMeasurement>
+where
+    A: WinnerDetermination,
+    O: WinnerDetermination,
+{
+    let approximate_cost = approximate
+        .select_winners(profile)?
+        .social_cost(profile)?
+        .value();
+    let optimal_cost = optimal
+        .select_winners(profile)?
+        .social_cost(profile)?
+        .value();
+    Ok(RatioMeasurement {
+        approximate_cost,
+        optimal_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{OptimalMultiTask, OptimalSingleTask};
+    use crate::multi_task::GreedyWinnerDetermination;
+    use crate::single_task::FptasWinnerDetermination;
+    use crate::submodular::CoverageFunction;
+    use crate::types::{Cost, Pos, Task, TaskId, UserId, UserType};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fptas_ratio_is_within_one_plus_epsilon() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for epsilon in [0.1, 0.5] {
+            let fptas = FptasWinnerDetermination::new(epsilon).unwrap();
+            let optimal = OptimalSingleTask::new();
+            for _ in 0..10 {
+                let n = rng.gen_range(4..=15);
+                let users: Vec<UserType> = (0..n)
+                    .map(|i| {
+                        UserType::single(
+                            UserId::new(i as u32),
+                            rng.gen_range(1.0..20.0),
+                            rng.gen_range(0.1..0.7),
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                let profile = TypeProfile::single_task(Pos::new(0.85).unwrap(), users).unwrap();
+                let Ok(m) = measure_ratio(&fptas, &optimal, &profile) else {
+                    continue;
+                };
+                assert!(
+                    m.ratio() <= 1.0 + epsilon + 1e-9,
+                    "ratio {} exceeds 1+{epsilon}",
+                    m.ratio()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_ratio_is_within_h_gamma() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let greedy = GreedyWinnerDetermination::new();
+        let optimal = OptimalMultiTask::new();
+        for _ in 0..10 {
+            let t = rng.gen_range(2..=4);
+            let tasks: Vec<Task> = (0..t)
+                .map(|j| {
+                    Task::with_requirement(TaskId::new(j as u32), rng.gen_range(0.3..0.7)).unwrap()
+                })
+                .collect();
+            let n = rng.gen_range(4..=10);
+            let users: Vec<UserType> = (0..n)
+                .map(|i| {
+                    let mut b = UserType::builder(UserId::new(i as u32))
+                        .cost(Cost::new(rng.gen_range(0.5..5.0)).unwrap());
+                    for j in 0..t {
+                        if rng.gen_bool(0.7) {
+                            b = b.task(
+                                TaskId::new(j as u32),
+                                Pos::new(rng.gen_range(0.1..0.8)).unwrap(),
+                            );
+                        }
+                    }
+                    b.task(TaskId::new(0), Pos::new(rng.gen_range(0.1..0.8)).unwrap())
+                        .build()
+                        .unwrap()
+                })
+                .collect();
+            let profile = TypeProfile::new(users, tasks).unwrap();
+            let Ok(m) = measure_ratio(&greedy, &optimal, &profile) else {
+                continue;
+            };
+            // Theorem 5's bound uses Δq; with Δq equal to the smallest
+            // marginal unit the bound is loose, so check against a
+            // generously discretized γ.
+            let f = CoverageFunction::new(&profile, 0.05).unwrap();
+            let bound = f.greedy_ratio_bound();
+            assert!(
+                m.ratio() <= bound + 1e-9,
+                "greedy ratio {} exceeds H(γ) = {bound}",
+                m.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_cost_ratios_are_defined() {
+        let both_zero = RatioMeasurement {
+            approximate_cost: 0.0,
+            optimal_cost: 0.0,
+        };
+        assert_eq!(both_zero.ratio(), 1.0);
+        let bad = RatioMeasurement {
+            approximate_cost: 1.0,
+            optimal_cost: 0.0,
+        };
+        assert_eq!(bad.ratio(), f64::INFINITY);
+    }
+}

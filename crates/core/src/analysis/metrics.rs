@@ -1,0 +1,116 @@
+//! Allocation quality metrics: achieved PoS, social cost, redundancy.
+
+use crate::error::Result;
+use crate::mechanism::Allocation;
+use crate::types::{Pos, TaskId, TypeProfile};
+
+/// The probability that `task` is completed by at least one winner of
+/// `allocation`, evaluated under the (true) types in `profile`:
+/// `1 − Π_{i ∈ winners, j ∈ S_i} (1 − p_i^j)`.
+///
+/// Winners not present in `profile` or not covering the task contribute
+/// nothing.
+pub fn achieved_pos(profile: &TypeProfile, allocation: &Allocation, task: TaskId) -> Pos {
+    let failure: f64 = allocation
+        .winners()
+        .filter_map(|id| profile.user(id).ok())
+        .filter_map(|user| user.pos_for(task))
+        .map(|pos| pos.failure())
+        .product();
+    Pos::saturating(1.0 - failure)
+}
+
+/// Achieved PoS for every task, in publication order.
+pub fn achieved_pos_all(profile: &TypeProfile, allocation: &Allocation) -> Vec<(TaskId, Pos)> {
+    profile
+        .task_ids()
+        .map(|task| (task, achieved_pos(profile, allocation, task)))
+        .collect()
+}
+
+/// The mean achieved PoS over all tasks — the quantity Figure 7 plots for
+/// the multi-task setting.
+pub fn average_achieved_pos(profile: &TypeProfile, allocation: &Allocation) -> f64 {
+    let all = achieved_pos_all(profile, allocation);
+    if all.is_empty() {
+        return 0.0;
+    }
+    all.iter().map(|(_, p)| p.value()).sum::<f64>() / all.len() as f64
+}
+
+/// Whether every task's PoS requirement is met by the allocation (up to the
+/// crate's contribution tolerance).
+pub fn meets_all_requirements(profile: &TypeProfile, allocation: &Allocation) -> bool {
+    profile.tasks().iter().all(|task| {
+        let supply: crate::types::Contribution = allocation
+            .winners()
+            .filter_map(|id| profile.user(id).ok())
+            .map(|u| u.contribution_for(task.id()))
+            .sum();
+        supply.meets(task.requirement_contribution())
+    })
+}
+
+/// The social cost of the allocation (true costs).
+///
+/// # Errors
+///
+/// Returns [`crate::McsError::NoSuchUser`] if the allocation references a
+/// user missing from `profile`.
+pub fn social_cost(profile: &TypeProfile, allocation: &Allocation) -> Result<f64> {
+    Ok(allocation.social_cost(profile)?.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{UserId, UserType};
+
+    fn profile() -> TypeProfile {
+        let users = vec![
+            UserType::single(UserId::new(0), 1.0, 0.5).unwrap(),
+            UserType::single(UserId::new(1), 2.0, 0.5).unwrap(),
+            UserType::single(UserId::new(2), 3.0, 0.4).unwrap(),
+        ];
+        TypeProfile::single_task(Pos::new(0.7).unwrap(), users).unwrap()
+    }
+
+    #[test]
+    fn achieved_pos_multiplies_failures() {
+        let p = profile();
+        let allocation = Allocation::from_winners([UserId::new(0), UserId::new(1)]);
+        let achieved = achieved_pos(&p, &allocation, TaskId::new(0));
+        assert!((achieved.value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_allocation_achieves_zero() {
+        let p = profile();
+        let achieved = achieved_pos(&p, &Allocation::empty(), TaskId::new(0));
+        assert_eq!(achieved, Pos::ZERO);
+    }
+
+    #[test]
+    fn requirement_check_follows_achieved_pos() {
+        let p = profile();
+        let enough = Allocation::from_winners([UserId::new(0), UserId::new(1)]);
+        assert!(meets_all_requirements(&p, &enough)); // 0.75 ≥ 0.7
+        let short = Allocation::from_winners([UserId::new(0)]);
+        assert!(!meets_all_requirements(&p, &short)); // 0.5 < 0.7
+    }
+
+    #[test]
+    fn average_over_single_task_is_that_task() {
+        let p = profile();
+        let allocation = Allocation::from_winners([UserId::new(0), UserId::new(1)]);
+        let average = average_achieved_pos(&p, &allocation);
+        assert!((average - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn social_cost_sums_true_costs() {
+        let p = profile();
+        let allocation = Allocation::from_winners([UserId::new(0), UserId::new(2)]);
+        assert_eq!(social_cost(&p, &allocation).unwrap(), 4.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Metrics and empirical property checkers used by the evaluation harness
+//! and the test suite.
+//!
+//! * [`metrics`](self) — achieved PoS, social cost, requirement checks
+//!   (Figures 5, 7, 8, 9).
+//! * Strategy-proofness / individual-rationality / monotonicity checkers
+//!   ([`check_strategy_proofness`], [`check_individual_rationality`],
+//!   [`check_monotonicity`]) that enumerate deviations on concrete
+//!   instances.
+//! * Approximation-ratio measurement against the exact solvers
+//!   ([`measure_ratio`]).
+//! * Platform payment exposure and frugality ([`payment_report`]).
+
+mod approx;
+mod metrics;
+mod payment;
+mod properties;
+
+pub use self::approx::{measure_ratio, RatioMeasurement};
+pub use self::metrics::{
+    achieved_pos, achieved_pos_all, average_achieved_pos, meets_all_requirements, social_cost,
+};
+pub use self::payment::{payment_report, PaymentReport};
+pub use self::properties::{
+    check_individual_rationality, check_monotonicity, check_strategy_proofness, expected_utility,
+    Violation,
+};

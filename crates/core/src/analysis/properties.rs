@@ -1,0 +1,250 @@
+//! Empirical checkers for the mechanisms' economic properties.
+//!
+//! These are *testing/auditing* tools: given a concrete instance they search
+//! for violations of strategy-proofness, individual rationality, and
+//! allocation monotonicity by enumerating a grid of deviations. They cannot
+//! prove a property (the theorems do that) but they catch implementation
+//! bugs and quantify how baselines fail.
+
+use crate::error::Result;
+use crate::mechanism::{Mechanism, WinnerDetermination};
+use crate::types::{TypeProfile, UserId};
+
+/// The expected utility of `user` (with true type from `truth`) when the
+/// declared profile is `declared` and the mechanism runs on it.
+///
+/// Losers get utility 0. The success event is "completed at least one task
+/// of the (true) task set".
+///
+/// # Errors
+///
+/// Propagates reward-scheme errors; an infeasible declared instance yields
+/// utility 0 (the auction does not run).
+pub fn expected_utility<M: Mechanism>(
+    mechanism: &M,
+    declared: &TypeProfile,
+    truth: &TypeProfile,
+    user: UserId,
+) -> Result<f64> {
+    let allocation = match mechanism.select_winners(declared) {
+        Ok(a) => a,
+        Err(crate::McsError::Infeasible { .. }) => return Ok(0.0),
+        Err(other) => return Err(other),
+    };
+    if !allocation.contains(user) {
+        return Ok(0.0);
+    }
+    let success = mechanism.reward(declared, &allocation, user, true)?;
+    let failure = mechanism.reward(declared, &allocation, user, false)?;
+    let true_type = truth.user(user)?;
+    let p_any = true_type.any_task_pos().value();
+    Ok(p_any * success + (1.0 - p_any) * failure - true_type.cost().value())
+}
+
+/// A profitable deviation found by [`check_strategy_proofness`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The deviating user.
+    pub user: UserId,
+    /// The contribution scaling factor of the deviation.
+    pub factor: f64,
+    /// Expected utility when truthful.
+    pub truthful_utility: f64,
+    /// Expected utility under the deviation.
+    pub deviating_utility: f64,
+}
+
+impl Violation {
+    /// How much the deviation gains.
+    pub fn gain(&self) -> f64 {
+        self.deviating_utility - self.truthful_utility
+    }
+}
+
+/// Searches for profitable uniform-scaling PoS deviations
+/// (`q_i^j ← factor·q_i^j` for all `j`) for every user.
+///
+/// Returns all violations exceeding `tolerance`. An empty result on a rich
+/// `factors` grid is strong evidence of incentive compatibility on this
+/// instance; the mechanisms' theorems guarantee it in general.
+///
+/// # Errors
+///
+/// Propagates mechanism errors on the *truthful* profile (deviations that
+/// break feasibility count as losing, not as errors).
+pub fn check_strategy_proofness<M: Mechanism>(
+    mechanism: &M,
+    truth: &TypeProfile,
+    factors: &[f64],
+    tolerance: f64,
+) -> Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for user in truth.user_ids() {
+        let truthful_utility = expected_utility(mechanism, truth, truth, user)?;
+        for &factor in factors {
+            let lie = truth.user(user)?.with_scaled_contributions(factor);
+            let declared = truth.with_user_type(lie)?;
+            let deviating_utility = expected_utility(mechanism, &declared, truth, user)?;
+            if deviating_utility > truthful_utility + tolerance {
+                violations.push(Violation {
+                    user,
+                    factor,
+                    truthful_utility,
+                    deviating_utility,
+                });
+            }
+        }
+    }
+    Ok(violations)
+}
+
+/// Checks individual rationality: every truthful winner's expected utility
+/// is at least `-tolerance`. Returns the offending users.
+///
+/// # Errors
+///
+/// Propagates mechanism errors.
+pub fn check_individual_rationality<M: Mechanism>(
+    mechanism: &M,
+    truth: &TypeProfile,
+    tolerance: f64,
+) -> Result<Vec<(UserId, f64)>> {
+    let allocation = mechanism.select_winners(truth)?;
+    let mut offenders = Vec::new();
+    for winner in allocation.winners() {
+        let utility = expected_utility(mechanism, truth, truth, winner)?;
+        if utility < -tolerance {
+            offenders.push((winner, utility));
+        }
+    }
+    Ok(offenders)
+}
+
+/// Checks allocation monotonicity: every winner keeps winning when her
+/// contributions are scaled *up* by each factor (> 1). Returns
+/// `(user, factor)` pairs that demote a winner.
+///
+/// # Errors
+///
+/// Propagates winner-determination errors on the truthful profile.
+pub fn check_monotonicity<W: WinnerDetermination>(
+    winner_determination: &W,
+    truth: &TypeProfile,
+    up_factors: &[f64],
+) -> Result<Vec<(UserId, f64)>> {
+    let allocation = winner_determination.select_winners(truth)?;
+    let mut demotions = Vec::new();
+    for winner in allocation.winners() {
+        for &factor in up_factors {
+            debug_assert!(factor >= 1.0, "monotonicity is about raising bids");
+            let raised = truth.user(winner)?.with_scaled_contributions(factor);
+            let declared = truth.with_user_type(raised)?;
+            match winner_determination.select_winners(&declared) {
+                Ok(outcome) if outcome.contains(winner) => {}
+                Ok(_) => demotions.push((winner, factor)),
+                // Raising a bid cannot make the instance infeasible; treat
+                // any error as a demotion so it surfaces in tests.
+                Err(_) => demotions.push((winner, factor)),
+            }
+        }
+    }
+    Ok(demotions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi_task::MultiTaskMechanism;
+    use crate::single_task::SingleTaskMechanism;
+    use crate::types::{Cost, Pos, Task, TaskId, UserType};
+
+    fn single_profile() -> TypeProfile {
+        let users = vec![
+            UserType::single(UserId::new(0), 3.0, 0.7).unwrap(),
+            UserType::single(UserId::new(1), 2.0, 0.7).unwrap(),
+            UserType::single(UserId::new(2), 1.0, 0.5).unwrap(),
+            UserType::single(UserId::new(3), 4.0, 0.8).unwrap(),
+        ];
+        TypeProfile::single_task(Pos::new(0.9).unwrap(), users).unwrap()
+    }
+
+    fn multi_profile() -> TypeProfile {
+        let task = |id: u32, req: f64| Task::with_requirement(TaskId::new(id), req).unwrap();
+        let user = |id: u32, cost: f64, tasks: &[(u32, f64)]| {
+            let mut b = UserType::builder(UserId::new(id)).cost(Cost::new(cost).unwrap());
+            for &(t, p) in tasks {
+                b = b.task(TaskId::new(t), Pos::new(p).unwrap());
+            }
+            b.build().unwrap()
+        };
+        TypeProfile::new(
+            vec![
+                user(0, 2.0, &[(0, 0.3), (1, 0.4)]),
+                user(1, 1.5, &[(0, 0.2), (2, 0.3)]),
+                user(2, 3.0, &[(1, 0.5), (2, 0.5)]),
+                user(3, 1.0, &[(0, 0.2), (1, 0.2), (2, 0.2)]),
+                user(4, 2.5, &[(0, 0.4), (2, 0.4)]),
+            ],
+            vec![task(0, 0.5), task(1, 0.6), task(2, 0.55)],
+        )
+        .unwrap()
+    }
+
+    const FACTORS: [f64; 8] = [0.0, 0.25, 0.5, 0.75, 1.25, 1.5, 2.0, 4.0];
+
+    #[test]
+    fn single_task_mechanism_passes_all_checks() {
+        let mechanism = SingleTaskMechanism::new(0.2, 10.0).unwrap();
+        let truth = single_profile();
+        assert!(check_strategy_proofness(&mechanism, &truth, &FACTORS, 1e-6)
+            .unwrap()
+            .is_empty());
+        assert!(check_individual_rationality(&mechanism, &truth, 1e-6)
+            .unwrap()
+            .is_empty());
+        assert!(check_monotonicity(&mechanism, &truth, &[1.1, 1.5, 3.0])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn multi_task_mechanism_passes_all_checks() {
+        let mechanism = MultiTaskMechanism::new(10.0).unwrap();
+        let truth = multi_profile();
+        assert!(check_strategy_proofness(&mechanism, &truth, &FACTORS, 1e-6)
+            .unwrap()
+            .is_empty());
+        assert!(check_individual_rationality(&mechanism, &truth, 1e-6)
+            .unwrap()
+            .is_empty());
+        assert!(check_monotonicity(&mechanism, &truth, &[1.1, 1.5, 3.0])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn expected_utility_is_zero_for_losers() {
+        let mechanism = SingleTaskMechanism::new(0.2, 10.0).unwrap();
+        let truth = single_profile();
+        let allocation = mechanism.select_winners(&truth).unwrap();
+        for user in truth.user_ids() {
+            if !allocation.contains(user) {
+                assert_eq!(
+                    expected_utility(&mechanism, &truth, &truth, user).unwrap(),
+                    0.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn violation_reports_gain() {
+        let v = Violation {
+            user: UserId::new(1),
+            factor: 2.0,
+            truthful_utility: 0.5,
+            deviating_utility: 1.25,
+        };
+        assert!((v.gain() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! The Min-Greedy baseline for the single-task setting — the paper's
+//! "Greedy" curve in Figure 5(a).
+//!
+//! This is the capped-ratio greedy for minimum knapsack (the approximate
+//! minimization algorithm the paper cites as [21], and the primal-dual
+//! 2-approximation of Carnes & Shmoys): repeatedly select the user
+//! minimizing `c_i / min(q_i, D)`, where `D` is the *residual* requirement,
+//! until the requirement is covered. Capping at the residual is what makes
+//! the ratio bound hold — a user with a huge contribution but moderate cost
+//! otherwise looks artificially efficient long after the residual shrank.
+//!
+//! It is also exactly the single-task specialization of the multi-task
+//! greedy (Algorithm 4), which is why the paper's Figure 5(a) shows it
+//! clearly above the FPTAS yet within a small constant of OPT.
+
+use crate::error::{McsError, Result};
+use crate::mechanism::{Allocation, WinnerDetermination};
+use crate::types::{Contribution, TypeProfile, UserId};
+
+/// The capped-ratio greedy 2-approximation for single-task winner
+/// determination.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::baselines::MinGreedy;
+/// use mcs_core::mechanism::WinnerDetermination;
+/// use mcs_core::types::{Pos, TypeProfile, UserId, UserType};
+///
+/// let users = vec![
+///     UserType::single(UserId::new(0), 3.0, 0.7)?,
+///     UserType::single(UserId::new(1), 2.0, 0.7)?,
+///     UserType::single(UserId::new(2), 1.0, 0.5)?,
+/// ];
+/// let profile = TypeProfile::single_task(Pos::new(0.9)?, users)?;
+/// let allocation = MinGreedy::new().select_winners(&profile)?;
+/// assert!(!allocation.is_empty());
+/// # Ok::<(), mcs_core::McsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MinGreedy {}
+
+impl MinGreedy {
+    /// Creates the algorithm (it is parameter-free).
+    pub fn new() -> Self {
+        MinGreedy {}
+    }
+}
+
+impl WinnerDetermination for MinGreedy {
+    fn select_winners(&self, profile: &TypeProfile) -> Result<Allocation> {
+        let task = profile.the_task()?;
+        let requirement = task.requirement_contribution();
+        if requirement.is_zero() {
+            return Ok(Allocation::empty());
+        }
+        profile.check_feasible()?;
+
+        let entries: Vec<(UserId, Contribution, f64)> = profile
+            .users()
+            .iter()
+            .filter_map(|user| {
+                let q = user.contribution_for(task.id());
+                (!q.is_zero()).then(|| (user.id(), q, user.cost().value()))
+            })
+            .collect();
+
+        let mut selected = vec![false; entries.len()];
+        let mut winners = Vec::new();
+        let mut residual = requirement;
+        while !residual.is_zero() {
+            // argmin over remaining users of c / min(q, residual), by
+            // cross-multiplication (robust to zero costs), ties to the
+            // smaller id.
+            let best = entries
+                .iter()
+                .enumerate()
+                .filter(|&(idx, _)| !selected[idx])
+                .min_by(|a, b| {
+                    let qa = a.1 .1.min(residual).value();
+                    let qb = b.1 .1.min(residual).value();
+                    let left = a.1 .2 * qb;
+                    let right = b.1 .2 * qa;
+                    left.partial_cmp(&right)
+                        .expect("finite")
+                        .then(a.1 .0.cmp(&b.1 .0))
+                });
+            let Some((idx, &(id, q, _))) = best else {
+                return Err(McsError::Infeasible { task: task.id() });
+            };
+            selected[idx] = true;
+            winners.push(id);
+            residual = residual - q;
+        }
+        Ok(Allocation::from_winners(winners))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::OptimalSingleTask;
+    use crate::types::{Pos, UserType};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn profile(requirement: f64, users: &[(f64, f64)]) -> TypeProfile {
+        let users = users
+            .iter()
+            .enumerate()
+            .map(|(i, &(cost, pos))| UserType::single(UserId::new(i as u32), cost, pos).unwrap())
+            .collect();
+        TypeProfile::single_task(Pos::new(requirement).unwrap(), users).unwrap()
+    }
+
+    #[test]
+    fn capped_ratio_prefers_cheap_cover_at_small_residual() {
+        // Residual shrinks to a sliver; the capped rule then closes the
+        // gap with the cheap small user instead of the big expensive one.
+        let p = profile(0.8, &[(4.0, 0.7), (0.5, 0.3), (20.0, 0.79), (0.2, 0.1)]);
+        let allocation = MinGreedy::new().select_winners(&p).unwrap();
+        assert!(allocation.contains(UserId::new(0)));
+        assert!(allocation.contains(UserId::new(1)));
+        assert!(allocation.contains(UserId::new(3)));
+        assert!(!allocation.contains(UserId::new(2)));
+    }
+
+    #[test]
+    fn within_factor_two_of_optimal() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let optimal = OptimalSingleTask::new();
+        let greedy = MinGreedy::new();
+        for trial in 0..60 {
+            let n = rng.gen_range(2..=12);
+            let users: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.5..10.0), rng.gen_range(0.05..0.9)))
+                .collect();
+            let requirement = rng.gen_range(0.3..0.95);
+            let p = profile(requirement, &users);
+            let (Ok(opt), Ok(approx)) = (optimal.select_winners(&p), greedy.select_winners(&p))
+            else {
+                continue;
+            };
+            let opt_cost = opt.social_cost(&p).unwrap().value();
+            let greedy_cost = approx.social_cost(&p).unwrap().value();
+            assert!(
+                greedy_cost <= 2.0 * opt_cost + 1e-9,
+                "trial {trial}: greedy {greedy_cost} > 2 × opt {opt_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_multi_task_greedy_on_single_task() {
+        // Min-Greedy is Algorithm 4 specialized to one task.
+        use crate::multi_task::GreedyWinnerDetermination;
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..=10);
+            let users: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.5..10.0), rng.gen_range(0.05..0.9)))
+                .collect();
+            let p = profile(rng.gen_range(0.3..0.9), &users);
+            let a = MinGreedy::new().select_winners(&p);
+            let b = GreedyWinnerDetermination::new().select_winners(&p);
+            match (a, b) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("disagree on feasibility: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_is_reported() {
+        let p = profile(0.99, &[(1.0, 0.05)]);
+        assert!(matches!(
+            MinGreedy::new().select_winners(&p),
+            Err(McsError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_requirement_selects_nobody() {
+        let p = profile(0.0, &[(1.0, 0.5)]);
+        assert!(MinGreedy::new().select_winners(&p).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Evaluation baselines from the paper's Section IV.
+//!
+//! * [`OptimalSingleTask`] / [`OptimalMultiTask`] — exact branch-and-bound
+//!   solvers: the "OPT" curves of Figure 5.
+//! * [`MinGreedy`] — the 2-approximate "Greedy" baseline of Figure 5(a).
+//! * [`StVcg`] / [`MtVcg`] — the VCG-like mechanisms of Figure 7, which
+//!   (under the declared-PoS-equals-1 equilibrium) under-provision and miss
+//!   the tasks' PoS requirements.
+//!
+//! All baselines implement
+//! [`WinnerDetermination`](crate::mechanism::WinnerDetermination); none of
+//! them are strategy-proof reward mechanisms — they exist to benchmark the
+//! allocation quality and fault tolerance of the real mechanisms.
+
+mod min_greedy;
+mod opt_multi;
+mod opt_single;
+mod vcg;
+
+pub use self::min_greedy::MinGreedy;
+pub use self::opt_multi::OptimalMultiTask;
+pub use self::opt_single::OptimalSingleTask;
+pub use self::vcg::{MtVcg, StVcg};

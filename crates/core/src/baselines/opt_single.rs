@@ -1,0 +1,294 @@
+//! Exact optimal single-task solver (the evaluation's "OPT" baseline).
+//!
+//! Branch and bound over users sorted by cost-per-contribution. The lower
+//! bound at a node is the node's cost plus a *fractional* completion of the
+//! remaining requirement using the cheapest-per-unit remaining users — the
+//! LP relaxation of the residual min-knapsack, which never overestimates.
+
+use crate::error::{McsError, Result};
+use crate::mechanism::{Allocation, WinnerDetermination};
+use crate::types::{TypeProfile, UserId, CONTRIBUTION_TOLERANCE};
+
+/// Default branch-and-bound node budget; far above what the paper's
+/// instance sizes (`n ≤ 100`) need, but a hard stop against pathological
+/// inputs.
+pub const DEFAULT_NODE_BUDGET: u64 = 50_000_000;
+
+/// Exact minimum-knapsack solver for the single-task setting.
+///
+/// Worst-case exponential (the problem is NP-hard); in practice the
+/// fractional bound prunes aggressively on the paper's instance sizes.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::baselines::OptimalSingleTask;
+/// use mcs_core::mechanism::WinnerDetermination;
+/// use mcs_core::types::{Pos, TypeProfile, UserId, UserType};
+///
+/// let users = vec![
+///     UserType::single(UserId::new(0), 3.0, 0.7)?,
+///     UserType::single(UserId::new(1), 2.0, 0.7)?,
+///     UserType::single(UserId::new(2), 1.0, 0.5)?,
+///     UserType::single(UserId::new(3), 4.0, 0.8)?,
+/// ];
+/// let profile = TypeProfile::single_task(Pos::new(0.9)?, users)?;
+/// let optimal = OptimalSingleTask::new();
+/// let allocation = optimal.select_winners(&profile)?;
+/// assert_eq!(allocation.social_cost(&profile)?.value(), 5.0);
+/// # Ok::<(), mcs_core::McsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimalSingleTask {
+    node_budget: u64,
+}
+
+impl OptimalSingleTask {
+    /// Creates the solver with the default node budget.
+    pub fn new() -> Self {
+        OptimalSingleTask {
+            node_budget: DEFAULT_NODE_BUDGET,
+        }
+    }
+
+    /// Creates the solver with an explicit node budget; exceeding it
+    /// returns [`McsError::SearchBudgetExhausted`] instead of hanging.
+    pub fn with_node_budget(node_budget: u64) -> Self {
+        OptimalSingleTask { node_budget }
+    }
+}
+
+impl Default for OptimalSingleTask {
+    fn default() -> Self {
+        OptimalSingleTask::new()
+    }
+}
+
+impl WinnerDetermination for OptimalSingleTask {
+    fn select_winners(&self, profile: &TypeProfile) -> Result<Allocation> {
+        let task = profile.the_task()?;
+        let requirement = task.requirement_contribution();
+        if requirement.is_zero() {
+            return Ok(Allocation::empty());
+        }
+        profile.check_feasible()?;
+
+        // Users sorted by cost per unit of contribution (most efficient
+        // first); zero-contribution users can never help.
+        let mut entries: Vec<(UserId, f64, f64)> = profile
+            .users()
+            .iter()
+            .filter_map(|user| {
+                let q = user.contribution_for(task.id());
+                (!q.is_zero()).then(|| (user.id(), q.value(), user.cost().value()))
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            let ra = a.2 / a.1;
+            let rb = b.2 / b.1;
+            ra.partial_cmp(&rb)
+                .expect("finite ratios")
+                .then(a.0.cmp(&b.0))
+        });
+
+        let mut search = Search {
+            entries: &entries,
+            requirement: requirement.value(),
+            best_cost: f64::INFINITY,
+            best_set: Vec::new(),
+            nodes: 0,
+            node_budget: self.node_budget,
+        };
+        search.explore(0, 0.0, 0.0, &mut Vec::new())?;
+
+        if search.best_cost.is_finite() {
+            Ok(Allocation::from_winners(search.best_set))
+        } else {
+            Err(McsError::Infeasible { task: task.id() })
+        }
+    }
+}
+
+struct Search<'a> {
+    entries: &'a [(UserId, f64, f64)],
+    requirement: f64,
+    best_cost: f64,
+    best_set: Vec<UserId>,
+    nodes: u64,
+    node_budget: u64,
+}
+
+impl Search<'_> {
+    /// The LP (fractional) lower bound on completing `deficit` using users
+    /// `idx..`, already sorted by efficiency.
+    fn fractional_bound(&self, idx: usize, mut deficit: f64) -> f64 {
+        let mut bound = 0.0;
+        for &(_, q, c) in &self.entries[idx..] {
+            if deficit <= CONTRIBUTION_TOLERANCE {
+                break;
+            }
+            if q >= deficit {
+                bound += c * deficit / q;
+                deficit = 0.0;
+            } else {
+                bound += c;
+                deficit -= q;
+            }
+        }
+        if deficit > CONTRIBUTION_TOLERANCE {
+            f64::INFINITY // this branch cannot become feasible
+        } else {
+            bound
+        }
+    }
+
+    fn explore(
+        &mut self,
+        idx: usize,
+        cost: f64,
+        covered: f64,
+        chosen: &mut Vec<UserId>,
+    ) -> Result<()> {
+        self.nodes += 1;
+        if self.nodes > self.node_budget {
+            return Err(McsError::SearchBudgetExhausted {
+                budget: self.node_budget,
+            });
+        }
+        if covered + CONTRIBUTION_TOLERANCE >= self.requirement {
+            if cost < self.best_cost {
+                self.best_cost = cost;
+                self.best_set = chosen.clone();
+            }
+            return Ok(()); // supersets only cost more
+        }
+        if idx >= self.entries.len() {
+            return Ok(());
+        }
+        let deficit = self.requirement - covered;
+        let bound = cost + self.fractional_bound(idx, deficit);
+        if bound >= self.best_cost - 1e-12 {
+            return Ok(()); // cannot strictly improve
+        }
+        // Include entries[idx] first: efficient users lead to feasible
+        // incumbents quickly, tightening the bound.
+        let (id, q, c) = self.entries[idx];
+        chosen.push(id);
+        self.explore(idx + 1, cost + c, covered + q, chosen)?;
+        chosen.pop();
+        self.explore(idx + 1, cost, covered, chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single_task::FptasWinnerDetermination;
+    use crate::types::Contribution;
+    use crate::types::{Pos, TaskId, UserType};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn profile(requirement: f64, users: &[(f64, f64)]) -> TypeProfile {
+        let users = users
+            .iter()
+            .enumerate()
+            .map(|(i, &(cost, pos))| UserType::single(UserId::new(i as u32), cost, pos).unwrap())
+            .collect();
+        TypeProfile::single_task(Pos::new(requirement).unwrap(), users).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..=10);
+            let users: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.5..10.0), rng.gen_range(0.05..0.9)))
+                .collect();
+            let requirement = rng.gen_range(0.3..0.95);
+            let p = profile(requirement, &users);
+            let optimal = OptimalSingleTask::new();
+            match optimal.select_winners(&p) {
+                Ok(allocation) => {
+                    let got = allocation.social_cost(&p).unwrap().value();
+                    let expect = brute_force(&p).expect("solver said feasible");
+                    assert!(
+                        (got - expect).abs() < 1e-9,
+                        "opt {got} != brute force {expect}"
+                    );
+                }
+                Err(McsError::Infeasible { .. }) => {
+                    assert!(brute_force(&p).is_none());
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+    }
+
+    fn brute_force(profile: &TypeProfile) -> Option<f64> {
+        let requirement = profile.the_task().unwrap().requirement_contribution();
+        let users = profile.users();
+        let mut best: Option<f64> = None;
+        for mask in 0u32..(1 << users.len()) {
+            let mut q = Contribution::ZERO;
+            let mut cost = 0.0;
+            for (i, user) in users.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    q += user.contribution_for(TaskId::new(0));
+                    cost += user.cost().value();
+                }
+            }
+            if q.meets(requirement) && best.is_none_or(|b| cost < b) {
+                best = Some(cost);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn never_beaten_by_the_fptas() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let optimal = OptimalSingleTask::new();
+        let fptas = FptasWinnerDetermination::new(0.2).unwrap();
+        for _ in 0..20 {
+            let n = rng.gen_range(3..=12);
+            let users: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(1.0..20.0), rng.gen_range(0.1..0.6)))
+                .collect();
+            let p = profile(0.8, &users);
+            let (Ok(opt), Ok(approx)) = (optimal.select_winners(&p), fptas.select_winners(&p))
+            else {
+                continue;
+            };
+            let opt_cost = opt.social_cost(&p).unwrap().value();
+            let approx_cost = approx.social_cost(&p).unwrap().value();
+            assert!(opt_cost <= approx_cost + 1e-9);
+            assert!(approx_cost <= 1.2 * opt_cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let users: Vec<(f64, f64)> = (0..20).map(|i| (1.0 + i as f64 * 0.1, 0.1)).collect();
+        let p = profile(0.85, &users);
+        let strangled = OptimalSingleTask::with_node_budget(3);
+        assert!(matches!(
+            strangled.select_winners(&p),
+            Err(McsError::SearchBudgetExhausted { budget: 3 })
+        ));
+    }
+
+    #[test]
+    fn scales_to_paper_sized_instances() {
+        // n = 100 users with realistic (low) PoS values must solve fast.
+        let mut rng = StdRng::seed_from_u64(99);
+        let users: Vec<(f64, f64)> = (0..100)
+            .map(|_| (rng.gen_range(5.0..25.0), rng.gen_range(0.02..0.25)))
+            .collect();
+        let p = profile(0.8, &users);
+        let optimal = OptimalSingleTask::new();
+        let allocation = optimal.select_winners(&p).unwrap();
+        assert!(!allocation.is_empty());
+    }
+}

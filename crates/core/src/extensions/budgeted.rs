@@ -1,0 +1,315 @@
+//! Budget-feasible recruitment — an extension the paper points to via its
+//! reference [5] (budget-feasible coverage maximization).
+//!
+//! The base mechanisms minimize social cost subject to *hard* coverage
+//! requirements. A real platform often faces the dual problem: a hard
+//! payment budget and soft coverage. [`BudgetedGreedy`] adapts Algorithm 4
+//! to that setting: select users by capped contribution–cost ratio, *stop
+//! before exceeding the budget*, and report how much of each requirement
+//! was actually covered.
+//!
+//! This is a best-effort allocation rule, not a strategy-proof mechanism
+//! on its own (budget-feasible truthful mechanisms need posted-price style
+//! payments); it is provided as an allocation-quality tool and ships with
+//! coverage metrics so experiments can chart coverage-vs-budget curves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::mechanism::Allocation;
+use crate::types::{Contribution, Cost, TaskId, TypeProfile, UserType};
+
+/// Outcome of a budgeted run: the selected users plus per-task coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetedOutcome {
+    /// The selected users (all affordable within the budget).
+    pub allocation: Allocation,
+    /// Total cost actually committed.
+    pub spent: Cost,
+    /// Per task: `(covered contribution, required contribution)`.
+    pub coverage: Vec<(TaskId, Contribution, Contribution)>,
+}
+
+impl BudgetedOutcome {
+    /// The fraction of the total requirement covered, in `[0, 1]`:
+    /// `Σ_j min(covered_j, Q_j) / Σ_j Q_j` (1.0 when there is nothing to
+    /// cover).
+    pub fn coverage_ratio(&self) -> f64 {
+        let mut covered = 0.0;
+        let mut required = 0.0;
+        for &(_, got, need) in &self.coverage {
+            covered += got.min(need).value();
+            required += need.value();
+        }
+        if required == 0.0 {
+            1.0
+        } else {
+            covered / required
+        }
+    }
+
+    /// Whether every task's requirement was fully met within the budget.
+    pub fn fully_covered(&self) -> bool {
+        self.coverage.iter().all(|&(_, got, need)| got.meets(need))
+    }
+}
+
+/// Greedy budget-feasible allocation: Algorithm 4's selection rule with a
+/// budget stop.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::extensions::BudgetedGreedy;
+/// use mcs_core::types::{Cost, Pos, TypeProfile, UserId, UserType};
+///
+/// let users = vec![
+///     UserType::single(UserId::new(0), 2.0, 0.5)?,
+///     UserType::single(UserId::new(1), 2.0, 0.5)?,
+///     UserType::single(UserId::new(2), 2.0, 0.5)?,
+/// ];
+/// let profile = TypeProfile::single_task(Pos::new(0.9)?, users)?;
+/// // The full requirement needs ~3.3 units ≈ all three users (cost 6);
+/// // a budget of 4 affords two of them.
+/// let outcome = BudgetedGreedy::new(Cost::new(4.0)?).run(&profile)?;
+/// assert_eq!(outcome.allocation.winner_count(), 2);
+/// assert!(!outcome.fully_covered());
+/// assert!(outcome.coverage_ratio() > 0.5);
+/// # Ok::<(), mcs_core::McsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetedGreedy {
+    budget: Cost,
+}
+
+impl BudgetedGreedy {
+    /// Creates the rule with a total cost budget.
+    pub fn new(budget: Cost) -> Self {
+        BudgetedGreedy { budget }
+    }
+
+    /// The budget.
+    pub fn budget(&self) -> Cost {
+        self.budget
+    }
+
+    /// Runs the budgeted greedy allocation.
+    ///
+    /// Selection order is identical to Algorithm 4 (capped
+    /// contribution–cost ratio, deterministic ties); a user whose cost
+    /// would exceed the remaining budget is skipped, and the run stops
+    /// when either every requirement is met or no affordable user can
+    /// still contribute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile validation errors; an *infeasible* instance is
+    /// not an error here — the outcome simply reports partial coverage.
+    pub fn run(&self, profile: &TypeProfile) -> Result<BudgetedOutcome> {
+        let mut residual: Vec<(TaskId, Contribution)> = profile
+            .tasks()
+            .iter()
+            .map(|t| (t.id(), t.requirement_contribution()))
+            .collect();
+        let mut selected = vec![false; profile.user_count()];
+        let mut winners = Vec::new();
+        let mut spent = Cost::ZERO;
+
+        loop {
+            if residual.iter().all(|(_, r)| r.is_zero()) {
+                break;
+            }
+            let remaining = self.budget - spent;
+            let best = profile
+                .users()
+                .iter()
+                .enumerate()
+                .filter(|&(idx, user)| !selected[idx] && user.cost() <= remaining)
+                .map(|(idx, user)| (idx, user, capped_contribution(user, &residual)))
+                .filter(|(_, _, capped)| !capped.is_zero())
+                .max_by(|a, b| {
+                    let left = a.2.value() * b.1.cost().value();
+                    let right = b.2.value() * a.1.cost().value();
+                    left.partial_cmp(&right)
+                        .expect("finite ratio products")
+                        .then(b.1.id().cmp(&a.1.id()))
+                });
+            let Some((idx, user, _)) = best else { break };
+            selected[idx] = true;
+            winners.push(user.id());
+            spent += user.cost();
+            for (task, r) in &mut residual {
+                *r = *r - user.contribution_for(*task);
+            }
+        }
+
+        let allocation = Allocation::from_winners(winners);
+        let coverage = profile
+            .tasks()
+            .iter()
+            .map(|task| {
+                let covered: Contribution = allocation
+                    .winners()
+                    .filter_map(|id| profile.user(id).ok())
+                    .map(|u| u.contribution_for(task.id()))
+                    .sum();
+                (task.id(), covered, task.requirement_contribution())
+            })
+            .collect();
+        Ok(BudgetedOutcome {
+            allocation,
+            spent,
+            coverage,
+        })
+    }
+}
+
+fn capped_contribution(user: &UserType, residual: &[(TaskId, Contribution)]) -> Contribution {
+    residual
+        .iter()
+        .map(|&(task, r)| user.contribution_for(task).min(r))
+        .sum()
+}
+
+/// Convenience: the smallest budget (over the probe grid) achieving full
+/// coverage, if any — useful for plotting coverage-vs-budget curves.
+///
+/// # Errors
+///
+/// Returns [`crate::McsError::Infeasible`] if even an unlimited budget cannot
+/// cover some task.
+pub fn minimum_full_coverage_budget(profile: &TypeProfile, probes: &[f64]) -> Result<Option<Cost>> {
+    profile.check_feasible()?;
+    for &b in probes {
+        let budget = Cost::new(b)?;
+        if BudgetedGreedy::new(budget).run(profile)?.fully_covered() {
+            return Ok(Some(budget));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::WinnerDetermination;
+    use crate::multi_task::GreedyWinnerDetermination;
+    use crate::types::{Pos, Task, UserId};
+    use crate::McsError;
+
+    fn profile() -> TypeProfile {
+        let task = |id: u32, req: f64| Task::with_requirement(TaskId::new(id), req).unwrap();
+        let user = |id: u32, cost: f64, tasks: &[(u32, f64)]| {
+            let mut b = UserType::builder(UserId::new(id)).cost(Cost::new(cost).unwrap());
+            for &(t, p) in tasks {
+                b = b.task(TaskId::new(t), Pos::new(p).unwrap());
+            }
+            b.build().unwrap()
+        };
+        TypeProfile::new(
+            vec![
+                user(0, 2.0, &[(0, 0.4), (1, 0.4)]),
+                user(1, 1.5, &[(0, 0.3)]),
+                user(2, 3.0, &[(1, 0.5)]),
+                user(3, 1.0, &[(0, 0.2), (1, 0.2)]),
+            ],
+            vec![task(0, 0.6), task(1, 0.6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_greedy() {
+        let p = profile();
+        let unlimited = BudgetedGreedy::new(Cost::new(1e9).unwrap())
+            .run(&p)
+            .unwrap();
+        let plain = GreedyWinnerDetermination::new().select_winners(&p).unwrap();
+        assert_eq!(unlimited.allocation, plain);
+        assert!(unlimited.fully_covered());
+        assert_eq!(unlimited.coverage_ratio(), 1.0);
+    }
+
+    #[test]
+    fn zero_budget_selects_nobody() {
+        let outcome = BudgetedGreedy::new(Cost::ZERO).run(&profile()).unwrap();
+        assert!(outcome.allocation.is_empty());
+        assert_eq!(outcome.spent, Cost::ZERO);
+        assert!(outcome.coverage_ratio() < 1.0);
+    }
+
+    #[test]
+    fn spending_never_exceeds_budget() {
+        let p = profile();
+        for b in [0.5, 1.0, 2.0, 3.5, 5.0, 7.5] {
+            let budget = Cost::new(b).unwrap();
+            let outcome = BudgetedGreedy::new(budget).run(&p).unwrap();
+            assert!(
+                outcome.spent <= budget,
+                "spent {} of budget {b}",
+                outcome.spent
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_budget() {
+        let p = profile();
+        let mut last = -1.0;
+        for b in [0.0, 1.0, 2.0, 3.0, 4.5, 6.0, 10.0] {
+            let outcome = BudgetedGreedy::new(Cost::new(b).unwrap()).run(&p).unwrap();
+            let ratio = outcome.coverage_ratio();
+            assert!(
+                ratio >= last - 1e-12,
+                "coverage fell from {last} to {ratio} at budget {b}"
+            );
+            last = ratio;
+        }
+    }
+
+    #[test]
+    fn skips_unaffordable_users_but_keeps_going() {
+        // Budget affords users 1 and 3 (2.5) but not 0 or 2.
+        let outcome = BudgetedGreedy::new(Cost::new(2.5).unwrap())
+            .run(&profile())
+            .unwrap();
+        assert!(
+            !outcome.allocation.contains(UserId::new(0))
+                || !outcome.allocation.contains(UserId::new(2))
+        );
+        assert!(outcome.spent.value() <= 2.5);
+        assert!(outcome.allocation.winner_count() >= 1);
+    }
+
+    #[test]
+    fn minimum_budget_probe_finds_threshold() {
+        let p = profile();
+        let probes: Vec<f64> = (0..=20).map(|i| 0.5 * f64::from(i)).collect();
+        let minimum = minimum_full_coverage_budget(&p, &probes).unwrap().unwrap();
+        // Below the threshold: not fully covered.
+        let below = Cost::new(minimum.value() - 0.5).unwrap();
+        assert!(!BudgetedGreedy::new(below).run(&p).unwrap().fully_covered());
+        // At the threshold: covered.
+        assert!(BudgetedGreedy::new(minimum)
+            .run(&p)
+            .unwrap()
+            .fully_covered());
+    }
+
+    #[test]
+    fn infeasible_instance_reports_partial_coverage_not_error() {
+        let task = Task::with_requirement(TaskId::new(0), 0.9).unwrap();
+        let users = vec![UserType::single(UserId::new(0), 1.0, 0.3).unwrap()];
+        let p = TypeProfile::new(users, vec![task]).unwrap();
+        let outcome = BudgetedGreedy::new(Cost::new(10.0).unwrap())
+            .run(&p)
+            .unwrap();
+        assert!(!outcome.fully_covered());
+        assert_eq!(outcome.allocation.winner_count(), 1);
+        // But the budget probe, which promises full coverage, errors.
+        assert!(matches!(
+            minimum_full_coverage_budget(&p, &[10.0]),
+            Err(McsError::Infeasible { .. })
+        ));
+    }
+}

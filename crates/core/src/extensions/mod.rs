@@ -1,0 +1,17 @@
+//! Extensions beyond the paper's core mechanisms — the directions its
+//! "future work" section names, made concrete:
+//!
+//! * [`CostAudit`] and the cost-truthfulness checkers implement the
+//!   verifiable-cost assumption behind the paper's single-dimension
+//!   reduction (Section III-A-1), with an explicit deterrence condition.
+//! * [`BudgetedGreedy`] adapts the multi-task greedy to a hard payment
+//!   budget with soft coverage — the dual problem real platforms face.
+
+mod budgeted;
+mod cost_verification;
+
+pub use self::budgeted::{minimum_full_coverage_budget, BudgetedGreedy, BudgetedOutcome};
+pub use self::cost_verification::{
+    check_cost_truthfulness, expected_utility_with_cost_misreport, required_fine_factor, CostAudit,
+    CostViolation,
+};

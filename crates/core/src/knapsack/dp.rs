@@ -1,0 +1,437 @@
+//! The minimum-knapsack dynamic program (paper Algorithm 1).
+//!
+//! The table is indexed by *exact scaled cost level*: cell `L` holds the
+//! best user set whose scaled costs sum to exactly `L`. "Best" is decided by
+//! a deterministic three-level rule — higher (requirement-saturated)
+//! contribution, then lower actual cost, then lexicographically smaller
+//! member set — chosen so that the winner-determination built on top is
+//! *monotone* in any single user's declared contribution (the property
+//! Lemma 1 needs):
+//!
+//! * Saturating contributions at the requirement means that once a state is
+//!   feasible, further contribution raises cannot demote it.
+//! * Preferring lower actual cost among equally-feasible states means a
+//!   user raising her contribution can only make her subproblem's answer
+//!   cheaper, never more expensive — which keeps the *cross-subproblem*
+//!   minimum (Algorithm 2 line 9) from abandoning her.
+//!
+//! Complexity: `O(items × levels)` time and `O(levels)` states, where
+//! `levels ≤ Σ scaled costs` — the `O(n · C_s)` of the paper's Algorithm 1.
+
+use crate::knapsack::UserSet;
+use crate::types::{Contribution, Cost};
+
+/// An item of the (scaled) minimum-knapsack instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnapsackItem {
+    /// Position of the user in the caller's slice; recorded in
+    /// [`DpCell::members`].
+    pub index: usize,
+    /// The user's contribution `q_i` towards the task.
+    pub contribution: Contribution,
+    /// The user's cost rounded to an integer level (see
+    /// [`Scaling`](crate::knapsack::Scaling)).
+    pub scaled_cost: u64,
+    /// The user's true cost, used for tie-breaking and for reporting the
+    /// selected set's real social cost.
+    pub actual_cost: Cost,
+}
+
+/// The best state found at one exact scaled-cost level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpCell {
+    /// The member set (indices into the item slice's `index` space).
+    pub members: UserSet,
+    /// Total contribution, saturated at the requirement.
+    pub contribution: Contribution,
+    /// Total actual cost of the members.
+    pub actual_cost: Cost,
+}
+
+impl DpCell {
+    /// Whether this cell's (saturated) contribution meets `requirement`.
+    pub fn is_feasible(&self, requirement: Contribution) -> bool {
+        self.contribution.meets(requirement)
+    }
+
+    /// The deterministic preference order described in the module docs:
+    /// `true` if `self` should replace `incumbent`.
+    fn beats(&self, incumbent: &DpCell) -> bool {
+        if self.contribution != incumbent.contribution {
+            return self.contribution > incumbent.contribution;
+        }
+        if self.actual_cost != incumbent.actual_cost {
+            return self.actual_cost < incumbent.actual_cost;
+        }
+        self.members < incumbent.members
+    }
+}
+
+/// The solved DP table.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::knapsack::{DpTable, KnapsackItem};
+/// use mcs_core::types::{Contribution, Cost};
+///
+/// let items = vec![
+///     KnapsackItem {
+///         index: 0,
+///         contribution: Contribution::new(1.0)?,
+///         scaled_cost: 2,
+///         actual_cost: Cost::new(2.0)?,
+///     },
+///     KnapsackItem {
+///         index: 1,
+///         contribution: Contribution::new(1.5)?,
+///         scaled_cost: 3,
+///         actual_cost: Cost::new(3.0)?,
+///     },
+/// ];
+/// let requirement = Contribution::new(2.0)?;
+/// let table = DpTable::solve(&items, requirement, None);
+/// // Covering q ≥ 2 needs both items: levels 2 + 3 = 5.
+/// let (level, cell) = table.min_feasible(requirement).expect("feasible");
+/// assert_eq!(level, 5);
+/// assert_eq!(cell.members.len(), 2);
+/// # Ok::<(), mcs_core::McsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DpTable {
+    cells: Vec<Option<DpCell>>,
+    requirement: Contribution,
+}
+
+impl DpTable {
+    /// Runs the dynamic program over `items` with the given contribution
+    /// `requirement`.
+    ///
+    /// `level_cap` optionally truncates the table: levels above the cap are
+    /// discarded. Passing the scaled cost of any known-feasible solution is
+    /// safe (the optimum costs no more) and keeps the table small.
+    pub fn solve(
+        items: &[KnapsackItem],
+        requirement: Contribution,
+        level_cap: Option<u64>,
+    ) -> Self {
+        let total: u64 = items.iter().map(|i| i.scaled_cost).sum();
+        let cap = level_cap.map_or(total, |c| c.min(total));
+        let len = usize::try_from(cap).expect("scaled cost cap fits in usize") + 1;
+        let mut cells: Vec<Option<DpCell>> = vec![None; len];
+        cells[0] = Some(DpCell {
+            members: UserSet::new(),
+            contribution: Contribution::ZERO,
+            actual_cost: Cost::ZERO,
+        });
+        for item in items {
+            let step = usize::try_from(item.scaled_cost).expect("scaled cost fits in usize");
+            if step >= len {
+                continue;
+            }
+            // Walk destination levels downwards so each item is used at most
+            // once (classic 0/1 knapsack order).
+            for to in (step..len).rev() {
+                let from = to - step;
+                let Some(base) = cells[from].as_ref() else {
+                    continue;
+                };
+                let candidate = DpCell {
+                    members: base.members.with(item.index),
+                    contribution: (base.contribution + item.contribution).min(requirement),
+                    actual_cost: base.actual_cost + item.actual_cost,
+                };
+                match &cells[to] {
+                    Some(incumbent) if !candidate.beats(incumbent) => {}
+                    _ => cells[to] = Some(candidate),
+                }
+            }
+        }
+        DpTable { cells, requirement }
+    }
+
+    /// The contribution requirement the table was solved against.
+    pub fn requirement(&self) -> Contribution {
+        self.requirement
+    }
+
+    /// The lowest scaled-cost level whose cell meets `requirement`, with
+    /// its cell. This is the minimum-knapsack answer in the scaled domain.
+    ///
+    /// `requirement` may be at most the requirement passed to
+    /// [`DpTable::solve`]; contributions were saturated there, so asking
+    /// about a larger one would spuriously report infeasibility.
+    pub fn min_feasible(&self, requirement: Contribution) -> Option<(u64, &DpCell)> {
+        debug_assert!(
+            requirement <= self.requirement,
+            "cannot query above the saturation requirement"
+        );
+        self.cells.iter().enumerate().find_map(|(level, cell)| {
+            cell.as_ref()
+                .filter(|c| c.is_feasible(requirement))
+                .map(|c| (level as u64, c))
+        })
+    }
+
+    /// All populated cells, as `(level, cell)` pairs in ascending level
+    /// order. Exposed for analysis and tests.
+    pub fn cells(&self) -> impl Iterator<Item = (u64, &DpCell)> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(level, cell)| cell.as_ref().map(|c| (level as u64, c)))
+    }
+}
+
+/// A state of the *unsaturated* Pareto-frontier formulation of Algorithm 1:
+/// `(I, Q, C)` with full cross-cost dominance pruning.
+///
+/// [`pareto_frontier`] is the textbook rendition of the paper's Algorithm 1
+/// (a list of states with dominated ones removed). The production solver
+/// [`DpTable`] uses the level-indexed variant above; the frontier version is
+/// kept for exact small-instance solving, analysis, and as a test oracle —
+/// the two must agree on the minimum feasible cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoState {
+    /// The member set.
+    pub members: UserSet,
+    /// Total (unsaturated) contribution of the members.
+    pub contribution: Contribution,
+    /// Total scaled cost of the members.
+    pub scaled_cost: u64,
+    /// Total actual cost of the members.
+    pub actual_cost: Cost,
+}
+
+/// Computes the Pareto frontier of `(contribution, scaled cost)` states over
+/// all subsets of `items` — paper Algorithm 1 with dominance pruning.
+///
+/// A state dominates another if it has no higher cost and no lower
+/// contribution. The result is sorted by ascending scaled cost with strictly
+/// increasing contribution.
+///
+/// Worst-case exponential only in degenerate all-equal-cost instances; with
+/// integer scaled costs the frontier size is bounded by the total scaled
+/// cost plus one.
+pub fn pareto_frontier(items: &[KnapsackItem]) -> Vec<ParetoState> {
+    let mut frontier = vec![ParetoState {
+        members: UserSet::new(),
+        contribution: Contribution::ZERO,
+        scaled_cost: 0,
+        actual_cost: Cost::ZERO,
+    }];
+    for item in items {
+        let extended: Vec<ParetoState> = frontier
+            .iter()
+            .map(|state| ParetoState {
+                members: state.members.with(item.index),
+                contribution: state.contribution + item.contribution,
+                scaled_cost: state.scaled_cost + item.scaled_cost,
+                actual_cost: state.actual_cost + item.actual_cost,
+            })
+            .collect();
+        // Merge two cost-sorted lists, then prune dominated states.
+        let mut merged: Vec<ParetoState> = Vec::with_capacity(frontier.len() + extended.len());
+        let (mut a, mut b) = (
+            frontier.into_iter().peekable(),
+            extended.into_iter().peekable(),
+        );
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    (x.scaled_cost, std::cmp::Reverse(x.contribution))
+                        <= (y.scaled_cost, std::cmp::Reverse(y.contribution))
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let state = if take_a { a.next() } else { b.next() }.expect("peeked");
+            merged.push(state);
+        }
+        let mut pruned: Vec<ParetoState> = Vec::with_capacity(merged.len());
+        for state in merged {
+            match pruned.last() {
+                Some(last) if state.contribution <= last.contribution => {} // dominated
+                _ => pruned.push(state),
+            }
+        }
+        frontier = pruned;
+    }
+    frontier
+}
+
+/// The minimum scaled cost over frontier states meeting `requirement`.
+pub fn frontier_min_feasible(
+    frontier: &[ParetoState],
+    requirement: Contribution,
+) -> Option<&ParetoState> {
+    frontier.iter().find(|s| s.contribution.meets(requirement))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(index: usize, q: f64, scaled: u64, actual: f64) -> KnapsackItem {
+        KnapsackItem {
+            index,
+            contribution: Contribution::new(q).unwrap(),
+            scaled_cost: scaled,
+            actual_cost: Cost::new(actual).unwrap(),
+        }
+    }
+
+    #[test]
+    fn empty_instance_feasible_only_for_zero_requirement() {
+        let table = DpTable::solve(&[], Contribution::ZERO, None);
+        let (level, cell) = table.min_feasible(Contribution::ZERO).unwrap();
+        assert_eq!(level, 0);
+        assert!(cell.members.is_empty());
+    }
+
+    #[test]
+    fn infeasible_requirement_yields_none() {
+        let items = vec![item(0, 0.5, 1, 1.0)];
+        let requirement = Contribution::new(2.0).unwrap();
+        let table = DpTable::solve(&items, requirement, None);
+        assert!(table.min_feasible(requirement).is_none());
+    }
+
+    #[test]
+    fn picks_cheapest_feasible_combination() {
+        // Covering q ≥ 2: {0,1} costs 5, {2} alone costs 6, {0,2} costs 8.
+        let items = vec![
+            item(0, 1.0, 2, 2.0),
+            item(1, 1.2, 3, 3.0),
+            item(2, 2.5, 6, 6.0),
+        ];
+        let requirement = Contribution::new(2.0).unwrap();
+        let table = DpTable::solve(&items, requirement, None);
+        let (level, cell) = table.min_feasible(requirement).unwrap();
+        assert_eq!(level, 5);
+        assert_eq!(cell.members.iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(cell.actual_cost.value(), 5.0);
+    }
+
+    #[test]
+    fn saturation_prefers_cheaper_actual_cost_at_same_level() {
+        // Both single items are feasible at scaled level 3; the cheaper
+        // actual cost must win.
+        let items = vec![item(0, 5.0, 3, 3.9), item(1, 9.0, 3, 3.1)];
+        let requirement = Contribution::new(4.0).unwrap();
+        let table = DpTable::solve(&items, requirement, None);
+        let (_, cell) = table.min_feasible(requirement).unwrap();
+        assert_eq!(cell.members.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn exact_tie_breaks_to_lexicographically_smaller_set() {
+        let items = vec![item(0, 1.0, 2, 2.0), item(1, 1.0, 2, 2.0)];
+        let requirement = Contribution::new(1.0).unwrap();
+        let table = DpTable::solve(&items, requirement, None);
+        let (_, cell) = table.min_feasible(requirement).unwrap();
+        assert_eq!(cell.members.iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn level_cap_discards_expensive_states() {
+        let items = vec![item(0, 1.0, 2, 2.0), item(1, 1.0, 100, 100.0)];
+        let requirement = Contribution::new(2.0).unwrap();
+        let table = DpTable::solve(&items, requirement, Some(10));
+        // The pair costs 102 > cap, so the requirement is unreachable.
+        assert!(table.min_feasible(requirement).is_none());
+        // But the single cheap item is still there.
+        let half = Contribution::new(1.0).unwrap();
+        assert!(table.min_feasible(half).is_some());
+    }
+
+    #[test]
+    fn zero_cost_items_land_on_level_zero() {
+        let items = vec![item(0, 0.7, 0, 0.0), item(1, 0.8, 0, 0.0)];
+        let requirement = Contribution::new(1.4).unwrap();
+        let table = DpTable::solve(&items, requirement, None);
+        let (level, cell) = table.min_feasible(requirement).unwrap();
+        assert_eq!(level, 0);
+        assert_eq!(cell.members.len(), 2);
+    }
+
+    #[test]
+    fn agrees_with_pareto_frontier_oracle() {
+        // Deterministic pseudo-random small instances.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..50 {
+            let n = 2 + (next() % 7) as usize;
+            let items: Vec<KnapsackItem> = (0..n)
+                .map(|i| {
+                    let q = 0.1 + (next() % 100) as f64 / 50.0;
+                    let scaled = next() % 12;
+                    item(i, q, scaled, scaled as f64)
+                })
+                .collect();
+            let requirement = Contribution::new(0.5 + (next() % 100) as f64 / 40.0).unwrap();
+            let table = DpTable::solve(&items, requirement, None);
+            let frontier = pareto_frontier(&items);
+            let via_table = table.min_feasible(requirement).map(|(level, _)| level);
+            let via_frontier =
+                frontier_min_feasible(&frontier, requirement).map(|state| state.scaled_cost);
+            assert_eq!(via_table, via_frontier, "trial {trial} disagreed");
+        }
+    }
+
+    #[test]
+    fn frontier_is_strictly_monotone() {
+        let items = vec![
+            item(0, 1.0, 3, 3.0),
+            item(1, 0.5, 1, 1.0),
+            item(2, 2.0, 4, 4.0),
+            item(3, 0.2, 1, 1.0),
+        ];
+        let frontier = pareto_frontier(&items);
+        for pair in frontier.windows(2) {
+            assert!(pair[0].scaled_cost <= pair[1].scaled_cost);
+            assert!(pair[0].contribution < pair[1].contribution);
+        }
+        // The empty state is always present.
+        assert_eq!(frontier[0].scaled_cost, 0);
+        assert!(frontier[0].members.is_empty());
+    }
+
+    #[test]
+    fn raising_a_members_contribution_never_raises_the_answer_cost() {
+        // The monotonicity property the FPTAS relies on, checked directly
+        // at the DP level on a handful of instances.
+        let base = vec![
+            item(0, 0.8, 2, 2.0),
+            item(1, 0.9, 2, 2.2),
+            item(2, 1.5, 3, 3.0),
+            item(3, 0.4, 1, 1.0),
+        ];
+        let requirement = Contribution::new(1.7).unwrap();
+        let before = DpTable::solve(&base, requirement, None);
+        let (before_level, before_cell) = before.min_feasible(requirement).unwrap();
+        for member in before_cell.members.iter() {
+            for bump in [0.05, 0.2, 1.0, 5.0] {
+                let mut raised = base.clone();
+                raised[member].contribution =
+                    Contribution::new(raised[member].contribution.value() + bump).unwrap();
+                let after = DpTable::solve(&raised, requirement, None);
+                let (after_level, after_cell) = after.min_feasible(requirement).unwrap();
+                assert!(after_level <= before_level);
+                assert!(
+                    after_cell.actual_cost <= before_cell.actual_cost || after_level < before_level
+                );
+                assert!(
+                    after_cell.members.contains(member),
+                    "member {member} dropped after raising contribution by {bump}"
+                );
+            }
+        }
+    }
+}

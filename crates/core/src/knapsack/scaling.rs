@@ -1,0 +1,134 @@
+//! Cost scaling for the FPTAS (paper Algorithm 2, lines 4–6).
+//!
+//! The FPTAS rounds each cost down to an integer multiple of a scaling
+//! parameter `μ_k = ε·c_k / k`, which bounds the dynamic program's state
+//! space while losing at most `μ_k` per user — at most `ε·c_k` in total for
+//! a subproblem over `k` users.
+
+use crate::error::{McsError, Result};
+use crate::types::Cost;
+
+/// A cost-scaling transform `c ↦ ⌊c / μ⌋`.
+///
+/// A scaling with `μ = 0` (which arises when the reference cost `c_k` is
+/// zero — every user so far is free) maps every cost to level 0, which is
+/// exactly right: all-zero-cost subsets are interchangeable in cost.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::knapsack::Scaling;
+/// use mcs_core::types::Cost;
+///
+/// // Subproblem k = 4 with ε = 0.5 and c_k = 8: μ = 1.
+/// let scaling = Scaling::fptas(0.5, Cost::new(8.0)?, 4)?;
+/// assert_eq!(scaling.scale(Cost::new(7.9)?), 7);
+/// assert_eq!(scaling.scale(Cost::new(8.0)?), 8);
+/// # Ok::<(), mcs_core::McsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scaling {
+    mu: f64,
+}
+
+impl Scaling {
+    /// The FPTAS scaling for subproblem `k` (1-based): `μ = ε·c_k / k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::InvalidEpsilon`] if `epsilon` is not a finite
+    /// positive number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`; subproblems are 1-based.
+    pub fn fptas(epsilon: f64, reference_cost: Cost, k: usize) -> Result<Self> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(McsError::InvalidEpsilon { value: epsilon });
+        }
+        assert!(k > 0, "subproblem index is 1-based");
+        Ok(Scaling {
+            mu: epsilon * reference_cost.value() / k as f64,
+        })
+    }
+
+    /// A scaling with an explicit parameter `μ ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::InvalidCost`] if `mu` is negative or not finite.
+    pub fn with_mu(mu: f64) -> Result<Self> {
+        if mu.is_finite() && mu >= 0.0 {
+            Ok(Scaling { mu })
+        } else {
+            Err(McsError::InvalidCost { value: mu })
+        }
+    }
+
+    /// The scaling parameter `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scales a cost down to its integer level `⌊c / μ⌋` (0 when `μ = 0`).
+    pub fn scale(&self, cost: Cost) -> u64 {
+        if self.mu == 0.0 {
+            0
+        } else {
+            (cost.value() / self.mu).floor() as u64
+        }
+    }
+
+    /// Maps a scaled level back to a lower bound on the original cost.
+    pub fn unscale(&self, level: u64) -> f64 {
+        self.mu * level as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fptas_scaling_matches_paper_formula() {
+        // μ_k = ε c_k / k
+        let scaling = Scaling::fptas(0.1, Cost::new(15.0).unwrap(), 3).unwrap();
+        assert!((scaling.mu() - 0.5).abs() < 1e-12);
+        assert_eq!(scaling.scale(Cost::new(15.0).unwrap()), 30);
+        assert_eq!(scaling.scale(Cost::new(14.99).unwrap()), 29);
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        let c = Cost::new(1.0).unwrap();
+        assert!(Scaling::fptas(0.0, c, 1).is_err());
+        assert!(Scaling::fptas(-0.5, c, 1).is_err());
+        assert!(Scaling::fptas(f64::NAN, c, 1).is_err());
+        assert!(Scaling::fptas(f64::INFINITY, c, 1).is_err());
+    }
+
+    #[test]
+    fn zero_reference_cost_scales_everything_to_zero() {
+        let scaling = Scaling::fptas(0.5, Cost::ZERO, 2).unwrap();
+        assert_eq!(scaling.mu(), 0.0);
+        assert_eq!(scaling.scale(Cost::new(123.0).unwrap()), 0);
+        assert_eq!(scaling.unscale(42), 0.0);
+    }
+
+    #[test]
+    fn scaling_loses_at_most_mu_per_item() {
+        let scaling = Scaling::with_mu(0.7).unwrap();
+        for c in [0.0, 0.3, 0.7, 1.0, 12.34] {
+            let cost = Cost::new(c).unwrap();
+            let back = scaling.unscale(scaling.scale(cost));
+            assert!(back <= c + 1e-12, "lower bound violated for {c}");
+            assert!(c - back < 0.7 + 1e-12, "lost more than mu for {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_subproblem_index_panics() {
+        let _ = Scaling::fptas(0.5, Cost::new(1.0).unwrap(), 0);
+    }
+}

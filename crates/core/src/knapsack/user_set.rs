@@ -1,0 +1,284 @@
+//! A compact bitset over user indices, used by the dynamic programs.
+//!
+//! DP state tables hold up to tens of thousands of states, each carrying its
+//! member set; a `Vec<u64>`-backed bitset keeps cloning cheap (two words for
+//! 100 users) compared to a `BTreeSet<UserId>` per state.
+
+use std::fmt;
+
+/// A set of user *indices* (positions in a user slice, not [`UserId`]s).
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::knapsack::UserSet;
+///
+/// let mut set = UserSet::with_capacity(10);
+/// set.insert(3);
+/// set.insert(7);
+/// assert!(set.contains(3));
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+///
+/// [`UserId`]: crate::types::UserId
+#[derive(Clone, Default)]
+pub struct UserSet {
+    blocks: Vec<u64>,
+}
+
+impl PartialEq for UserSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_blocks().eq(other.canonical_blocks())
+    }
+}
+
+impl Eq for UserSet {}
+
+impl PartialOrd for UserSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UserSet {
+    /// Lexicographic order on the ascending member list, so that "smaller"
+    /// sets make deterministic tie-breakers.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.iter().cmp(other.iter())
+    }
+}
+
+impl std::hash::Hash for UserSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for block in self.canonical_blocks() {
+            block.hash(state);
+        }
+    }
+}
+
+impl UserSet {
+    /// Creates an empty set able to hold indices `0..capacity` without
+    /// reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        UserSet {
+            blocks: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        UserSet::default()
+    }
+
+    /// Inserts `index`, growing the backing storage if needed.
+    pub fn insert(&mut self, index: usize) {
+        let block = index / 64;
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        self.blocks[block] |= 1u64 << (index % 64);
+    }
+
+    /// Removes `index` if present.
+    pub fn remove(&mut self, index: usize) {
+        let block = index / 64;
+        if block < self.blocks.len() {
+            self.blocks[block] &= !(1u64 << (index % 64));
+        }
+    }
+
+    /// Whether `index` is in the set.
+    pub fn contains(&self, index: usize) -> bool {
+        let block = index / 64;
+        block < self.blocks.len() && self.blocks[block] & (1u64 << (index % 64)) != 0
+    }
+
+    /// The number of members.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Returns a copy with `index` inserted.
+    pub fn with(&self, index: usize) -> Self {
+        let mut clone = self.clone();
+        clone.insert(index);
+        clone
+    }
+
+    /// Iterates over members in ascending index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            block: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The backing blocks with trailing zeros trimmed, so that logically
+    /// equal sets with different capacities compare equal.
+    fn canonical_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        let trimmed = self
+            .blocks
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |i| i + 1);
+        self.blocks[..trimmed].iter().copied()
+    }
+}
+
+impl fmt::Debug for UserSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for UserSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut set = UserSet::new();
+        for index in iter {
+            set.insert(index);
+        }
+        set
+    }
+}
+
+impl<'a> IntoIterator for &'a UserSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`UserSet`] in ascending order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a UserSet,
+    block: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.block * 64 + bit);
+            }
+            self.block += 1;
+            if self.block >= self.set.blocks.len() {
+                return None;
+            }
+            self.bits = self.set.blocks[self.block];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut set = UserSet::new();
+        assert!(set.is_empty());
+        set.insert(0);
+        set.insert(63);
+        set.insert(64);
+        set.insert(200);
+        assert!(set.contains(0));
+        assert!(set.contains(63));
+        assert!(set.contains(64));
+        assert!(set.contains(200));
+        assert!(!set.contains(1));
+        assert_eq!(set.len(), 4);
+        set.remove(63);
+        assert!(!set.contains(63));
+        assert_eq!(set.len(), 3);
+        // Removing a never-inserted, out-of-range index is a no-op.
+        set.remove(100_000);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn iterates_in_ascending_order() {
+        let set: UserSet = [200, 5, 64, 0].into_iter().collect();
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 5, 64, 200]);
+    }
+
+    #[test]
+    fn with_is_non_destructive() {
+        let base: UserSet = [1, 2].into_iter().collect();
+        let extended = base.with(3);
+        assert!(!base.contains(3));
+        assert!(extended.contains(3));
+        assert_eq!(extended.len(), 3);
+    }
+
+    #[test]
+    fn sets_compare_by_content_when_capacity_matches() {
+        let a: UserSet = [1, 2].into_iter().collect();
+        let mut b = UserSet::new();
+        b.insert(2);
+        b.insert(1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debug_shows_members() {
+        let set: UserSet = [1, 3].into_iter().collect();
+        assert_eq!(format!("{set:?}"), "{1, 3}");
+    }
+
+    #[test]
+    fn empty_iteration_terminates() {
+        let set = UserSet::with_capacity(256);
+        assert_eq!(set.iter().count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod canonical_tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let a = UserSet::with_capacity(256);
+        let b = UserSet::new();
+        assert_eq!(a, b);
+        let mut c = UserSet::with_capacity(512);
+        c.insert(1);
+        let d: UserSet = [1].into_iter().collect();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_members() {
+        let a: UserSet = [0, 5].into_iter().collect();
+        let b: UserSet = [0, 7].into_iter().collect();
+        let c: UserSet = [1].into_iter().collect();
+        assert!(a < b);
+        assert!(b < c);
+        // A strict prefix sorts first.
+        let p: UserSet = [0].into_iter().collect();
+        assert!(p < a);
+    }
+
+    #[test]
+    fn hash_matches_equality() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        seen.insert(UserSet::with_capacity(128));
+        assert!(seen.contains(&UserSet::new()));
+    }
+}

@@ -1,0 +1,408 @@
+//! Critical bids and execution-contingent rewards for the multi-task,
+//! single-minded mechanism (paper Algorithm 5, hardened).
+//!
+//! # The critical bid, and a correction to Algorithm 5
+//!
+//! A winner `i`'s critical bid is the minimum *total* contribution she
+//! could have declared and still won. The paper's Algorithm 5 estimates it
+//! from a rerun without her: in each iteration where user `k` was selected
+//! with capped contribution `f̄_k = Σ_j min(q_k^j, Q̄_j)` and cost `c_k`,
+//! the candidate threshold is `(c_i / c_k) · f̄_k`, and the minimum over
+//! iterations is taken.
+//!
+//! That estimate is exact only while the residual caps `min(q_i^j, Q̄_j)`
+//! do not bind. When they do, late iterations (with small residuals `Q̄`)
+//! produce candidates *below* a truthful loser's total contribution, so a
+//! loser could exaggerate her PoS, win, and still collect positive
+//! expected utility — precisely the manipulation Theorem 4 is meant to
+//! exclude. (The theorem's proof implicitly assumes a truthful loser's
+//! total contribution is below every candidate, which the caps break.)
+//!
+//! [`critical_contribution`] therefore computes the critical bid the
+//! robust way, mirroring the single-task scheme: binary search over
+//! uniform scalings of the winner's declared contribution vector against
+//! the actual (monotone, Lemma 2) winner-determination algorithm. On
+//! instances where caps never bind the two computations agree (see the
+//! tests); [`algorithm5_critical_contribution`] preserves the paper's
+//! original rule for comparison and ablation.
+
+use crate::error::{McsError, Result};
+use crate::mechanism::{Allocation, WinnerDetermination};
+use crate::multi_task::GreedyWinnerDetermination;
+use crate::types::{Contribution, Pos, TypeProfile, UserId};
+
+/// Bisection steps for the critical-scale search.
+const BISECTION_STEPS: u32 = 60;
+
+/// Computes the critical contribution `q̄_i` of winning user `user` as
+/// `s̄ · Σ_j q_i^j`, where `s̄` is the smallest uniform scaling of her
+/// declared contribution vector that still wins.
+///
+/// With the execution-contingent reward built on this value, truthful
+/// reporting is a dominant strategy along uniform-scaling deviations: the
+/// critical point on a user's deviation ray does not depend on her declared
+/// scale, winners clear it (individual rationality), and losers can only
+/// win by paying an expected-utility penalty.
+///
+/// # Errors
+///
+/// * [`McsError::NotAWinner`] if `user` does not win under her current
+///   declaration.
+/// * Any validation error from the underlying reruns.
+pub fn critical_contribution(
+    winner_determination: &GreedyWinnerDetermination,
+    profile: &TypeProfile,
+    user: UserId,
+) -> Result<Contribution> {
+    let current = winner_determination.select_winners(profile)?;
+    if !current.contains(user) {
+        return Err(McsError::NotAWinner { user });
+    }
+    let declared_total = profile.user(user)?.total_contribution();
+    if declared_total.is_zero() {
+        // A zero-contribution winner can only be a degenerate monopoly;
+        // her critical bid is zero.
+        return Ok(Contribution::ZERO);
+    }
+
+    let wins_at = |scale: f64| -> Result<bool> {
+        let scaled = profile.user(user)?.with_scaled_contributions(scale);
+        match winner_determination.select_winners(&profile.with_user_type(scaled)?) {
+            Ok(outcome) => Ok(outcome.contains(user)),
+            // Scaling down so far that the instance becomes infeasible
+            // certainly does not win.
+            Err(McsError::Infeasible { .. }) => Ok(false),
+            Err(other) => Err(other),
+        }
+    };
+
+    // She wins at her declaration (scale 1); zero contribution never wins.
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    debug_assert!(wins_at(1.0)?, "winner determination is not deterministic");
+    for _ in 0..BISECTION_STEPS {
+        let mid = 0.5 * (lo + hi);
+        if wins_at(mid)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Contribution::new(hi * declared_total.value())
+}
+
+/// The paper's original Algorithm 5: the minimum over iterations of a
+/// rerun without `user` of `(c_i / c_k) · Σ_j min(q_k^j, Q̄_j)`.
+///
+/// Exact when residual caps never bind; an *underestimate* of the true
+/// critical bid otherwise (see the module documentation). Kept for
+/// comparison with [`critical_contribution`] and for the ablation
+/// benchmarks.
+///
+/// If the remaining users cannot complete the tasks at all, `user` is a
+/// monopolist: she is selected under any feasible declaration, so her
+/// critical contribution is zero (the paper leaves this case implicit; a
+/// zero critical bid keeps individual rationality and truthfulness, since
+/// her reward no longer depends on her declaration).
+///
+/// # Errors
+///
+/// Same as [`critical_contribution`].
+pub fn algorithm5_critical_contribution(
+    winner_determination: &GreedyWinnerDetermination,
+    profile: &TypeProfile,
+    user: UserId,
+) -> Result<Contribution> {
+    let run = winner_determination.run(profile)?;
+    if !run.allocation().contains(user) {
+        return Err(McsError::NotAWinner { user });
+    }
+    let cost_i = profile.user(user)?.cost();
+
+    let (iterations, monopoly) = match profile.without_user(user) {
+        Err(McsError::EmptyUsers) => (Vec::new(), true),
+        Err(other) => return Err(other),
+        Ok(reduced) => {
+            let run = winner_determination.run_to_exhaustion(&reduced);
+            let monopoly = !run.is_complete();
+            (run.iterations().to_vec(), monopoly)
+        }
+    };
+
+    let mut critical: Option<Contribution> = monopoly.then_some(Contribution::ZERO);
+    for iteration in &iterations {
+        // To be selected instead of user k, i's capped contribution must
+        // reach (c_i / c_k) · f̄_k. Free rivals (c_k = 0) are unbeatable
+        // unless i is free too.
+        let candidate = if iteration.cost.value() > 0.0 {
+            Some(iteration.capped_contribution.value() * cost_i.value() / iteration.cost.value())
+        } else if cost_i.value() == 0.0 {
+            Some(iteration.capped_contribution.value())
+        } else {
+            None
+        };
+        if let Some(value) = candidate {
+            let candidate = Contribution::new(value)?;
+            critical = Some(critical.map_or(candidate, |c| c.min(candidate)));
+        }
+    }
+
+    critical.ok_or(McsError::NotAWinner { user })
+}
+
+/// The critical PoS `p̄_i = 1 - e^{-q̄_i}` of a winning user (robust
+/// critical bid).
+///
+/// # Errors
+///
+/// Same as [`critical_contribution`].
+pub fn critical_pos(
+    winner_determination: &GreedyWinnerDetermination,
+    profile: &TypeProfile,
+    allocation: &Allocation,
+    user: UserId,
+) -> Result<Pos> {
+    if !allocation.contains(user) {
+        return Err(McsError::NotAWinner { user });
+    }
+    Ok(critical_contribution(winner_determination, profile, user)?.pos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::WinnerDetermination;
+    use crate::types::{Cost, Task, TaskId, UserType};
+
+    fn task(id: u32, req: f64) -> Task {
+        Task::with_requirement(TaskId::new(id), req).unwrap()
+    }
+
+    fn user(id: u32, cost: f64, tasks: &[(u32, f64)]) -> UserType {
+        let mut b = UserType::builder(UserId::new(id)).cost(Cost::new(cost).unwrap());
+        for &(t, p) in tasks {
+            b = b.task(TaskId::new(t), Pos::new(p).unwrap());
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn loser_has_no_critical_bid() {
+        let profile = TypeProfile::new(
+            vec![user(0, 1.0, &[(0, 0.9)]), user(1, 50.0, &[(0, 0.9)])],
+            vec![task(0, 0.5)],
+        )
+        .unwrap();
+        let wd = GreedyWinnerDetermination::new();
+        for f in [critical_contribution, algorithm5_critical_contribution] {
+            let err = f(&wd, &profile, UserId::new(1)).unwrap_err();
+            assert_eq!(
+                err,
+                McsError::NotAWinner {
+                    user: UserId::new(1)
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn critical_bid_matches_rival_ratio() {
+        // Two identical-cost users; only one needed. Winner 0's critical
+        // contribution equals rival 1's capped contribution (same cost) —
+        // and here the robust search and Algorithm 5 agree.
+        let profile = TypeProfile::new(
+            vec![user(0, 2.0, &[(0, 0.8)]), user(1, 2.0, &[(0, 0.7)])],
+            vec![task(0, 0.5)],
+        )
+        .unwrap();
+        let wd = GreedyWinnerDetermination::new();
+        let expected = Pos::new(0.5).unwrap().contribution();
+        let robust = critical_contribution(&wd, &profile, UserId::new(0)).unwrap();
+        assert!((robust.value() - expected.value()).abs() < 1e-9);
+        let paper = algorithm5_critical_contribution(&wd, &profile, UserId::new(0)).unwrap();
+        assert!((paper.value() - expected.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cheaper_user_needs_proportionally_less() {
+        // Winner 0 costs half of rival 1 ⇒ needs half the contribution.
+        let profile = TypeProfile::new(
+            vec![user(0, 1.0, &[(0, 0.8)]), user(1, 2.0, &[(0, 0.7)])],
+            vec![task(0, 0.5)],
+        )
+        .unwrap();
+        let wd = GreedyWinnerDetermination::new();
+        let rival_capped = Pos::new(0.5).unwrap().contribution();
+        let robust = critical_contribution(&wd, &profile, UserId::new(0)).unwrap();
+        assert!((robust.value() - rival_capped.value() / 2.0).abs() < 1e-9);
+        let paper = algorithm5_critical_contribution(&wd, &profile, UserId::new(0)).unwrap();
+        assert!((paper.value() - rival_capped.value() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monopolist_pays_the_feasibility_threshold() {
+        // The robust critical bid of a monopolist is the declaration that
+        // just keeps the instance feasible (below it the platform cannot
+        // run the auction at all, so she does not win); the paper's
+        // Algorithm 5 instead gives her a free ride at 0.
+        let profile =
+            TypeProfile::new(vec![user(0, 3.0, &[(0, 0.5)])], vec![task(0, 0.5)]).unwrap();
+        let wd = GreedyWinnerDetermination::new();
+        let robust = critical_contribution(&wd, &profile, UserId::new(0)).unwrap();
+        let threshold = Pos::new(0.5).unwrap().contribution();
+        assert!(
+            (robust.value() - threshold.value()).abs() < 1e-9,
+            "monopolist critical bid {robust}, expected feasibility threshold {threshold}"
+        );
+        let paper = algorithm5_critical_contribution(&wd, &profile, UserId::new(0)).unwrap();
+        assert_eq!(paper, Contribution::ZERO);
+    }
+
+    #[test]
+    fn partial_monopoly_pays_the_binding_tasks_threshold() {
+        // User 1 covers task 0 but nobody else covers task 1, so user 0 is
+        // a monopolist on task 1: her critical scale is set by task 1's
+        // feasibility, i.e. s̄·q(0.6) = Q(0.5).
+        let profile = TypeProfile::new(
+            vec![
+                user(0, 2.0, &[(0, 0.5), (1, 0.6)]),
+                user(1, 1.0, &[(0, 0.7)]),
+            ],
+            vec![task(0, 0.5), task(1, 0.5)],
+        )
+        .unwrap();
+        let wd = GreedyWinnerDetermination::new();
+        let allocation = wd.select_winners(&profile).unwrap();
+        assert!(allocation.contains(UserId::new(0)));
+        let robust = critical_contribution(&wd, &profile, UserId::new(0)).unwrap();
+        let q_task1 = Pos::new(0.6).unwrap().contribution().value();
+        let total = profile
+            .user(UserId::new(0))
+            .unwrap()
+            .total_contribution()
+            .value();
+        let expected = (Pos::new(0.5).unwrap().contribution().value() / q_task1) * total;
+        assert!(
+            (robust.value() - expected).abs() < 1e-6,
+            "critical bid {robust}, expected {expected}"
+        );
+        let paper = algorithm5_critical_contribution(&wd, &profile, UserId::new(0)).unwrap();
+        assert_eq!(paper, Contribution::ZERO);
+    }
+
+    #[test]
+    fn critical_bid_is_below_declaration_for_winners() {
+        let profile = TypeProfile::new(
+            vec![
+                user(0, 2.0, &[(0, 0.3), (1, 0.4)]),
+                user(1, 1.5, &[(0, 0.2), (2, 0.3)]),
+                user(2, 3.0, &[(1, 0.5), (2, 0.5)]),
+                user(3, 1.0, &[(0, 0.2), (1, 0.2), (2, 0.2)]),
+                user(4, 2.5, &[(0, 0.4), (2, 0.4)]),
+            ],
+            vec![task(0, 0.5), task(1, 0.6), task(2, 0.55)],
+        )
+        .unwrap();
+        let wd = GreedyWinnerDetermination::new();
+        let allocation = wd.select_winners(&profile).unwrap();
+        for winner in allocation.winners() {
+            let declared = profile.user(winner).unwrap().total_contribution();
+            let critical = critical_contribution(&wd, &profile, winner).unwrap();
+            assert!(
+                critical.value() <= declared.value() + 1e-9,
+                "critical {critical} above declaration {declared} for {winner}"
+            );
+        }
+    }
+
+    #[test]
+    fn robust_bid_never_below_algorithm5_when_caps_bind() {
+        // In cap-heavy instances Algorithm 5 underestimates; the robust
+        // search may only be larger or equal (up to search tolerance).
+        let profile = TypeProfile::new(
+            vec![
+                user(0, 2.0, &[(0, 0.5), (1, 0.5), (2, 0.5)]),
+                user(1, 2.2, &[(0, 0.5), (1, 0.5), (2, 0.5)]),
+                user(2, 2.4, &[(0, 0.5), (1, 0.5), (2, 0.5)]),
+                user(3, 2.6, &[(0, 0.5), (1, 0.5), (2, 0.5)]),
+            ],
+            vec![task(0, 0.7), task(1, 0.7), task(2, 0.7)],
+        )
+        .unwrap();
+        let wd = GreedyWinnerDetermination::new();
+        let allocation = wd.select_winners(&profile).unwrap();
+        for winner in allocation.winners() {
+            let robust = critical_contribution(&wd, &profile, winner).unwrap();
+            let paper = algorithm5_critical_contribution(&wd, &profile, winner).unwrap();
+            assert!(
+                robust.value() >= paper.value() - 1e-9,
+                "robust {robust} below Algorithm 5's {paper} for {winner}"
+            );
+        }
+    }
+
+    #[test]
+    fn winning_just_above_critical_and_losing_below() {
+        let profile = TypeProfile::new(
+            vec![
+                user(0, 2.0, &[(0, 0.3), (1, 0.4)]),
+                user(1, 1.5, &[(0, 0.2), (2, 0.3)]),
+                user(2, 3.0, &[(1, 0.5), (2, 0.5)]),
+                user(3, 1.0, &[(0, 0.2), (1, 0.2), (2, 0.2)]),
+            ],
+            vec![task(0, 0.5), task(1, 0.6), task(2, 0.55)],
+        )
+        .unwrap();
+        let wd = GreedyWinnerDetermination::new();
+        let allocation = wd.select_winners(&profile).unwrap();
+        for winner in allocation.winners() {
+            let declared = profile.user(winner).unwrap().total_contribution().value();
+            let critical = critical_contribution(&wd, &profile, winner)
+                .unwrap()
+                .value();
+            if critical < 1e-9 {
+                continue; // monopolist: wins at any positive declaration
+            }
+            let scale_above = (critical / declared) * 1.001;
+            let above = profile
+                .user(winner)
+                .unwrap()
+                .with_scaled_contributions(scale_above.min(1.0));
+            let outcome = wd.select_winners(&profile.with_user_type(above).unwrap());
+            if let Ok(outcome) = outcome {
+                assert!(
+                    outcome.contains(winner),
+                    "{winner} lost just above her critical bid"
+                );
+            }
+            let scale_below = (critical / declared) * 0.97;
+            let below = profile
+                .user(winner)
+                .unwrap()
+                .with_scaled_contributions(scale_below);
+            match wd.select_winners(&profile.with_user_type(below).unwrap()) {
+                Ok(outcome) => assert!(
+                    !outcome.contains(winner),
+                    "{winner} still wins well below her critical bid"
+                ),
+                Err(McsError::Infeasible { .. }) => {} // losing by infeasibility
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn critical_pos_requires_winner_in_allocation() {
+        let profile =
+            TypeProfile::new(vec![user(0, 1.0, &[(0, 0.9)])], vec![task(0, 0.5)]).unwrap();
+        let wd = GreedyWinnerDetermination::new();
+        let allocation = Allocation::empty();
+        let err = critical_pos(&wd, &profile, &allocation, UserId::new(0)).unwrap_err();
+        assert_eq!(
+            err,
+            McsError::NotAWinner {
+                user: UserId::new(0)
+            }
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! The single-task mechanism (paper Section III-B).
+//!
+//! One task, requirement `T`; users bid `(c_i, p_i)`. Winner determination
+//! is a minimum-knapsack FPTAS ([`FptasWinnerDetermination`], Algorithm 2);
+//! rewards are critical-bid based and execution contingent
+//! ([`SingleTaskMechanism`], Algorithm 3).
+
+mod mechanism;
+mod reward;
+mod winner;
+
+pub use self::mechanism::SingleTaskMechanism;
+pub use self::reward::{critical_contribution, critical_pos};
+pub use self::winner::FptasWinnerDetermination;

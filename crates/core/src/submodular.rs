@@ -1,0 +1,226 @@
+//! The coverage function of the paper's Definition 1 and harmonic-number
+//! helpers for the `H(γ)` approximation bound.
+//!
+//! With a minimal contribution unit `Δq`, define
+//!
+//! ```text
+//! f(I) = (1/Δq) · Σ_j min(Q_j, Σ_{i ∈ I, j ∈ S_i} q_i^j)
+//! ```
+//!
+//! `f` is normalized (`f(∅) = 0`), monotonically increasing, and submodular;
+//! the greedy winner determination is the classic submodular-set-cover
+//! greedy, whose approximation ratio is `H(γ)` with
+//! `γ = max_i f({i})` (Theorem 5).
+
+use crate::error::{McsError, Result};
+use crate::types::{TypeProfile, UserId};
+
+/// The unit-normalized coverage function `f` over user sets.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::submodular::CoverageFunction;
+/// use mcs_core::types::{Pos, TypeProfile, UserId, UserType};
+///
+/// let users = vec![
+///     UserType::single(UserId::new(0), 1.0, 0.5)?,
+///     UserType::single(UserId::new(1), 1.0, 0.5)?,
+/// ];
+/// let profile = TypeProfile::single_task(Pos::new(0.9)?, users)?;
+/// let f = CoverageFunction::new(&profile, 0.01)?;
+/// assert_eq!(f.value(&[]), 0.0);
+/// // Coverage is monotone: adding a user never decreases it.
+/// let both = f.value(&[UserId::new(0), UserId::new(1)]);
+/// assert!(f.value(&[UserId::new(0)]) <= both);
+/// # Ok::<(), mcs_core::McsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoverageFunction<'a> {
+    profile: &'a TypeProfile,
+    delta_q: f64,
+}
+
+impl<'a> CoverageFunction<'a> {
+    /// Creates the coverage function with contribution unit `delta_q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::InvalidContribution`] unless `delta_q` is a
+    /// finite positive number.
+    pub fn new(profile: &'a TypeProfile, delta_q: f64) -> Result<Self> {
+        if delta_q.is_finite() && delta_q > 0.0 {
+            Ok(CoverageFunction { profile, delta_q })
+        } else {
+            Err(McsError::InvalidContribution { value: delta_q })
+        }
+    }
+
+    /// The contribution unit `Δq`.
+    pub fn delta_q(&self) -> f64 {
+        self.delta_q
+    }
+
+    /// Evaluates `f(I)` in units of `Δq`. Unknown user ids contribute
+    /// nothing (they are simply not in the profile's supply).
+    pub fn value(&self, users: &[UserId]) -> f64 {
+        let mut total = 0.0;
+        for task in self.profile.tasks() {
+            let requirement = task.requirement_contribution().value();
+            let supply: f64 = users
+                .iter()
+                .filter_map(|&id| self.profile.user(id).ok())
+                .map(|u| u.contribution_for(task.id()).value())
+                .sum();
+            total += requirement.min(supply);
+        }
+        total / self.delta_q
+    }
+
+    /// The marginal value `f(I ∪ {user}) − f(I)`.
+    pub fn marginal(&self, base: &[UserId], user: UserId) -> f64 {
+        let mut extended = base.to_vec();
+        extended.push(user);
+        self.value(&extended) - self.value(base)
+    }
+
+    /// `γ = max_i f({i})` — the largest single-user coverage, which sizes
+    /// the greedy's `H(γ)` approximation ratio.
+    pub fn gamma(&self) -> f64 {
+        self.profile
+            .user_ids()
+            .map(|id| self.value(&[id]))
+            .fold(0.0, f64::max)
+    }
+
+    /// The theoretical approximation-ratio bound `H(⌈γ⌉)` of the greedy
+    /// winner determination on this instance.
+    pub fn greedy_ratio_bound(&self) -> f64 {
+        harmonic(self.gamma().ceil() as u64)
+    }
+}
+
+/// The `x`-th harmonic number `H(x) = 1 + 1/2 + … + 1/x` (`H(0) = 0`).
+pub fn harmonic(x: u64) -> f64 {
+    (1..=x).map(|i| 1.0 / i as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Cost, Pos, Task, TaskId, UserType};
+
+    fn multi_profile() -> TypeProfile {
+        let task = |id: u32, req: f64| Task::with_requirement(TaskId::new(id), req).unwrap();
+        let user = |id: u32, cost: f64, tasks: &[(u32, f64)]| {
+            let mut b = UserType::builder(UserId::new(id)).cost(Cost::new(cost).unwrap());
+            for &(t, p) in tasks {
+                b = b.task(TaskId::new(t), Pos::new(p).unwrap());
+            }
+            b.build().unwrap()
+        };
+        TypeProfile::new(
+            vec![
+                user(0, 2.0, &[(0, 0.3), (1, 0.4)]),
+                user(1, 1.5, &[(0, 0.2), (2, 0.3)]),
+                user(2, 3.0, &[(1, 0.5), (2, 0.5)]),
+                user(3, 1.0, &[(0, 0.2), (1, 0.2), (2, 0.2)]),
+            ],
+            vec![task(0, 0.5), task(1, 0.6), task(2, 0.55)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn normalized_at_empty_set() {
+        let profile = multi_profile();
+        let f = CoverageFunction::new(&profile, 0.01).unwrap();
+        assert_eq!(f.value(&[]), 0.0);
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let profile = multi_profile();
+        let f = CoverageFunction::new(&profile, 0.01).unwrap();
+        let ids: Vec<UserId> = profile.user_ids().collect();
+        for cut in 0..ids.len() {
+            let smaller = f.value(&ids[..cut]);
+            let larger = f.value(&ids[..=cut]);
+            assert!(larger >= smaller - 1e-12);
+        }
+    }
+
+    #[test]
+    fn submodular_diminishing_returns() {
+        // f(X ∪ {x}) − f(X) ≥ f(Y ∪ {x}) − f(Y) for X ⊆ Y, x ∉ Y.
+        let profile = multi_profile();
+        let f = CoverageFunction::new(&profile, 0.01).unwrap();
+        let ids: Vec<UserId> = profile.user_ids().collect();
+        for y_mask in 0u8..16 {
+            for x_mask in 0u8..16 {
+                if x_mask & y_mask != x_mask {
+                    continue; // X ⊄ Y
+                }
+                let xs: Vec<UserId> = ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| x_mask & (1 << i) != 0)
+                    .map(|(_, &u)| u)
+                    .collect();
+                let ys: Vec<UserId> = ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| y_mask & (1 << i) != 0)
+                    .map(|(_, &u)| u)
+                    .collect();
+                for (i, &extra) in ids.iter().enumerate() {
+                    if y_mask & (1 << i) != 0 {
+                        continue; // x ∈ Y
+                    }
+                    let lhs = f.marginal(&xs, extra);
+                    let rhs = f.marginal(&ys, extra);
+                    assert!(
+                        lhs >= rhs - 1e-9,
+                        "submodularity violated: X={xs:?} Y={ys:?} x={extra}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_is_max_single_user_value() {
+        let profile = multi_profile();
+        let f = CoverageFunction::new(&profile, 0.01).unwrap();
+        let gamma = f.gamma();
+        for id in profile.user_ids() {
+            assert!(f.value(&[id]) <= gamma + 1e-12);
+        }
+        assert!(gamma > 0.0);
+    }
+
+    #[test]
+    fn harmonic_numbers() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // Grows like ln(x) + Euler–Mascheroni.
+        assert!((harmonic(100_000) - (100_000f64.ln() + 0.577_215_664_9)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn invalid_delta_q_is_rejected() {
+        let profile = multi_profile();
+        assert!(CoverageFunction::new(&profile, 0.0).is_err());
+        assert!(CoverageFunction::new(&profile, -1.0).is_err());
+        assert!(CoverageFunction::new(&profile, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn unknown_users_contribute_nothing() {
+        let profile = multi_profile();
+        let f = CoverageFunction::new(&profile, 0.01).unwrap();
+        assert_eq!(f.value(&[UserId::new(99)]), 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Monetary cost newtype.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{McsError, Result};
+
+/// A non-negative, finite sensing cost.
+///
+/// The paper's model charges a user her full cost `c_i` whether or not she
+/// completes her tasks (e.g. background sensing drains the battery
+/// regardless), so [`Cost`] carries no notion of partial expenditure.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::types::Cost;
+///
+/// let a = Cost::new(2.5)?;
+/// let b = Cost::new(1.5)?;
+/// assert_eq!((a + b).value(), 4.0);
+/// assert!(b < a);
+/// # Ok::<(), mcs_core::McsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Cost(f64);
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost(0.0);
+
+    /// Creates a validated cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::InvalidCost`] if `value` is NaN, negative, or
+    /// infinite.
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Cost(value))
+        } else {
+            Err(McsError::InvalidCost { value })
+        }
+    }
+
+    /// Returns the raw value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The smaller of two costs.
+    pub fn min(self, other: Cost) -> Cost {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two costs.
+    pub fn max(self, other: Cost) -> Cost {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Cost {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("Cost is never NaN")
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        Cost(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+
+    /// Saturating subtraction: never goes below zero.
+    fn sub(self, rhs: Cost) -> Cost {
+        Cost((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        Cost(iter.map(|c| c.0).sum())
+    }
+}
+
+impl TryFrom<f64> for Cost {
+    type Error = McsError;
+
+    fn try_from(value: f64) -> Result<Self> {
+        Cost::new(value)
+    }
+}
+
+impl From<Cost> for f64 {
+    fn from(cost: Cost) -> f64 {
+        cost.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_values() {
+        assert!(Cost::new(-1.0).is_err());
+        assert!(Cost::new(f64::NAN).is_err());
+        assert!(Cost::new(f64::INFINITY).is_err());
+        assert!(Cost::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Cost::new(3.0).unwrap();
+        let b = Cost::new(5.0).unwrap();
+        assert_eq!((a + b).value(), 8.0);
+        assert_eq!(a - b, Cost::ZERO);
+        assert_eq!((b - a).value(), 2.0);
+        let total: Cost = vec![a, b, a].into_iter().sum();
+        assert_eq!(total.value(), 11.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [
+            Cost::new(2.0).unwrap(),
+            Cost::new(0.5).unwrap(),
+            Cost::new(1.0).unwrap(),
+        ];
+        v.sort();
+        assert_eq!(v[0].value(), 0.5);
+        assert_eq!(v[2].value(), 2.0);
+        assert_eq!(v[0].min(v[2]), v[0]);
+        assert_eq!(v[0].max(v[2]), v[2]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Cost::new(15.25).unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Cost = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        let bad: std::result::Result<Cost, _> = serde_json::from_str("-3.0");
+        assert!(bad.is_err());
+    }
+}

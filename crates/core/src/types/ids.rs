@@ -1,0 +1,123 @@
+//! Strongly-typed identifiers for users and tasks.
+//!
+//! Using newtypes instead of bare integers prevents the classic bug of
+//! indexing a task table with a user id (C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a mobile user (a bidder in the reverse auction).
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::types::UserId;
+///
+/// let a = UserId::new(0);
+/// let b = UserId::new(1);
+/// assert!(a < b);
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(u32);
+
+impl UserId {
+    /// Creates a user id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        UserId(index)
+    }
+
+    /// Returns the raw index, usable for indexing dense per-user arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(index: u32) -> Self {
+        UserId::new(index)
+    }
+}
+
+/// Identifier of a location-aware sensing task.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::types::TaskId;
+///
+/// let t = TaskId::new(5);
+/// assert_eq!(t.index(), 5);
+/// assert_eq!(t.to_string(), "t5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Creates a task id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        TaskId(index)
+    }
+
+    /// Returns the raw index, usable for indexing dense per-task arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(index: u32) -> Self {
+        TaskId::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn user_ids_order_by_index() {
+        let mut set = BTreeSet::new();
+        set.insert(UserId::new(2));
+        set.insert(UserId::new(0));
+        set.insert(UserId::new(1));
+        let ordered: Vec<usize> = set.iter().map(|u| u.index()).collect();
+        assert_eq!(ordered, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(UserId::new(3).to_string(), "u3");
+        assert_eq!(TaskId::new(3).to_string(), "t3");
+    }
+
+    #[test]
+    fn ids_round_trip_through_serde() {
+        let user = UserId::new(42);
+        let json = serde_json::to_string(&user).unwrap();
+        let back: UserId = serde_json::from_str(&json).unwrap();
+        assert_eq!(user, back);
+    }
+
+    #[test]
+    fn ids_convert_from_u32() {
+        let u: UserId = 7u32.into();
+        assert_eq!(u, UserId::new(7));
+        let t: TaskId = 9u32.into();
+        assert_eq!(t, TaskId::new(9));
+    }
+}

@@ -1,0 +1,418 @@
+//! Probability-of-success and log-domain contribution newtypes.
+//!
+//! The paper's central transformation maps a probability of success
+//! `p ∈ [0, 1)` to a *contribution* `q = -ln(1 - p) ∈ [0, ∞)`. Contributions
+//! are additive: a task whose PoS requirement is `T` is satisfied by a user
+//! set `I` exactly when `Σ_{i ∈ I} q_i ≥ Q = -ln(1 - T)`, because
+//! `1 - Π(1 - p_i) ≥ T  ⇔  Σ -ln(1 - p_i) ≥ -ln(1 - T)`.
+//!
+//! [`Pos`] and [`Contribution`] make the two domains impossible to mix up
+//! and centralize the numeric validation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{McsError, Result};
+
+/// Numerical tolerance used for feasibility comparisons in the log domain.
+///
+/// Contribution sums accumulate floating-point error; two quantities closer
+/// than this are treated as equal by [`Contribution::meets`].
+pub const CONTRIBUTION_TOLERANCE: f64 = 1e-9;
+
+/// A probability of success (PoS) in the half-open interval `[0, 1)`.
+///
+/// A PoS of exactly 1 is not representable because its contribution
+/// `-ln(1 - p)` diverges; declared probabilities are capped at
+/// [`Pos::MAX`]. This mirrors the paper's observation that under a naive
+/// VCG mechanism users would declare `p = 1` to always win — the type keeps
+/// such declarations finite.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::types::Pos;
+///
+/// let p = Pos::new(0.8)?;
+/// let q = p.contribution();
+/// assert!((q.value() - (-(0.2f64).ln())).abs() < 1e-12);
+/// assert_eq!(q.pos(), p);
+/// # Ok::<(), mcs_core::McsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Pos(f64);
+
+impl Pos {
+    /// The impossible event: a PoS of zero.
+    pub const ZERO: Pos = Pos(0.0);
+
+    /// The largest representable PoS, `1 - 1e-12`.
+    pub const MAX: Pos = Pos(1.0 - 1e-12);
+
+    /// Creates a validated PoS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::InvalidProbability`] if `value` is NaN, negative,
+    /// or `≥ 1`.
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_finite() && (0.0..1.0).contains(&value) {
+            Ok(Pos(value))
+        } else {
+            Err(McsError::InvalidProbability { value })
+        }
+    }
+
+    /// Creates a PoS, clamping out-of-range finite values into `[0, MAX]`.
+    ///
+    /// Useful when a learned model produces a probability estimate that is
+    /// only approximately normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn saturating(value: f64) -> Self {
+        assert!(!value.is_nan(), "PoS must not be NaN");
+        Pos(value.clamp(0.0, Pos::MAX.0))
+    }
+
+    /// Returns the raw probability.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the additive log-domain contribution `q = -ln(1 - p)`.
+    pub fn contribution(self) -> Contribution {
+        // For p < 1 this is finite and non-negative; ln_1p gives full
+        // precision near p = 0.
+        Contribution((-(-self.0).ln_1p()).neg_zero_to_zero())
+    }
+
+    /// The probability that the event does *not* happen, `1 - p`.
+    pub fn failure(self) -> f64 {
+        1.0 - self.0
+    }
+}
+
+impl Default for Pos {
+    fn default() -> Self {
+        Pos::ZERO
+    }
+}
+
+impl Eq for Pos {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Pos {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Valid because the constructor rejects NaN.
+        self.0.partial_cmp(&other.0).expect("Pos is never NaN")
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl TryFrom<f64> for Pos {
+    type Error = McsError;
+
+    fn try_from(value: f64) -> Result<Self> {
+        Pos::new(value)
+    }
+}
+
+impl From<Pos> for f64 {
+    fn from(pos: Pos) -> f64 {
+        pos.0
+    }
+}
+
+/// A user's additive contribution towards completing a task,
+/// `q = -ln(1 - p) ≥ 0`.
+///
+/// Contributions add where probabilities would multiply; see the module
+/// documentation. [`Contribution`] supports addition, subtraction
+/// (saturating at zero, used when updating residual requirements in the
+/// multi-task greedy algorithm) and summation.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::types::{Contribution, Pos};
+///
+/// let a = Pos::new(0.5)?.contribution();
+/// let b = Pos::new(0.5)?.contribution();
+/// // Two independent coin flips cover a 75% requirement.
+/// assert!((a + b).meets(Pos::new(0.75)?.contribution()));
+/// # Ok::<(), mcs_core::McsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Contribution(f64);
+
+impl Contribution {
+    /// The zero contribution.
+    pub const ZERO: Contribution = Contribution(0.0);
+
+    /// Creates a validated contribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::InvalidContribution`] if `value` is NaN,
+    /// negative, or infinite.
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Contribution(value))
+        } else {
+            Err(McsError::InvalidContribution { value })
+        }
+    }
+
+    /// Returns the raw log-domain value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts back to the probability domain: `p = 1 - e^{-q}`.
+    pub fn pos(self) -> Pos {
+        Pos::saturating(-(-self.0).exp_m1())
+    }
+
+    /// Whether this contribution satisfies `requirement` up to
+    /// [`CONTRIBUTION_TOLERANCE`].
+    pub fn meets(self, requirement: Contribution) -> bool {
+        self.0 + CONTRIBUTION_TOLERANCE >= requirement.0
+    }
+
+    /// The residual requirement after this contribution is applied:
+    /// `max(0, requirement - self)`.
+    pub fn deficit_from(self, requirement: Contribution) -> Contribution {
+        Contribution((requirement.0 - self.0).max(0.0))
+    }
+
+    /// The smaller of two contributions; used for the capped marginal
+    /// contribution `min(q_i^j, Q̄_j)` in the multi-task greedy rule.
+    pub fn min(self, other: Contribution) -> Contribution {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two contributions.
+    pub fn max(self, other: Contribution) -> Contribution {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if the contribution is (numerically) zero.
+    pub fn is_zero(self) -> bool {
+        self.0 <= CONTRIBUTION_TOLERANCE
+    }
+}
+
+impl Eq for Contribution {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Contribution {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("Contribution is never NaN")
+    }
+}
+
+impl fmt::Display for Contribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl Add for Contribution {
+    type Output = Contribution;
+
+    fn add(self, rhs: Contribution) -> Contribution {
+        Contribution(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Contribution {
+    fn add_assign(&mut self, rhs: Contribution) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Contribution {
+    type Output = Contribution;
+
+    /// Saturating subtraction: never goes below zero.
+    fn sub(self, rhs: Contribution) -> Contribution {
+        Contribution((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Sum for Contribution {
+    fn sum<I: Iterator<Item = Contribution>>(iter: I) -> Contribution {
+        Contribution(iter.map(|c| c.0).sum())
+    }
+}
+
+impl TryFrom<f64> for Contribution {
+    type Error = McsError;
+
+    fn try_from(value: f64) -> Result<Self> {
+        Contribution::new(value)
+    }
+}
+
+impl From<Contribution> for f64 {
+    fn from(contribution: Contribution) -> f64 {
+        contribution.0
+    }
+}
+
+/// Helper for normalizing `-0.0` produced by `ln_1p(0)` to `+0.0`.
+trait NegZeroToZero {
+    fn neg_zero_to_zero(self) -> f64;
+}
+
+impl NegZeroToZero for f64 {
+    fn neg_zero_to_zero(self) -> f64 {
+        if self == 0.0 {
+            0.0
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_rejects_out_of_range() {
+        assert!(Pos::new(-0.1).is_err());
+        assert!(Pos::new(1.0).is_err());
+        assert!(Pos::new(1.5).is_err());
+        assert!(Pos::new(f64::NAN).is_err());
+        assert!(Pos::new(f64::INFINITY).is_err());
+        assert!(Pos::new(0.0).is_ok());
+        assert!(Pos::new(0.999_999).is_ok());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Pos::saturating(-0.5), Pos::ZERO);
+        assert_eq!(Pos::saturating(2.0), Pos::MAX);
+        assert_eq!(Pos::saturating(0.3).value(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn saturating_panics_on_nan() {
+        let _ = Pos::saturating(f64::NAN);
+    }
+
+    #[test]
+    fn contribution_round_trips_through_pos() {
+        for &p in &[0.0, 0.1, 0.5, 0.8, 0.99, 0.999_999] {
+            let pos = Pos::new(p).unwrap();
+            let back = pos.contribution().pos();
+            assert!(
+                (back.value() - p).abs() < 1e-12,
+                "round trip failed for {p}: got {}",
+                back.value()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_pos_has_zero_contribution() {
+        let q = Pos::ZERO.contribution();
+        assert_eq!(q, Contribution::ZERO);
+        // And the sign is +0.0, not -0.0.
+        assert!(q.value().is_sign_positive());
+    }
+
+    #[test]
+    fn contributions_add_like_independent_events() {
+        // 1 - (1-0.5)(1-0.5) = 0.75
+        let q = Pos::new(0.5).unwrap().contribution() + Pos::new(0.5).unwrap().contribution();
+        assert!((q.pos().value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meets_uses_tolerance() {
+        let q = Contribution::new(1.0).unwrap();
+        let requirement = Contribution::new(1.0 + 1e-12).unwrap();
+        assert!(q.meets(requirement));
+        let far = Contribution::new(1.0 + 1e-6).unwrap();
+        assert!(!q.meets(far));
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let a = Contribution::new(1.0).unwrap();
+        let b = Contribution::new(3.0).unwrap();
+        assert_eq!(a - b, Contribution::ZERO);
+        assert_eq!((b - a).value(), 2.0);
+    }
+
+    #[test]
+    fn deficit_from_is_residual_requirement() {
+        let requirement = Contribution::new(2.0).unwrap();
+        let q = Contribution::new(0.5).unwrap();
+        assert_eq!(q.deficit_from(requirement).value(), 1.5);
+        let big = Contribution::new(5.0).unwrap();
+        assert_eq!(big.deficit_from(requirement), Contribution::ZERO);
+    }
+
+    #[test]
+    fn sum_collects_contributions() {
+        let total: Contribution = (1..=4)
+            .map(|i| Contribution::new(f64::from(i)).unwrap())
+            .sum();
+        assert_eq!(total.value(), 10.0);
+    }
+
+    #[test]
+    fn ordering_is_total_on_valid_values() {
+        let mut v = vec![
+            Contribution::new(2.0).unwrap(),
+            Contribution::new(0.5).unwrap(),
+            Contribution::new(1.0).unwrap(),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.into_iter().map(Contribution::value).collect();
+        assert_eq!(raw, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn pos_serde_rejects_invalid() {
+        let ok: std::result::Result<Pos, _> = serde_json::from_str("0.25");
+        assert_eq!(ok.unwrap().value(), 0.25);
+        let bad: std::result::Result<Pos, _> = serde_json::from_str("1.25");
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn min_max_follow_values() {
+        let a = Contribution::new(1.0).unwrap();
+        let b = Contribution::new(2.0).unwrap();
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

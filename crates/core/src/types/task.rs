@@ -1,0 +1,94 @@
+//! Sensing tasks and their probability-of-success requirements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::types::{Contribution, Pos, TaskId};
+
+/// A location-aware sensing task published by the platform.
+///
+/// A task carries a PoS requirement `T_j`: the platform wants the task to be
+/// completed with probability at least `T_j`, which in the additive log
+/// domain becomes a contribution requirement `Q_j = -ln(1 - T_j)`
+/// ([`Task::requirement_contribution`]).
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::types::{Pos, Task, TaskId};
+///
+/// let task = Task::new(TaskId::new(0), Pos::new(0.8)?);
+/// assert_eq!(task.id(), TaskId::new(0));
+/// // Q = -ln(0.2) ≈ 1.609
+/// assert!((task.requirement_contribution().value() - 1.609).abs() < 1e-3);
+/// # Ok::<(), mcs_core::McsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    id: TaskId,
+    requirement: Pos,
+}
+
+impl Task {
+    /// Creates a task with the given PoS requirement `T_j`.
+    pub fn new(id: TaskId, requirement: Pos) -> Self {
+        Task { id, requirement }
+    }
+
+    /// Convenience constructor from a raw probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::McsError::InvalidProbability`] if `requirement` is
+    /// not in `[0, 1)`.
+    pub fn with_requirement(id: TaskId, requirement: f64) -> Result<Self> {
+        Ok(Task::new(id, Pos::new(requirement)?))
+    }
+
+    /// The task identifier.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The PoS requirement `T_j`.
+    pub fn requirement(&self) -> Pos {
+        self.requirement
+    }
+
+    /// The contribution requirement `Q_j = -ln(1 - T_j)`.
+    pub fn requirement_contribution(&self) -> Contribution {
+        self.requirement.contribution()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requirement_transforms_to_log_domain() {
+        let task = Task::with_requirement(TaskId::new(1), 0.9).unwrap();
+        let q = task.requirement_contribution().value();
+        assert!((q - (-(0.1f64).ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_requirement_is_trivially_satisfied() {
+        let task = Task::with_requirement(TaskId::new(0), 0.0).unwrap();
+        assert_eq!(task.requirement_contribution(), Contribution::ZERO);
+    }
+
+    #[test]
+    fn invalid_requirement_is_rejected() {
+        assert!(Task::with_requirement(TaskId::new(0), 1.0).is_err());
+        assert!(Task::with_requirement(TaskId::new(0), -0.2).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let task = Task::with_requirement(TaskId::new(3), 0.8).unwrap();
+        let json = serde_json::to_string(&task).unwrap();
+        let back: Task = serde_json::from_str(&json).unwrap();
+        assert_eq!(task, back);
+    }
+}

@@ -1,0 +1,315 @@
+//! User types: the (declared or true) private information of a bidder.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{McsError, Result};
+use crate::types::{Contribution, Cost, Pos, TaskId, UserId};
+
+/// A user's *type* in the mechanism-design sense:
+/// `θ_i = (S_i, c_i, {p_i^j | j ∈ S_i})`.
+///
+/// The task set `S_i` and per-task PoS values are stored together as a map
+/// from [`TaskId`] to [`Pos`]; the task set is exactly the map's key set.
+/// The cost `c_i` is the total cost of performing *all* tasks in `S_i`
+/// (users are single-minded in the multi-task model: they perform either
+/// their whole task set or nothing).
+///
+/// A `UserType` can represent either a *true* type or a *declared* bid — the
+/// auction code takes both and never assumes they coincide.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::types::{Cost, Pos, TaskId, UserId, UserType};
+///
+/// let user = UserType::builder(UserId::new(0))
+///     .cost(Cost::new(15.0)?)
+///     .task(TaskId::new(0), Pos::new(0.3)?)
+///     .task(TaskId::new(1), Pos::new(0.1)?)
+///     .build()?;
+/// assert_eq!(user.task_count(), 2);
+/// assert_eq!(user.pos_for(TaskId::new(0)), Some(Pos::new(0.3)?));
+/// # Ok::<(), mcs_core::McsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserType {
+    id: UserId,
+    cost: Cost,
+    tasks: BTreeMap<TaskId, Pos>,
+}
+
+impl UserType {
+    /// Starts building a user type for the given id.
+    pub fn builder(id: UserId) -> UserTypeBuilder {
+        UserTypeBuilder {
+            id,
+            cost: Cost::ZERO,
+            tasks: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a single-task user type — the common case in the paper's
+    /// single-task model, where the (only) task is implied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`Cost::new`] and [`Pos::new`].
+    pub fn single(id: UserId, cost: f64, pos: f64) -> Result<Self> {
+        UserType::builder(id)
+            .cost(Cost::new(cost)?)
+            .task(TaskId::new(0), Pos::new(pos)?)
+            .build()
+    }
+
+    /// The user identifier.
+    pub fn id(&self) -> UserId {
+        self.id
+    }
+
+    /// The total cost `c_i` of performing the whole task set.
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// The number of tasks in the user's task set `|S_i|`.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Iterates over the task set `S_i` in ascending task-id order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks.keys().copied()
+    }
+
+    /// Iterates over `(task, PoS)` pairs in ascending task-id order.
+    pub fn tasks(&self) -> impl Iterator<Item = (TaskId, Pos)> + '_ {
+        self.tasks.iter().map(|(&t, &p)| (t, p))
+    }
+
+    /// Whether `task` belongs to the user's task set.
+    pub fn covers(&self, task: TaskId) -> bool {
+        self.tasks.contains_key(&task)
+    }
+
+    /// The user's PoS `p_i^j` for `task`, or `None` if the task is not in
+    /// her task set.
+    pub fn pos_for(&self, task: TaskId) -> Option<Pos> {
+        self.tasks.get(&task).copied()
+    }
+
+    /// The user's contribution `q_i^j = -ln(1 - p_i^j)` for `task`, or
+    /// [`Contribution::ZERO`] if the task is not in her task set.
+    pub fn contribution_for(&self, task: TaskId) -> Contribution {
+        self.pos_for(task)
+            .map(Pos::contribution)
+            .unwrap_or(Contribution::ZERO)
+    }
+
+    /// The probability that the user completes *at least one* of her tasks:
+    /// `1 - Π_{j ∈ S_i} (1 - p_i^j)`.
+    ///
+    /// This is the success event of the multi-task execution-contingent
+    /// reward scheme (paper Equation (6)).
+    pub fn any_task_pos(&self) -> Pos {
+        let total: Contribution = self.tasks.values().map(|p| p.contribution()).sum();
+        total.pos()
+    }
+
+    /// The total declared contribution `Σ_{j ∈ S_i} q_i^j`.
+    pub fn total_contribution(&self) -> Contribution {
+        self.tasks.values().map(|p| p.contribution()).sum()
+    }
+
+    /// Returns a copy of this type with the PoS for `task` replaced —
+    /// the elementary strategic deviation in the PoS dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::UnknownTask`] if `task` is not in the task set
+    /// (misreporting a *task set* is modelled separately; see the paper's
+    /// Theorem 4 argument reducing task-set lies to contribution lies).
+    pub fn with_pos(&self, task: TaskId, pos: Pos) -> Result<Self> {
+        if !self.covers(task) {
+            return Err(McsError::UnknownTask {
+                user: self.id,
+                task,
+            });
+        }
+        let mut clone = self.clone();
+        clone.tasks.insert(task, pos);
+        Ok(clone)
+    }
+
+    /// Returns a copy with every task's contribution scaled by `factor`
+    /// (in the log domain), saturating each resulting PoS below 1.
+    ///
+    /// Scaling all contributions uniformly is the canonical single-parameter
+    /// deviation used by the strategy-proofness checkers: `factor > 1`
+    /// exaggerates, `factor < 1` understates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn with_scaled_contributions(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        let mut clone = self.clone();
+        for pos in clone.tasks.values_mut() {
+            let scaled = pos.contribution().value() * factor;
+            *pos = Contribution::new(scaled)
+                .map(Contribution::pos)
+                .unwrap_or(Pos::MAX);
+        }
+        clone
+    }
+}
+
+/// Builder for [`UserType`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct UserTypeBuilder {
+    id: UserId,
+    cost: Cost,
+    tasks: BTreeMap<TaskId, Pos>,
+}
+
+impl UserTypeBuilder {
+    /// Sets the total cost `c_i`.
+    pub fn cost(mut self, cost: Cost) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Adds task `task` with PoS `pos` to the task set.
+    ///
+    /// Adding the same task twice keeps the latest PoS.
+    pub fn task(mut self, task: TaskId, pos: Pos) -> Self {
+        self.tasks.insert(task, pos);
+        self
+    }
+
+    /// Adds many `(task, pos)` pairs.
+    pub fn tasks<I: IntoIterator<Item = (TaskId, Pos)>>(mut self, tasks: I) -> Self {
+        self.tasks.extend(tasks);
+        self
+    }
+
+    /// Finalizes the user type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McsError::EmptyTaskSet`] if no task was added.
+    pub fn build(self) -> Result<UserType> {
+        if self.tasks.is_empty() {
+            return Err(McsError::EmptyTaskSet { user: self.id });
+        }
+        Ok(UserType {
+            id: self.id,
+            cost: self.cost,
+            tasks: self.tasks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_task_user() -> UserType {
+        UserType::builder(UserId::new(1))
+            .cost(Cost::new(10.0).unwrap())
+            .task(TaskId::new(0), Pos::new(0.5).unwrap())
+            .task(TaskId::new(1), Pos::new(0.2).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_empty_task_set() {
+        let err = UserType::builder(UserId::new(0)).build().unwrap_err();
+        assert_eq!(
+            err,
+            McsError::EmptyTaskSet {
+                user: UserId::new(0)
+            }
+        );
+    }
+
+    #[test]
+    fn accessors_expose_type_components() {
+        let user = two_task_user();
+        assert_eq!(user.id(), UserId::new(1));
+        assert_eq!(user.cost().value(), 10.0);
+        assert_eq!(user.task_count(), 2);
+        assert!(user.covers(TaskId::new(0)));
+        assert!(!user.covers(TaskId::new(2)));
+        assert_eq!(user.pos_for(TaskId::new(1)).unwrap().value(), 0.2);
+        assert_eq!(user.pos_for(TaskId::new(9)), None);
+    }
+
+    #[test]
+    fn contribution_for_missing_task_is_zero() {
+        let user = two_task_user();
+        assert_eq!(user.contribution_for(TaskId::new(7)), Contribution::ZERO);
+        assert!(user.contribution_for(TaskId::new(0)).value() > 0.0);
+    }
+
+    #[test]
+    fn any_task_pos_is_one_minus_product_of_failures() {
+        let user = two_task_user();
+        // 1 - (1-0.5)(1-0.2) = 0.6
+        assert!((user.any_task_pos().value() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_constructor_uses_task_zero() {
+        let user = UserType::single(UserId::new(4), 3.0, 0.7).unwrap();
+        assert_eq!(user.task_count(), 1);
+        assert!(user.covers(TaskId::new(0)));
+        assert_eq!(user.cost().value(), 3.0);
+    }
+
+    #[test]
+    fn with_pos_replaces_one_task() {
+        let user = two_task_user();
+        let deviated = user
+            .with_pos(TaskId::new(0), Pos::new(0.9).unwrap())
+            .unwrap();
+        assert_eq!(deviated.pos_for(TaskId::new(0)).unwrap().value(), 0.9);
+        assert_eq!(deviated.pos_for(TaskId::new(1)).unwrap().value(), 0.2);
+        assert!(user.with_pos(TaskId::new(5), Pos::ZERO).is_err());
+    }
+
+    #[test]
+    fn scaled_contributions_scale_in_log_domain() {
+        let user = two_task_user();
+        let doubled = user.with_scaled_contributions(2.0);
+        for (task, pos) in user.tasks() {
+            let expect = pos.contribution().value() * 2.0;
+            let got = doubled.contribution_for(task).value();
+            assert!((expect - got).abs() < 1e-12);
+        }
+        let zeroed = user.with_scaled_contributions(0.0);
+        assert_eq!(zeroed.total_contribution(), Contribution::ZERO);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let user = two_task_user();
+        let json = serde_json::to_string(&user).unwrap();
+        let back: UserType = serde_json::from_str(&json).unwrap();
+        assert_eq!(user, back);
+    }
+
+    #[test]
+    fn tasks_iterate_in_id_order() {
+        let user = UserType::builder(UserId::new(0))
+            .cost(Cost::ZERO)
+            .task(TaskId::new(5), Pos::new(0.1).unwrap())
+            .task(TaskId::new(2), Pos::new(0.2).unwrap())
+            .build()
+            .unwrap();
+        let ids: Vec<TaskId> = user.task_ids().collect();
+        assert_eq!(ids, vec![TaskId::new(2), TaskId::new(5)]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Model evaluation: held-out log-likelihood and smoothing comparison.
+//!
+//! Figure 3's top-k accuracy is a ranking metric; log-likelihood scores
+//! the *calibration* of the learned transition probabilities, which is
+//! what the auction layer actually consumes (PoS values enter utilities
+//! linearly through `q = -ln(1-p)`). This module provides held-out
+//! evaluation and a small model-selection helper between the paper's
+//! sub-stochastic smoothing and the add-one variant.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::learn::{learn_all, MobilityModel, Smoothing};
+use crate::trace::{TaxiId, TraceSet};
+
+/// Held-out evaluation results for one model family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Transitions evaluated.
+    pub transitions: usize,
+    /// Transitions the model assigned zero probability (unseen moves; they
+    /// are *excluded* from the mean log-likelihood and counted here).
+    pub zero_probability: usize,
+    /// Mean natural-log likelihood over the positively-scored transitions.
+    pub mean_log_likelihood: f64,
+}
+
+impl EvalReport {
+    /// Perplexity `exp(−mean log-likelihood)` over scored transitions.
+    pub fn perplexity(&self) -> f64 {
+        (-self.mean_log_likelihood).exp()
+    }
+
+    /// Fraction of held-out transitions the model could score at all.
+    pub fn coverage(&self) -> f64 {
+        if self.transitions == 0 {
+            return 0.0;
+        }
+        (self.transitions - self.zero_probability) as f64 / self.transitions as f64
+    }
+}
+
+/// Scores per-taxi `models` on the held-out `evaluation` trace.
+pub fn evaluate(models: &BTreeMap<TaxiId, MobilityModel>, evaluation: &TraceSet) -> EvalReport {
+    let mut transitions = 0usize;
+    let mut zero_probability = 0usize;
+    let mut log_likelihood = 0.0f64;
+    for taxi in evaluation.taxis() {
+        let Some(model) = models.get(&taxi) else {
+            continue;
+        };
+        for (from, to) in evaluation.transitions(taxi) {
+            transitions += 1;
+            let p = model.prob(from, to);
+            if p > 0.0 {
+                log_likelihood += p.ln();
+            } else {
+                zero_probability += 1;
+            }
+        }
+    }
+    let scored = transitions - zero_probability;
+    EvalReport {
+        transitions,
+        zero_probability,
+        mean_log_likelihood: if scored == 0 {
+            f64::NEG_INFINITY
+        } else {
+            log_likelihood / scored as f64
+        },
+    }
+}
+
+/// Learns both smoothing variants on `train` and scores them on
+/// `evaluation`; returns `(paper, add_one)`.
+pub fn compare_smoothings(train: &TraceSet, evaluation: &TraceSet) -> (EvalReport, EvalReport) {
+    let paper = evaluate(&learn_all(train, Smoothing::Paper), evaluation);
+    let add_one = evaluate(&learn_all(train, Smoothing::AddOne), evaluation);
+    (paper, add_one)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::LocationId;
+    use crate::trace::TraceEvent;
+
+    fn event(taxi: u32, slot: u32, location: u32) -> TraceEvent {
+        TraceEvent {
+            taxi: TaxiId::new(taxi),
+            slot,
+            location: LocationId::new(location),
+        }
+    }
+
+    fn alternating(taxi: u32, slots: std::ops::Range<u32>) -> Vec<TraceEvent> {
+        slots.map(|s| event(taxi, s, s % 2)).collect()
+    }
+
+    #[test]
+    fn perfectly_learned_chain_scores_high() {
+        let train: TraceSet = alternating(0, 0..40).into_iter().collect();
+        let test: TraceSet = alternating(0, 40..50).into_iter().collect();
+        let report = evaluate(&learn_all(&train, Smoothing::Paper), &test);
+        assert_eq!(report.transitions, 9);
+        assert_eq!(report.zero_probability, 0);
+        assert_eq!(report.coverage(), 1.0);
+        // P(0→1) = 19/21 or 20/22, so log-likelihood close to 0.
+        assert!(report.mean_log_likelihood > -0.15);
+        assert!(report.perplexity() < 1.2);
+    }
+
+    #[test]
+    fn unseen_transitions_counted_not_scored() {
+        let train: TraceSet = alternating(0, 0..10).into_iter().collect();
+        // Held-out data jumps to a location never seen in training.
+        let test: TraceSet = vec![event(0, 100, 0), event(0, 101, 7)]
+            .into_iter()
+            .collect();
+        let report = evaluate(&learn_all(&train, Smoothing::Paper), &test);
+        assert_eq!(report.transitions, 1);
+        assert_eq!(report.zero_probability, 1);
+        assert_eq!(report.coverage(), 0.0);
+    }
+
+    #[test]
+    fn add_one_covers_more_but_calibrates_worse_on_clean_chains() {
+        let train: TraceSet = alternating(0, 0..40).into_iter().collect();
+        let test: TraceSet = vec![event(0, 100, 0), event(0, 101, 0)]
+            .into_iter()
+            .collect(); // self-loop, unseen
+        let (paper, add_one) = compare_smoothings(&train, &test);
+        // The paper smoothing cannot score the unseen self-loop at all;
+        // add-one assigns it its 1/(x+l) floor.
+        assert_eq!(paper.zero_probability, 1);
+        assert_eq!(add_one.zero_probability, 0);
+        assert!(add_one.coverage() > paper.coverage());
+    }
+
+    #[test]
+    fn empty_evaluation_reports_nothing_scored() {
+        let train: TraceSet = alternating(0, 0..10).into_iter().collect();
+        let report = evaluate(&learn_all(&train, Smoothing::Paper), &TraceSet::new());
+        assert_eq!(report.transitions, 0);
+        assert_eq!(report.coverage(), 0.0);
+        assert_eq!(report.mean_log_likelihood, f64::NEG_INFINITY);
+    }
+}

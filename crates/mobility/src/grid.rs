@@ -1,0 +1,193 @@
+//! The city grid: a rectangular tessellation of the map into square cells.
+//!
+//! The paper divides the map of Shanghai into 2 km × 2 km grids, "with each
+//! grid representing a location". [`CityGrid`] reproduces that discretization
+//! for the synthetic city: locations are cells, addressed either by `(x, y)`
+//! coordinates ([`Cell`]) or by a dense [`LocationId`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dense location identifier: the row-major index of a grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocationId(u32);
+
+impl LocationId {
+    /// Creates a location id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        LocationId(index)
+    }
+
+    /// The raw index, usable for dense per-location arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+/// A grid cell addressed by column `x` and row `y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Cell {
+    /// Column index, `0 ≤ x < width`.
+    pub x: u32,
+    /// Row index, `0 ≤ y < height`.
+    pub y: u32,
+}
+
+/// A rectangular city grid of square cells.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_mobility::grid::{Cell, CityGrid};
+///
+/// let grid = CityGrid::new(20, 20, 2.0);
+/// assert_eq!(grid.cell_count(), 400);
+/// let id = grid.location(Cell { x: 3, y: 5 }).unwrap();
+/// assert_eq!(grid.cell(id), Cell { x: 3, y: 5 });
+/// // Euclidean distance in km between cell centres.
+/// let a = grid.location(Cell { x: 0, y: 0 }).unwrap();
+/// let b = grid.location(Cell { x: 3, y: 4 }).unwrap();
+/// assert_eq!(grid.distance_km(a, b), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CityGrid {
+    width: u32,
+    height: u32,
+    cell_km: f64,
+}
+
+impl CityGrid {
+    /// Creates a `width × height` grid of `cell_km`-sized square cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `cell_km` is not positive.
+    pub fn new(width: u32, height: u32, cell_km: f64) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        assert!(cell_km > 0.0, "cell size must be positive");
+        CityGrid {
+            width,
+            height,
+            cell_km,
+        }
+    }
+
+    /// The paper's discretization of Shanghai: 2 km cells over a
+    /// 20 × 20 window (a ~40 km × 40 km metro area).
+    pub fn shanghai_like() -> Self {
+        CityGrid::new(20, 20, 2.0)
+    }
+
+    /// Grid width in cells.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in cells.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The edge length of one cell in km.
+    pub fn cell_km(&self) -> f64 {
+        self.cell_km
+    }
+
+    /// Total number of cells (locations).
+    pub fn cell_count(&self) -> usize {
+        (self.width * self.height) as usize
+    }
+
+    /// The location id of `cell`, or `None` if out of bounds.
+    pub fn location(&self, cell: Cell) -> Option<LocationId> {
+        (cell.x < self.width && cell.y < self.height)
+            .then(|| LocationId::new(cell.y * self.width + cell.x))
+    }
+
+    /// The cell of a location id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this grid.
+    pub fn cell(&self, id: LocationId) -> Cell {
+        assert!(id.index() < self.cell_count(), "location out of range");
+        Cell {
+            x: id.0 % self.width,
+            y: id.0 / self.width,
+        }
+    }
+
+    /// Euclidean distance between cell centres, in km.
+    pub fn distance_km(&self, a: LocationId, b: LocationId) -> f64 {
+        let ca = self.cell(a);
+        let cb = self.cell(b);
+        let dx = f64::from(ca.x) - f64::from(cb.x);
+        let dy = f64::from(ca.y) - f64::from(cb.y);
+        (dx * dx + dy * dy).sqrt() * self.cell_km
+    }
+
+    /// Iterates over all location ids in row-major order.
+    pub fn locations(&self) -> impl Iterator<Item = LocationId> {
+        (0..self.cell_count() as u32).map(LocationId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_cells_and_ids() {
+        let grid = CityGrid::new(7, 5, 1.5);
+        for id in grid.locations() {
+            let cell = grid.cell(id);
+            assert_eq!(grid.location(cell), Some(id));
+        }
+        assert_eq!(grid.locations().count(), 35);
+    }
+
+    #[test]
+    fn out_of_bounds_cells_have_no_id() {
+        let grid = CityGrid::new(4, 4, 2.0);
+        assert_eq!(grid.location(Cell { x: 4, y: 0 }), None);
+        assert_eq!(grid.location(Cell { x: 0, y: 4 }), None);
+        assert!(grid.location(Cell { x: 3, y: 3 }).is_some());
+    }
+
+    #[test]
+    fn distances_scale_with_cell_size() {
+        let grid = CityGrid::new(10, 10, 2.0);
+        let a = grid.location(Cell { x: 1, y: 1 }).unwrap();
+        let b = grid.location(Cell { x: 1, y: 3 }).unwrap();
+        assert_eq!(grid.distance_km(a, b), 4.0);
+        assert_eq!(grid.distance_km(a, a), 0.0);
+        assert_eq!(grid.distance_km(a, b), grid.distance_km(b, a));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_location_panics() {
+        let grid = CityGrid::new(2, 2, 2.0);
+        let _ = grid.cell(LocationId::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = CityGrid::new(0, 3, 2.0);
+    }
+
+    #[test]
+    fn shanghai_like_matches_paper() {
+        let grid = CityGrid::shanghai_like();
+        assert_eq!(grid.cell_km(), 2.0);
+        assert_eq!(grid.cell_count(), 400);
+    }
+}

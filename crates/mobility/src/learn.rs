@@ -1,0 +1,336 @@
+//! Learning per-taxi mobility models from traces
+//! (paper Section IV-B).
+//!
+//! For each taxi, the transition matrix over the `l` locations she visits
+//! is estimated by maximum likelihood with Laplace smoothing. The paper's
+//! estimator is
+//!
+//! ```text
+//! P_ij = x_ij / (x_i + l)
+//! ```
+//!
+//! where `x_ij` counts observed `i → j` transitions and `x_i = Σ_k x_ik`.
+//! Note that rows sum to `x_i / (x_i + l) < 1`: the remaining mass is the
+//! smoothed probability of *unseen* behaviour, which is exactly what makes
+//! the learned PoS values conservative (and small — Figure 4). The add-one
+//! variant `(x_ij + 1)/(x_i + l)` is also provided.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::LocationId;
+use crate::trace::{TaxiId, TraceSet};
+
+/// Which smoothing formula to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Smoothing {
+    /// The paper's formula `x_ij / (x_i + l)` — sub-stochastic rows, mass
+    /// reserved for unseen transitions.
+    #[default]
+    Paper,
+    /// Classic add-one Laplace `(x_ij + 1) / (x_i + l)` over the visited
+    /// location set — rows sum to 1 across visited locations.
+    AddOne,
+    /// Add-λ (Lidstone) smoothing `(x_ij + λ) / (x_i + λ·l)`, row-stochastic
+    /// with a tunable unseen-transition floor. Small `λ` (e.g. 0.1) keeps
+    /// multi-step visit estimates far better calibrated for *rare* targets
+    /// than add-one, whose per-step floor of `1/(x_i+l)` compounds into
+    /// substantial fictional visit mass over a sensing window (see the
+    /// `ext_calibration` experiment in `mcs-sim`).
+    AddLambda(
+        /// The pseudo-count `λ > 0`.
+        f64,
+    ),
+}
+
+/// A learned, per-taxi mobility model: sparse transition probabilities over
+/// the locations the taxi was observed at.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_mobility::grid::LocationId;
+/// use mcs_mobility::learn::{MobilityModel, Smoothing};
+/// use mcs_mobility::trace::{TaxiId, TraceEvent, TraceSet};
+///
+/// let traces: TraceSet = (0..10u32)
+///     .map(|s| TraceEvent {
+///         taxi: TaxiId::new(0),
+///         slot: s,
+///         // Alternates 0 → 1 → 0 → 1 …
+///         location: LocationId::new(s % 2),
+///     })
+///     .collect();
+/// let model = MobilityModel::learn(&traces, TaxiId::new(0), Smoothing::Paper);
+/// // 5 observed 0→1 transitions out of x_0 = 5 visits, l = 2:
+/// // P(0→1) = 5 / (5 + 2).
+/// let p = model.prob(LocationId::new(0), LocationId::new(1));
+/// assert!((p - 5.0 / 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilityModel {
+    taxi: TaxiId,
+    smoothing: Smoothing,
+    /// Visited locations (the model's state space), ascending.
+    visited: Vec<LocationId>,
+    /// Transition counts `x_ij`, sparse by (from, to).
+    counts: BTreeMap<LocationId, BTreeMap<LocationId, u64>>,
+    /// Outgoing totals `x_i`.
+    totals: BTreeMap<LocationId, u64>,
+}
+
+impl MobilityModel {
+    /// Learns a model for `taxi` from `traces`.
+    ///
+    /// The state space is the set of locations appearing in the taxi's
+    /// trace; an empty trace yields a model with no states (every
+    /// probability is 0).
+    pub fn learn(traces: &TraceSet, taxi: TaxiId, smoothing: Smoothing) -> Self {
+        let mut visited: Vec<LocationId> = traces.trace(taxi).iter().map(|e| e.location).collect();
+        visited.sort();
+        visited.dedup();
+
+        let mut counts: BTreeMap<LocationId, BTreeMap<LocationId, u64>> = BTreeMap::new();
+        let mut totals: BTreeMap<LocationId, u64> = BTreeMap::new();
+        for (from, to) in traces.transitions(taxi) {
+            *counts.entry(from).or_default().entry(to).or_default() += 1;
+            *totals.entry(from).or_default() += 1;
+        }
+        MobilityModel {
+            taxi,
+            smoothing,
+            visited,
+            counts,
+            totals,
+        }
+    }
+
+    /// The taxi this model describes.
+    pub fn taxi(&self) -> TaxiId {
+        self.taxi
+    }
+
+    /// The visited location set (the model's `l` states).
+    pub fn visited(&self) -> &[LocationId] {
+        &self.visited
+    }
+
+    /// `l`, the number of visited locations.
+    pub fn state_count(&self) -> usize {
+        self.visited.len()
+    }
+
+    /// The smoothed transition probability `P(from → to)`.
+    ///
+    /// Locations outside the visited set have probability 0 as origin; as
+    /// destination they get only the smoothing mass under
+    /// [`Smoothing::AddOne`] if visited, else 0.
+    pub fn prob(&self, from: LocationId, to: LocationId) -> f64 {
+        let l = self.visited.len() as f64;
+        if l == 0.0 || self.visited.binary_search(&to).is_err() {
+            return 0.0;
+        }
+        if self.visited.binary_search(&from).is_err() {
+            return 0.0;
+        }
+        let x_i = self.totals.get(&from).copied().unwrap_or(0) as f64;
+        let x_ij = self
+            .counts
+            .get(&from)
+            .and_then(|row| row.get(&to))
+            .copied()
+            .unwrap_or(0) as f64;
+        match self.smoothing {
+            Smoothing::Paper => x_ij / (x_i + l),
+            Smoothing::AddOne => (x_ij + 1.0) / (x_i + l),
+            Smoothing::AddLambda(lambda) => (x_ij + lambda) / (x_i + lambda * l),
+        }
+    }
+
+    /// The `k` most likely next locations from `from`, descending by
+    /// probability (ties by ascending location id).
+    ///
+    /// Only locations with *positive* smoothed probability are returned —
+    /// the model never "predicts" somewhere it has no evidence for, so the
+    /// result may be shorter than `k` (under [`Smoothing::Paper`], unseen
+    /// successors have probability 0).
+    pub fn top_k(&self, from: LocationId, k: usize) -> Vec<(LocationId, f64)> {
+        let mut entries: Vec<(LocationId, f64)> = self
+            .visited
+            .iter()
+            .map(|&to| (to, self.prob(from, to)))
+            .filter(|&(_, p)| p > 0.0)
+            .collect();
+        entries.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite probs")
+                .then(a.0.cmp(&b.0))
+        });
+        entries.truncate(k);
+        entries
+    }
+}
+
+/// Learns models for every taxi in `traces`.
+pub fn learn_all(traces: &TraceSet, smoothing: Smoothing) -> BTreeMap<TaxiId, MobilityModel> {
+    traces
+        .taxis()
+        .map(|taxi| (taxi, MobilityModel::learn(traces, taxi, smoothing)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn event(taxi: u32, slot: u32, location: u32) -> TraceEvent {
+        TraceEvent {
+            taxi: TaxiId::new(taxi),
+            slot,
+            location: LocationId::new(location),
+        }
+    }
+
+    #[test]
+    fn paper_smoothing_matches_formula() {
+        // Trace: 0 → 1 → 0 → 2, so from 0 we saw 1 and 2 once each.
+        let traces: TraceSet = vec![
+            event(0, 0, 0),
+            event(0, 1, 1),
+            event(0, 2, 0),
+            event(0, 3, 2),
+        ]
+        .into_iter()
+        .collect();
+        let model = MobilityModel::learn(&traces, TaxiId::new(0), Smoothing::Paper);
+        assert_eq!(model.state_count(), 3);
+        // x_0 = 2 outgoing, l = 3: P(0→1) = 1/(2+3).
+        assert!((model.prob(LocationId::new(0), LocationId::new(1)) - 0.2).abs() < 1e-12);
+        assert!((model.prob(LocationId::new(0), LocationId::new(2)) - 0.2).abs() < 1e-12);
+        // Unseen transition 0→0 has probability 0 under the paper formula.
+        assert_eq!(model.prob(LocationId::new(0), LocationId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn paper_rows_are_sub_stochastic() {
+        let traces: TraceSet = (0..20u32).map(|s| event(0, s, s % 4)).collect();
+        let model = MobilityModel::learn(&traces, TaxiId::new(0), Smoothing::Paper);
+        for &from in model.visited() {
+            let row_sum: f64 = model.visited().iter().map(|&to| model.prob(from, to)).sum();
+            assert!(row_sum < 1.0, "row {from} sums to {row_sum} ≥ 1");
+        }
+    }
+
+    #[test]
+    fn add_one_rows_sum_to_one_over_visited() {
+        let traces: TraceSet = (0..20u32).map(|s| event(0, s, s % 4)).collect();
+        let model = MobilityModel::learn(&traces, TaxiId::new(0), Smoothing::AddOne);
+        for &from in model.visited() {
+            let row_sum: f64 = model.visited().iter().map(|&to| model.prob(from, to)).sum();
+            assert!((row_sum - 1.0).abs() < 1e-9, "row {from} sums to {row_sum}");
+        }
+    }
+
+    #[test]
+    fn unknown_locations_have_zero_probability() {
+        let traces: TraceSet = vec![event(0, 0, 0), event(0, 1, 1)].into_iter().collect();
+        let model = MobilityModel::learn(&traces, TaxiId::new(0), Smoothing::Paper);
+        assert_eq!(model.prob(LocationId::new(9), LocationId::new(0)), 0.0);
+        assert_eq!(model.prob(LocationId::new(0), LocationId::new(9)), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_learns_empty_model() {
+        let traces = TraceSet::new();
+        let model = MobilityModel::learn(&traces, TaxiId::new(0), Smoothing::Paper);
+        assert_eq!(model.state_count(), 0);
+        assert_eq!(model.prob(LocationId::new(0), LocationId::new(0)), 0.0);
+        assert!(model.top_k(LocationId::new(0), 5).is_empty());
+    }
+
+    #[test]
+    fn top_k_prefers_frequent_transitions() {
+        // From 0: twice to 1, once to 2.
+        let traces: TraceSet = vec![
+            event(0, 0, 0),
+            event(0, 1, 1),
+            event(0, 2, 0),
+            event(0, 3, 1),
+            event(0, 4, 0),
+            event(0, 5, 2),
+        ]
+        .into_iter()
+        .collect();
+        let model = MobilityModel::learn(&traces, TaxiId::new(0), Smoothing::Paper);
+        let top = model.top_k(LocationId::new(0), 2);
+        assert_eq!(top[0].0, LocationId::new(1));
+        assert_eq!(top[1].0, LocationId::new(2));
+        assert!(top[0].1 > top[1].1);
+    }
+
+    #[test]
+    fn learn_all_covers_every_taxi() {
+        let traces: TraceSet = vec![event(0, 0, 0), event(0, 1, 1), event(1, 0, 2)]
+            .into_iter()
+            .collect();
+        let models = learn_all(&traces, Smoothing::Paper);
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[&TaxiId::new(1)].state_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod lambda_tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn traces() -> TraceSet {
+        (0..20u32)
+            .map(|s| TraceEvent {
+                taxi: TaxiId::new(0),
+                slot: s,
+                location: LocationId::new(s % 4),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn add_lambda_rows_are_stochastic() {
+        let model = MobilityModel::learn(&traces(), TaxiId::new(0), Smoothing::AddLambda(0.1));
+        for &from in model.visited() {
+            let row_sum: f64 = model.visited().iter().map(|&to| model.prob(from, to)).sum();
+            assert!((row_sum - 1.0).abs() < 1e-9, "row {from} sums to {row_sum}");
+        }
+    }
+
+    #[test]
+    fn smaller_lambda_means_smaller_unseen_floor() {
+        let tenth = MobilityModel::learn(&traces(), TaxiId::new(0), Smoothing::AddLambda(0.1));
+        let one = MobilityModel::learn(&traces(), TaxiId::new(0), Smoothing::AddOne);
+        // Transition 0 → 2 never happens (the cycle is 0→1→2→3→0).
+        let unseen_tenth = tenth.prob(LocationId::new(0), LocationId::new(2));
+        let unseen_one = one.prob(LocationId::new(0), LocationId::new(2));
+        assert!(unseen_tenth > 0.0);
+        assert!(
+            unseen_tenth < 0.2 * unseen_one,
+            "λ=0.1 floor {unseen_tenth} not ≪ add-one floor {unseen_one}"
+        );
+        // Seen transitions, by contrast, get *larger* with smaller λ.
+        let seen_tenth = tenth.prob(LocationId::new(0), LocationId::new(1));
+        let seen_one = one.prob(LocationId::new(0), LocationId::new(1));
+        assert!(seen_tenth > seen_one);
+    }
+
+    #[test]
+    fn lambda_one_equals_add_one() {
+        let via_lambda = MobilityModel::learn(&traces(), TaxiId::new(0), Smoothing::AddLambda(1.0));
+        let add_one = MobilityModel::learn(&traces(), TaxiId::new(0), Smoothing::AddOne);
+        for &from in via_lambda.visited() {
+            for &to in via_lambda.visited() {
+                assert!((via_lambda.prob(from, to) - add_one.prob(from, to)).abs() < 1e-12);
+            }
+        }
+    }
+}

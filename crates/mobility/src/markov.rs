@@ -1,0 +1,348 @@
+//! Dense row-stochastic Markov transition matrices over grid locations.
+//!
+//! Used for the *ground-truth* mobility process of the synthetic city
+//! (the stand-in for real Shanghai taxi behaviour). Learned, per-taxi
+//! models live in [`crate::learn`]; they are sparse and deliberately
+//! sub-stochastic (the paper's smoothing formula leaves probability mass on
+//! unseen transitions).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::grid::LocationId;
+
+/// A dense row-stochastic transition matrix: `P[from][to]` is the
+/// probability of moving from `from` to `to` in one time slot.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_mobility::markov::TransitionMatrix;
+/// use mcs_mobility::grid::LocationId;
+///
+/// // A two-state chain that mostly stays put.
+/// let p = TransitionMatrix::from_rows(vec![
+///     vec![0.9, 0.1],
+///     vec![0.2, 0.8],
+/// ]).unwrap();
+/// assert_eq!(p.state_count(), 2);
+/// let pi = p.stationary(1000, 1e-12);
+/// // Stationary distribution of this chain is (2/3, 1/3).
+/// assert!((pi[0] - 2.0 / 3.0).abs() < 1e-9);
+/// # use mcs_mobility::markov::MatrixError;
+/// # Ok::<(), MatrixError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[serde(into = "MatrixRepr")]
+pub struct TransitionMatrix {
+    rows: Vec<Vec<f64>>,
+    /// Per-row cumulative sums for O(log n) sampling.
+    cumulative: Vec<Vec<f64>>,
+}
+
+/// Serialized form of [`TransitionMatrix`]; deserialization re-validates
+/// (and rebuilds the sampling tables) through
+/// [`TransitionMatrix::from_rows`].
+#[derive(Serialize, Deserialize)]
+struct MatrixRepr {
+    rows: Vec<Vec<f64>>,
+}
+
+impl From<TransitionMatrix> for MatrixRepr {
+    fn from(matrix: TransitionMatrix) -> Self {
+        MatrixRepr { rows: matrix.rows }
+    }
+}
+
+impl<'de> Deserialize<'de> for TransitionMatrix {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        let repr = MatrixRepr::deserialize(deserializer)?;
+        TransitionMatrix::from_rows(repr.rows).map_err(serde::de::Error::custom)
+    }
+}
+
+/// Errors from constructing a [`TransitionMatrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The matrix was empty.
+    Empty,
+    /// A row's length differed from the number of rows.
+    NotSquare {
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// A probability was negative, NaN, or infinite.
+    InvalidEntry {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// A row did not sum to 1 (within 1e-9).
+    NotStochastic {
+        /// Index of the offending row.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::Empty => write!(f, "transition matrix is empty"),
+            MatrixError::NotSquare { row } => write!(f, "row {row} has the wrong length"),
+            MatrixError::InvalidEntry { row, col } => {
+                write!(f, "entry ({row}, {col}) is not a valid probability")
+            }
+            MatrixError::NotStochastic { row } => write!(f, "row {row} does not sum to 1"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl TransitionMatrix {
+    /// Creates a validated matrix from dense rows.
+    ///
+    /// # Errors
+    ///
+    /// See [`MatrixError`].
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, MatrixError> {
+        if rows.is_empty() {
+            return Err(MatrixError::Empty);
+        }
+        let n = rows.len();
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(MatrixError::NotSquare { row: r });
+            }
+            let mut sum = 0.0;
+            for (c, &p) in row.iter().enumerate() {
+                if !p.is_finite() || p < 0.0 {
+                    return Err(MatrixError::InvalidEntry { row: r, col: c });
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(MatrixError::NotStochastic { row: r });
+            }
+        }
+        let cumulative = build_cumulative(&rows);
+        Ok(TransitionMatrix { rows, cumulative })
+    }
+
+    /// Creates a matrix from non-negative weights, normalizing each row.
+    ///
+    /// Rows whose weights sum to zero become self-loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight matrix is not square or contains negative /
+    /// non-finite entries.
+    pub fn from_weights(weights: Vec<Vec<f64>>) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "weight matrix must be non-empty");
+        let mut rows = Vec::with_capacity(n);
+        for (r, row) in weights.into_iter().enumerate() {
+            assert_eq!(row.len(), n, "weight matrix must be square");
+            let sum: f64 = row
+                .iter()
+                .inspect(|&&w| assert!(w.is_finite() && w >= 0.0, "invalid weight"))
+                .sum();
+            if sum > 0.0 {
+                rows.push(row.into_iter().map(|w| w / sum).collect());
+            } else {
+                let mut selfloop = vec![0.0; n];
+                selfloop[r] = 1.0;
+                rows.push(selfloop);
+            }
+        }
+        let cumulative = build_cumulative(&rows);
+        TransitionMatrix { rows, cumulative }
+    }
+
+    /// The number of states (locations).
+    pub fn state_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The transition probability `P(from → to)`.
+    pub fn prob(&self, from: LocationId, to: LocationId) -> f64 {
+        self.rows[from.index()][to.index()]
+    }
+
+    /// The full row for `from`.
+    pub fn row(&self, from: LocationId) -> &[f64] {
+        &self.rows[from.index()]
+    }
+
+    /// Samples the next state from `from`.
+    pub fn sample_next<R: Rng + ?Sized>(&self, from: LocationId, rng: &mut R) -> LocationId {
+        let cumulative = &self.cumulative[from.index()];
+        let u: f64 = rng.gen();
+        let idx = cumulative.partition_point(|&c| c < u);
+        LocationId::new(idx.min(cumulative.len() - 1) as u32)
+    }
+
+    /// The stationary distribution by power iteration (assumes the chain is
+    /// ergodic enough for the iteration to converge; returns the last
+    /// iterate otherwise).
+    pub fn stationary(&self, max_iterations: usize, tolerance: f64) -> Vec<f64> {
+        let n = self.state_count();
+        let mut pi = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0; n];
+        for _ in 0..max_iterations {
+            next.iter_mut().for_each(|x| *x = 0.0);
+            for (from, row) in self.rows.iter().enumerate() {
+                let mass = pi[from];
+                if mass == 0.0 {
+                    continue;
+                }
+                for (to, &p) in row.iter().enumerate() {
+                    next[to] += mass * p;
+                }
+            }
+            let delta: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            std::mem::swap(&mut pi, &mut next);
+            if delta < tolerance {
+                break;
+            }
+        }
+        pi
+    }
+
+    /// The `k` most likely successors of `from`, descending by probability
+    /// (ties by ascending location id for determinism).
+    pub fn top_k(&self, from: LocationId, k: usize) -> Vec<(LocationId, f64)> {
+        let mut entries: Vec<(LocationId, f64)> = self.rows[from.index()]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 0.0)
+            .map(|(i, &p)| (LocationId::new(i as u32), p))
+            .collect();
+        entries.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite probs")
+                .then(a.0.cmp(&b.0))
+        });
+        entries.truncate(k);
+        entries
+    }
+}
+
+fn build_cumulative(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    rows.iter()
+        .map(|row| {
+            let mut acc = 0.0;
+            row.iter()
+                .map(|&p| {
+                    acc += p;
+                    acc
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loc(i: u32) -> LocationId {
+        LocationId::new(i)
+    }
+
+    #[test]
+    fn validation_rejects_bad_matrices() {
+        assert_eq!(
+            TransitionMatrix::from_rows(vec![]).unwrap_err(),
+            MatrixError::Empty
+        );
+        assert_eq!(
+            TransitionMatrix::from_rows(vec![vec![1.0], vec![1.0, 0.0]]).unwrap_err(),
+            MatrixError::NotSquare { row: 0 }
+        );
+        assert_eq!(
+            TransitionMatrix::from_rows(vec![vec![0.5, 0.5], vec![-0.1, 1.1]]).unwrap_err(),
+            MatrixError::InvalidEntry { row: 1, col: 0 }
+        );
+        assert_eq!(
+            TransitionMatrix::from_rows(vec![vec![0.5, 0.4], vec![0.5, 0.5]]).unwrap_err(),
+            MatrixError::NotStochastic { row: 0 }
+        );
+    }
+
+    #[test]
+    fn weights_normalize_per_row() {
+        let p = TransitionMatrix::from_weights(vec![vec![2.0, 2.0], vec![0.0, 0.0]]);
+        assert_eq!(p.prob(loc(0), loc(1)), 0.5);
+        // Zero-weight row becomes a self-loop.
+        assert_eq!(p.prob(loc(1), loc(1)), 1.0);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.7, 0.3], vec![0.5, 0.5]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 50_000;
+        let mut to_zero = 0;
+        for _ in 0..trials {
+            if p.sample_next(loc(0), &mut rng) == loc(0) {
+                to_zero += 1;
+            }
+        }
+        let freq = to_zero as f64 / trials as f64;
+        assert!((freq - 0.7).abs() < 0.01, "sampled {freq}, expected 0.7");
+    }
+
+    #[test]
+    fn stationary_solves_the_fixed_point() {
+        let p = TransitionMatrix::from_rows(vec![
+            vec![0.5, 0.25, 0.25],
+            vec![0.2, 0.6, 0.2],
+            vec![0.25, 0.25, 0.5],
+        ])
+        .unwrap();
+        let pi = p.stationary(10_000, 1e-13);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // πP = π
+        for j in 0..3 {
+            let lhs: f64 = (0..3)
+                .map(|i| pi[i] * p.prob(loc(i as u32), loc(j as u32)))
+                .sum();
+            assert!((lhs - pi[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_k_orders_descending_with_deterministic_ties() {
+        let p = TransitionMatrix::from_rows(vec![
+            vec![0.1, 0.4, 0.4, 0.1],
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let top = p.top_k(loc(0), 2);
+        assert_eq!(top[0].0, loc(1)); // tie between 1 and 2 → smaller id
+        assert_eq!(top[1].0, loc(2));
+        // Zero-probability successors never appear.
+        let top = p.top_k(loc(2), 4);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_sampler() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.7, 0.3], vec![0.5, 0.5]]).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: TransitionMatrix = serde_json::from_str(&json).unwrap();
+        // The skipped cumulative field must be rebuilt for sampling.
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = back.sample_next(loc(0), &mut rng);
+        assert_eq!(back.prob(loc(0), loc(0)), 0.7);
+    }
+}

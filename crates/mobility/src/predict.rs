@@ -1,0 +1,440 @@
+//! Next-location prediction and its evaluation (paper Figures 3 and 4).
+//!
+//! Figure 3 measures, for `k = 3…15`, the fraction of held-out transitions
+//! whose true destination is among the model's top-`k` predictions.
+//! Figure 4 plots the distribution of the *predicted PoS values* — the
+//! learned transition probabilities attached to the predicted locations —
+//! whose mass sits in `[0, 0.2]` because taxi movement is dispersed.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::learn::MobilityModel;
+use crate::trace::{TaxiId, TraceSet};
+
+/// Top-`k` prediction accuracy over a held-out trace set.
+///
+/// For every evaluation transition `(from → to)` of every taxi, the
+/// prediction is correct if `to` is among the model's `k` most likely
+/// successors of `from`. Transitions from never-trained origins count as
+/// misses (the model genuinely cannot predict them).
+///
+/// Returns `None` when the evaluation set has no transitions at all.
+pub fn top_k_accuracy(
+    models: &BTreeMap<TaxiId, MobilityModel>,
+    evaluation: &TraceSet,
+    k: usize,
+) -> Option<f64> {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for taxi in evaluation.taxis() {
+        let Some(model) = models.get(&taxi) else {
+            continue;
+        };
+        for (from, to) in evaluation.transitions(taxi) {
+            total += 1;
+            if model.top_k(from, k).iter().any(|&(loc, _)| loc == to) {
+                hits += 1;
+            }
+        }
+    }
+    (total > 0).then(|| hits as f64 / total as f64)
+}
+
+/// The accuracy curve for a range of `k` values — the series Figure 3
+/// plots.
+pub fn accuracy_curve(
+    models: &BTreeMap<TaxiId, MobilityModel>,
+    evaluation: &TraceSet,
+    ks: impl IntoIterator<Item = usize>,
+) -> Vec<(usize, f64)> {
+    ks.into_iter()
+        .filter_map(|k| top_k_accuracy(models, evaluation, k).map(|a| (k, a)))
+        .collect()
+}
+
+/// One taxi's predicted task opportunities from a snapshot location: the
+/// top-`k` next locations and their predicted PoS values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictedTasks {
+    /// The taxi.
+    pub taxi: TaxiId,
+    /// `(location, predicted PoS)` pairs, descending by PoS.
+    pub predictions: Vec<(crate::grid::LocationId, f64)>,
+}
+
+/// Predicts each taxi's next-location distribution from its last observed
+/// position in `snapshot`, keeping the top `k` locations. Taxis without a
+/// trained model or an empty snapshot trace are skipped.
+pub fn predict_all(
+    models: &BTreeMap<TaxiId, MobilityModel>,
+    snapshot: &TraceSet,
+    k: usize,
+) -> Vec<PredictedTasks> {
+    snapshot
+        .taxis()
+        .filter_map(|taxi| {
+            let model = models.get(&taxi)?;
+            let last = snapshot.trace(taxi).last()?;
+            let predictions = model.top_k(last.location, k);
+            (!predictions.is_empty()).then_some(PredictedTasks { taxi, predictions })
+        })
+        .collect()
+}
+
+/// All predicted PoS values across taxis — the sample Figure 4 histograms.
+pub fn predicted_pos_values(predictions: &[PredictedTasks]) -> Vec<f64> {
+    predictions
+        .iter()
+        .flat_map(|p| p.predictions.iter().map(|&(_, pos)| pos))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::LocationId;
+    use crate::learn::{learn_all, Smoothing};
+    use crate::trace::TraceEvent;
+
+    fn event(taxi: u32, slot: u32, location: u32) -> TraceEvent {
+        TraceEvent {
+            taxi: TaxiId::new(taxi),
+            slot,
+            location: LocationId::new(location),
+        }
+    }
+
+    /// A taxi that alternates 0 ↔ 1 is perfectly predictable with k = 1.
+    #[test]
+    fn alternating_taxi_is_perfectly_predictable() {
+        let train: TraceSet = (0..20u32).map(|s| event(0, s, s % 2)).collect();
+        let test: TraceSet = (20..26u32).map(|s| event(0, s, s % 2)).collect();
+        let models = learn_all(&train, Smoothing::Paper);
+        assert_eq!(top_k_accuracy(&models, &test, 1), Some(1.0));
+    }
+
+    #[test]
+    fn accuracy_increases_with_k() {
+        // A taxi visiting 0 → (1|2|3) round-robin is only partially
+        // predictable at k = 1 but fully at k = 3.
+        let mut events = Vec::new();
+        for cycle in 0..12u32 {
+            events.push(event(0, 2 * cycle, 0));
+            events.push(event(0, 2 * cycle + 1, 1 + (cycle % 3)));
+        }
+        let train: TraceSet = events.into_iter().collect();
+        let test: TraceSet = vec![
+            event(0, 100, 0),
+            event(0, 101, 2),
+            event(0, 102, 0),
+            event(0, 103, 3),
+        ]
+        .into_iter()
+        .collect();
+        let models = learn_all(&train, Smoothing::Paper);
+        let curve = accuracy_curve(&models, &test, [1, 3]);
+        assert_eq!(curve.len(), 2);
+        assert!(curve[1].1 >= curve[0].1);
+        assert_eq!(curve[1].1, 1.0);
+    }
+
+    #[test]
+    fn unknown_origins_count_as_misses() {
+        let train: TraceSet = vec![event(0, 0, 0), event(0, 1, 1)].into_iter().collect();
+        // Evaluation transition starts at never-seen location 7.
+        let test: TraceSet = vec![event(0, 10, 7), event(0, 11, 0)].into_iter().collect();
+        let models = learn_all(&train, Smoothing::Paper);
+        assert_eq!(top_k_accuracy(&models, &test, 5), Some(0.0));
+    }
+
+    #[test]
+    fn empty_evaluation_yields_none() {
+        let train: TraceSet = vec![event(0, 0, 0), event(0, 1, 1)].into_iter().collect();
+        let models = learn_all(&train, Smoothing::Paper);
+        assert_eq!(top_k_accuracy(&models, &TraceSet::new(), 3), None);
+    }
+
+    #[test]
+    fn predict_all_uses_last_snapshot_position() {
+        let train: TraceSet = (0..20u32).map(|s| event(0, s, s % 2)).collect();
+        let models = learn_all(&train, Smoothing::Paper);
+        // Snapshot ends at location 1, so predictions are successors of 1.
+        let snapshot: TraceSet = vec![event(0, 30, 0), event(0, 31, 1)].into_iter().collect();
+        let predicted = predict_all(&models, &snapshot, 2);
+        assert_eq!(predicted.len(), 1);
+        assert_eq!(predicted[0].predictions[0].0, LocationId::new(0));
+        let values = predicted_pos_values(&predicted);
+        assert!(!values.is_empty());
+        assert!(values.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn taxis_without_models_are_skipped() {
+        let models = BTreeMap::new();
+        let snapshot: TraceSet = vec![event(5, 0, 0)].into_iter().collect();
+        assert!(predict_all(&models, &snapshot, 3).is_empty());
+    }
+}
+
+/// The probability that a taxi starting at `origin` visits `target` within
+/// `horizon` steps, under the learned (sub-stochastic) model.
+///
+/// Computed by the absorbing-chain recursion
+/// `f_h(s) = P(s→target) + Σ_{s'≠target} P(s→s')·f_{h-1}(s')`,
+/// with `f_0 ≡ 0`. The model's smoothing mass on unseen transitions is
+/// treated as "lost" (the taxi wanders off the learned support), so the
+/// estimate is conservative — exactly the right bias for a platform that
+/// must *guarantee* task completion probabilities.
+///
+/// `horizon = 1` is the plain next-slot transition probability. The
+/// opportunistic-sensing interpretation of the paper ("her probability to
+/// pass through the location of the task") corresponds to the length of
+/// the sensing window in slots.
+pub fn visit_probability(
+    model: &MobilityModel,
+    origin: crate::grid::LocationId,
+    target: crate::grid::LocationId,
+    horizon: u32,
+) -> f64 {
+    let states = model.visited();
+    if states.is_empty() {
+        return 0.0;
+    }
+    let Ok(origin_idx) = states.binary_search(&origin) else {
+        return 0.0;
+    };
+    if states.binary_search(&target).is_err() {
+        return 0.0;
+    }
+    // f[s] = probability of hitting `target` within the remaining steps.
+    let mut f = vec![0.0f64; states.len()];
+    for _ in 0..horizon {
+        let prev = f.clone();
+        for (s_idx, &s) in states.iter().enumerate() {
+            let mut value = model.prob(s, target);
+            for (s2_idx, &s2) in states.iter().enumerate() {
+                if s2 != target {
+                    value += model.prob(s, s2) * prev[s2_idx];
+                }
+            }
+            f[s_idx] = value.min(1.0);
+        }
+    }
+    f[origin_idx]
+}
+
+/// The `k` locations with the highest [`visit_probability`] from `origin`,
+/// descending (ties by ascending location id), zero-probability targets
+/// excluded.
+pub fn top_k_visits(
+    model: &MobilityModel,
+    origin: crate::grid::LocationId,
+    horizon: u32,
+    k: usize,
+) -> Vec<(crate::grid::LocationId, f64)> {
+    let mut entries: Vec<(crate::grid::LocationId, f64)> = model
+        .visited()
+        .iter()
+        .map(|&target| (target, visit_probability(model, origin, target, horizon)))
+        .filter(|&(_, p)| p > 0.0)
+        .collect();
+    entries.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite probs")
+            .then(a.0.cmp(&b.0))
+    });
+    entries.truncate(k);
+    entries
+}
+
+#[cfg(test)]
+mod visit_tests {
+    use super::*;
+    use crate::grid::LocationId;
+    use crate::learn::{MobilityModel, Smoothing};
+    use crate::trace::{TaxiId, TraceEvent, TraceSet};
+
+    fn alternating_model() -> MobilityModel {
+        let traces: TraceSet = (0..40u32)
+            .map(|s| TraceEvent {
+                taxi: TaxiId::new(0),
+                slot: s,
+                location: LocationId::new(s % 2),
+            })
+            .collect();
+        MobilityModel::learn(&traces, TaxiId::new(0), Smoothing::Paper)
+    }
+
+    #[test]
+    fn horizon_one_equals_transition_probability() {
+        let model = alternating_model();
+        let direct = model.prob(LocationId::new(0), LocationId::new(1));
+        let via_visit = visit_probability(&model, LocationId::new(0), LocationId::new(1), 1);
+        assert!((direct - via_visit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn visit_probability_is_monotone_in_horizon() {
+        // A 3-cycle 0 → 1 → 2 → 0: reaching 2 from 0 takes two steps.
+        let traces: TraceSet = (0..60u32)
+            .map(|s| TraceEvent {
+                taxi: TaxiId::new(0),
+                slot: s,
+                location: LocationId::new(s % 3),
+            })
+            .collect();
+        let model = MobilityModel::learn(&traces, TaxiId::new(0), Smoothing::Paper);
+        let mut last = 0.0;
+        for horizon in 1..8 {
+            let p = visit_probability(&model, LocationId::new(0), LocationId::new(2), horizon);
+            assert!(p >= last - 1e-12, "dropped at horizon {horizon}");
+            assert!(p <= 1.0);
+            last = p;
+        }
+        // One step cannot reach 2; two steps can.
+        let h1 = visit_probability(&model, LocationId::new(0), LocationId::new(2), 1);
+        let h2 = visit_probability(&model, LocationId::new(0), LocationId::new(2), 2);
+        assert_eq!(h1, 0.0);
+        assert!(h2 > 0.5);
+    }
+
+    #[test]
+    fn unknown_origin_or_target_is_zero() {
+        let model = alternating_model();
+        assert_eq!(
+            visit_probability(&model, LocationId::new(9), LocationId::new(1), 5),
+            0.0
+        );
+        assert_eq!(
+            visit_probability(&model, LocationId::new(0), LocationId::new(9), 5),
+            0.0
+        );
+    }
+
+    #[test]
+    fn top_k_visits_ranks_by_hit_probability() {
+        let model = alternating_model();
+        let top = top_k_visits(&model, LocationId::new(0), 4, 5);
+        assert!(!top.is_empty());
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+}
+
+/// Estimated visit probabilities from `origin` to *every* visited location
+/// within `horizon` steps, descending (ties by ascending id).
+///
+/// Uses the product-of-marginals estimate
+/// `P(visit j) ≈ 1 − Π_h (1 − m_h(j))`, where `m_h` is the step-`h`
+/// occupancy distribution — `O(horizon · l²)` for all targets at once,
+/// versus `O(horizon · l³)` for exact per-target absorption
+/// ([`visit_probability`]). The estimate treats step occupancies as
+/// independent, so it can land on either side of the exact value (above
+/// when revisits inflate the marginals, below when early hits would have
+/// wandered off); for the dispersed, low-probability rows a learned taxi
+/// model has, the two agree closely. The exact routine is the reference,
+/// this is the bulk pipeline.
+pub fn visit_profile(
+    model: &MobilityModel,
+    origin: crate::grid::LocationId,
+    horizon: u32,
+) -> Vec<(crate::grid::LocationId, f64)> {
+    let states = model.visited();
+    let Ok(origin_idx) = states.binary_search(&origin) else {
+        return Vec::new();
+    };
+    let l = states.len();
+    // Occupancy distribution, starting at the origin.
+    let mut occupancy = vec![0.0f64; l];
+    occupancy[origin_idx] = 1.0;
+    // Row cache: the model is sparse-backed, so materialize rows once.
+    let rows: Vec<Vec<f64>> = states
+        .iter()
+        .map(|&s| states.iter().map(|&t| model.prob(s, t)).collect())
+        .collect();
+    let mut miss = vec![1.0f64; l]; // Π (1 − m_h(j))
+    for _ in 0..horizon {
+        let mut next = vec![0.0f64; l];
+        for (s_idx, &mass) in occupancy.iter().enumerate() {
+            if mass == 0.0 {
+                continue;
+            }
+            for (t_idx, &p) in rows[s_idx].iter().enumerate() {
+                next[t_idx] += mass * p;
+            }
+        }
+        for (m, &occ) in miss.iter_mut().zip(&next) {
+            *m *= (1.0 - occ).max(0.0);
+        }
+        occupancy = next;
+    }
+    let mut entries: Vec<(crate::grid::LocationId, f64)> = states
+        .iter()
+        .zip(&miss)
+        .map(|(&loc, &m)| (loc, 1.0 - m))
+        .filter(|&(_, p)| p > 0.0)
+        .collect();
+    entries.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite probs")
+            .then(a.0.cmp(&b.0))
+    });
+    entries
+}
+
+#[cfg(test)]
+mod visit_profile_tests {
+    use super::*;
+    use crate::grid::LocationId;
+    use crate::learn::{MobilityModel, Smoothing};
+    use crate::trace::{TaxiId, TraceEvent, TraceSet};
+
+    fn cycle_model() -> MobilityModel {
+        let traces: TraceSet = (0..60u32)
+            .map(|s| TraceEvent {
+                taxi: TaxiId::new(0),
+                slot: s,
+                location: LocationId::new(s % 3),
+            })
+            .collect();
+        MobilityModel::learn(&traces, TaxiId::new(0), Smoothing::Paper)
+    }
+
+    #[test]
+    fn horizon_one_matches_transition_row() {
+        let model = cycle_model();
+        let profile = visit_profile(&model, LocationId::new(0), 1);
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].0, LocationId::new(1));
+        assert!((profile[0].1 - model.prob(LocationId::new(0), LocationId::new(1))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracks_exact_absorption() {
+        // A deterministic cycle maximizes revisit inflation, so the
+        // product-of-marginals estimate sits above the exact absorption
+        // probability — but stays in range and close even here. Dispersed
+        // taxi rows are far tamer.
+        let model = cycle_model();
+        for horizon in [2, 4, 6] {
+            let profile = visit_profile(&model, LocationId::new(0), horizon);
+            for &(target, estimate) in &profile {
+                let exact = visit_probability(&model, LocationId::new(0), target, horizon);
+                assert!((0.0..=1.0).contains(&estimate));
+                assert!(
+                    (estimate - exact).abs() < 0.2,
+                    "estimate {estimate} far from exact {exact} for {target} at h={horizon}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_origin_is_empty() {
+        let model = cycle_model();
+        assert!(visit_profile(&model, LocationId::new(9), 4).is_empty());
+    }
+}

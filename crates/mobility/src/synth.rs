@@ -1,0 +1,510 @@
+//! Synthetic city generator — the stand-in for the proprietary Shanghai
+//! taxi data set.
+//!
+//! **Substitution note (see `DESIGN.md`).** The paper's evaluation uses a
+//! January-2013 trace of 1692 Shanghai taxis that is not publicly
+//! available. We replace it with a *ground-truth Markov city*: cells are
+//! attractive in proportion to hotspot weights and nearby in proportion to
+//! a distance-decay kernel, and each taxi mixes the global kernel with a
+//! pull toward its home hotspot. The two qualitative properties the paper's
+//! pipeline depends on are preserved:
+//!
+//! 1. mobility is *predictable but dispersed* — the next location
+//!    concentrates on a dozen-odd cells, so top-k prediction accuracy rises
+//!    quickly with k (Figure 3), and
+//! 2. individual transition probabilities are *small* — learned PoS values
+//!    mass in `[0, 0.2]` (Figure 4), forcing redundant recruitment.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{Cell, CityGrid, LocationId};
+use crate::markov::TransitionMatrix;
+use crate::trace::{TaxiId, TraceEvent, TraceSet};
+
+/// Parameters of the synthetic city.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// The grid discretization (the paper uses 2 km cells).
+    pub grid: CityGrid,
+    /// How many cells are hotspots (business districts, stations…).
+    pub hotspot_count: usize,
+    /// Attractiveness multiplier of a hotspot cell versus a plain cell.
+    pub hotspot_strength: f64,
+    /// Length scale (km) of the distance-decay kernel between consecutive
+    /// locations: weight `∝ exp(−d/decay_km)`.
+    pub decay_km: f64,
+    /// Probability per step that a taxi heads home instead of following
+    /// the global kernel.
+    pub home_pull: f64,
+    /// Length scale (km) of the pull toward the home cell.
+    pub home_decay_km: f64,
+    /// Each origin keeps only its `targets_per_cell` most likely
+    /// destinations (taxis have *routes*, not diffusion): this is what
+    /// makes top-k prediction effective, as in the real data set.
+    pub targets_per_cell: usize,
+    /// Length scale (km) of the central-business-district bias when
+    /// placing hotspots: placement weight `∝ exp(−d(centre)/σ)`. Real
+    /// cities concentrate activity downtown, which is also what lets a
+    /// contiguous sensing campaign be covered by several distinct home
+    /// populations.
+    pub hotspot_centrality_km: f64,
+}
+
+impl Default for CityConfig {
+    /// A Shanghai-like default: 20 × 20 grid of 2 km cells, 15 hotspots.
+    fn default() -> Self {
+        CityConfig {
+            grid: CityGrid::shanghai_like(),
+            hotspot_count: 15,
+            hotspot_strength: 8.0,
+            decay_km: 1.5,
+            home_pull: 0.4,
+            home_decay_km: 2.0,
+            targets_per_cell: 12,
+            hotspot_centrality_km: 8.0,
+        }
+    }
+}
+
+/// A generated city: hotspot weights, the global ground-truth kernel, and
+/// per-hotspot "head home" distributions.
+#[derive(Debug, Clone)]
+pub struct SyntheticCity {
+    config: CityConfig,
+    hotspot_weight: Vec<f64>,
+    hotspots: Vec<LocationId>,
+    global: TransitionMatrix,
+    /// Cumulative "toward home" distribution per hotspot (homes are always
+    /// hotspot cells).
+    home_cumulative: Vec<Vec<f64>>,
+    /// Cumulative start distribution (hotspot-weighted).
+    start_cumulative: Vec<f64>,
+}
+
+impl SyntheticCity {
+    /// Generates a city: hotspot cells are drawn uniformly at random, the
+    /// global kernel combines hotspot attraction with distance decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no hotspots, non-positive
+    /// decay lengths, or `home_pull` outside `[0, 1]`).
+    pub fn generate<R: Rng + ?Sized>(config: CityConfig, rng: &mut R) -> Self {
+        assert!(config.hotspot_count > 0, "need at least one hotspot");
+        assert!(
+            config.decay_km > 0.0 && config.home_decay_km > 0.0,
+            "decay must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.home_pull),
+            "home_pull must be a probability"
+        );
+        assert!(
+            config.targets_per_cell > 0,
+            "need at least one target per cell"
+        );
+        let n = config.grid.cell_count();
+        assert!(config.hotspot_count <= n, "more hotspots than cells");
+
+        // Hotspot cells without replacement, biased toward the city
+        // centre (weight ∝ exp(−d/σ)).
+        assert!(
+            config.hotspot_centrality_km > 0.0,
+            "centrality scale must be positive"
+        );
+        let centre = Cell {
+            x: config.grid.width() / 2,
+            y: config.grid.height() / 2,
+        };
+        let centre = config.grid.location(centre).expect("centre cell in range");
+        let mut cells: Vec<u32> = (0..n as u32).collect();
+        let mut hotspots = Vec::with_capacity(config.hotspot_count);
+        for _ in 0..config.hotspot_count {
+            let weights: Vec<f64> = cells
+                .iter()
+                .map(|&c| {
+                    let d = config.grid.distance_km(LocationId::new(c), centre);
+                    (-d / config.hotspot_centrality_km).exp()
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut draw = rng.gen::<f64>() * total;
+            let mut pick = cells.len() - 1;
+            for (idx, &w) in weights.iter().enumerate() {
+                draw -= w;
+                if draw <= 0.0 {
+                    pick = idx;
+                    break;
+                }
+            }
+            hotspots.push(LocationId::new(cells.swap_remove(pick)));
+        }
+        let mut hotspot_weight = vec![1.0; n];
+        for &h in &hotspots {
+            hotspot_weight[h.index()] = config.hotspot_strength;
+        }
+
+        // Global kernel: weight(from→to) = hotspot(to) · exp(−d/decay),
+        // sparsified to each origin's top destinations.
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|from| {
+                let from = LocationId::new(from as u32);
+                let row: Vec<f64> = (0..n)
+                    .map(|to| {
+                        let to = LocationId::new(to as u32);
+                        let d = config.grid.distance_km(from, to);
+                        hotspot_weight[to.index()] * (-d / config.decay_km).exp()
+                    })
+                    .collect();
+                keep_top(row, config.targets_per_cell)
+            })
+            .collect();
+        let global = TransitionMatrix::from_weights(weights);
+
+        // Toward-home distributions, one per hotspot.
+        let home_cumulative = hotspots
+            .iter()
+            .map(|&home| {
+                let mut acc = 0.0;
+                let weights: Vec<f64> = (0..n)
+                    .map(|to| {
+                        let d = config.grid.distance_km(LocationId::new(to as u32), home);
+                        (-d / config.home_decay_km).exp()
+                    })
+                    .collect();
+                let weights = keep_top(weights, config.targets_per_cell);
+                let total: f64 = weights.iter().sum();
+                weights
+                    .into_iter()
+                    .map(|w| {
+                        acc += w / total;
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Start distribution ∝ hotspot weights.
+        let total: f64 = hotspot_weight.iter().sum();
+        let mut acc = 0.0;
+        let start_cumulative = hotspot_weight
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+
+        SyntheticCity {
+            config,
+            hotspot_weight,
+            hotspots,
+            global,
+            home_cumulative,
+            start_cumulative,
+        }
+    }
+
+    /// The configuration the city was generated from.
+    pub fn config(&self) -> &CityConfig {
+        &self.config
+    }
+
+    /// The grid.
+    pub fn grid(&self) -> &CityGrid {
+        &self.config.grid
+    }
+
+    /// The hotspot cells.
+    pub fn hotspots(&self) -> &[LocationId] {
+        &self.hotspots
+    }
+
+    /// Per-cell attractiveness weights.
+    pub fn hotspot_weights(&self) -> &[f64] {
+        &self.hotspot_weight
+    }
+
+    /// The global ground-truth transition kernel.
+    pub fn global_kernel(&self) -> &TransitionMatrix {
+        &self.global
+    }
+
+    /// Simulates `taxi_count` taxis for `slots` time slots and returns the
+    /// full trace set. Each taxi gets a home hotspot (round-robin) and
+    /// follows the mixture kernel
+    /// `home_pull · toward-home + (1 − home_pull) · global`.
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        taxi_count: usize,
+        slots: u32,
+        rng: &mut R,
+    ) -> TraceSet {
+        let mut traces = TraceSet::new();
+        for taxi in 0..taxi_count {
+            let taxi_id = TaxiId::new(taxi as u32);
+            let mut location = sample_cumulative(&self.start_cumulative, rng);
+            for slot in 0..slots {
+                traces.push(TraceEvent {
+                    taxi: taxi_id,
+                    slot,
+                    location,
+                });
+                location = self.step(taxi_id, location, rng);
+            }
+        }
+        traces
+    }
+
+    /// The home hotspot a taxi is assigned (the same deterministic
+    /// round-robin rule [`SyntheticCity::simulate`] uses).
+    pub fn home_of(&self, taxi: TaxiId) -> LocationId {
+        self.hotspots[taxi.index() % self.hotspots.len()]
+    }
+
+    /// One step of a taxi's *true* mixture kernel:
+    /// `home_pull · toward-home + (1 − home_pull) · global`.
+    ///
+    /// Exposed so ground-truth rollouts can continue a taxi's trajectory —
+    /// e.g. to check, against the real process, whether a recruited taxi
+    /// actually passes through a task cell within the sensing window.
+    pub fn step<R: Rng + ?Sized>(&self, taxi: TaxiId, from: LocationId, rng: &mut R) -> LocationId {
+        let home_idx = taxi.index() % self.hotspots.len();
+        if rng.gen_bool(self.config.home_pull) {
+            sample_cumulative(&self.home_cumulative[home_idx], rng)
+        } else {
+            self.global.sample_next(from, rng)
+        }
+    }
+
+    /// Rolls a taxi's trajectory forward `steps` slots from `start` under
+    /// the true kernel and returns the visited locations (excluding the
+    /// start itself).
+    pub fn walk<R: Rng + ?Sized>(
+        &self,
+        taxi: TaxiId,
+        start: LocationId,
+        steps: u32,
+        rng: &mut R,
+    ) -> Vec<LocationId> {
+        let mut location = start;
+        let mut visited = Vec::with_capacity(steps as usize);
+        for _ in 0..steps {
+            location = self.step(taxi, location, rng);
+            visited.push(location);
+        }
+        visited
+    }
+}
+
+/// Zeroes all but the `keep` largest entries of `row` (ties resolved
+/// toward lower indices, matching the deterministic sort).
+fn keep_top(row: Vec<f64>, keep: usize) -> Vec<f64> {
+    if keep >= row.len() {
+        return row;
+    }
+    let mut order: Vec<usize> = (0..row.len()).collect();
+    order.sort_by(|&a, &b| {
+        row[b]
+            .partial_cmp(&row[a])
+            .expect("finite weights")
+            .then(a.cmp(&b))
+    });
+    let mut sparse = vec![0.0; row.len()];
+    for &idx in order.iter().take(keep) {
+        sparse[idx] = row[idx];
+    }
+    sparse
+}
+
+fn sample_cumulative<R: Rng + ?Sized>(cumulative: &[f64], rng: &mut R) -> LocationId {
+    let u: f64 = rng.gen();
+    let idx = cumulative.partition_point(|&c| c < u);
+    LocationId::new(idx.min(cumulative.len() - 1) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_city(seed: u64) -> SyntheticCity {
+        let config = CityConfig {
+            grid: CityGrid::new(8, 8, 2.0),
+            hotspot_count: 5,
+            ..CityConfig::default()
+        };
+        SyntheticCity::generate(config, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn hotspots_are_distinct_and_weighted() {
+        let city = small_city(1);
+        assert_eq!(city.hotspots().len(), 5);
+        let mut unique = city.hotspots().to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 5);
+        for &h in city.hotspots() {
+            assert_eq!(city.hotspot_weights()[h.index()], 8.0);
+        }
+    }
+
+    #[test]
+    fn kernel_prefers_near_and_hot_cells() {
+        let city = small_city(2);
+        let grid = city.grid();
+        let from = LocationId::new(0);
+        // Among the kept (non-pruned) targets, a hotspot beats any plain
+        // cell at equal or greater distance. (Sparsification may prune a
+        // far-away hotspot entirely, in which case there is nothing to
+        // compare.)
+        let hot = city.hotspots()[0];
+        if city.global_kernel().prob(from, hot) == 0.0 {
+            return;
+        }
+        for to in grid.locations() {
+            if city.hotspot_weights()[to.index()] == 1.0
+                && grid.distance_km(from, to) >= grid.distance_km(from, hot)
+            {
+                assert!(city.global_kernel().prob(from, hot) > city.global_kernel().prob(from, to));
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_rows_keep_at_most_targets_per_cell() {
+        let city = small_city(7);
+        let keep = city.config().targets_per_cell;
+        for from in city.grid().locations() {
+            let positive = city
+                .grid()
+                .locations()
+                .filter(|&to| city.global_kernel().prob(from, to) > 0.0)
+                .count();
+            assert!(
+                positive <= keep,
+                "row {from} keeps {positive} > {keep} targets"
+            );
+            assert!(positive > 0, "row {from} is empty");
+        }
+    }
+
+    #[test]
+    fn simulation_covers_all_taxis_and_slots() {
+        let city = small_city(3);
+        let mut rng = StdRng::seed_from_u64(10);
+        let traces = city.simulate(12, 30, &mut rng);
+        assert_eq!(traces.taxi_count(), 12);
+        assert_eq!(traces.event_count(), 12 * 30);
+        for taxi in traces.taxis() {
+            assert_eq!(traces.transitions(taxi).count(), 29);
+        }
+    }
+
+    #[test]
+    fn simulation_is_seed_deterministic() {
+        let city = small_city(4);
+        let a = city.simulate(5, 20, &mut StdRng::seed_from_u64(7));
+        let b = city.simulate(5, 20, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn visits_concentrate_on_hotspots() {
+        let city = small_city(5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let traces = city.simulate(30, 200, &mut rng);
+        let n = city.grid().cell_count();
+        let mut visits = vec![0usize; n];
+        for taxi in traces.taxis() {
+            for event in traces.trace(taxi) {
+                visits[event.location.index()] += 1;
+            }
+        }
+        let hotspot_visits: usize = city.hotspots().iter().map(|h| visits[h.index()]).sum();
+        let total: usize = visits.iter().sum();
+        let hotspot_share = hotspot_visits as f64 / total as f64;
+        let uniform_share = city.hotspots().len() as f64 / n as f64;
+        assert!(
+            hotspot_share > 2.0 * uniform_share,
+            "hotspots undervisited: {hotspot_share} vs uniform {uniform_share}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot")]
+    fn zero_hotspots_panics() {
+        let config = CityConfig {
+            hotspot_count: 0,
+            ..CityConfig::default()
+        };
+        let _ = SyntheticCity::generate(config, &mut StdRng::seed_from_u64(0));
+    }
+}
+
+#[cfg(test)]
+mod walk_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walk_matches_simulate_semantics() {
+        let config = CityConfig {
+            grid: crate::grid::CityGrid::new(8, 8, 2.0),
+            hotspot_count: 5,
+            ..CityConfig::default()
+        };
+        let city = SyntheticCity::generate(config, &mut StdRng::seed_from_u64(1));
+        let taxi = TaxiId::new(3);
+        let start = city.hotspots()[0];
+        let visited = city.walk(taxi, start, 10, &mut StdRng::seed_from_u64(2));
+        assert_eq!(visited.len(), 10);
+        for &cell in &visited {
+            assert!(cell.index() < city.grid().cell_count());
+        }
+        // Deterministic under a fixed seed.
+        let again = city.walk(taxi, start, 10, &mut StdRng::seed_from_u64(2));
+        assert_eq!(visited, again);
+    }
+
+    #[test]
+    fn home_assignment_is_round_robin() {
+        let config = CityConfig {
+            grid: crate::grid::CityGrid::new(8, 8, 2.0),
+            hotspot_count: 5,
+            ..CityConfig::default()
+        };
+        let city = SyntheticCity::generate(config, &mut StdRng::seed_from_u64(1));
+        assert_eq!(city.home_of(TaxiId::new(0)), city.hotspots()[0]);
+        assert_eq!(city.home_of(TaxiId::new(5)), city.hotspots()[0]);
+        assert_eq!(city.home_of(TaxiId::new(7)), city.hotspots()[2]);
+    }
+
+    #[test]
+    fn walks_gravitate_toward_home() {
+        // With a strong home pull, a long walk should visit the home cell's
+        // vicinity often.
+        let config = CityConfig {
+            grid: crate::grid::CityGrid::new(8, 8, 2.0),
+            hotspot_count: 4,
+            home_pull: 0.8,
+            ..CityConfig::default()
+        };
+        let city = SyntheticCity::generate(config, &mut StdRng::seed_from_u64(3));
+        let taxi = TaxiId::new(1);
+        let home = city.home_of(taxi);
+        let visited = city.walk(taxi, city.hotspots()[0], 400, &mut StdRng::seed_from_u64(4));
+        let near_home = visited
+            .iter()
+            .filter(|&&cell| city.grid().distance_km(cell, home) <= 4.0)
+            .count();
+        assert!(
+            near_home as f64 / visited.len() as f64 > 0.3,
+            "only {near_home}/400 steps near home"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Taxi traces: sequences of time-stamped location visits.
+//!
+//! The real data set behind the paper records pick-up/drop-off events of
+//! 1692 Shanghai taxis over January 2013; each entry carries a taxi id, a
+//! time stamp, and a location. We reproduce that schema with discrete time
+//! slots: a [`TraceEvent`] is "taxi `t` was at location `l` in slot `s`".
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::LocationId;
+
+/// Identifier of a taxi (a future mobile user).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaxiId(u32);
+
+impl TaxiId {
+    /// Creates a taxi id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        TaxiId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaxiId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "taxi{}", self.0)
+    }
+}
+
+/// One observation: a taxi at a location in a time slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// The observed taxi.
+    pub taxi: TaxiId,
+    /// The discrete time slot (0-based).
+    pub slot: u32,
+    /// Where the taxi was.
+    pub location: LocationId,
+}
+
+/// A collection of traces, indexed by taxi.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_mobility::grid::LocationId;
+/// use mcs_mobility::trace::{TaxiId, TraceEvent, TraceSet};
+///
+/// let mut traces = TraceSet::new();
+/// traces.push(TraceEvent { taxi: TaxiId::new(0), slot: 0, location: LocationId::new(3) });
+/// traces.push(TraceEvent { taxi: TaxiId::new(0), slot: 1, location: LocationId::new(4) });
+/// assert_eq!(traces.taxi_count(), 1);
+/// // One observed transition: 3 → 4.
+/// let transitions: Vec<_> = traces.transitions(TaxiId::new(0)).collect();
+/// assert_eq!(transitions, vec![(LocationId::new(3), LocationId::new(4))]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Per-taxi event lists; events are kept sorted by slot.
+    events: BTreeMap<TaxiId, Vec<TraceEvent>>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set.
+    pub fn new() -> Self {
+        TraceSet::default()
+    }
+
+    /// Adds an event, keeping the taxi's trace sorted by slot.
+    pub fn push(&mut self, event: TraceEvent) {
+        let trace = self.events.entry(event.taxi).or_default();
+        match trace.binary_search_by_key(&event.slot, |e| e.slot) {
+            Ok(pos) => trace[pos] = event, // replace duplicate slot
+            Err(pos) => trace.insert(pos, event),
+        }
+    }
+
+    /// The number of taxis with at least one event.
+    pub fn taxi_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total number of events.
+    pub fn event_count(&self) -> usize {
+        self.events.values().map(Vec::len).sum()
+    }
+
+    /// The taxis present in the set.
+    pub fn taxis(&self) -> impl Iterator<Item = TaxiId> + '_ {
+        self.events.keys().copied()
+    }
+
+    /// A taxi's events in slot order (empty if unknown).
+    pub fn trace(&self, taxi: TaxiId) -> &[TraceEvent] {
+        self.events.get(&taxi).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates over a taxi's observed `(from, to)` transitions between
+    /// consecutive slots.
+    ///
+    /// Gaps in the slot sequence do *not* produce transitions — just like
+    /// missing GPS samples in the real data set.
+    pub fn transitions(&self, taxi: TaxiId) -> impl Iterator<Item = (LocationId, LocationId)> + '_ {
+        let trace = self.trace(taxi);
+        trace
+            .windows(2)
+            .filter(|pair| pair[1].slot == pair[0].slot + 1)
+            .map(|pair| (pair[0].location, pair[1].location))
+    }
+
+    /// Splits the set at `slot`: events strictly before it form the
+    /// training set, the rest the evaluation set.
+    pub fn split_at_slot(&self, slot: u32) -> (TraceSet, TraceSet) {
+        let mut train = TraceSet::new();
+        let mut test = TraceSet::new();
+        for events in self.events.values() {
+            for &event in events {
+                if event.slot < slot {
+                    train.push(event);
+                } else {
+                    test.push(event);
+                }
+            }
+        }
+        (train, test)
+    }
+}
+
+impl FromIterator<TraceEvent> for TraceSet {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        let mut set = TraceSet::new();
+        for event in iter {
+            set.push(event);
+        }
+        set
+    }
+}
+
+impl Extend<TraceEvent> for TraceSet {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        for event in iter {
+            self.push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(taxi: u32, slot: u32, location: u32) -> TraceEvent {
+        TraceEvent {
+            taxi: TaxiId::new(taxi),
+            slot,
+            location: LocationId::new(location),
+        }
+    }
+
+    #[test]
+    fn events_sort_by_slot_regardless_of_insertion_order() {
+        let traces: TraceSet = vec![event(0, 2, 30), event(0, 0, 10), event(0, 1, 20)]
+            .into_iter()
+            .collect();
+        let slots: Vec<u32> = traces
+            .trace(TaxiId::new(0))
+            .iter()
+            .map(|e| e.slot)
+            .collect();
+        assert_eq!(slots, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_slots_keep_latest() {
+        let mut traces = TraceSet::new();
+        traces.push(event(0, 5, 1));
+        traces.push(event(0, 5, 2));
+        assert_eq!(traces.event_count(), 1);
+        assert_eq!(traces.trace(TaxiId::new(0))[0].location, LocationId::new(2));
+    }
+
+    #[test]
+    fn transitions_skip_gaps() {
+        let traces: TraceSet = vec![
+            event(0, 0, 1),
+            event(0, 1, 2),
+            event(0, 5, 3),
+            event(0, 6, 4),
+        ]
+        .into_iter()
+        .collect();
+        let transitions: Vec<_> = traces.transitions(TaxiId::new(0)).collect();
+        assert_eq!(
+            transitions,
+            vec![
+                (LocationId::new(1), LocationId::new(2)),
+                (LocationId::new(3), LocationId::new(4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn split_partitions_by_slot() {
+        let traces: TraceSet = (0..10).map(|s| event(0, s, s)).collect();
+        let (train, test) = traces.split_at_slot(7);
+        assert_eq!(train.event_count(), 7);
+        assert_eq!(test.event_count(), 3);
+        assert!(train.trace(TaxiId::new(0)).iter().all(|e| e.slot < 7));
+        assert!(test.trace(TaxiId::new(0)).iter().all(|e| e.slot >= 7));
+    }
+
+    #[test]
+    fn unknown_taxi_has_empty_trace() {
+        let traces = TraceSet::new();
+        assert!(traces.trace(TaxiId::new(9)).is_empty());
+        assert_eq!(traces.transitions(TaxiId::new(9)).count(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let traces: TraceSet = vec![event(0, 0, 1), event(1, 0, 2)].into_iter().collect();
+        let json = serde_json::to_string(&traces).unwrap();
+        let back: TraceSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(traces, back);
+    }
+}

@@ -1,0 +1,256 @@
+//! Trace import/export in a CSV schema mirroring the paper's data set.
+//!
+//! The original evaluation reads records of *(taxi id, time stamp,
+//! location)* from the Shanghai taxi data set. This module defines the
+//! equivalent on-disk schema so the library can be pointed at a *real*
+//! trace instead of the synthetic city:
+//!
+//! ```csv
+//! taxi,slot,location
+//! 0,0,133
+//! 0,1,134
+//! 1,0,27
+//! ```
+//!
+//! `taxi` and `location` are non-negative integers (grid-cell ids after
+//! the user's own map-matching/discretization step); `slot` is the
+//! discrete time slot. A header line is required; blank lines are
+//! ignored. No external CSV crate is needed for three integer columns.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::num::ParseIntError;
+
+use crate::grid::LocationId;
+use crate::trace::{TaxiId, TraceEvent, TraceSet};
+
+/// Errors from parsing a trace CSV.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line was missing or not `taxi,slot,location`.
+    BadHeader {
+        /// What was found instead.
+        found: String,
+    },
+    /// A data line did not have exactly three columns.
+    BadColumnCount {
+        /// 1-based line number.
+        line: usize,
+        /// Number of columns found.
+        found: usize,
+    },
+    /// A field failed to parse as an integer.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: &'static str,
+        /// Parse failure.
+        source: ParseIntError,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::BadHeader { found } => {
+                write!(f, "expected header 'taxi,slot,location', found '{found}'")
+            }
+            TraceIoError::BadColumnCount { line, found } => {
+                write!(f, "line {line}: expected 3 columns, found {found}")
+            }
+            TraceIoError::BadField {
+                line,
+                column,
+                source,
+            } => {
+                write!(f, "line {line}: invalid {column}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::BadField { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// The required header line.
+pub const HEADER: &str = "taxi,slot,location";
+
+/// Reads a trace set from CSV.
+///
+/// # Errors
+///
+/// See [`TraceIoError`].
+///
+/// # Examples
+///
+/// ```
+/// use mcs_mobility::trace_io::read_csv;
+///
+/// let csv = "taxi,slot,location\n0,0,5\n0,1,6\n";
+/// let traces = read_csv(csv.as_bytes())?;
+/// assert_eq!(traces.taxi_count(), 1);
+/// assert_eq!(traces.event_count(), 2);
+/// # Ok::<(), mcs_mobility::trace_io::TraceIoError>(())
+/// ```
+pub fn read_csv<R: Read>(reader: R) -> Result<TraceSet, TraceIoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().transpose()?.unwrap_or_default();
+    if header.trim() != HEADER {
+        return Err(TraceIoError::BadHeader { found: header });
+    }
+    let mut traces = TraceSet::new();
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        let line_no = idx + 2; // 1-based, after the header
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 3 {
+            return Err(TraceIoError::BadColumnCount {
+                line: line_no,
+                found: fields.len(),
+            });
+        }
+        let parse = |value: &str, column: &'static str| {
+            value
+                .trim()
+                .parse::<u32>()
+                .map_err(|source| TraceIoError::BadField {
+                    line: line_no,
+                    column,
+                    source,
+                })
+        };
+        traces.push(TraceEvent {
+            taxi: TaxiId::new(parse(fields[0], "taxi")?),
+            slot: parse(fields[1], "slot")?,
+            location: LocationId::new(parse(fields[2], "location")?),
+        });
+    }
+    Ok(traces)
+}
+
+/// Writes a trace set as CSV (taxis ascending, slots ascending per taxi).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_csv<W: Write>(traces: &TraceSet, mut writer: W) -> Result<(), TraceIoError> {
+    writeln!(writer, "{HEADER}")?;
+    for taxi in traces.taxis() {
+        for event in traces.trace(taxi) {
+            writeln!(
+                writer,
+                "{},{},{}",
+                event.taxi.index(),
+                event.slot,
+                event.location.index()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceSet {
+        vec![
+            TraceEvent {
+                taxi: TaxiId::new(1),
+                slot: 0,
+                location: LocationId::new(9),
+            },
+            TraceEvent {
+                taxi: TaxiId::new(0),
+                slot: 1,
+                location: LocationId::new(4),
+            },
+            TraceEvent {
+                taxi: TaxiId::new(0),
+                slot: 0,
+                location: LocationId::new(3),
+            },
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn round_trips_through_csv() {
+        let traces = sample();
+        let mut buffer = Vec::new();
+        write_csv(&traces, &mut buffer).unwrap();
+        let back = read_csv(buffer.as_slice()).unwrap();
+        assert_eq!(traces, back);
+    }
+
+    #[test]
+    fn output_is_sorted_and_headed() {
+        let mut buffer = Vec::new();
+        write_csv(&sample(), &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], HEADER);
+        assert_eq!(lines[1], "0,0,3");
+        assert_eq!(lines[2], "0,1,4");
+        assert_eq!(lines[3], "1,0,9");
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_csv("0,0,5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader { .. }));
+        let err = read_csv("".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_location() {
+        let err = read_csv("taxi,slot,location\n0,0\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceIoError::BadColumnCount { line: 2, found: 2 }
+        ));
+        let err = read_csv("taxi,slot,location\n0,x,5\n".as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::BadField { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, "slot");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_blank_lines_and_tolerates_spaces() {
+        let csv = "taxi,slot,location\n\n 0 , 0 , 5 \n\n";
+        let traces = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(traces.event_count(), 1);
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let err = read_csv("nope\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("taxi,slot,location"));
+    }
+}

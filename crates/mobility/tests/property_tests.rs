@@ -1,0 +1,157 @@
+//! Property-based tests for the mobility substrate: stochastic-matrix
+//! invariants, trace bookkeeping, smoothing bounds, visit-probability
+//! bounds, and CSV round-trips.
+
+use mcs_mobility::grid::LocationId;
+use mcs_mobility::learn::{MobilityModel, Smoothing};
+use mcs_mobility::markov::TransitionMatrix;
+use mcs_mobility::predict::{visit_probability, visit_profile};
+use mcs_mobility::trace::{TaxiId, TraceEvent, TraceSet};
+use mcs_mobility::trace_io::{read_csv, write_csv};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn weights_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..6).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0.0..10.0f64, n..=n), n..=n)
+    })
+}
+
+fn trace_strategy() -> impl Strategy<Value = TraceSet> {
+    proptest::collection::vec((0u32..4, 0u32..50, 0u32..12), 0..80).prop_map(|events| {
+        events
+            .into_iter()
+            .map(|(taxi, slot, location)| TraceEvent {
+                taxi: TaxiId::new(taxi),
+                slot,
+                location: LocationId::new(location),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn normalized_weight_rows_are_stochastic(weights in weights_strategy()) {
+        let n = weights.len();
+        let matrix = TransitionMatrix::from_weights(weights);
+        prop_assert_eq!(matrix.state_count(), n);
+        for from in 0..n {
+            let row_sum: f64 = matrix.row(LocationId::new(from as u32)).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-9, "row {} sums to {}", from, row_sum);
+        }
+    }
+
+    #[test]
+    fn sampling_stays_in_range(weights in weights_strategy(), seed in any::<u64>()) {
+        let n = weights.len();
+        let matrix = TransitionMatrix::from_weights(weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = LocationId::new(0);
+        for _ in 0..50 {
+            state = matrix.sample_next(state, &mut rng);
+            prop_assert!(state.index() < n);
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_is_a_distribution(weights in weights_strategy()) {
+        let matrix = TransitionMatrix::from_weights(weights);
+        let pi = matrix.stationary(2000, 1e-12);
+        prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        prop_assert!(pi.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+    }
+
+    #[test]
+    fn trace_events_stay_sorted_and_deduped(traces in trace_strategy()) {
+        for taxi in traces.taxis() {
+            let trace = traces.trace(taxi);
+            for pair in trace.windows(2) {
+                prop_assert!(pair[0].slot < pair[1].slot, "slots out of order or duplicated");
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_all_events(traces in trace_strategy(), cut in 0u32..60) {
+        let (train, test) = traces.split_at_slot(cut);
+        prop_assert_eq!(train.event_count() + test.event_count(), traces.event_count());
+        for taxi in train.taxis() {
+            prop_assert!(train.trace(taxi).iter().all(|e| e.slot < cut));
+        }
+        for taxi in test.taxis() {
+            prop_assert!(test.trace(taxi).iter().all(|e| e.slot >= cut));
+        }
+    }
+
+    #[test]
+    fn paper_smoothing_never_exceeds_add_one(traces in trace_strategy()) {
+        for taxi in traces.taxis() {
+            let paper = MobilityModel::learn(&traces, taxi, Smoothing::Paper);
+            let add_one = MobilityModel::learn(&traces, taxi, Smoothing::AddOne);
+            for &from in paper.visited() {
+                let mut paper_row = 0.0;
+                let mut add_one_row = 0.0;
+                for &to in paper.visited() {
+                    let p = paper.prob(from, to);
+                    let a = add_one.prob(from, to);
+                    prop_assert!(p <= a + 1e-12);
+                    paper_row += p;
+                    add_one_row += a;
+                }
+                prop_assert!(paper_row < 1.0 + 1e-12);
+                prop_assert!(add_one_row <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_positive_and_bounded(traces in trace_strategy(), k in 1usize..8) {
+        for taxi in traces.taxis() {
+            let model = MobilityModel::learn(&traces, taxi, Smoothing::Paper);
+            for &from in model.visited() {
+                let top = model.top_k(from, k);
+                prop_assert!(top.len() <= k);
+                for pair in top.windows(2) {
+                    prop_assert!(pair[0].1 >= pair[1].1);
+                }
+                for &(_, p) in &top {
+                    prop_assert!(p > 0.0 && p <= 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visit_probability_bounded_and_monotone(traces in trace_strategy()) {
+        for taxi in traces.taxis().take(2) {
+            let model = MobilityModel::learn(&traces, taxi, Smoothing::AddOne);
+            let Some(&origin) = model.visited().first() else { continue };
+            for &target in model.visited().iter().take(4) {
+                let mut last = 0.0;
+                for horizon in 1..6 {
+                    let p = visit_probability(&model, origin, target, horizon);
+                    prop_assert!((0.0..=1.0).contains(&p));
+                    prop_assert!(p >= last - 1e-12, "hit probability fell with horizon");
+                    last = p;
+                }
+            }
+            // The batched profile stays in range and is at least the
+            // one-step probability (its first factor).
+            for &(target, estimate) in visit_profile(&model, origin, 5).iter().take(4) {
+                prop_assert!((0.0..=1.0).contains(&estimate));
+                let one_step = visit_probability(&model, origin, target, 1);
+                prop_assert!(estimate >= one_step - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_round_trips_any_trace(traces in trace_strategy()) {
+        let mut buffer = Vec::new();
+        write_csv(&traces, &mut buffer).unwrap();
+        let back = read_csv(buffer.as_slice()).unwrap();
+        prop_assert_eq!(traces, back);
+    }
+}

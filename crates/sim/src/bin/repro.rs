@@ -1,0 +1,241 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--trials N] [--seed S] [--out DIR] <command>
+//!
+//! commands:
+//!   config       print Table II / Table III parameters
+//!   fig3 | fig4 | fig5a | fig5b | fig5c | fig6 | fig7 | fig8 | fig9
+//!   all          run every paper figure in order
+//!   strategy | budget | calibration | ext
+//!                the extension experiments (ext = all three)
+//!   verify       rerun every figure and print a PASS/FAIL verdict per
+//!                paper claim (exit code reflects the overall verdict)
+//! ```
+//!
+//! Without `--quick` the paper-scale data set is used (1692 taxis, a month
+//! of hourly slots, 20 trials per point); `--quick` runs a reduced build
+//! for smoke testing. With `--out DIR`, each chart is also written as
+//! `DIR/<name>.json` and `DIR/<name>.md`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mcs_sim::config::{table3_setting1, table3_setting2, DatasetParams, SimParams};
+use mcs_sim::experiments::{
+    ext_budget, ext_calibration, ext_strategy, fig3, fig4, fig5, fig6, fig7, fig89, verify, Repro,
+};
+use mcs_sim::report::Chart;
+
+struct Options {
+    quick: bool,
+    trials: Option<usize>,
+    seed: u64,
+    out: Option<PathBuf>,
+    command: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        quick: false,
+        trials: None,
+        seed: 0xC0FFEE,
+        out: None,
+        command: String::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--trials" => {
+                let value = args.next().ok_or("--trials needs a value")?;
+                options.trials = Some(value.parse().map_err(|_| "invalid --trials value")?);
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                options.seed = value.parse().map_err(|_| "invalid --seed value")?;
+            }
+            "--out" => {
+                let value = args.next().ok_or("--out needs a directory")?;
+                options.out = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                options.command = "help".into();
+                return Ok(options);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            command => {
+                if !options.command.is_empty() {
+                    return Err("more than one command given".into());
+                }
+                options.command = command.to_string();
+            }
+        }
+    }
+    if options.command.is_empty() {
+        options.command = "help".into();
+    }
+    Ok(options)
+}
+
+fn usage() -> &'static str {
+    "usage: repro [--quick] [--trials N] [--seed S] [--out DIR] \
+     <config|fig3|...|fig9|all|strategy|budget|calibration|ext|verify>"
+}
+
+fn print_config() {
+    let params = SimParams::default();
+    let dataset = DatasetParams::default();
+    println!("# Table II: default simulation parameters");
+    println!("  PoS requirement T        {}", params.pos_requirement);
+    println!("  reward scaling factor α  {}", params.alpha);
+    println!(
+        "  tasks per user           [{}, {}]",
+        params.tasks_per_user.0, params.tasks_per_user.1
+    );
+    println!(
+        "  cost distribution        N({}, {}²), truncated ≥ 0",
+        params.cost_mean, params.cost_std_dev
+    );
+    println!("  FPTAS ε                  {}", params.epsilon);
+    println!();
+    println!("# Table III: multi-task settings");
+    let s1 = table3_setting1();
+    println!(
+        "  setting 1: users {:?}, tasks {:?}, mean cost {}, T {}",
+        (s1.user_counts.first(), s1.user_counts.last()),
+        s1.task_counts,
+        s1.cost_mean,
+        s1.pos_requirement
+    );
+    let s2 = table3_setting2();
+    println!(
+        "  setting 2: users {:?}, tasks {:?}, mean cost {}, T {}",
+        s2.user_counts,
+        (s2.task_counts.first(), s2.task_counts.last()),
+        s2.cost_mean,
+        s2.pos_requirement
+    );
+    println!();
+    println!("# Data set (synthetic stand-in for the Shanghai trace)");
+    println!(
+        "  taxis {}, slots {}, seed {}",
+        dataset.taxi_count, dataset.slots, dataset.seed
+    );
+}
+
+fn emit(chart: &Chart, out: &Option<PathBuf>) -> std::io::Result<()> {
+    println!("{}", chart.to_table());
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir)?;
+        let stem: String = chart
+            .title
+            .chars()
+            .take_while(|&c| c != ':')
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_lowercase();
+        std::fs::write(
+            dir.join(format!("{stem}.json")),
+            serde_json::to_vec_pretty(chart)?,
+        )?;
+        std::fs::write(dir.join(format!("{stem}.md")), chart.to_markdown())?;
+        std::fs::write(dir.join(format!("{stem}.csv")), chart.to_csv())?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if options.command == "help" {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if options.command == "config" {
+        print_config();
+        return ExitCode::SUCCESS;
+    }
+
+    let dataset = if options.quick {
+        DatasetParams::small()
+    } else {
+        DatasetParams::default()
+    };
+    let trials = options.trials.unwrap_or(if options.quick { 3 } else { 20 });
+    eprintln!(
+        "building data set ({} taxis, {} slots)…",
+        dataset.taxi_count, dataset.slots
+    );
+    let start = std::time::Instant::now();
+    let repro = Repro::new(dataset, SimParams::default(), trials, options.seed);
+    eprintln!("data set ready in {:.1?}", start.elapsed());
+
+    type Job = (&'static str, fn(&Repro) -> Chart);
+    if options.command == "verify" {
+        eprintln!("running every figure and checking the paper's claims…");
+        let checks = verify::verify(&repro);
+        print!("{}", verify::render(&checks));
+        if let Some(dir) = &options.out {
+            if let Err(error) = std::fs::create_dir_all(dir).and_then(|()| {
+                std::fs::write(
+                    dir.join("verdicts.json"),
+                    serde_json::to_vec_pretty(&checks).expect("serializable"),
+                )
+            }) {
+                eprintln!("error writing verdicts: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return if checks.iter().all(|c| c.pass) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let jobs: Vec<Job> = vec![
+        ("fig3", fig3::run),
+        ("fig4", fig4::run),
+        ("fig5a", fig5::run_5a),
+        ("fig5b", fig5::run_5b),
+        ("fig5c", fig5::run_5c),
+        ("fig6", fig6::run),
+        ("fig7", fig7::run),
+        ("fig8", fig89::run_fig8),
+        ("fig9", fig89::run_fig9),
+        ("strategy", ext_strategy::run),
+        ("budget", ext_budget::run),
+        ("calibration", ext_calibration::run),
+    ];
+    let selected: Vec<_> = jobs
+        .iter()
+        .filter(|(name, _)| match options.command.as_str() {
+            // `all` = the paper's figures; extensions run via `ext` or by
+            // name so the default reproduction stays exactly paper-shaped.
+            "all" => !matches!(*name, "strategy" | "budget" | "calibration"),
+            "ext" => matches!(*name, "strategy" | "budget" | "calibration"),
+            command => command == *name,
+        })
+        .collect();
+    if selected.is_empty() {
+        eprintln!("error: unknown command {}\n{}", options.command, usage());
+        return ExitCode::FAILURE;
+    }
+    for (name, job) in selected {
+        eprintln!("running {name}…");
+        let start = std::time::Instant::now();
+        let chart = job(&repro);
+        eprintln!("{name} done in {:.1?}", start.elapsed());
+        if let Err(error) = emit(&chart, &options.out) {
+            eprintln!("error writing output: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

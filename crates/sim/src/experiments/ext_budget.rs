@@ -1,0 +1,106 @@
+//! Extension experiment: coverage under a hard payment budget.
+//!
+//! The base mechanisms treat coverage as a hard constraint; the
+//! [`BudgetedGreedy`] extension flips that around. This experiment charts
+//! the coverage ratio achieved as the budget grows, relative to the cost
+//! of the unconstrained greedy solution — the "how much fault tolerance
+//! does a marginal yuan buy" curve a platform would actually look at.
+
+use mcs_core::extensions::BudgetedGreedy;
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::multi_task::GreedyWinnerDetermination;
+use mcs_core::types::Cost;
+
+use crate::experiments::Repro;
+use crate::report::{Chart, Series};
+
+/// Budgets, as fractions of the unconstrained greedy solution's cost.
+pub fn budget_fractions() -> Vec<f64> {
+    vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2]
+}
+
+/// Users per instance.
+pub const USERS: usize = 60;
+/// Tasks per instance.
+pub const TASKS: usize = 15;
+
+/// Runs the experiment: mean coverage ratio at each relative budget.
+pub fn run(repro: &Repro) -> Chart {
+    let greedy = GreedyWinnerDetermination::new();
+    let mut points: Vec<(f64, Vec<f64>)> = budget_fractions()
+        .into_iter()
+        .map(|f| (f, Vec::new()))
+        .collect();
+
+    for trial in 0..repro.trials() as u64 {
+        for attempt in 0..8u64 {
+            let mut rng = repro.rng(0xB1, 0, trial * 8 + attempt);
+            let Ok(population) = repro.builder().multi_task(TASKS, USERS, &mut rng) else {
+                continue;
+            };
+            let Ok(full) = greedy.select_winners(&population.profile) else {
+                continue;
+            };
+            let full_cost = full
+                .social_cost(&population.profile)
+                .expect("winners exist")
+                .value();
+            for (fraction, samples) in &mut points {
+                let budget = Cost::new(full_cost * *fraction).expect("valid budget");
+                let outcome = BudgetedGreedy::new(budget)
+                    .run(&population.profile)
+                    .expect("budgeted run succeeds");
+                samples.push(outcome.coverage_ratio());
+            }
+            break;
+        }
+    }
+
+    let curve = points
+        .into_iter()
+        .map(|(fraction, samples)| {
+            let mean = if samples.is_empty() {
+                f64::NAN
+            } else {
+                samples.iter().sum::<f64>() / samples.len() as f64
+            };
+            (fraction, mean)
+        })
+        .collect();
+    Chart::new(
+        "ExtBudget: coverage vs payment budget (t = 15)",
+        "budget / unconstrained greedy cost",
+        "coverage ratio",
+        vec![Series::new("budgeted greedy", curve)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::quick_repro;
+
+    #[test]
+    fn coverage_grows_with_budget_and_saturates_at_one() {
+        let chart = run(quick_repro());
+        let points: Vec<(f64, f64)> = chart.series[0]
+            .points
+            .iter()
+            .copied()
+            .filter(|(_, y)| !y.is_nan())
+            .collect();
+        assert!(points.len() >= 5, "too few budget points");
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1 - 1e-9,
+                "coverage fell from budget {} to {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+        let (_, at_zero) = points[0];
+        let &(_, at_full) = points.last().unwrap();
+        assert!(at_zero < 0.5, "zero budget covered {at_zero}");
+        assert!(at_full > 0.999, "full budget covered only {at_full}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Extension experiment: ground-truth calibration of the whole pipeline.
+//!
+//! Everywhere else, "execution" draws a Bernoulli from each winner's
+//! *learned* PoS — i.e. the model audits itself. This experiment closes
+//! the loop against reality: selected winners are rolled forward under
+//! the synthetic city's **true** mixture kernel (the process the learned
+//! models only estimate), and a task counts as completed when some winner
+//! actually drives through its cell within the sensing window.
+//!
+//! Three curves against the PoS requirement `T`:
+//!
+//! * `required` — the target,
+//! * `model-expected` — achieved PoS computed from the learned PoS values
+//!   (what Figure 7 reports),
+//! * `ground-truth realized` — Monte-Carlo completion frequency under the
+//!   true kernel.
+//!
+//! If the sensing-PoS estimator were perfectly calibrated the last two
+//! would coincide. **Finding**: they do not — the add-one smoothing's
+//! unseen-transition floor (`1/(x_i+l)` per step) compounds over the
+//! sensing window into substantial fictional visit mass, and the
+//! single-task experiments deliberately pick the *hardest* adequately
+//! supplied cell, where that floor dominates. The realized completion
+//! frequency lands far below the model's expectation: the platform's
+//! "guarantee" is only as good as its PoS estimator. The paper shares
+//! this limitation (its evaluation also scores achieved PoS with the
+//! learned values themselves); `Smoothing::AddLambda` with a small λ is
+//! the mitigation knob this library ships.
+
+use mcs_core::analysis::achieved_pos;
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::single_task::FptasWinnerDetermination;
+use mcs_core::types::TaskId;
+
+use crate::config::SimParams;
+use crate::experiments::{trial_average, Repro};
+use crate::report::{Chart, Series};
+
+/// The requirements swept.
+pub fn requirements() -> Vec<f64> {
+    vec![0.6, 0.7, 0.8, 0.9]
+}
+
+/// Users per instance.
+pub const USERS: usize = 60;
+/// Ground-truth rollouts per instance.
+pub const ROLLOUTS: usize = 300;
+
+/// Runs the experiment.
+pub fn run(repro: &Repro) -> Chart {
+    let task_location = repro.single_task_location();
+    let fptas = FptasWinnerDetermination::new(repro.params().epsilon).expect("valid epsilon");
+    let horizon = repro.dataset().params().sensing_horizon;
+
+    let mut required = Vec::new();
+    let mut model_expected = Vec::new();
+    let mut realized = Vec::new();
+
+    for (idx, t) in requirements().into_iter().enumerate() {
+        let params = SimParams {
+            pos_requirement: t,
+            ..*repro.params()
+        };
+        required.push((t, t));
+
+        model_expected.push((
+            t,
+            trial_average(
+                repro,
+                0xCA,
+                idx as u64,
+                |rng| {
+                    repro
+                        .builder_with(params)
+                        .single_task(task_location, USERS, rng)
+                        .ok()
+                },
+                |population| {
+                    let allocation = fptas.select_winners(&population.profile).ok()?;
+                    Some(achieved_pos(&population.profile, &allocation, TaskId::new(0)).value())
+                },
+            ),
+        ));
+
+        realized.push((
+            t,
+            trial_average(
+                repro,
+                0xCA,
+                idx as u64,
+                |rng| {
+                    repro
+                        .builder_with(params)
+                        .single_task(task_location, USERS, rng)
+                        .ok()
+                },
+                |population| {
+                    let allocation = fptas.select_winners(&population.profile).ok()?;
+                    // Winners with their true-process starting points.
+                    let walkers: Vec<_> = allocation
+                        .winners()
+                        .map(|user| {
+                            let taxi = population.taxis[user.index()];
+                            let origin = repro
+                                .dataset()
+                                .origin_of(taxi)
+                                .expect("winners have prediction origins");
+                            (taxi, origin)
+                        })
+                        .collect();
+                    // Monte-Carlo rollouts under the true kernel. The
+                    // rollout stream is derived from the instance so the
+                    // experiment stays seed-deterministic.
+                    let mut rng = repro.rng(0xCB, idx as u64, 7);
+                    let mut completions = 0usize;
+                    for _ in 0..ROLLOUTS {
+                        let done = walkers.iter().any(|&(taxi, origin)| {
+                            repro
+                                .dataset()
+                                .city()
+                                .walk(taxi, origin, horizon, &mut rng)
+                                .contains(&task_location)
+                        });
+                        if done {
+                            completions += 1;
+                        }
+                    }
+                    Some(completions as f64 / ROLLOUTS as f64)
+                },
+            ),
+        ));
+    }
+
+    Chart::new(
+        "ExtCalibration: ground-truth calibration (single task)",
+        "required PoS",
+        "completion probability",
+        vec![
+            Series::new("required", required),
+            Series::new("model-expected", model_expected),
+            Series::new("ground-truth realized", realized),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::quick_repro;
+
+    #[test]
+    fn realized_completion_is_in_range_and_tracks_the_model() {
+        let chart = run(quick_repro());
+        let model = &chart.series[1];
+        let realized = &chart.series[2];
+        let mut compared = 0;
+        for x in chart.xs() {
+            let (Some(m), Some(r)) = (model.y_at(x), realized.y_at(x)) else {
+                continue;
+            };
+            assert!((0.0..=1.0).contains(&r), "realized {r} out of range");
+            assert!(m >= x - 1e-6, "model-expected below requirement at T={x}");
+            // The documented finding: on the hardest cell, the smoothed
+            // estimator is *optimistic* — ground truth does not exceed the
+            // model's expectation (any run where it did would falsify the
+            // module-level analysis).
+            assert!(
+                r <= m + 0.1,
+                "ground truth {r} above model expectation {m} at T={x} — \
+                 the optimism finding no longer holds"
+            );
+            compared += 1;
+        }
+        assert!(compared >= 3, "too few comparable requirement points");
+    }
+}

@@ -1,0 +1,174 @@
+//! Extension experiment: *quantified* strategic resistance.
+//!
+//! The paper claims its mechanisms "resist the strategic behaviours of
+//! users" but does not plot it. This experiment makes the claim (and our
+//! correction to Algorithm 5) measurable: for a grid of uniform PoS
+//! misreporting factors, it records the **largest expected-utility gain**
+//! any user can realize, under
+//!
+//! * the single-task mechanism,
+//! * the multi-task mechanism with the robust (bisection) critical bid, and
+//! * the multi-task mechanism with the paper's original Algorithm 5
+//!   critical bid.
+//!
+//! The first two curves must hug 0 from below; the Algorithm 5 curve goes
+//! *positive* for exaggeration factors on cap-heavy instances — the defect
+//! documented in `mcs_core::multi_task::reward`.
+
+use mcs_core::analysis::expected_utility;
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::multi_task::{
+    algorithm5_critical_contribution, GreedyWinnerDetermination, MultiTaskMechanism,
+};
+use mcs_core::single_task::SingleTaskMechanism;
+use mcs_core::types::{TypeProfile, UserId};
+
+use crate::experiments::Repro;
+use crate::report::{Chart, Series};
+
+/// The deviation factors swept (declared contribution = factor × truth).
+pub fn factors() -> Vec<f64> {
+    vec![0.25, 0.5, 0.75, 0.9, 1.1, 1.5, 2.0, 3.0, 5.0]
+}
+
+/// Users per instance (kept modest: each deviation costs a full reward
+/// evaluation).
+pub const USERS: usize = 16;
+/// Tasks per multi-task instance.
+pub const TASKS: usize = 8;
+
+/// Expected utility of `user` under the multi-task EC reward with the
+/// *paper's* Algorithm 5 critical bid (the ablation arm).
+fn algorithm5_utility(
+    alpha: f64,
+    declared: &TypeProfile,
+    truth: &TypeProfile,
+    user: UserId,
+) -> Option<f64> {
+    let wd = GreedyWinnerDetermination::new();
+    let allocation = wd.select_winners(declared).ok()?;
+    if !allocation.contains(user) {
+        return Some(0.0);
+    }
+    let critical = algorithm5_critical_contribution(&wd, declared, user).ok()?;
+    let p_any = truth.user(user).ok()?.any_task_pos().value();
+    Some((p_any - critical.pos().value()) * alpha)
+}
+
+/// Runs the experiment: for each factor, the maximum gain over all users
+/// and trial instances (0 clamped from below for readability — losses are
+/// the common case).
+pub fn run(repro: &Repro) -> Chart {
+    let alpha = repro.params().alpha;
+    let single_mechanism =
+        SingleTaskMechanism::new(repro.params().epsilon, alpha).expect("valid params");
+    let multi_mechanism = MultiTaskMechanism::new(alpha).expect("valid alpha");
+    let task = repro.single_task_location();
+
+    let mut single_curve = Vec::new();
+    let mut multi_curve = Vec::new();
+    let mut algorithm5_curve = Vec::new();
+
+    for (idx, factor) in factors().into_iter().enumerate() {
+        let mut single_gain: f64 = f64::NEG_INFINITY;
+        let mut multi_gain: f64 = f64::NEG_INFINITY;
+        let mut algo5_gain: f64 = f64::NEG_INFINITY;
+
+        for trial in 0..repro.trials() as u64 {
+            // Single task.
+            let mut rng = repro.rng(0xE1, idx as u64, trial);
+            if let Ok(population) = repro.builder().single_task(task, USERS, &mut rng) {
+                let truth = &population.profile;
+                if single_mechanism.select_winners(truth).is_ok() {
+                    for user in truth.user_ids() {
+                        let honest =
+                            expected_utility(&single_mechanism, truth, truth, user).unwrap_or(0.0);
+                        let lie = truth.user(user).unwrap().with_scaled_contributions(factor);
+                        let declared = truth.with_user_type(lie).unwrap();
+                        let lying = expected_utility(&single_mechanism, &declared, truth, user)
+                            .unwrap_or(0.0);
+                        single_gain = single_gain.max(lying - honest);
+                    }
+                }
+            }
+            // Multi-task (both reward arms share instances).
+            let mut rng = repro.rng(0xE2, idx as u64, trial);
+            if let Ok(population) = repro.builder().multi_task(TASKS, USERS, &mut rng) {
+                let truth = &population.profile;
+                if multi_mechanism.select_winners(truth).is_ok() {
+                    for user in truth.user_ids() {
+                        let honest =
+                            expected_utility(&multi_mechanism, truth, truth, user).unwrap_or(0.0);
+                        let honest5 = algorithm5_utility(alpha, truth, truth, user)
+                            .unwrap_or(0.0)
+                            .max(0.0);
+                        let lie = truth.user(user).unwrap().with_scaled_contributions(factor);
+                        let declared = truth.with_user_type(lie).unwrap();
+                        let lying = expected_utility(&multi_mechanism, &declared, truth, user)
+                            .unwrap_or(0.0);
+                        multi_gain = multi_gain.max(lying - honest);
+                        if let Some(lying5) = algorithm5_utility(alpha, &declared, truth, user) {
+                            algo5_gain = algo5_gain.max(lying5 - honest5);
+                        }
+                    }
+                }
+            }
+        }
+
+        let clamp = |g: f64| if g.is_finite() { g } else { f64::NAN };
+        single_curve.push((factor, clamp(single_gain)));
+        multi_curve.push((factor, clamp(multi_gain)));
+        algorithm5_curve.push((factor, clamp(algo5_gain)));
+    }
+
+    Chart::new(
+        "ExtStrategy: maximum gain from PoS misreporting",
+        "declared/true contribution factor",
+        "max expected-utility gain",
+        vec![
+            Series::new("single task (ours)", single_curve),
+            Series::new("multi-task (robust critical bid)", multi_curve),
+            Series::new("multi-task (paper Algorithm 5)", algorithm5_curve),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::quick_repro;
+
+    #[test]
+    fn our_mechanisms_never_reward_deviation_but_algorithm5_can() {
+        let chart = run(quick_repro());
+        let single = &chart.series[0];
+        let multi = &chart.series[1];
+        let algo5 = &chart.series[2];
+        for &(factor, gain) in &single.points {
+            if gain.is_nan() {
+                continue;
+            }
+            assert!(gain <= 1e-6, "single task: gain {gain} at factor {factor}");
+        }
+        for &(factor, gain) in &multi.points {
+            if gain.is_nan() {
+                continue;
+            }
+            assert!(
+                gain <= 1e-6,
+                "multi-task robust: gain {gain} at factor {factor}"
+            );
+        }
+        // Algorithm 5's exploit shows up as a positive gain for some
+        // exaggeration factor on the cap-heavy pipeline instances.
+        let exploited = algo5
+            .points
+            .iter()
+            .any(|&(factor, gain)| factor > 1.0 && gain > 1e-3);
+        assert!(
+            exploited,
+            "expected the Algorithm 5 arm to show a profitable exaggeration; got {:?}",
+            algo5.points
+        );
+    }
+}

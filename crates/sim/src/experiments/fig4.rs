@@ -1,0 +1,68 @@
+//! Figure 4: the empirical PDF of predicted PoS values.
+//!
+//! Paper shape: because location transitions are scarce, most predicted
+//! PoS values are very low — the bulk of the mass sits in `[0, 0.2]`. That
+//! scarcity is what forces the platform to recruit redundantly.
+
+use mcs_mobility::predict::{predict_all, predicted_pos_values};
+
+use crate::experiments::Repro;
+use crate::population::Dataset;
+use crate::report::{Chart, Series};
+use crate::stats::Histogram;
+
+/// Number of histogram bins over `[0, 1]`.
+pub const BINS: usize = 20;
+
+/// Runs the experiment.
+pub fn run(repro: &Repro) -> Chart {
+    let dataset = repro.dataset();
+    let predictions = predict_all(dataset.models(), dataset.train(), Dataset::MAX_PREDICTIONS);
+    let values = predicted_pos_values(&predictions);
+    let mut histogram = Histogram::new(0.0, 1.0, BINS);
+    histogram.extend(values);
+    Chart::new(
+        "Figure 4: PDF of predicted PoS",
+        "predicted PoS",
+        "probability density",
+        vec![Series::new("predicted PoS", histogram.density())],
+    )
+}
+
+/// The fraction of predicted PoS values at or below `threshold` — the
+/// headline statistic of the figure (paper: most mass in `[0, 0.2]`).
+pub fn mass_below(repro: &Repro, threshold: f64) -> f64 {
+    let dataset = repro.dataset();
+    let predictions = predict_all(dataset.models(), dataset.train(), Dataset::MAX_PREDICTIONS);
+    let values = predicted_pos_values(&predictions);
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&p| p <= threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::quick_repro;
+
+    #[test]
+    fn pos_mass_concentrates_below_0_2() {
+        let mass = mass_below(quick_repro(), 0.2);
+        assert!(mass > 0.7, "only {mass} of predicted PoS ≤ 0.2");
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let chart = run(quick_repro());
+        let integral: f64 = chart.series[0]
+            .points
+            .iter()
+            .map(|&(_, d)| d * (1.0 / BINS as f64))
+            .sum();
+        assert!(
+            (integral - 1.0).abs() < 1e-9,
+            "density integrates to {integral}"
+        );
+    }
+}

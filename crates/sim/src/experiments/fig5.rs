@@ -1,0 +1,210 @@
+//! Figures 5(a)–(c): social cost of the mechanisms against the optimal
+//! solution and the greedy baseline.
+//!
+//! * 5(a): single task, `n ∈ [20, 100]` — FPTAS (ε = 0.5 and a finer
+//!   ε = 0.1) vs OPT vs Min-Greedy. Paper shape: cost drops sharply then
+//!   flattens as competition grows; FPTAS ≈ OPT, strictly below Min-Greedy.
+//! * 5(b): multi-task, `n ∈ [10, 100]`, `t = 15` (Table III setting 1) —
+//!   greedy vs OPT. Paper shape: decreasing in `n`, greedy close to OPT.
+//! * 5(c): multi-task, `n = 30`, `t ∈ [10, 50]` (setting 2) — increasing
+//!   in `t`.
+
+use mcs_core::baselines::{MinGreedy, OptimalMultiTask, OptimalSingleTask};
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::multi_task::GreedyWinnerDetermination;
+use mcs_core::single_task::FptasWinnerDetermination;
+
+use crate::config::{table3_setting1, table3_setting2};
+use crate::experiments::{trial_average, Repro};
+use crate::population::Population;
+use crate::report::{Chart, Series};
+
+/// Social cost of `algorithm` on `population`, or `None` if it fails
+/// (infeasible instance or exhausted search budget) — the trial is then
+/// resampled or dropped.
+fn social_cost<W: WinnerDetermination>(algorithm: &W, population: &Population) -> Option<f64> {
+    let allocation = algorithm.select_winners(&population.profile).ok()?;
+    Some(allocation.social_cost(&population.profile).ok()?.value())
+}
+
+/// Figure 5(a): single-task social cost vs number of users.
+pub fn run_5a(repro: &Repro) -> Chart {
+    let task = repro.single_task_location();
+    let fptas_05 = FptasWinnerDetermination::new(0.5).expect("valid epsilon");
+    let fptas_01 = FptasWinnerDetermination::new(0.1).expect("valid epsilon");
+    let optimal = OptimalSingleTask::new();
+    let min_greedy = MinGreedy::new();
+
+    let ns: Vec<usize> = (20..=100).step_by(10).collect();
+    let mut curves: Vec<(&str, Vec<(f64, f64)>)> = vec![
+        ("FPTAS (eps=0.5)", Vec::new()),
+        ("FPTAS (eps=0.1)", Vec::new()),
+        ("OPT", Vec::new()),
+        ("Min-Greedy", Vec::new()),
+    ];
+    for &n in &ns {
+        let algorithms: [&dyn WinnerDetermination; 4] =
+            [&fptas_05, &fptas_01, &optimal, &min_greedy];
+        for (curve, algorithm) in curves.iter_mut().zip(algorithms) {
+            let mean = trial_average(
+                repro,
+                0x5A,
+                n as u64,
+                |rng| repro.builder().single_task(task, n, rng).ok(),
+                |population| social_cost(&algorithm, population),
+            );
+            curve.1.push((n as f64, mean));
+        }
+    }
+    Chart::new(
+        "Figure 5(a): social cost, single task",
+        "number of users",
+        "social cost",
+        curves
+            .into_iter()
+            .map(|(label, points)| Series::new(label, points))
+            .collect(),
+    )
+}
+
+/// Figure 5(b): multi-task social cost vs number of users (t = 15).
+pub fn run_5b(repro: &Repro) -> Chart {
+    let setting = table3_setting1();
+    let t = setting.task_counts[0];
+    let greedy = GreedyWinnerDetermination::new();
+    let optimal = OptimalMultiTask::new();
+
+    let mut greedy_curve = Vec::new();
+    let mut optimal_curve = Vec::new();
+    for &n in &setting.user_counts {
+        greedy_curve.push((
+            n as f64,
+            trial_average(
+                repro,
+                0x5B,
+                n as u64,
+                |rng| repro.builder().multi_task(t, n, rng).ok(),
+                |population| social_cost(&greedy, population),
+            ),
+        ));
+        optimal_curve.push((
+            n as f64,
+            trial_average(
+                repro,
+                0x5B,
+                n as u64,
+                |rng| repro.builder().multi_task(t, n, rng).ok(),
+                |population| social_cost(&optimal, population),
+            ),
+        ));
+    }
+    Chart::new(
+        "Figure 5(b): social cost, multi-task, t = 15",
+        "number of users",
+        "social cost",
+        vec![
+            Series::new("Greedy (ours)", greedy_curve),
+            Series::new("OPT", optimal_curve),
+        ],
+    )
+}
+
+/// Figure 5(c): multi-task social cost vs number of tasks (n = 30).
+pub fn run_5c(repro: &Repro) -> Chart {
+    let setting = table3_setting2();
+    let n = setting.user_counts[0];
+    let greedy = GreedyWinnerDetermination::new();
+    let optimal = OptimalMultiTask::new();
+
+    let mut greedy_curve = Vec::new();
+    let mut optimal_curve = Vec::new();
+    for &t in &setting.task_counts {
+        greedy_curve.push((
+            t as f64,
+            trial_average(
+                repro,
+                0x5C,
+                t as u64,
+                |rng| repro.builder().multi_task(t, n, rng).ok(),
+                |population| social_cost(&greedy, population),
+            ),
+        ));
+        optimal_curve.push((
+            t as f64,
+            trial_average(
+                repro,
+                0x5C,
+                t as u64,
+                |rng| repro.builder().multi_task(t, n, rng).ok(),
+                |population| social_cost(&optimal, population),
+            ),
+        ));
+    }
+    Chart::new(
+        "Figure 5(c): social cost, multi-task, n = 30",
+        "number of tasks",
+        "social cost",
+        vec![
+            Series::new("Greedy (ours)", greedy_curve),
+            Series::new("OPT", optimal_curve),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::quick_repro;
+
+    /// The defining relations of Figure 5(a): OPT ≤ FPTAS ≤ (1+ε)·OPT and
+    /// OPT ≤ Min-Greedy, wherever all were feasible.
+    #[test]
+    fn fig5a_orderings_hold() {
+        let chart = run_5a(quick_repro());
+        let by_label = |label: &str| {
+            chart
+                .series
+                .iter()
+                .find(|s| s.label.contains(label))
+                .unwrap_or_else(|| panic!("missing series {label}"))
+        };
+        let mut compared = 0;
+        for x in chart.xs() {
+            let (Some(opt), Some(fptas)) = (by_label("OPT").y_at(x), by_label("eps=0.5").y_at(x))
+            else {
+                continue;
+            };
+            // Means over identical instance sets preserve the per-instance
+            // guarantee.
+            assert!(opt <= fptas + 1e-9, "OPT above FPTAS at n={x}");
+            assert!(fptas <= 1.5 * opt + 1e-9, "FPTAS ratio violated at n={x}");
+            if let Some(greedy) = by_label("Min-Greedy").y_at(x) {
+                assert!(opt <= greedy + 1e-9, "OPT above Min-Greedy at n={x}");
+            }
+            compared += 1;
+        }
+        assert!(compared >= 3, "too few feasible points to compare");
+    }
+
+    #[test]
+    fn fig5c_cost_increases_with_tasks() {
+        let chart = run_5c(quick_repro());
+        let greedy = &chart.series[0];
+        let feasible: Vec<(f64, f64)> = greedy
+            .points
+            .iter()
+            .copied()
+            .filter(|(_, y)| !y.is_nan())
+            .collect();
+        assert!(feasible.len() >= 2, "too few feasible points");
+        // More tasks cannot get cheaper on average: check the endpoints.
+        let first = feasible.first().unwrap();
+        let last = feasible.last().unwrap();
+        assert!(
+            last.1 >= first.1 - 1e-9,
+            "cost decreased from t={} to t={}",
+            first.0,
+            last.0
+        );
+    }
+}

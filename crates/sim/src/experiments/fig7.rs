@@ -1,0 +1,176 @@
+//! Figure 7: achieved task PoS versus the requirement, for our mechanisms
+//! and the VCG-like baselines.
+//!
+//! Paper shape: both our mechanisms meet the requirement — the single-task
+//! mechanism just barely (it stops as soon as coverage is reached), the
+//! multi-task mechanism with slack (a selected single-minded user keeps
+//! contributing to already-satisfied tasks). ST-VCG and MT-VCG recruit as
+//! if declared PoS were 1 and fall far short.
+
+use mcs_core::analysis::{achieved_pos, average_achieved_pos};
+use mcs_core::baselines::{MtVcg, StVcg};
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::multi_task::GreedyWinnerDetermination;
+use mcs_core::single_task::FptasWinnerDetermination;
+use mcs_core::types::TaskId;
+
+use crate::config::SimParams;
+use crate::experiments::{trial_average, Repro};
+use crate::report::{Chart, Series};
+
+/// The PoS requirements the figure sweeps.
+pub fn requirements() -> Vec<f64> {
+    (0..=8).map(|i| 0.5 + 0.05 * f64::from(i)).collect()
+}
+
+/// Users per instance.
+pub const USERS: usize = 100;
+/// Tasks in the multi-task instances.
+pub const TASKS: usize = 15;
+
+/// Runs the experiment.
+pub fn run(repro: &Repro) -> Chart {
+    let task_location = repro.single_task_location();
+    let fptas = FptasWinnerDetermination::new(repro.params().epsilon).expect("valid epsilon");
+    let greedy = GreedyWinnerDetermination::new();
+    let st_vcg = StVcg::new();
+    let mt_vcg = MtVcg::new();
+
+    let mut required = Vec::new();
+    let mut single = Vec::new();
+    let mut multi = Vec::new();
+    let mut st_vcg_curve = Vec::new();
+    let mut mt_vcg_curve = Vec::new();
+
+    for (idx, t) in requirements().into_iter().enumerate() {
+        let params = SimParams {
+            pos_requirement: t,
+            ..*repro.params()
+        };
+        required.push((t, t));
+
+        single.push((
+            t,
+            trial_average(
+                repro,
+                0x70,
+                idx as u64,
+                |rng| {
+                    repro
+                        .builder_with(params)
+                        .single_task(task_location, USERS, rng)
+                        .ok()
+                },
+                |population| {
+                    let allocation = fptas.select_winners(&population.profile).ok()?;
+                    Some(achieved_pos(&population.profile, &allocation, TaskId::new(0)).value())
+                },
+            ),
+        ));
+        st_vcg_curve.push((
+            t,
+            trial_average(
+                repro,
+                0x70,
+                idx as u64,
+                |rng| {
+                    repro
+                        .builder_with(params)
+                        .single_task(task_location, USERS, rng)
+                        .ok()
+                },
+                |population| {
+                    let allocation = st_vcg.select_winners(&population.profile).ok()?;
+                    Some(achieved_pos(&population.profile, &allocation, TaskId::new(0)).value())
+                },
+            ),
+        ));
+        multi.push((
+            t,
+            trial_average(
+                repro,
+                0x71,
+                idx as u64,
+                |rng| {
+                    repro
+                        .builder_with(params)
+                        .multi_task(TASKS, USERS, rng)
+                        .ok()
+                },
+                |population| {
+                    let allocation = greedy.select_winners(&population.profile).ok()?;
+                    Some(average_achieved_pos(&population.profile, &allocation))
+                },
+            ),
+        ));
+        mt_vcg_curve.push((
+            t,
+            trial_average(
+                repro,
+                0x71,
+                idx as u64,
+                |rng| {
+                    repro
+                        .builder_with(params)
+                        .multi_task(TASKS, USERS, rng)
+                        .ok()
+                },
+                |population| {
+                    let allocation = mt_vcg.select_winners(&population.profile).ok()?;
+                    Some(average_achieved_pos(&population.profile, &allocation))
+                },
+            ),
+        ));
+    }
+
+    Chart::new(
+        "Figure 7: achieved vs required task PoS",
+        "required PoS",
+        "achieved PoS",
+        vec![
+            Series::new("required", required),
+            Series::new("single task (ours)", single),
+            Series::new("multi-task (ours)", multi),
+            Series::new("ST-VCG", st_vcg_curve),
+            Series::new("MT-VCG", mt_vcg_curve),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::quick_repro;
+
+    #[test]
+    fn our_mechanisms_meet_requirements_and_vcg_does_not() {
+        let chart = run(quick_repro());
+        let series = |label: &str| {
+            chart
+                .series
+                .iter()
+                .find(|s| s.label.contains(label))
+                .unwrap_or_else(|| panic!("missing series {label}"))
+        };
+        let mut checked = 0;
+        for x in chart.xs() {
+            if let Some(ours) = series("single task").y_at(x) {
+                assert!(
+                    ours >= x - 1e-6,
+                    "single-task achieved {ours} < required {x}"
+                );
+                checked += 1;
+            }
+            if let Some(ours) = series("multi-task").y_at(x) {
+                assert!(
+                    ours >= x - 1e-6,
+                    "multi-task achieved {ours} < required {x}"
+                );
+            }
+            if let Some(vcg) = series("ST-VCG").y_at(x) {
+                assert!(vcg < x, "ST-VCG met requirement {x}: {vcg}");
+            }
+        }
+        assert!(checked >= 3, "too few feasible requirement points");
+    }
+}

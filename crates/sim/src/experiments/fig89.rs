@@ -1,0 +1,175 @@
+//! Figures 8 and 9: the effect of the PoS requirement on the number of
+//! selected users (Figure 8) and on the social cost (Figure 9), with
+//! `n = 100` users and `t = 50` tasks in the multi-task setting.
+//!
+//! Paper shape: both curves grow with the requirement, accelerating at
+//! high requirements because individual PoS values are low (recruiting
+//! enough redundancy gets expensive fast). Costs track the user counts
+//! since costs are i.i.d.
+
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::multi_task::GreedyWinnerDetermination;
+use mcs_core::single_task::FptasWinnerDetermination;
+
+use crate::config::SimParams;
+use crate::experiments::{trial_average, Repro};
+use crate::population::Population;
+use crate::report::{Chart, Series};
+
+/// The PoS requirements the figures sweep (paper: `[0.5, 0.9]` in 0.05
+/// steps).
+pub fn requirements() -> Vec<f64> {
+    (0..=8).map(|i| 0.5 + 0.05 * f64::from(i)).collect()
+}
+
+/// Users per instance (paper: fixed at 100).
+pub const USERS: usize = 100;
+/// Tasks in the multi-task instances (paper: 50).
+pub const TASKS: usize = 50;
+
+/// What to measure per instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Metric {
+    WinnerCount,
+    SocialCost,
+}
+
+/// One `(x, y)` curve, as consumed by [`Series`].
+type Curve = Vec<(f64, f64)>;
+
+fn sweep(repro: &Repro, metric: Metric) -> (Curve, Curve) {
+    let task_location = repro.single_task_location();
+    let fptas = FptasWinnerDetermination::new(repro.params().epsilon).expect("valid epsilon");
+    let greedy = GreedyWinnerDetermination::new();
+
+    let measure = |algorithm: &dyn WinnerDetermination, population: &Population| -> Option<f64> {
+        let allocation = algorithm.select_winners(&population.profile).ok()?;
+        Some(match metric {
+            Metric::WinnerCount => allocation.winner_count() as f64,
+            Metric::SocialCost => allocation.social_cost(&population.profile).ok()?.value(),
+        })
+    };
+
+    let mut single = Vec::new();
+    let mut multi = Vec::new();
+    for (idx, t) in requirements().into_iter().enumerate() {
+        let params = SimParams {
+            pos_requirement: t,
+            ..*repro.params()
+        };
+        single.push((
+            t,
+            trial_average(
+                repro,
+                0x80,
+                idx as u64,
+                |rng| {
+                    repro
+                        .builder_with(params)
+                        .single_task(task_location, USERS, rng)
+                        .ok()
+                },
+                |population| measure(&fptas, population),
+            ),
+        ));
+        multi.push((
+            t,
+            trial_average(
+                repro,
+                0x81,
+                idx as u64,
+                |rng| {
+                    repro
+                        .builder_with(params)
+                        .multi_task(TASKS, USERS, rng)
+                        .ok()
+                },
+                |population| measure(&greedy, population),
+            ),
+        ));
+    }
+    (single, multi)
+}
+
+/// Figure 8: number of selected users vs PoS requirement.
+pub fn run_fig8(repro: &Repro) -> Chart {
+    let (single, multi) = sweep(repro, Metric::WinnerCount);
+    Chart::new(
+        "Figure 8: selected users vs PoS requirement",
+        "PoS requirement",
+        "number of selected users",
+        vec![
+            Series::new("single task", single),
+            Series::new("multi-task", multi),
+        ],
+    )
+}
+
+/// Figure 9: social cost vs PoS requirement.
+pub fn run_fig9(repro: &Repro) -> Chart {
+    let (single, multi) = sweep(repro, Metric::SocialCost);
+    Chart::new(
+        "Figure 9: social cost vs PoS requirement",
+        "PoS requirement",
+        "social cost",
+        vec![
+            Series::new("single task", single),
+            Series::new("multi-task", multi),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::quick_repro;
+
+    fn feasible(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .copied()
+            .filter(|(_, y)| !y.is_nan())
+            .collect()
+    }
+
+    #[test]
+    fn selected_users_grow_with_requirement() {
+        let chart = run_fig8(quick_repro());
+        let single = feasible(&chart.series[0].points);
+        assert!(single.len() >= 3, "too few feasible single-task points");
+        let first = single.first().unwrap();
+        let last = single.last().unwrap();
+        assert!(
+            last.1 >= first.1,
+            "selected users fell from {} at T={} to {} at T={}",
+            first.1,
+            first.0,
+            last.1,
+            last.0
+        );
+    }
+
+    #[test]
+    fn social_cost_tracks_user_count() {
+        let users = run_fig8(quick_repro());
+        let costs = run_fig9(quick_repro());
+        // Same sweep, same instances: whenever one is feasible so is the
+        // other, and cost ≈ count × mean cost (15), loosely.
+        for (series_u, series_c) in users.series.iter().zip(&costs.series) {
+            for (&(x, u), &(x2, c)) in series_u.points.iter().zip(&series_c.points) {
+                assert_eq!(x, x2);
+                assert_eq!(u.is_nan(), c.is_nan());
+                if !u.is_nan() && u > 0.0 {
+                    // Winner determination prefers cheap users, so the
+                    // per-winner cost sits below the population mean (15)
+                    // but must stay a plausible cost.
+                    let per_user = c / u;
+                    assert!(
+                        (1.0..30.0).contains(&per_user),
+                        "cost per selected user {per_user} implausible"
+                    );
+                }
+            }
+        }
+    }
+}

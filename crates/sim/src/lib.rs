@@ -1,0 +1,42 @@
+//! # mcs-sim — the evaluation harness
+//!
+//! Reproduces every table and figure of the paper's Section IV on top of
+//! [`mcs_core`] (the mechanisms) and [`mcs_mobility`] (the data
+//! substrate):
+//!
+//! * [`config`] — Table II defaults and Table III experiment grids.
+//! * [`population`] — the taxi-fleet → auction-users pipeline
+//!   (predictions become task sets, predicted probabilities become PoS,
+//!   costs are truncated `N(15, 5)`).
+//! * [`experiments`] — one module per figure; [`experiments::run_all`]
+//!   regenerates everything.
+//! * [`stats`] / [`report`] — ECDFs, histograms, and the table renderers
+//!   behind `EXPERIMENTS.md`.
+//!
+//! The `repro` binary drives it:
+//!
+//! ```text
+//! repro --quick all          # smoke-run every figure on a reduced data set
+//! repro fig5a                # paper-scale Figure 5(a)
+//! repro --out results all    # also write JSON + markdown into results/
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use mcs_sim::experiments::{fig3, Repro};
+//!
+//! let repro = Repro::quick();
+//! let chart = fig3::run(&repro);
+//! assert!(chart.to_table().contains("Figure 3"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod experiments;
+pub mod population;
+pub mod report;
+pub mod stats;

@@ -1,0 +1,509 @@
+//! Building auction populations from the mobility data set.
+//!
+//! This reproduces the paper's Section IV-A pipeline: simulate the taxi
+//! fleet, learn per-taxi mobility models, predict each taxi's likely next
+//! locations, and turn taxis into auction users — task sets are predicted
+//! locations, PoS values are the predicted transition probabilities, and
+//! costs are drawn from a (truncated) normal distribution.
+
+use std::collections::BTreeMap;
+
+use mcs_core::types::{Cost, Pos, Task, TaskId, TypeProfile, UserId, UserType};
+use mcs_mobility::grid::LocationId;
+use mcs_mobility::learn::{learn_all, MobilityModel, Smoothing};
+use mcs_mobility::predict::visit_profile;
+use mcs_mobility::synth::SyntheticCity;
+use mcs_mobility::trace::{TaxiId, TraceSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DatasetParams, SimParams};
+use crate::stats::Normal;
+
+/// The built data set: city, traces, learned models, and derived
+/// popularity/prediction tables. Build once, share across experiments.
+#[derive(Debug)]
+pub struct Dataset {
+    params: DatasetParams,
+    city: SyntheticCity,
+    train: TraceSet,
+    test: TraceSet,
+    models: BTreeMap<TaxiId, MobilityModel>,
+    /// Row-stochastic (add-one smoothed) models used for multi-slot visit
+    /// estimation; the paper's sub-stochastic smoothing is right for
+    /// next-slot prediction but leaks occupancy mass across steps.
+    sensing_models: BTreeMap<TaxiId, MobilityModel>,
+    /// Visit counts per location over the training trace.
+    popularity: Vec<u64>,
+    /// Per-taxi predicted next locations (top 20, positive probability),
+    /// from the taxi's last training position.
+    predictions: BTreeMap<TaxiId, Vec<(LocationId, f64)>>,
+    /// Per-taxi prediction origin (the modal training location).
+    origins: BTreeMap<TaxiId, LocationId>,
+}
+
+impl Dataset {
+    /// How many predicted locations are kept per taxi. Deliberately above
+    /// Table II's task-set cap of 20: the cap applies to the *task set* a
+    /// user declares, while this is the pool she declares it from.
+    pub const MAX_PREDICTIONS: usize = 40;
+
+    /// Builds the data set deterministically from `params.seed`.
+    pub fn build(params: DatasetParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let city = SyntheticCity::generate(params.city, &mut rng);
+        let traces = city.simulate(params.taxi_count, params.slots, &mut rng);
+        let (train, test) = traces.split_at_slot(params.slots - params.evaluation_slots);
+        let models = learn_all(&train, Smoothing::Paper);
+        let sensing_models = learn_all(&train, Smoothing::AddOne);
+
+        let mut popularity = vec![0u64; city.grid().cell_count()];
+        for taxi in train.taxis() {
+            for event in train.trace(taxi) {
+                popularity[event.location.index()] += 1;
+            }
+        }
+
+        // Prediction origin: the paper "randomly assigns each taxi a
+        // starting location" and takes the locations she will reach with
+        // high probability. We assign each taxi her *modal* training
+        // location — the origin with the densest data, hence the least
+        // smoothing shrinkage — and use her estimated probability of
+        // visiting each cell within the sensing window as the PoS.
+        let horizon = params.sensing_horizon;
+        let mut origins = BTreeMap::new();
+        let mut predictions = BTreeMap::new();
+        for taxi in train.taxis() {
+            let Some(model) = sensing_models.get(&taxi) else {
+                continue;
+            };
+            let mut visits: BTreeMap<LocationId, u64> = BTreeMap::new();
+            for event in train.trace(taxi) {
+                *visits.entry(event.location).or_default() += 1;
+            }
+            let Some((&origin, _)) = visits
+                .iter()
+                .max_by_key(|&(loc, &count)| (count, std::cmp::Reverse(*loc)))
+            else {
+                continue;
+            };
+            let mut top = visit_profile(model, origin, horizon);
+            top.truncate(Self::MAX_PREDICTIONS);
+            if !top.is_empty() {
+                origins.insert(taxi, origin);
+                predictions.insert(taxi, top);
+            }
+        }
+
+        Dataset {
+            params,
+            city,
+            train,
+            test,
+            models,
+            sensing_models,
+            popularity,
+            predictions,
+            origins,
+        }
+    }
+
+    /// The build parameters.
+    pub fn params(&self) -> &DatasetParams {
+        &self.params
+    }
+
+    /// The synthetic city.
+    pub fn city(&self) -> &SyntheticCity {
+        &self.city
+    }
+
+    /// The training trace (all but the evaluation slots).
+    pub fn train(&self) -> &TraceSet {
+        &self.train
+    }
+
+    /// The held-out evaluation trace.
+    pub fn test(&self) -> &TraceSet {
+        &self.test
+    }
+
+    /// The learned per-taxi models (paper smoothing; next-slot
+    /// prediction, Figures 3 and 4).
+    pub fn models(&self) -> &BTreeMap<TaxiId, MobilityModel> {
+        &self.models
+    }
+
+    /// The row-stochastic per-taxi models used for sensing-window visit
+    /// estimation (the auction PoS pipeline).
+    pub fn sensing_models(&self) -> &BTreeMap<TaxiId, MobilityModel> {
+        &self.sensing_models
+    }
+
+    /// Per-taxi predicted `(location, PoS)` lists (top 20, descending).
+    pub fn predictions(&self) -> &BTreeMap<TaxiId, Vec<(LocationId, f64)>> {
+        &self.predictions
+    }
+
+    /// The prediction origin (modal training location) of `taxi`, if she
+    /// has a usable model.
+    pub fn origin_of(&self, taxi: TaxiId) -> Option<LocationId> {
+        self.origins.get(&taxi).copied()
+    }
+
+    /// How many times `location` was visited in the training trace.
+    pub fn visit_count(&self, location: LocationId) -> u64 {
+        self.popularity.get(location.index()).copied().unwrap_or(0)
+    }
+
+    /// `count` task locations for a sensing *campaign*: the cells nearest
+    /// the most-visited cell (ties by popularity, then id).
+    ///
+    /// The paper's motivating campaigns are localized ("photos of all
+    /// flower shops"); clustering the published tasks around the busiest
+    /// district is what gives users the Table-II task-set sizes of 10–20 —
+    /// a taxi frequenting the district can serve most of its tasks.
+    pub fn campaign_locations(&self, count: usize) -> Vec<LocationId> {
+        let anchor = self.popular_locations(1)[0];
+        let grid = self.city.grid();
+        // Only genuinely frequented cells make sensible tasks: start from
+        // a generous pool of the most-visited cells, then take the ones
+        // nearest the anchor.
+        let mut pool = self.popular_locations((4 * count).min(grid.cell_count()));
+        pool.sort_by(|&a, &b| {
+            let da = grid.distance_km(anchor, a);
+            let db = grid.distance_km(anchor, b);
+            da.partial_cmp(&db)
+                .expect("finite distances")
+                .then(self.visit_count(b).cmp(&self.visit_count(a)))
+                .then(a.cmp(&b))
+        });
+        pool.truncate(count);
+        pool
+    }
+
+    /// A single-task location with at least `min_candidates` taxis able to
+    /// serve it: the *least* popular such cell.
+    ///
+    /// The paper "fixes a randomly chosen task"; choosing the hardest
+    /// adequately-supplied cell keeps the users' PoS values in the low
+    /// range of Figure 4 (a downtown cell would be trivially covered by
+    /// almost everyone, washing out the comparisons).
+    pub fn single_task_location(&self, min_candidates: usize) -> Option<LocationId> {
+        let mut counts: BTreeMap<LocationId, usize> = BTreeMap::new();
+        for predictions in self.predictions.values() {
+            for &(loc, _) in predictions {
+                *counts.entry(loc).or_default() += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .filter(|&(_, count)| count >= min_candidates)
+            .min_by_key(|&(loc, _)| (self.visit_count(loc), loc))
+            .map(|(loc, _)| loc)
+    }
+
+    /// The `count` most-visited locations, descending by training visits
+    /// (ties by id) — the platform publishes tasks where demand is.
+    pub fn popular_locations(&self, count: usize) -> Vec<LocationId> {
+        let mut order: Vec<usize> = (0..self.popularity.len()).collect();
+        order.sort_by(|&a, &b| self.popularity[b].cmp(&self.popularity[a]).then(a.cmp(&b)));
+        order
+            .into_iter()
+            .take(count)
+            .map(|i| LocationId::new(i as u32))
+            .collect()
+    }
+}
+
+/// Why a population could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Fewer taxis can serve the task(s) than the requested user count.
+    NotEnoughCandidates {
+        /// How many candidates were available.
+        available: usize,
+        /// How many users were requested.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NotEnoughCandidates {
+                available,
+                requested,
+            } => write!(
+                f,
+                "only {available} candidate taxis for {requested} requested users"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A built auction population: the profile plus the taxi behind each user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    /// The auction instance.
+    pub profile: TypeProfile,
+    /// `taxis[i]` is the taxi behind the user with id `i`.
+    pub taxis: Vec<TaxiId>,
+}
+
+/// Builds auction populations from a [`Dataset`] under [`SimParams`].
+#[derive(Debug, Clone, Copy)]
+pub struct PopulationBuilder<'a> {
+    dataset: &'a Dataset,
+    params: SimParams,
+}
+
+impl<'a> PopulationBuilder<'a> {
+    /// Creates a builder.
+    pub fn new(dataset: &'a Dataset, params: SimParams) -> Self {
+        PopulationBuilder { dataset, params }
+    }
+
+    /// The simulation parameters.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Builds a single-task instance: `n` users drawn from the taxis whose
+    /// predictions include `task_location`, each bidding her predicted
+    /// PoS for that location and a truncated-normal cost.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::NotEnoughCandidates`] if fewer than `n` taxis can
+    /// serve the task.
+    pub fn single_task<R: Rng + ?Sized>(
+        &self,
+        task_location: LocationId,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Population, BuildError> {
+        let mut candidates: Vec<(TaxiId, f64)> = self
+            .dataset
+            .predictions()
+            .iter()
+            .filter_map(|(&taxi, predictions)| {
+                predictions
+                    .iter()
+                    .find(|&&(loc, _)| loc == task_location)
+                    .map(|&(_, pos)| (taxi, pos))
+            })
+            .collect();
+        if candidates.len() < n {
+            return Err(BuildError::NotEnoughCandidates {
+                available: candidates.len(),
+                requested: n,
+            });
+        }
+        shuffle(&mut candidates, rng);
+        candidates.truncate(n);
+
+        let normal = Normal::new(self.params.cost_mean, self.params.cost_std_dev);
+        let mut users = Vec::with_capacity(n);
+        let mut taxis = Vec::with_capacity(n);
+        for (idx, (taxi, pos)) in candidates.into_iter().enumerate() {
+            let cost = normal.sample_truncated_below(rng, 0.0);
+            users.push(
+                UserType::builder(UserId::new(idx as u32))
+                    .cost(Cost::new(cost).expect("truncated cost is valid"))
+                    .task(TaskId::new(0), Pos::saturating(pos))
+                    .build()
+                    .expect("non-empty task set"),
+            );
+            taxis.push(taxi);
+        }
+        let requirement = Pos::saturating(self.params.pos_requirement);
+        let profile = TypeProfile::single_task(requirement, users)
+            .expect("constructed single-task profile is valid");
+        Ok(Population { profile, taxis })
+    }
+
+    /// Builds a multi-task, single-minded instance: the platform publishes
+    /// `task_count` tasks at the most popular locations; each of the `n`
+    /// users' task set is her predicted locations among them (up to a
+    /// Table-II-sampled size), with her predicted PoS per task.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::NotEnoughCandidates`] if fewer than `n` taxis predict
+    /// at least one published task.
+    pub fn multi_task<R: Rng + ?Sized>(
+        &self,
+        task_count: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Population, BuildError> {
+        let locations = self.dataset.campaign_locations(task_count);
+        let task_of: BTreeMap<LocationId, TaskId> = locations
+            .iter()
+            .enumerate()
+            .map(|(idx, &loc)| (loc, TaskId::new(idx as u32)))
+            .collect();
+
+        // A taxi opts into the campaign only if she can meaningfully
+        // contribute: her total log-domain contribution across the
+        // published tasks must be at least a meaningful fraction of one
+        // task's requirement (platforms advertise to drivers working the
+        // district, not to everyone).
+        let min_contribution = 0.5 * -(1.0 - self.params.pos_requirement.min(0.999)).ln();
+        let mut candidates: Vec<(TaxiId, Vec<(TaskId, f64)>)> = self
+            .dataset
+            .predictions()
+            .iter()
+            .filter_map(|(&taxi, predictions)| {
+                let covered: Vec<(TaskId, f64)> = predictions
+                    .iter()
+                    .filter_map(|&(loc, pos)| task_of.get(&loc).map(|&t| (t, pos)))
+                    .collect();
+                let total_q: f64 = covered
+                    .iter()
+                    .map(|&(_, p)| -(1.0 - p.min(0.999_999)).ln())
+                    .sum();
+                (total_q >= min_contribution).then_some((taxi, covered))
+            })
+            .collect();
+        if candidates.len() < n {
+            return Err(BuildError::NotEnoughCandidates {
+                available: candidates.len(),
+                requested: n,
+            });
+        }
+        shuffle(&mut candidates, rng);
+        candidates.truncate(n);
+
+        let normal = Normal::new(self.params.cost_mean, self.params.cost_std_dev);
+        let (lo, hi) = self.params.tasks_per_user;
+        let mut users = Vec::with_capacity(n);
+        let mut taxis = Vec::with_capacity(n);
+        for (idx, (taxi, mut covered)) in candidates.into_iter().enumerate() {
+            // Task-set size per Table II, capped by what the taxi covers.
+            // The set itself is drawn uniformly from her covered tasks —
+            // users have idiosyncratic preferences (expertise, routing)
+            // beyond raw reachability, and this matches the paper's
+            // "depending on her location and other factors … decides a set
+            // of tasks".
+            let size = rng.gen_range(lo..=hi).min(covered.len());
+            shuffle(&mut covered, rng);
+            covered.truncate(size);
+            let cost = normal.sample_truncated_below(rng, 0.0);
+            let mut builder = UserType::builder(UserId::new(idx as u32))
+                .cost(Cost::new(cost).expect("truncated cost is valid"));
+            for (task, pos) in covered {
+                builder = builder.task(task, Pos::saturating(pos));
+            }
+            users.push(builder.build().expect("non-empty task set"));
+            taxis.push(taxi);
+        }
+
+        let requirement = Pos::saturating(self.params.pos_requirement);
+        let tasks: Vec<Task> = locations
+            .iter()
+            .enumerate()
+            .map(|(idx, _)| Task::new(TaskId::new(idx as u32), requirement))
+            .collect();
+        let profile =
+            TypeProfile::new(users, tasks).expect("constructed multi-task profile is valid");
+        Ok(Population { profile, taxis })
+    }
+}
+
+/// Fisher–Yates shuffle (avoids pulling in `rand`'s `SliceRandom` trait
+/// just for this).
+fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// A shared small data set so the whole test module builds it once.
+    fn dataset() -> &'static Dataset {
+        static DATASET: OnceLock<Dataset> = OnceLock::new();
+        DATASET.get_or_init(|| Dataset::build(DatasetParams::small()))
+    }
+
+    #[test]
+    fn dataset_build_is_deterministic() {
+        let a = Dataset::build(DatasetParams::small());
+        assert_eq!(a.train(), dataset().train());
+        assert_eq!(a.popular_locations(5), dataset().popular_locations(5));
+    }
+
+    #[test]
+    fn popular_locations_are_sorted_by_visits() {
+        let ds = dataset();
+        let popular = ds.popular_locations(10);
+        assert_eq!(popular.len(), 10);
+        for pair in popular.windows(2) {
+            assert!(ds.visit_count(pair[0]) >= ds.visit_count(pair[1]));
+        }
+    }
+
+    #[test]
+    fn single_task_population_has_requested_shape() {
+        let ds = dataset();
+        let builder = PopulationBuilder::new(ds, SimParams::default());
+        let task = ds.popular_locations(1)[0];
+        let mut rng = StdRng::seed_from_u64(5);
+        let population = builder.single_task(task, 20, &mut rng).unwrap();
+        assert_eq!(population.profile.user_count(), 20);
+        assert_eq!(population.taxis.len(), 20);
+        assert!(population.profile.is_single_task());
+        for user in population.profile.users() {
+            assert!(user.cost().value() >= 0.0);
+            let pos = user.pos_for(TaskId::new(0)).unwrap();
+            assert!(pos.value() > 0.0, "candidate without positive PoS");
+        }
+    }
+
+    #[test]
+    fn single_task_rejects_oversized_requests() {
+        let ds = dataset();
+        let builder = PopulationBuilder::new(ds, SimParams::default());
+        let task = ds.popular_locations(1)[0];
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = builder.single_task(task, 10_000, &mut rng).unwrap_err();
+        assert!(matches!(err, BuildError::NotEnoughCandidates { .. }));
+    }
+
+    #[test]
+    fn multi_task_population_respects_table2_sizes() {
+        let ds = dataset();
+        let builder = PopulationBuilder::new(ds, SimParams::default());
+        let mut rng = StdRng::seed_from_u64(6);
+        let population = builder.multi_task(15, 30, &mut rng).unwrap();
+        assert_eq!(population.profile.user_count(), 30);
+        assert_eq!(population.profile.task_count(), 15);
+        for user in population.profile.users() {
+            assert!(user.task_count() >= 1);
+            assert!(user.task_count() <= 20);
+        }
+    }
+
+    #[test]
+    fn populations_are_seed_deterministic() {
+        let ds = dataset();
+        let builder = PopulationBuilder::new(ds, SimParams::default());
+        let task = ds.popular_locations(1)[0];
+        let a = builder
+            .single_task(task, 15, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = builder
+            .single_task(task, 15, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

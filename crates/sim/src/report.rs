@@ -1,0 +1,262 @@
+//! Plain-text reporting: aligned tables for the terminal and markdown for
+//! `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled data series, e.g. a curve in a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label ("FPTAS (ε=0.5)", "OPT", …).
+    pub label: String,
+    /// `(x, y)` points. `NaN` y-values mean "no data for this x" and are
+    /// rendered as `-`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// The y-value at `x`, if present and not NaN.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(px, _)| px == x)
+            .map(|&(_, y)| y)
+            .filter(|y| !y.is_nan())
+    }
+}
+
+/// A figure-shaped result: multiple series over a shared x-axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chart {
+    /// Chart title (e.g. "Figure 5(a): social cost, single task").
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Chart {
+    /// Creates a chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        series: Vec<Series>,
+    ) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series,
+        }
+    }
+
+    /// All distinct x-values across series, ascending.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+        xs
+    }
+
+    /// Renders an aligned text table: one row per x, one column per series.
+    pub fn to_table(&self) -> String {
+        let mut header: Vec<String> = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.label.clone()));
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for x in self.xs() {
+            let mut row = vec![format_number(x)];
+            for series in &self.series {
+                row.push(
+                    series
+                        .y_at(x)
+                        .map_or_else(|| "-".to_string(), format_number),
+                );
+            }
+            rows.push(row);
+        }
+        let mut out = format!("# {}  [y: {}]\n", self.title, self.y_label);
+        out.push_str(&render_aligned(&rows));
+        out
+    }
+
+    /// Renders an RFC-4180-style CSV table (header row, one row per x;
+    /// missing points are empty fields) — convenient for external plotting
+    /// tools.
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&quote(&self.x_label));
+        for series in &self.series {
+            out.push(',');
+            out.push_str(&quote(&series.label));
+        }
+        out.push('\n');
+        for x in self.xs() {
+            out.push_str(&format_number(x));
+            for series in &self.series {
+                out.push(',');
+                if let Some(y) = series.y_at(x) {
+                    out.push_str(&format_number(y));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("**{}** (y: {})\n\n", self.title, self.y_label));
+        out.push_str(&format!(
+            "| {} | {} |\n",
+            self.x_label,
+            self.series
+                .iter()
+                .map(|s| s.label.clone())
+                .collect::<Vec<_>>()
+                .join(" | ")
+        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.series.len() + 1)));
+        for x in self.xs() {
+            let cells: Vec<String> = self
+                .series
+                .iter()
+                .map(|s| s.y_at(x).map_or_else(|| "-".to_string(), format_number))
+                .collect();
+            out.push_str(&format!(
+                "| {} | {} |\n",
+                format_number(x),
+                cells.join(" | ")
+            ));
+        }
+        out
+    }
+}
+
+/// Formats a number compactly: integers without decimals, otherwise 4
+/// significant-ish decimals.
+pub fn format_number(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+fn render_aligned(rows: &[Vec<String>]) -> String {
+    let columns = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let widths: Vec<usize> = (0..columns)
+        .map(|c| {
+            rows.iter()
+                .filter_map(|r| r.get(c))
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut out = String::new();
+    for (idx, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{cell:>width$}", width = widths[c]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+        if idx == 0 {
+            let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+            out.push_str(&rule.join("  "));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart::new(
+            "Figure X",
+            "n",
+            "cost",
+            vec![
+                Series::new("A", vec![(10.0, 1.5), (20.0, 1.0)]),
+                Series::new("B", vec![(10.0, 2.0), (30.0, f64::NAN)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn xs_merge_and_sort() {
+        assert_eq!(chart().xs(), vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn missing_points_render_as_dash() {
+        let table = chart().to_table();
+        assert!(table.contains('-'));
+        let lines: Vec<&str> = table.lines().collect();
+        // Title + header + rule + 3 data rows.
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    fn csv_has_header_and_empty_cells_for_missing_points() {
+        let csv = chart().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,A,B");
+        assert_eq!(lines[1], "10,1.5000,2");
+        assert_eq!(lines[2], "20,1,");
+        assert_eq!(lines[3], "30,,");
+    }
+
+    #[test]
+    fn csv_quotes_commas_in_labels() {
+        let chart = Chart::new("t", "x", "y", vec![Series::new("a,b", vec![(1.0, 2.0)])]);
+        assert!(chart.to_csv().starts_with("x,\"a,b\""));
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let md = chart().to_markdown();
+        assert!(md.contains("| n | A | B |"));
+        assert!(md.contains("|---|---|---|"));
+    }
+
+    #[test]
+    fn y_at_filters_nan() {
+        let chart = chart();
+        assert_eq!(chart.series[1].y_at(30.0), None);
+        assert_eq!(chart.series[0].y_at(20.0), Some(1.0));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(42.0), "42");
+        assert_eq!(format_number(0.12345), "0.1235");
+    }
+}

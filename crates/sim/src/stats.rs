@@ -1,0 +1,315 @@
+//! Small statistics toolkit: summaries, ECDFs, histograms, and a
+//! Box–Muller normal sampler (kept in-tree to avoid an extra dependency).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Mean of a sample (0 for an empty one).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Unbiased sample standard deviation (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// An empirical CDF over a sample.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_sim::stats::Ecdf;
+///
+/// let ecdf = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(ecdf.eval(2.5), 0.5);
+/// assert_eq!(ecdf.eval(0.0), 0.0);
+/// assert_eq!(ecdf.eval(9.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF (NaNs are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN.
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "ECDF over NaN is meaningless"
+        );
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Ecdf { sorted: values }
+    }
+
+    /// `P(X ≤ x)` under the empirical distribution.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The sample in ascending order.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `(x, F(x))` pairs at each sample point — the plottable curve.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// A fixed-range equal-width histogram (an empirical PDF when normalized).
+///
+/// # Examples
+///
+/// ```
+/// use mcs_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 4);
+/// for v in [0.1, 0.15, 0.6, 0.9] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.counts(), &[2, 0, 1, 1]);
+/// let pdf = h.density();
+/// // Densities integrate to 1: Σ density·bin_width = 1.
+/// let integral: f64 = pdf.iter().map(|&(_, d)| d * 0.25).sum();
+/// assert!((integral - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range or zero bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds a value; out-of-range values clamp into the first/last bin.
+    pub fn add(&mut self, value: f64) {
+        assert!(!value.is_nan(), "histogram over NaN is meaningless");
+        let bins = self.counts.len();
+        let idx = if value <= self.lo {
+            0
+        } else if value >= self.hi {
+            bins - 1
+        } else {
+            (((value - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Adds all values from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total added values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// `(bin centre, density)` pairs; densities integrate to 1.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let w = self.bin_width();
+        let total = self.total.max(1) as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let centre = self.lo + (i as f64 + 0.5) * w;
+                (centre, c as f64 / (total * w))
+            })
+            .collect()
+    }
+
+    /// `(bin centre, fraction)` pairs; fractions sum to 1.
+    pub fn fractions(&self) -> Vec<(f64, f64)> {
+        let w = self.bin_width();
+        let total = self.total.max(1) as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c as f64 / total))
+            .collect()
+    }
+}
+
+/// A Box–Muller Gaussian sampler.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_sim::stats::{mean, std_dev, Normal};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let normal = Normal::new(15.0, 5.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let sample: Vec<f64> = (0..20_000).map(|_| normal.sample(&mut rng)).collect();
+/// assert!((mean(&sample) - 15.0).abs() < 0.1);
+/// assert!((std_dev(&sample) - 5.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            mean.is_finite() && std_dev.is_finite(),
+            "parameters must be finite"
+        );
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        Normal { mean, std_dev }
+    }
+
+    /// Draws one sample (Box–Muller transform).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u ∈ (0, 1] to keep ln(u) finite.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        let v: f64 = rng.gen();
+        let z = (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos();
+        self.mean + self.std_dev * z
+    }
+
+    /// Draws a sample truncated below at `min` (rejection sampling; falls
+    /// back to `min` after 1000 rejections, which for the paper's
+    /// N(15, 5) truncated at 0 is a ~1e-3 probability event per draw
+    /// overall).
+    pub fn sample_truncated_below<R: Rng + ?Sized>(&self, rng: &mut R, min: f64) -> f64 {
+        for _ in 0..1000 {
+            let x = self.sample(rng);
+            if x >= min {
+                return x;
+            }
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_std_dev_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_is_right_continuous_step_function() {
+        let ecdf = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(ecdf.eval(0.5), 0.0);
+        assert_eq!(ecdf.eval(1.0), 0.25);
+        assert_eq!(ecdf.eval(2.0), 0.75);
+        assert_eq!(ecdf.eval(3.0), 1.0);
+        let curve = ecdf.curve();
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(5.0);
+        h.add(1.0); // hi boundary goes to the last bin
+        assert_eq!(h.counts(), &[1, 2]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend((0..100).map(|i| f64::from(i) / 10.0));
+        let sum: f64 = h.fractions().iter().map(|&(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_sampling_respects_bound() {
+        let normal = Normal::new(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(normal.sample_truncated_below(&mut rng, 0.5) >= 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_histogram_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: one sealed-bid reverse auction with execution uncertainty.
+//!
+//! Four mobile users bid on a single sensing task that the platform wants
+//! completed with probability at least 0.9. We run the strategy-proof
+//! single-task mechanism (FPTAS winner determination + execution-contingent
+//! rewards), simulate the uncertain execution, and settle payments.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mcs_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<()> {
+    // The paper's running example: users bid (cost, probability of
+    // success). User 2 is cheap but unreliable; user 3 reliable but pricey.
+    let users = vec![
+        UserType::single(UserId::new(0), 3.0, 0.7)?,
+        UserType::single(UserId::new(1), 2.0, 0.7)?,
+        UserType::single(UserId::new(2), 1.0, 0.5)?,
+        UserType::single(UserId::new(3), 4.0, 0.8)?,
+    ];
+    let profile = TypeProfile::single_task(Pos::new(0.9)?, users)?;
+
+    // ε = 0.1 → winner set within 10% of the cheapest possible;
+    // α = 10 → reward spread between success and failure.
+    let mechanism = SingleTaskMechanism::new(0.1, 10.0)?;
+    let auction = ReverseAuction::new(mechanism);
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let outcome = auction.run(&profile, &mut rng)?;
+
+    println!("winners:      {}", outcome.allocation);
+    println!(
+        "social cost:  {:.2}",
+        outcome.allocation.social_cost(&profile)?.value()
+    );
+    println!(
+        "achieved PoS: {:.4}  (required 0.9)",
+        outcome
+            .achieved_pos(&profile, TaskId::new(0))
+            .expect("some winner covers the task")
+    );
+    println!();
+    for winner in outcome.allocation.winners() {
+        let completed = outcome.executions[&winner].completed(TaskId::new(0));
+        println!(
+            "{winner}: completed={completed:<5}  reward={:+.3}  realized utility={:+.3}  \
+             expected utility={:+.3}",
+            outcome.rewards[&winner],
+            outcome.utilities[&winner],
+            outcome.expected_utilities[&winner],
+        );
+    }
+    println!();
+    println!("Every truthful winner has non-negative *expected* utility —");
+    println!("a single unlucky run can pay less, but misreporting PoS never helps.");
+    Ok(())
+}

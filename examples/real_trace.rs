@@ -1,0 +1,107 @@
+//! Pointing the pipeline at an *external* trace file.
+//!
+//! Everything else in this repository runs on the built-in synthetic city,
+//! but the library is designed to consume a real data set: discretize your
+//! GPS records into `(taxi, slot, location)` rows, write them as CSV, and
+//! the learning / prediction / auction layers take it from there.
+//!
+//! This example manufactures such a file (so it runs self-contained),
+//! then treats it exactly as foreign data:
+//!
+//! 1. parse the CSV with `trace_io::read_csv`,
+//! 2. split train/test, learn per-taxi models, report held-out quality,
+//! 3. build users from the learned visit profiles and run an auction.
+//!
+//! ```text
+//! cargo run --release --example real_trace
+//! ```
+
+use mcs_core::prelude::*;
+use mcs_mobility::learn::{learn_all, Smoothing};
+use mcs_mobility::predict::{top_k_accuracy, visit_profile};
+use mcs_mobility::synth::{CityConfig, SyntheticCity};
+use mcs_mobility::trace_io::{read_csv, write_csv};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    // --- Stand-in for "your GPS export": write a CSV to a temp file. ---
+    let path = std::env::temp_dir().join("mcs_example_trace.csv");
+    {
+        let mut rng = StdRng::seed_from_u64(11);
+        let city = SyntheticCity::generate(CityConfig::default(), &mut rng);
+        let traces = city.simulate(200, 360, &mut rng);
+        let file = std::fs::File::create(&path)?;
+        write_csv(&traces, std::io::BufWriter::new(file))?;
+    }
+    println!(
+        "trace file: {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // --- From here on, the file is all we know. ---
+    let traces = read_csv(std::fs::File::open(&path)?)?;
+    println!(
+        "parsed {} events from {} taxis",
+        traces.event_count(),
+        traces.taxi_count()
+    );
+
+    let (train, test) = traces.split_at_slot(330);
+    let models = learn_all(&train, Smoothing::Paper);
+    let accuracy = top_k_accuracy(&models, &test, 9).unwrap_or(0.0);
+    println!("held-out top-9 prediction accuracy: {accuracy:.3}");
+
+    // Users for one task: taxis whose 12-slot visit profile covers the
+    // busiest cell of the data set.
+    let sensing_models = learn_all(&train, Smoothing::AddLambda(0.25));
+    let mut visits = std::collections::BTreeMap::new();
+    for taxi in train.taxis() {
+        for event in train.trace(taxi) {
+            *visits.entry(event.location).or_insert(0u64) += 1;
+        }
+    }
+    let (&task_cell, _) = visits
+        .iter()
+        .max_by_key(|&(_, &count)| count)
+        .expect("events exist");
+    println!("task location: the busiest cell, {task_cell}");
+
+    let mut users = Vec::new();
+    let mut rng = StdRng::seed_from_u64(12);
+    for (idx, taxi) in train.taxis().enumerate() {
+        let model = &sensing_models[&taxi];
+        let Some(&origin) = model.visited().first() else {
+            continue;
+        };
+        let profile = visit_profile(model, origin, 12);
+        let Some(&(_, pos)) = profile.iter().find(|&&(cell, _)| cell == task_cell) else {
+            continue;
+        };
+        use rand::Rng;
+        let cost = rng.gen_range(8.0..22.0);
+        users.push(
+            UserType::builder(UserId::new(idx as u32))
+                .cost(Cost::new(cost)?)
+                .task(TaskId::new(0), Pos::saturating(pos))
+                .build()?,
+        );
+    }
+    println!("{} taxis can serve the task", users.len());
+
+    let profile = TypeProfile::single_task(Pos::new(0.8)?, users)?;
+    let auction = ReverseAuction::new(SingleTaskMechanism::new(0.5, 10.0)?);
+    let outcome = auction.run(&profile, &mut rng)?;
+    println!(
+        "auction: {} winners, social cost {:.1}, achieved PoS {:.3}",
+        outcome.allocation.winner_count(),
+        outcome.social_cost.value(),
+        outcome
+            .achieved_pos(&profile, TaskId::new(0))
+            .expect("winners cover the task"),
+    );
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

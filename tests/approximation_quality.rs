@@ -1,0 +1,174 @@
+//! Approximation-ratio integration tests: the FPTAS against `1+ε`
+//! (Theorem 2) and the greedy against `H(γ)` (Theorem 5), on randomized
+//! instances with the exact solvers as references.
+
+use mcs_core::analysis::measure_ratio;
+use mcs_core::baselines::{MinGreedy, OptimalMultiTask, OptimalSingleTask};
+use mcs_core::multi_task::GreedyWinnerDetermination;
+use mcs_core::single_task::FptasWinnerDetermination;
+use mcs_core::submodular::CoverageFunction;
+use mcs_core::types::{Cost, Pos, Task, TaskId, TypeProfile, UserId, UserType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_single(rng: &mut StdRng, n: usize) -> TypeProfile {
+    let users = (0..n)
+        .map(|i| {
+            UserType::single(
+                UserId::new(i as u32),
+                rng.gen_range(0.5..20.0),
+                rng.gen_range(0.05..0.7),
+            )
+            .unwrap()
+        })
+        .collect();
+    TypeProfile::single_task(Pos::new(rng.gen_range(0.5..0.9)).unwrap(), users).unwrap()
+}
+
+fn random_multi(rng: &mut StdRng, n: usize, t: usize) -> TypeProfile {
+    let tasks: Vec<Task> = (0..t)
+        .map(|j| Task::with_requirement(TaskId::new(j as u32), rng.gen_range(0.4..0.75)).unwrap())
+        .collect();
+    let users: Vec<UserType> = (0..n)
+        .map(|i| {
+            let mut b = UserType::builder(UserId::new(i as u32))
+                .cost(Cost::new(rng.gen_range(0.5..15.0)).unwrap());
+            let size = rng.gen_range(1..=t);
+            let mut ids: Vec<u32> = (0..t as u32).collect();
+            for _ in 0..size {
+                let pick = rng.gen_range(0..ids.len());
+                b = b.task(
+                    TaskId::new(ids.swap_remove(pick)),
+                    Pos::new(rng.gen_range(0.05..0.6)).unwrap(),
+                );
+            }
+            b.build().unwrap()
+        })
+        .collect();
+    TypeProfile::new(users, tasks).unwrap()
+}
+
+#[test]
+fn fptas_respects_one_plus_epsilon_across_epsilons() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let optimal = OptimalSingleTask::new();
+    for epsilon in [0.05, 0.25, 0.5, 1.0, 2.0] {
+        let fptas = FptasWinnerDetermination::new(epsilon).unwrap();
+        let mut measured = 0;
+        for _ in 0..12 {
+            let profile = random_single(&mut rng, 18);
+            let Ok(m) = measure_ratio(&fptas, &optimal, &profile) else {
+                continue;
+            };
+            assert!(
+                m.ratio() <= 1.0 + epsilon + 1e-9,
+                "ε={epsilon}: ratio {} beyond guarantee",
+                m.ratio()
+            );
+            measured += 1;
+        }
+        assert!(measured >= 6, "ε={epsilon}: too few feasible instances");
+    }
+}
+
+#[test]
+fn tighter_epsilon_is_never_worse_on_average() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let coarse = FptasWinnerDetermination::new(1.0).unwrap();
+    let fine = FptasWinnerDetermination::new(0.05).unwrap();
+    let optimal = OptimalSingleTask::new();
+    let mut coarse_total = 0.0;
+    let mut fine_total = 0.0;
+    let mut counted = 0;
+    for _ in 0..15 {
+        let profile = random_single(&mut rng, 16);
+        let (Ok(a), Ok(b)) = (
+            measure_ratio(&coarse, &optimal, &profile),
+            measure_ratio(&fine, &optimal, &profile),
+        ) else {
+            continue;
+        };
+        coarse_total += a.ratio();
+        fine_total += b.ratio();
+        counted += 1;
+    }
+    assert!(counted >= 8);
+    assert!(
+        fine_total <= coarse_total + 1e-9,
+        "finer ε averaged worse: {fine_total} vs {coarse_total}"
+    );
+}
+
+#[test]
+fn greedy_respects_h_gamma_bound() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let greedy = GreedyWinnerDetermination::new();
+    let optimal = OptimalMultiTask::new();
+    let mut measured = 0;
+    for _ in 0..12 {
+        let profile = random_multi(&mut rng, 10, 4);
+        let Ok(m) = measure_ratio(&greedy, &optimal, &profile) else {
+            continue;
+        };
+        let coverage = CoverageFunction::new(&profile, 0.05).unwrap();
+        let bound = coverage.greedy_ratio_bound();
+        assert!(
+            m.ratio() <= bound + 1e-9,
+            "greedy ratio {} beyond H(γ) = {bound}",
+            m.ratio()
+        );
+        measured += 1;
+    }
+    assert!(measured >= 6, "too few feasible instances");
+}
+
+#[test]
+fn min_greedy_stays_within_factor_two() {
+    let mut rng = StdRng::seed_from_u64(19);
+    let greedy = MinGreedy::new();
+    let optimal = OptimalSingleTask::new();
+    let mut worst: f64 = 1.0;
+    let mut measured = 0;
+    for _ in 0..25 {
+        let profile = random_single(&mut rng, 14);
+        let Ok(m) = measure_ratio(&greedy, &optimal, &profile) else {
+            continue;
+        };
+        worst = worst.max(m.ratio());
+        measured += 1;
+    }
+    assert!(measured >= 12);
+    assert!(
+        worst <= 2.0 + 1e-9,
+        "Min-Greedy worst ratio {worst} above 2"
+    );
+}
+
+#[test]
+fn fptas_beats_or_matches_min_greedy_in_aggregate() {
+    // The ordering Figure 5(a) plots.
+    let mut rng = StdRng::seed_from_u64(23);
+    let fptas = FptasWinnerDetermination::new(0.5).unwrap();
+    let greedy = MinGreedy::new();
+    let optimal = OptimalSingleTask::new();
+    let mut fptas_total = 0.0;
+    let mut greedy_total = 0.0;
+    let mut counted = 0;
+    for _ in 0..20 {
+        let profile = random_single(&mut rng, 20);
+        let (Ok(a), Ok(b)) = (
+            measure_ratio(&fptas, &optimal, &profile),
+            measure_ratio(&greedy, &optimal, &profile),
+        ) else {
+            continue;
+        };
+        fptas_total += a.approximate_cost;
+        greedy_total += b.approximate_cost;
+        counted += 1;
+    }
+    assert!(counted >= 10);
+    assert!(
+        fptas_total <= greedy_total + 1e-9,
+        "FPTAS total {fptas_total} above Min-Greedy total {greedy_total}"
+    );
+}

@@ -1,0 +1,118 @@
+//! Integration tests for the extension features on pipeline-generated
+//! instances: prepared (repeated-round) auctions, cost-verification
+//! audits, and budget-feasible recruitment.
+
+use mcs_core::auction::ReverseAuction;
+use mcs_core::extensions::{
+    check_cost_truthfulness, minimum_full_coverage_budget, required_fine_factor, BudgetedGreedy,
+    CostAudit,
+};
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::multi_task::GreedyWinnerDetermination;
+use mcs_core::single_task::SingleTaskMechanism;
+use mcs_core::types::Cost;
+use mcs_sim::config::{DatasetParams, SimParams};
+use mcs_sim::population::{Dataset, PopulationBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| Dataset::build(DatasetParams::small()))
+}
+
+#[test]
+fn prepared_auction_matches_run_stream_for_stream() {
+    let ds = dataset();
+    let builder = PopulationBuilder::new(ds, SimParams::default());
+    let task = ds.single_task_location(60).expect("covered cell");
+    let population = builder
+        .single_task(task, 30, &mut StdRng::seed_from_u64(1))
+        .unwrap();
+    let auction = ReverseAuction::new(SingleTaskMechanism::new(0.5, 10.0).unwrap());
+
+    // Same RNG stream ⇒ bit-identical outcomes, whichever path computed
+    // the (deterministic) rewards.
+    let via_run = auction
+        .run(&population.profile, &mut StdRng::seed_from_u64(9))
+        .unwrap();
+    let prepared = auction.prepare(&population.profile).unwrap();
+    let via_prepared = prepared.execute(&mut StdRng::seed_from_u64(9));
+    assert_eq!(via_run, via_prepared);
+
+    // And repeated rounds share the allocation but differ in draws.
+    let mut rng = StdRng::seed_from_u64(10);
+    let a = prepared.execute(&mut rng);
+    let b = prepared.execute(&mut rng);
+    assert_eq!(a.allocation, b.allocation);
+    assert_eq!(a.social_cost, b.social_cost);
+}
+
+#[test]
+fn cost_audit_closes_the_cost_dimension_on_pipeline_data() {
+    let ds = dataset();
+    let builder = PopulationBuilder::new(ds, SimParams::default());
+    let task = ds.single_task_location(40).expect("covered cell");
+    let population = builder
+        .single_task(task, 12, &mut StdRng::seed_from_u64(2))
+        .unwrap();
+    let mechanism = SingleTaskMechanism::new(0.4, 10.0).unwrap();
+    let factors = [0.5, 0.8, 1.25, 2.0];
+
+    // The empirically required fine deters everything on this instance…
+    let pi = 0.5;
+    let lambda = required_fine_factor(&mechanism, pi, &population.profile, &factors).unwrap();
+    let audit = CostAudit::new(pi, lambda + 1e-6).unwrap();
+    let violations =
+        check_cost_truthfulness(&mechanism, &audit, &population.profile, &factors, 1e-6).unwrap();
+    assert!(
+        violations.is_empty(),
+        "audited misreports paid: {violations:?}"
+    );
+
+    // …and the required fine at least covers the overstatement bound.
+    assert!(
+        lambda >= 1.0 / pi - 1e-9,
+        "λ* = {lambda} below the 1/π floor"
+    );
+}
+
+#[test]
+fn budgeted_greedy_traces_a_concave_coverage_curve() {
+    let ds = dataset();
+    let builder = PopulationBuilder::new(ds, SimParams::default());
+    let population = builder
+        .multi_task(12, 50, &mut StdRng::seed_from_u64(3))
+        .unwrap();
+    let unconstrained = GreedyWinnerDetermination::new()
+        .select_winners(&population.profile)
+        .expect("feasible instance");
+    let full_cost = unconstrained
+        .social_cost(&population.profile)
+        .unwrap()
+        .value();
+
+    let mut last = -1.0;
+    for fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let outcome = BudgetedGreedy::new(Cost::new(full_cost * fraction).unwrap())
+            .run(&population.profile)
+            .unwrap();
+        let ratio = outcome.coverage_ratio();
+        assert!(
+            ratio >= last - 1e-12,
+            "coverage fell at fraction {fraction}"
+        );
+        assert!(outcome.spent.value() <= full_cost * fraction + 1e-9);
+        last = ratio;
+    }
+    // At the unconstrained cost, coverage is complete.
+    assert!((last - 1.0).abs() < 1e-9, "full budget covered only {last}");
+
+    // The probe helper finds a threshold at or below the unconstrained cost.
+    let probes: Vec<f64> = (0..=20).map(|i| full_cost * f64::from(i) / 20.0).collect();
+    let threshold = minimum_full_coverage_budget(&population.profile, &probes)
+        .unwrap()
+        .expect("full coverage is achievable");
+    assert!(threshold.value() <= full_cost + 1e-9);
+}

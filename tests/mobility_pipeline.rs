@@ -1,0 +1,127 @@
+//! Integration of the mobility substrate: synthetic city → traces →
+//! learned models → predictions → auction-ready PoS values.
+
+use mcs_mobility::learn::{learn_all, Smoothing};
+use mcs_mobility::predict::{accuracy_curve, top_k_accuracy, visit_probability, visit_profile};
+use mcs_mobility::synth::{CityConfig, SyntheticCity};
+use mcs_sim::config::DatasetParams;
+use mcs_sim::population::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| Dataset::build(DatasetParams::small()))
+}
+
+#[test]
+fn accuracy_curve_is_monotone_and_beats_chance() {
+    let ds = dataset();
+    let curve = accuracy_curve(ds.models(), ds.test(), 3..=15);
+    assert_eq!(curve.len(), 13);
+    for pair in curve.windows(2) {
+        assert!(
+            pair[1].1 >= pair[0].1 - 1e-12,
+            "accuracy fell from k={}",
+            pair[0].0
+        );
+    }
+    // Random guessing over 400 cells at k = 9 is 2.25%.
+    let (_, at9) = curve[6];
+    assert!(at9 > 0.3, "accuracy@9 = {at9}");
+}
+
+#[test]
+fn paper_smoothing_is_strictly_more_conservative_than_add_one() {
+    let ds = dataset();
+    for (taxi, paper_model) in ds.models().iter().take(20) {
+        let add_one = &ds.sensing_models()[taxi];
+        for &from in paper_model.visited() {
+            for &to in paper_model.visited() {
+                let paper = paper_model.prob(from, to);
+                let one = add_one.prob(from, to);
+                assert!(
+                    paper <= one + 1e-12,
+                    "{taxi}: paper {paper} above add-one {one} for {from}->{to}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn longer_training_does_not_hurt_accuracy() {
+    let config = CityConfig::default();
+    let mut rng = StdRng::seed_from_u64(42);
+    let city = SyntheticCity::generate(config, &mut rng);
+    let traces = city.simulate(120, 400, &mut rng);
+    let (_, test) = traces.split_at_slot(360);
+
+    let (short_train, _) = traces.split_at_slot(120);
+    let (long_train, _) = traces.split_at_slot(360);
+    let short = top_k_accuracy(&learn_all(&short_train, Smoothing::Paper), &test, 9).unwrap();
+    let long = top_k_accuracy(&learn_all(&long_train, Smoothing::Paper), &test, 9).unwrap();
+    assert!(
+        long >= short - 0.05,
+        "tripling the data dropped accuracy: {short} -> {long}"
+    );
+}
+
+#[test]
+fn dataset_predictions_are_valid_pos_values() {
+    let ds = dataset();
+    assert!(!ds.predictions().is_empty());
+    for (taxi, predictions) in ds.predictions() {
+        assert!(!predictions.is_empty(), "{taxi} has empty predictions");
+        assert!(predictions.len() <= Dataset::MAX_PREDICTIONS);
+        for pair in predictions.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "{taxi}: predictions not sorted");
+        }
+        for &(_, p) in predictions {
+            assert!((0.0..=1.0).contains(&p), "{taxi}: PoS {p} out of range");
+            assert!(p > 0.0, "{taxi}: zero-PoS prediction kept");
+        }
+    }
+}
+
+#[test]
+fn visit_profile_is_consistent_with_exact_absorption() {
+    // On real learned models (not toy chains): estimates track the exact
+    // absorbing-chain probabilities within a few percent for the tail and
+    // never invert badly in ranking.
+    let ds = dataset();
+    let (taxi, model) = ds.sensing_models().iter().next().unwrap();
+    let _ = taxi;
+    let origin = model.visited()[0];
+    let profile = visit_profile(model, origin, 6);
+    for &(target, estimate) in profile.iter().take(10) {
+        let exact = visit_probability(model, origin, target, 6);
+        assert!((0.0..=1.0).contains(&estimate));
+        assert!(
+            (estimate - exact).abs() < 0.25,
+            "estimate drifted: {estimate} vs {exact}"
+        );
+    }
+}
+
+#[test]
+fn campaign_locations_are_clustered_and_popular() {
+    let ds = dataset();
+    let campaign = ds.campaign_locations(25);
+    assert_eq!(campaign.len(), 25);
+    let grid = ds.city().grid();
+    let anchor = ds.popular_locations(1)[0];
+    // Every campaign cell is reasonably close to the anchor…
+    for &cell in &campaign {
+        assert!(
+            grid.distance_km(anchor, cell) <= 14.0,
+            "campaign cell {cell} too far from the anchor"
+        );
+        // …and actually visited.
+        assert!(
+            ds.visit_count(cell) > 0,
+            "campaign cell {cell} never visited"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration of the multi-task, single-minded mechanism on
+//! pipeline-generated instances.
+
+use mcs_core::analysis::{
+    achieved_pos_all, check_individual_rationality, check_monotonicity, check_strategy_proofness,
+    meets_all_requirements,
+};
+use mcs_core::auction::ReverseAuction;
+use mcs_core::baselines::{MtVcg, OptimalMultiTask};
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::multi_task::MultiTaskMechanism;
+use mcs_sim::config::{DatasetParams, SimParams};
+use mcs_sim::population::{Dataset, PopulationBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| Dataset::build(DatasetParams::small()))
+}
+
+fn population(tasks: usize, n: usize, seed: u64) -> mcs_sim::population::Population {
+    PopulationBuilder::new(dataset(), SimParams::default())
+        .multi_task(tasks, n, &mut StdRng::seed_from_u64(seed))
+        .expect("population builds")
+}
+
+#[test]
+fn auction_round_trip_covers_every_task() {
+    let population = population(15, 60, 1);
+    let mechanism = MultiTaskMechanism::new(10.0).unwrap();
+    let auction = ReverseAuction::new(mechanism);
+    let outcome = auction
+        .run(&population.profile, &mut StdRng::seed_from_u64(2))
+        .expect("auction runs");
+
+    assert!(meets_all_requirements(
+        &population.profile,
+        &outcome.allocation
+    ));
+    for (task, achieved) in achieved_pos_all(&population.profile, &outcome.allocation) {
+        let required = population.profile.task(task).unwrap().requirement();
+        assert!(
+            achieved >= required,
+            "task {task}: achieved {achieved} < required {required}"
+        );
+    }
+    for (user, &utility) in &outcome.expected_utilities {
+        assert!(
+            utility >= -1e-9,
+            "winner {user} has negative expected utility"
+        );
+    }
+}
+
+#[test]
+fn economic_properties_hold_on_pipeline_instances() {
+    let population = population(8, 16, 3);
+    let mechanism = MultiTaskMechanism::new(10.0).unwrap();
+
+    let violations = check_strategy_proofness(
+        &mechanism,
+        &population.profile,
+        &[0.0, 0.5, 0.8, 1.25, 2.0, 5.0],
+        1e-6,
+    )
+    .unwrap();
+    assert!(
+        violations.is_empty(),
+        "profitable deviations: {violations:?}"
+    );
+
+    let ir = check_individual_rationality(&mechanism, &population.profile, 1e-6).unwrap();
+    assert!(ir.is_empty(), "IR violations: {ir:?}");
+
+    let demotions = check_monotonicity(&mechanism, &population.profile, &[1.2, 2.0]).unwrap();
+    assert!(
+        demotions.is_empty(),
+        "monotonicity violations: {demotions:?}"
+    );
+}
+
+#[test]
+fn greedy_tracks_opt_and_beats_vcg_on_fault_tolerance() {
+    let population = population(10, 40, 4);
+    let mechanism = MultiTaskMechanism::new(10.0).unwrap();
+    let greedy_allocation = mechanism.select_winners(&population.profile).unwrap();
+    let greedy_cost = greedy_allocation
+        .social_cost(&population.profile)
+        .unwrap()
+        .value();
+
+    // Near-optimal social cost.
+    let optimal = OptimalMultiTask::new()
+        .select_winners(&population.profile)
+        .unwrap();
+    let optimal_cost = optimal.social_cost(&population.profile).unwrap().value();
+    assert!(optimal_cost <= greedy_cost + 1e-9);
+    assert!(
+        greedy_cost <= 3.0 * optimal_cost + 1e-9,
+        "greedy {greedy_cost} far above OPT {optimal_cost}"
+    );
+
+    // MT-VCG covers tasks only nominally: its achieved PoS falls short
+    // somewhere (that is Figure 7's point).
+    let vcg = MtVcg::new().select_winners(&population.profile).unwrap();
+    let undershoots = achieved_pos_all(&population.profile, &vcg)
+        .into_iter()
+        .any(|(task, achieved)| achieved < population.profile.task(task).unwrap().requirement());
+    assert!(undershoots, "MT-VCG accidentally met every requirement");
+}
+
+#[test]
+fn single_minded_users_win_or_lose_atomically() {
+    // A winner is paid for her whole task set; she never appears as a
+    // partial participant. (Allocation is a set of users, so this checks
+    // the reward side: rewards exist exactly for winners.)
+    let population = population(12, 50, 5);
+    let mechanism = MultiTaskMechanism::new(10.0).unwrap();
+    let auction = ReverseAuction::new(mechanism);
+    let outcome = auction
+        .run(&population.profile, &mut StdRng::seed_from_u64(6))
+        .unwrap();
+    for user in population.profile.user_ids() {
+        assert_eq!(
+            outcome.rewards.contains_key(&user),
+            outcome.allocation.contains(user),
+            "reward bookkeeping out of sync for {user}"
+        );
+    }
+}
