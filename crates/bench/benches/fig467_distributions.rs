@@ -58,11 +58,9 @@ fn bench_fig7_vcg_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_vcg_baselines");
     let single = single_task_population(100, 4700);
     let st_vcg = StVcg::new();
-    group.bench_with_input(
-        BenchmarkId::new("st_vcg", 100),
-        &single.profile,
-        |b, p| b.iter(|| st_vcg.select_winners(black_box(p)).unwrap()),
-    );
+    group.bench_with_input(BenchmarkId::new("st_vcg", 100), &single.profile, |b, p| {
+        b.iter(|| st_vcg.select_winners(black_box(p)).unwrap())
+    });
     let multi = multi_task_population(15, 100, 4800);
     let mt_vcg = MtVcg::new();
     group.bench_with_input(

@@ -120,11 +120,19 @@ impl BudgetedGreedy {
                 break;
             }
             let remaining = self.budget - spent;
+            // Affordability must tolerate ulp-scale rounding: a budget set
+            // to the sum of some winner set's costs (accumulated in a
+            // different order) can sit a few ulps below the sequential
+            // `spent` sum, and exact comparison would then reject the
+            // final winner.
+            let slack = self.budget.value() * 1e-12;
             let best = profile
                 .users()
                 .iter()
                 .enumerate()
-                .filter(|&(idx, user)| !selected[idx] && user.cost() <= remaining)
+                .filter(|&(idx, user)| {
+                    !selected[idx] && user.cost().value() <= remaining.value() + slack
+                })
                 .map(|(idx, user)| (idx, user, capped_contribution(user, &residual)))
                 .filter(|(_, _, capped)| !capped.is_zero())
                 .max_by(|a, b| {

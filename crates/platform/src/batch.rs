@@ -1,0 +1,181 @@
+//! Round batching: turning the bid stream into closed auction rounds.
+//!
+//! The [`Batcher`] owns the intake queue for the round currently being
+//! filled and closes it into an immutable [`Round`] when the
+//! [`BatchPolicy`](crate::config::BatchPolicy) says so: the round reached
+//! its bid capacity, or its tick budget elapsed with at least one bid.
+
+use mcs_core::types::{Task, TypeProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::config::BatchPolicy;
+use crate::ingest::{Bid, IngestError, IngestQueue};
+
+/// Monotone identifier of a closed round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RoundId(pub u64);
+
+impl std::fmt::Display for RoundId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A closed round: a validated auction instance awaiting clearing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Round {
+    /// The round's identifier (assigned in closing order).
+    pub id: RoundId,
+    /// The declared type profile built from the round's accepted bids.
+    pub profile: TypeProfile,
+}
+
+/// Accumulates validated bids and closes rounds per the batch policy.
+#[derive(Debug)]
+pub struct Batcher {
+    policy: BatchPolicy,
+    tasks: Vec<Task>,
+    queue: IngestQueue,
+    next_id: u64,
+    ticks_open: u32,
+}
+
+impl Batcher {
+    /// Creates a batcher for rounds publishing `tasks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty — a round must publish something.
+    pub fn new(policy: BatchPolicy, tasks: Vec<Task>) -> Self {
+        assert!(!tasks.is_empty(), "a round must publish at least one task");
+        let queue = IngestQueue::new(tasks.iter().map(|t| t.id()));
+        Batcher {
+            policy,
+            tasks,
+            queue,
+            next_id: 0,
+            ticks_open: 0,
+        }
+    }
+
+    /// The tasks every round publishes.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Bids accepted into the round currently being filled.
+    pub fn pending_bids(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits a bid to the current round. Returns the closed round if
+    /// this bid filled it to `max_bids`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IngestError`] for malformed or duplicate bids; the
+    /// round keeps filling.
+    pub fn submit(&mut self, bid: &Bid) -> Result<Option<Round>, IngestError> {
+        self.queue.push(bid)?;
+        if self.queue.len() >= self.policy.max_bids {
+            return Ok(self.close());
+        }
+        Ok(None)
+    }
+
+    /// Advances the tick clock, closing a non-empty round whose tick
+    /// budget has elapsed.
+    pub fn tick(&mut self) -> Option<Round> {
+        if self.queue.is_empty() {
+            self.ticks_open = 0;
+            return None;
+        }
+        self.ticks_open += 1;
+        if self.ticks_open >= self.policy.max_ticks {
+            return self.close();
+        }
+        None
+    }
+
+    /// Force-closes the current round regardless of policy (e.g. at
+    /// shutdown). Returns `None` when no bids are pending.
+    pub fn flush(&mut self) -> Option<Round> {
+        self.close()
+    }
+
+    fn close(&mut self) -> Option<Round> {
+        self.ticks_open = 0;
+        if self.queue.is_empty() {
+            return None;
+        }
+        let users = self.queue.drain();
+        let profile = TypeProfile::new(users, self.tasks.clone())
+            .expect("validated bids form a well-formed profile");
+        let id = RoundId(self.next_id);
+        self.next_id += 1;
+        Some(Round { id, profile })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_core::types::TaskId;
+
+    fn batcher(max_bids: usize, max_ticks: u32) -> Batcher {
+        Batcher::new(
+            BatchPolicy {
+                max_bids,
+                max_ticks,
+            },
+            vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()],
+        )
+    }
+
+    fn bid(user: u32) -> Bid {
+        Bid {
+            user,
+            cost: 2.0,
+            tasks: vec![(0, 0.5)],
+        }
+    }
+
+    #[test]
+    fn closes_on_bid_capacity() {
+        let mut b = batcher(2, 100);
+        assert!(b.submit(&bid(0)).unwrap().is_none());
+        let round = b
+            .submit(&bid(1))
+            .unwrap()
+            .expect("round closes at capacity");
+        assert_eq!(round.id, RoundId(0));
+        assert_eq!(round.profile.user_count(), 2);
+        // The next round gets the next id.
+        b.submit(&bid(0)).unwrap();
+        b.submit(&bid(1)).unwrap();
+        assert_eq!(b.flush(), None); // already closed by capacity
+    }
+
+    #[test]
+    fn closes_on_tick_budget() {
+        let mut b = batcher(100, 3);
+        assert_eq!(b.tick(), None); // empty rounds never close
+        b.submit(&bid(0)).unwrap();
+        assert!(b.tick().is_none());
+        assert!(b.tick().is_none());
+        let round = b.tick().expect("tick budget elapsed");
+        assert_eq!(round.profile.user_count(), 1);
+        assert_eq!(b.tick(), None);
+    }
+
+    #[test]
+    fn flush_closes_partial_rounds_and_ids_are_monotone() {
+        let mut b = batcher(100, 100);
+        b.submit(&bid(0)).unwrap();
+        let first = b.flush().unwrap();
+        b.submit(&bid(5)).unwrap();
+        let second = b.flush().unwrap();
+        assert!(first.id < second.id);
+        assert_eq!(b.flush(), None);
+    }
+}

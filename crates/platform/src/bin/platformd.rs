@@ -1,0 +1,199 @@
+//! `platformd` — a load driver for the auction-serving engine.
+//!
+//! Synthesizes bid streams from `mcs-sim`'s taxi-fleet population
+//! generator, pushes them through the engine, and prints throughput plus
+//! the metrics snapshot.
+//!
+//! ```text
+//! platformd [--rounds N] [--users N] [--workers N] [--seed S]
+//!           [--multi TASKS] [--paper]
+//! ```
+//!
+//! * `--rounds`  rounds to synthesize (default 200)
+//! * `--users`   bidders per round (default 30)
+//! * `--workers` shard workers (default 4)
+//! * `--seed`    engine + stream seed (default 1)
+//! * `--multi`   publish TASKS tasks per round instead of one
+//! * `--paper`   use the test-scale data set instead of the reduced one
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mcs_core::types::{Task, TaskId};
+use mcs_platform::prelude::*;
+use mcs_sim::config::{DatasetParams, SimParams};
+use mcs_sim::population::{Dataset, PopulationBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Options {
+    rounds: usize,
+    users: usize,
+    workers: usize,
+    seed: u64,
+    multi: Option<usize>,
+    paper: bool,
+}
+
+impl Options {
+    fn parse() -> Result<Options, String> {
+        let mut options = Options {
+            rounds: 200,
+            users: 30,
+            workers: 4,
+            seed: 1,
+            multi: None,
+            paper: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value =
+                |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+            match arg.as_str() {
+                "--rounds" => options.rounds = parse(&value("--rounds")?)?,
+                "--users" => options.users = parse(&value("--users")?)?,
+                "--workers" => options.workers = parse(&value("--workers")?)?,
+                "--seed" => options.seed = parse(&value("--seed")?)?,
+                "--multi" => options.multi = Some(parse(&value("--multi")?)?),
+                "--paper" => options.paper = true,
+                "--help" | "-h" => {
+                    return Err("usage: platformd [--rounds N] [--users N] [--workers N] \
+                         [--seed S] [--multi TASKS] [--paper]"
+                        .to_string())
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(options)
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("could not parse {text:?}"))
+}
+
+fn main() -> ExitCode {
+    let options = match Options::parse() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // A reduced fleet keeps the default run under a few seconds; --paper
+    // switches to the scale the test suite uses.
+    let params = if options.paper {
+        DatasetParams::small()
+    } else {
+        DatasetParams {
+            taxi_count: 400,
+            slots: 240,
+            evaluation_slots: 24,
+            ..DatasetParams::default()
+        }
+    };
+    let sim = SimParams::default();
+
+    let start = Instant::now();
+    let dataset = Dataset::build(params);
+    println!(
+        "dataset: {} taxis, {} slots, built in {:.2?}",
+        params.taxi_count,
+        params.slots,
+        start.elapsed()
+    );
+    let builder = PopulationBuilder::new(&dataset, sim);
+
+    let requirement = sim.pos_requirement;
+    let tasks: Vec<Task> = match options.multi {
+        Some(count) => (0..count)
+            .map(|i| Task::with_requirement(TaskId::new(i as u32), requirement))
+            .collect::<Result<_, _>>()
+            .expect("valid requirement"),
+        None => {
+            vec![Task::with_requirement(TaskId::new(0), requirement).expect("valid requirement")]
+        }
+    };
+
+    let mut config = EngineConfig::default()
+        .with_workers(options.workers)
+        .with_seed(options.seed);
+    config.batch.max_bids = options.users;
+    config.alpha = sim.alpha;
+    config.epsilon = sim.epsilon;
+    let mut engine = Engine::new(config, tasks);
+
+    let location = dataset
+        .single_task_location(options.users)
+        .unwrap_or_else(|| dataset.popular_locations(1)[0]);
+    let mut rng = StdRng::seed_from_u64(options.seed);
+
+    // Ingest phase: synthesize one population per round and stream its
+    // bids; the round closes itself at max_bids.
+    let ingest_start = Instant::now();
+    let mut bids = 0u64;
+    for round in 0..options.rounds {
+        let population = match options.multi {
+            Some(count) => builder.multi_task(count, options.users, &mut rng),
+            None => builder.single_task(location, options.users, &mut rng),
+        };
+        let population = match population {
+            Ok(population) => population,
+            Err(error) => {
+                eprintln!("round {round}: cannot build population: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for user in population.profile.users() {
+            let bid = Bid {
+                user: user.id().index() as u32,
+                cost: user.cost().value(),
+                tasks: user
+                    .tasks()
+                    .map(|(task, pos)| (task.index() as u32, pos.value()))
+                    .collect(),
+            };
+            if let Err(error) = engine.submit(&bid) {
+                eprintln!("round {round}: rejected bid: {error}");
+            }
+            bids += 1;
+        }
+        engine.tick();
+    }
+    engine.flush();
+    let ingest_elapsed = ingest_start.elapsed();
+    println!(
+        "ingest: {bids} bids into {} rounds in {:.2?} ({:.0} bids/s)",
+        engine.pending_rounds(),
+        ingest_elapsed,
+        bids as f64 / ingest_elapsed.as_secs_f64()
+    );
+
+    // Drain phase: clear everything across the worker pool.
+    let drain_start = Instant::now();
+    let cleared = engine.drain();
+    let drain_elapsed = drain_start.elapsed();
+    println!(
+        "drain: {cleared} rounds cleared, {} quarantined across {} workers in {:.2?} ({:.1} rounds/s)",
+        engine.quarantine().len(),
+        engine.config().workers,
+        drain_elapsed,
+        cleared as f64 / drain_elapsed.as_secs_f64()
+    );
+    for quarantined in engine.quarantine() {
+        println!(
+            "  quarantined {}: {} ({} bidders)",
+            quarantined.id, quarantined.error, quarantined.bidders
+        );
+    }
+    println!(
+        "ledger: {} users paid, total {:.2} over {} rounds",
+        engine.ledger().balances().len(),
+        engine.ledger().total_paid(),
+        engine.ledger().rounds_settled()
+    );
+    println!("{}", engine.metrics_json());
+    ExitCode::SUCCESS
+}

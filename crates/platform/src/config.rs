@@ -1,0 +1,101 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// When the batcher closes the round it is currently filling.
+///
+/// A round closes as soon as it holds [`BatchPolicy::max_bids`] bids, or
+/// when [`BatchPolicy::max_ticks`] engine ticks have elapsed since the
+/// round opened and it holds at least one bid — whichever comes first.
+/// Ticks stand in for wall-clock deadlines so that batching stays
+/// deterministic under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    /// Close the round once it holds this many bids.
+    pub max_bids: usize,
+    /// Close a non-empty round after this many ticks.
+    pub max_ticks: u32,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_bids: 64,
+            max_ticks: 4,
+        }
+    }
+}
+
+/// Full engine configuration.
+///
+/// The mechanism parameters mirror the paper's Table II defaults; the
+/// engine picks the single-task FPTAS mechanism for one-task rounds and
+/// the multi-task greedy mechanism otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of shard workers clearing rounds in parallel. Results are
+    /// identical for every value ≥ 1 (see `shard` module docs).
+    pub workers: usize,
+    /// Round-closing policy.
+    pub batch: BatchPolicy,
+    /// Master seed; each round's execution draws come from a stream
+    /// derived from `(seed, round id)` so outcomes do not depend on which
+    /// worker clears the round.
+    pub seed: u64,
+    /// Reward scaling factor `α`.
+    pub alpha: f64,
+    /// FPTAS approximation parameter `ε` (single-task rounds only).
+    pub epsilon: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            batch: BatchPolicy::default(),
+            seed: 0,
+            alpha: 10.0,
+            epsilon: 0.5,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// This configuration with a different worker count (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// This configuration with a different master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = EngineConfig::default();
+        assert!(config.workers >= 1);
+        assert!(config.batch.max_bids > 0);
+        assert!(config.batch.max_ticks > 0);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let config = EngineConfig::default().with_seed(7).with_workers(2);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(EngineConfig::default().with_workers(0).workers, 1);
+    }
+}

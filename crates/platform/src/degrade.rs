@@ -1,0 +1,115 @@
+//! Graceful degradation: a bad round must never kill the engine.
+//!
+//! Rounds can fail for two reasons: *expected* mechanism errors (most
+//! commonly an infeasible instance — the accepted bids cannot meet some
+//! task's PoS requirement) and *unexpected* panics inside winner
+//! determination. The shard workers catch both at the round boundary and
+//! report a typed [`RoundError`]; the engine moves the round into a
+//! [`QuarantinedRound`] record and keeps serving.
+
+use std::fmt;
+
+use mcs_core::types::TaskId;
+use mcs_core::McsError;
+
+use crate::batch::RoundId;
+
+/// Why a round could not be cleared.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundError {
+    /// Even all of the round's bidders together cannot meet `task`'s PoS
+    /// requirement. The natural failure mode of a thin round.
+    Infeasible {
+        /// The first uncoverable task.
+        task: TaskId,
+    },
+    /// Winner determination or the reward scheme reported some other
+    /// domain error.
+    Mechanism {
+        /// The rendered [`McsError`].
+        message: String,
+    },
+    /// Winner determination panicked; the worker caught it at the round
+    /// boundary.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for RoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoundError::Infeasible { task } => {
+                write!(f, "round is infeasible: task {task} cannot be covered")
+            }
+            RoundError::Mechanism { message } => write!(f, "mechanism error: {message}"),
+            RoundError::Panicked { message } => write!(f, "round panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
+
+impl From<McsError> for RoundError {
+    fn from(error: McsError) -> Self {
+        match error {
+            McsError::Infeasible { task } => RoundError::Infeasible { task },
+            other => RoundError::Mechanism {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Renders a caught panic payload into a human-readable message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A round the engine set aside instead of dying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedRound {
+    /// The failed round.
+    pub id: RoundId,
+    /// How many bidders the round held.
+    pub bidders: usize,
+    /// What went wrong.
+    pub error: RoundError,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcs_errors_map_to_typed_round_errors() {
+        let infeasible = McsError::Infeasible {
+            task: TaskId::new(3),
+        };
+        assert_eq!(
+            RoundError::from(infeasible),
+            RoundError::Infeasible {
+                task: TaskId::new(3)
+            }
+        );
+        let other = McsError::EmptyUsers;
+        assert!(matches!(
+            RoundError::from(other),
+            RoundError::Mechanism { .. }
+        ));
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&String::from("bang")), "bang");
+        assert_eq!(panic_message(&42_i32), "non-string panic payload");
+    }
+}

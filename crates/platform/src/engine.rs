@@ -1,0 +1,245 @@
+//! The round-based serving engine: ingest → batch → shard → settle.
+//!
+//! [`Engine`] is single-writer on the control path (submit/tick) and
+//! fans rounds out to the shard pool on [`Engine::drain`]. It never dies
+//! on a bad round: failures are quarantined (see [`crate::degrade`]) and
+//! serving continues.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mcs_core::types::Task;
+
+use crate::batch::{Batcher, Round, RoundId};
+use crate::config::EngineConfig;
+use crate::degrade::QuarantinedRound;
+use crate::ingest::{Bid, IngestError};
+use crate::metrics::{Metrics, Stage};
+use crate::settle::{Ledger, RoundSettlement};
+use crate::shard::{ClearedRound, ShardPool};
+
+/// The auction-serving runtime.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    batcher: Batcher,
+    pool: ShardPool,
+    pending: Vec<Round>,
+    results: BTreeMap<RoundId, ClearedRound>,
+    settlements: BTreeMap<RoundId, RoundSettlement>,
+    quarantine: Vec<QuarantinedRound>,
+    ledger: Ledger,
+    metrics: Arc<Metrics>,
+    faults: BTreeSet<RoundId>,
+}
+
+impl Engine {
+    /// Creates an engine whose rounds publish `tasks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn new(config: EngineConfig, tasks: Vec<Task>) -> Self {
+        Engine {
+            config,
+            batcher: Batcher::new(config.batch, tasks),
+            pool: ShardPool::new(config.workers),
+            pending: Vec::new(),
+            results: BTreeMap::new(),
+            settlements: BTreeMap::new(),
+            quarantine: Vec::new(),
+            ledger: Ledger::new(),
+            metrics: Arc::new(Metrics::new()),
+            faults: BTreeSet::new(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The engine's metrics (shared with the shard workers).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The metrics snapshot rendered as pretty JSON.
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json()
+    }
+
+    /// Submits one bid to the round currently being filled.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`IngestError`] the bid was rejected with; the engine
+    /// keeps serving either way.
+    pub fn submit(&mut self, bid: &Bid) -> Result<(), IngestError> {
+        self.metrics.bid_received();
+        let start = Instant::now();
+        let outcome = self.batcher.submit(bid);
+        self.metrics.record(Stage::Ingest, start.elapsed());
+        match outcome {
+            Ok(closed) => {
+                self.enqueue(closed);
+                Ok(())
+            }
+            Err(error) => {
+                self.metrics.bid_rejected();
+                Err(error)
+            }
+        }
+    }
+
+    /// Advances the batch clock, closing a round whose tick budget
+    /// elapsed.
+    pub fn tick(&mut self) {
+        let start = Instant::now();
+        let closed = self.batcher.tick();
+        self.metrics.record(Stage::Batch, start.elapsed());
+        self.enqueue(closed);
+    }
+
+    /// Force-closes the partially filled round, if any.
+    pub fn flush(&mut self) {
+        let closed = self.batcher.flush();
+        self.enqueue(closed);
+    }
+
+    /// Marks a future round as faulty: the shard worker clearing it will
+    /// panic deliberately. A test hook for the degrade path.
+    pub fn inject_fault(&mut self, round: RoundId) {
+        self.faults.insert(round);
+    }
+
+    /// Rounds closed but not yet drained.
+    pub fn pending_rounds(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Clears every pending round across the worker pool and settles the
+    /// results in round-id order. Returns how many rounds cleared
+    /// successfully this drain.
+    pub fn drain(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        let rounds = std::mem::take(&mut self.pending);
+        let outcomes = self
+            .pool
+            .clear_all(rounds, &self.config, &self.faults, &self.metrics);
+        let mut cleared = 0;
+        // BTreeMap iteration settles in round-id order no matter which
+        // worker finished first, keeping the ledger deterministic.
+        for (id, (bidders, outcome)) in outcomes {
+            match outcome {
+                Ok(round) => {
+                    self.metrics.round_cleared(round.allocation.winner_count());
+                    let start = Instant::now();
+                    let settlement = self.ledger.settle(&round);
+                    self.metrics.record(Stage::Settle, start.elapsed());
+                    self.settlements.insert(id, settlement);
+                    self.results.insert(id, round);
+                    cleared += 1;
+                }
+                Err(error) => {
+                    self.metrics.round_degraded();
+                    self.quarantine
+                        .push(QuarantinedRound { id, bidders, error });
+                }
+            }
+        }
+        cleared
+    }
+
+    /// All cleared rounds, keyed by round id.
+    pub fn results(&self) -> &BTreeMap<RoundId, ClearedRound> {
+        &self.results
+    }
+
+    /// All settlements, keyed by round id.
+    pub fn settlements(&self) -> &BTreeMap<RoundId, RoundSettlement> {
+        &self.settlements
+    }
+
+    /// Rounds the degrade path set aside.
+    pub fn quarantine(&self) -> &[QuarantinedRound] {
+        &self.quarantine
+    }
+
+    /// The per-user balance ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    fn enqueue(&mut self, closed: Option<Round>) {
+        if let Some(round) = closed {
+            self.metrics.round_closed();
+            self.pending.push(round);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_core::types::TaskId;
+
+    fn engine(max_bids: usize) -> Engine {
+        let mut config = EngineConfig::default().with_seed(3);
+        config.batch.max_bids = max_bids;
+        Engine::new(
+            config,
+            vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()],
+        )
+    }
+
+    fn bid(user: u32, cost: f64, pos: f64) -> Bid {
+        Bid {
+            user,
+            cost,
+            tasks: vec![(0, pos)],
+        }
+    }
+
+    #[test]
+    fn submit_close_drain_settle_lifecycle() {
+        let mut e = engine(4);
+        for (i, &(c, p)) in [(2.0, 0.6), (2.5, 0.7), (3.0, 0.5), (1.5, 0.6)]
+            .iter()
+            .enumerate()
+        {
+            e.submit(&bid(i as u32, c, p)).unwrap();
+        }
+        assert_eq!(e.pending_rounds(), 1);
+        assert_eq!(e.drain(), 1);
+        assert_eq!(e.results().len(), 1);
+        assert_eq!(e.settlements().len(), 1);
+        assert!(e.quarantine().is_empty());
+        let round = e.results().values().next().unwrap();
+        let settlement = &e.settlements()[&round.id];
+        assert!((settlement.total - e.ledger().total_paid()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejected_bids_do_not_stop_the_round() {
+        let mut e = engine(2);
+        assert!(e.submit(&bid(0, -1.0, 0.5)).is_err());
+        e.submit(&bid(0, 2.0, 0.6)).unwrap();
+        e.submit(&bid(1, 2.0, 0.7)).unwrap();
+        assert_eq!(e.pending_rounds(), 1);
+        let snap = e.metrics().snapshot();
+        assert_eq!(snap.bids_received, 3);
+        assert_eq!(snap.bids_rejected, 1);
+    }
+
+    #[test]
+    fn empty_drain_is_a_noop() {
+        let mut e = engine(4);
+        assert_eq!(e.drain(), 0);
+        e.tick();
+        assert_eq!(e.pending_rounds(), 0);
+    }
+}

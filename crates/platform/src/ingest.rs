@@ -1,0 +1,217 @@
+//! Bid intake: validation and per-round deduplication.
+//!
+//! The engine receives raw, untrusted [`Bid`]s from the outside world.
+//! [`IngestQueue`] turns them into validated
+//! [`UserType`](mcs_core::types::UserType)s for the round currently being
+//! filled, rejecting malformed bids with a typed [`IngestError`] instead
+//! of letting invalid values reach winner determination.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mcs_core::types::{Cost, Pos, TaskId, UserId, UserType};
+use serde::{Deserialize, Serialize};
+
+/// A raw sealed bid as submitted by a user: her declared type
+/// `θ_i = (S_i, c_i, {p_i^j})` in wire form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bid {
+    /// The bidding user.
+    pub user: u32,
+    /// Declared cost `c_i`.
+    pub cost: f64,
+    /// Declared task set with per-task PoS: `(task id, p_i^j)` pairs.
+    pub tasks: Vec<(u32, f64)>,
+}
+
+/// Why a bid was rejected at intake.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// The declared cost is negative, NaN, or infinite.
+    InvalidCost {
+        /// The offending value.
+        value: f64,
+    },
+    /// A declared PoS is outside `[0, 1)`.
+    InvalidPos {
+        /// The task the PoS was declared for.
+        task: u32,
+        /// The offending value.
+        value: f64,
+    },
+    /// The bid declares no tasks at all.
+    EmptyTaskSet,
+    /// The bid references a task the platform has not published.
+    UnknownTask {
+        /// The undeclared task.
+        task: u32,
+    },
+    /// The same task appears twice in one bid.
+    DuplicateTask {
+        /// The repeated task.
+        task: u32,
+    },
+    /// This user already has a bid in the current round.
+    DuplicateUser {
+        /// The repeated user.
+        user: u32,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::InvalidCost { value } => {
+                write!(
+                    f,
+                    "declared cost {value} is not a finite non-negative number"
+                )
+            }
+            IngestError::InvalidPos { task, value } => {
+                write!(f, "declared PoS {value} for task t{task} is not in [0, 1)")
+            }
+            IngestError::EmptyTaskSet => write!(f, "bid declares no tasks"),
+            IngestError::UnknownTask { task } => {
+                write!(f, "task t{task} is not published this round")
+            }
+            IngestError::DuplicateTask { task } => {
+                write!(f, "task t{task} appears twice in one bid")
+            }
+            IngestError::DuplicateUser { user } => {
+                write!(f, "user u{user} already bid in this round")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Validates bids against the round's published task list and accumulates
+/// them, deduplicating user ids within the round.
+#[derive(Debug)]
+pub struct IngestQueue {
+    published: BTreeSet<TaskId>,
+    seen: BTreeSet<u32>,
+    accepted: Vec<UserType>,
+}
+
+impl IngestQueue {
+    /// Creates a queue for a round publishing `tasks`.
+    pub fn new<I: IntoIterator<Item = TaskId>>(tasks: I) -> Self {
+        IngestQueue {
+            published: tasks.into_iter().collect(),
+            seen: BTreeSet::new(),
+            accepted: Vec::new(),
+        }
+    }
+
+    /// How many bids have been accepted into the current round.
+    pub fn len(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// Whether no bid has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.accepted.is_empty()
+    }
+
+    /// Validates `bid` and, if well-formed, admits it to the round.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`IngestError`]; the queue is unchanged on rejection.
+    pub fn push(&mut self, bid: &Bid) -> Result<(), IngestError> {
+        if self.seen.contains(&bid.user) {
+            return Err(IngestError::DuplicateUser { user: bid.user });
+        }
+        if bid.tasks.is_empty() {
+            return Err(IngestError::EmptyTaskSet);
+        }
+        let cost = Cost::new(bid.cost).map_err(|_| IngestError::InvalidCost { value: bid.cost })?;
+        let mut declared = BTreeSet::new();
+        let mut builder = UserType::builder(UserId::new(bid.user)).cost(cost);
+        for &(task, pos) in &bid.tasks {
+            let id = TaskId::new(task);
+            if !self.published.contains(&id) {
+                return Err(IngestError::UnknownTask { task });
+            }
+            if !declared.insert(task) {
+                return Err(IngestError::DuplicateTask { task });
+            }
+            let pos = Pos::new(pos).map_err(|_| IngestError::InvalidPos { task, value: pos })?;
+            builder = builder.task(id, pos);
+        }
+        let user = builder
+            .build()
+            .expect("validated bid builds a well-formed user type");
+        self.seen.insert(bid.user);
+        self.accepted.push(user);
+        Ok(())
+    }
+
+    /// Takes the accepted bids and resets the queue for the next round.
+    pub fn drain(&mut self) -> Vec<UserType> {
+        self.seen.clear();
+        std::mem::take(&mut self.accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue() -> IngestQueue {
+        IngestQueue::new([TaskId::new(0), TaskId::new(1)])
+    }
+
+    fn bid(user: u32) -> Bid {
+        Bid {
+            user,
+            cost: 2.0,
+            tasks: vec![(0, 0.5)],
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed_bids() {
+        let mut q = queue();
+        q.push(&bid(0)).unwrap();
+        q.push(&bid(1)).unwrap();
+        assert_eq!(q.len(), 2);
+        let users = q.drain();
+        assert_eq!(users.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rejects_duplicate_users_within_a_round() {
+        let mut q = queue();
+        q.push(&bid(0)).unwrap();
+        assert_eq!(q.push(&bid(0)), Err(IngestError::DuplicateUser { user: 0 }));
+        // After the round closes the same user may bid again.
+        q.drain();
+        q.push(&bid(0)).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_bids_with_typed_errors() {
+        let mut q = queue();
+        let mut b = bid(0);
+        b.cost = -1.0;
+        assert!(matches!(q.push(&b), Err(IngestError::InvalidCost { .. })));
+        b = bid(0);
+        b.tasks = vec![(0, 1.0)];
+        assert!(matches!(q.push(&b), Err(IngestError::InvalidPos { .. })));
+        b = bid(0);
+        b.tasks = vec![(7, 0.5)];
+        assert_eq!(q.push(&b), Err(IngestError::UnknownTask { task: 7 }));
+        b = bid(0);
+        b.tasks = vec![(0, 0.5), (0, 0.6)];
+        assert_eq!(q.push(&b), Err(IngestError::DuplicateTask { task: 0 }));
+        b = bid(0);
+        b.tasks.clear();
+        assert_eq!(q.push(&b), Err(IngestError::EmptyTaskSet));
+        // Nothing slipped through.
+        assert!(q.is_empty());
+    }
+}

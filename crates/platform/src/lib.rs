@@ -1,0 +1,81 @@
+//! # mcs-platform — an online, sharded auction-serving runtime
+//!
+//! [`mcs_core`] answers "given one auction instance, who wins and what
+//! are they paid?". This crate answers the operational question a real
+//! crowdsensing platform faces: bids arrive as a *stream*, rounds must
+//! close on load or deadline, clearing must use every core, a bad round
+//! must not take the service down, and every payout must land on a
+//! ledger. It is plain `std` — threads and channels, no external runtime.
+//!
+//! ## Round lifecycle
+//!
+//! ```text
+//!            bids                 rounds                 results
+//!  users ──▶ ingest ──────────▶ batch ────────────▶ shard ────────────▶ settle
+//!            validate bids      close round at      worker pool runs    pay quoted reward
+//!            against published  N bids or tick     winner determin.,    for the reported
+//!            tasks, dedup per   deadline           quotes contingent    outcome, post to
+//!            round                                 rewards, draws       per-user ledger
+//!                                                  execution
+//!                                      │
+//!                                      └──▶ degrade: infeasible or panicking
+//!                                           rounds are quarantined with a
+//!                                           typed error; the engine never dies
+//! ```
+//!
+//! Every stage feeds [`metrics`]: atomic counters plus per-stage latency
+//! histograms, exportable as one JSON snapshot.
+//!
+//! ## Determinism
+//!
+//! For a fixed [`EngineConfig::seed`](config::EngineConfig::seed) the
+//! engine's results — cleared rounds, execution reports, settlements,
+//! ledger — are bitwise identical for **any** worker count: rounds are
+//! cleared by pure functions seeded per-round, and results are keyed by
+//! round id before anything observes them (see [`shard`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use mcs_core::types::{Task, TaskId};
+//! use mcs_platform::prelude::*;
+//!
+//! let mut config = EngineConfig::default().with_seed(7).with_workers(2);
+//! config.batch.max_bids = 3;
+//! let task = Task::with_requirement(TaskId::new(0), 0.8).unwrap();
+//! let mut engine = Engine::new(config, vec![task]);
+//!
+//! for (user, cost, pos) in [(0, 2.0, 0.6), (1, 2.5, 0.7), (2, 3.0, 0.5)] {
+//!     engine
+//!         .submit(&Bid { user, cost, tasks: vec![(0, pos)] })
+//!         .unwrap();
+//! }
+//! let cleared = engine.drain();
+//! assert_eq!(cleared, 1);
+//! assert!(engine.ledger().total_paid() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod config;
+pub mod degrade;
+pub mod engine;
+pub mod ingest;
+pub mod metrics;
+pub mod settle;
+pub mod shard;
+
+/// Convenient glob import: `use mcs_platform::prelude::*;`.
+pub mod prelude {
+    pub use crate::batch::{Round, RoundId};
+    pub use crate::config::{BatchPolicy, EngineConfig};
+    pub use crate::degrade::{QuarantinedRound, RoundError};
+    pub use crate::engine::Engine;
+    pub use crate::ingest::{Bid, IngestError};
+    pub use crate::metrics::{Metrics, MetricsSnapshot, Stage};
+    pub use crate::settle::{Ledger, RewardQuote, RoundSettlement};
+    pub use crate::shard::{clear_round, ClearedRound, ShardPool};
+}

@@ -1,0 +1,304 @@
+//! Engine observability: atomic counters and per-stage latency
+//! histograms, exportable as a JSON snapshot.
+//!
+//! [`Metrics`] is shared (`Arc`) between the engine and its shard
+//! workers; every field is an atomic, so recording never blocks the
+//! serving path. Latencies go into power-of-two nanosecond buckets —
+//! coarse, but allocation-free and good enough for p50/p99 under load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds; 40 buckets reach ~18 minutes.
+const BUCKETS: usize = 40;
+
+/// The engine's pipeline stages, in round-lifecycle order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Bid validation and deduplication.
+    Ingest,
+    /// Closing a round into an auction instance.
+    Batch,
+    /// Winner determination, reward quoting, and execution draws.
+    Shard,
+    /// Applying execution-contingent payouts to the ledger.
+    Settle,
+}
+
+impl Stage {
+    const ALL: [Stage; 4] = [Stage::Ingest, Stage::Batch, Stage::Shard, Stage::Settle];
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Ingest => 0,
+            Stage::Batch => 1,
+            Stage::Shard => 2,
+            Stage::Settle => 3,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Stage::Ingest => "ingest",
+            Stage::Batch => "batch",
+            Stage::Shard => "shard",
+            Stage::Settle => "settle",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StageHistogram {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl StageHistogram {
+    fn new() -> Self {
+        StageHistogram {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let bucket = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, stage: Stage) -> StageSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let total_ns = self.total_ns.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let percentile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Report the bucket's upper bound.
+                    return 1u64 << (i + 1).min(63);
+                }
+            }
+            self.max_ns.load(Ordering::Relaxed)
+        };
+        StageSnapshot {
+            stage: stage.name().to_string(),
+            count,
+            total_ns,
+            min_ns: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            mean_ns: if count == 0 {
+                0.0
+            } else {
+                total_ns as f64 / count as f64
+            },
+            p50_ns: percentile(0.50),
+            p99_ns: percentile(0.99),
+        }
+    }
+}
+
+/// Shared engine metrics. All methods are lock-free.
+#[derive(Debug)]
+pub struct Metrics {
+    bids_received: AtomicU64,
+    bids_rejected: AtomicU64,
+    rounds_closed: AtomicU64,
+    rounds_cleared: AtomicU64,
+    rounds_degraded: AtomicU64,
+    winners_selected: AtomicU64,
+    stages: [StageHistogram; 4],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics {
+            bids_received: AtomicU64::new(0),
+            bids_rejected: AtomicU64::new(0),
+            rounds_closed: AtomicU64::new(0),
+            rounds_cleared: AtomicU64::new(0),
+            rounds_degraded: AtomicU64::new(0),
+            winners_selected: AtomicU64::new(0),
+            stages: std::array::from_fn(|_| StageHistogram::new()),
+        }
+    }
+
+    /// Counts one received bid (accepted or not).
+    pub fn bid_received(&self) {
+        self.bids_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one rejected bid.
+    pub fn bid_rejected(&self) {
+        self.bids_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one closed round.
+    pub fn round_closed(&self) {
+        self.rounds_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one cleared round with `winners` selected users.
+    pub fn round_cleared(&self, winners: usize) {
+        self.rounds_cleared.fetch_add(1, Ordering::Relaxed);
+        self.winners_selected
+            .fetch_add(winners as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one quarantined round.
+    pub fn round_degraded(&self) {
+        self.rounds_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one latency sample for `stage`.
+    pub fn record(&self, stage: Stage, elapsed: Duration) {
+        self.stages[stage.index()].record(elapsed);
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            bids_received: self.bids_received.load(Ordering::Relaxed),
+            bids_rejected: self.bids_rejected.load(Ordering::Relaxed),
+            rounds_closed: self.rounds_closed.load(Ordering::Relaxed),
+            rounds_cleared: self.rounds_cleared.load(Ordering::Relaxed),
+            rounds_degraded: self.rounds_degraded.load(Ordering::Relaxed),
+            winners_selected: self.winners_selected.load(Ordering::Relaxed),
+            stages: Stage::ALL
+                .iter()
+                .map(|&s| self.stages[s.index()].snapshot(s))
+                .collect(),
+        }
+    }
+
+    /// The snapshot rendered as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("metrics snapshot serializes")
+    }
+}
+
+/// Latency statistics of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Stage name (`ingest`, `batch`, `shard`, `settle`).
+    pub stage: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest sample, nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u64,
+    /// Mean latency, nanoseconds.
+    pub mean_ns: f64,
+    /// Median latency (bucket upper bound), nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency (bucket upper bound), nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// A point-in-time copy of the engine's metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Bids received, including rejected ones.
+    pub bids_received: u64,
+    /// Bids rejected at ingest.
+    pub bids_rejected: u64,
+    /// Rounds closed by the batcher.
+    pub rounds_closed: u64,
+    /// Rounds cleared successfully.
+    pub rounds_cleared: u64,
+    /// Rounds quarantined by the degrade path.
+    pub rounds_degraded: u64,
+    /// Winners selected across all cleared rounds.
+    pub winners_selected: u64,
+    /// Per-stage latency statistics, in pipeline order.
+    pub stages: Vec<StageSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.bid_received();
+        m.bid_received();
+        m.bid_rejected();
+        m.round_closed();
+        m.round_cleared(3);
+        m.round_degraded();
+        let snap = m.snapshot();
+        assert_eq!(snap.bids_received, 2);
+        assert_eq!(snap.bids_rejected, 1);
+        assert_eq!(snap.rounds_closed, 1);
+        assert_eq!(snap.rounds_cleared, 1);
+        assert_eq!(snap.rounds_degraded, 1);
+        assert_eq!(snap.winners_selected, 3);
+    }
+
+    #[test]
+    fn latency_stats_are_consistent() {
+        let m = Metrics::new();
+        for micros in [1, 10, 100, 1000] {
+            m.record(Stage::Shard, Duration::from_micros(micros));
+        }
+        let snap = m.snapshot();
+        let shard = snap.stages.iter().find(|s| s.stage == "shard").unwrap();
+        assert_eq!(shard.count, 4);
+        assert!(shard.min_ns <= shard.max_ns);
+        assert!(shard.mean_ns > 0.0);
+        assert!(shard.p50_ns <= shard.p99_ns);
+        assert!(shard.total_ns >= 1_111_000);
+        // Untouched stages stay empty.
+        let settle = snap.stages.iter().find(|s| s.stage == "settle").unwrap();
+        assert_eq!(settle.count, 0);
+        assert_eq!(settle.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::new();
+        m.record(Stage::Ingest, Duration::from_nanos(250));
+        m.bid_received();
+        let json = m.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m.snapshot());
+        assert!(json.contains("\"ingest\""));
+    }
+}

@@ -1,0 +1,164 @@
+//! Settlement: execution-outcome reports become execution-contingent
+//! payouts, posted to a per-user ledger.
+//!
+//! The shard stage quotes each winner both of her contingent rewards —
+//! `(1 − p̄_i)·α + c_i` on success, `−p̄_i·α + c_i` on failure — before any
+//! outcome is known (see [`RewardScheme`](mcs_core::mechanism::RewardScheme)).
+//! Settlement is then a pure lookup: pick the quoted branch matching the
+//! round's execution report and post it. Failure payouts can be negative
+//! (the paper's mechanism fines unlucky winners through the `−p̄_i·α`
+//! term), so balances are signed.
+
+use std::collections::BTreeMap;
+
+use mcs_core::types::UserId;
+use serde::{Deserialize, Serialize};
+
+use crate::batch::RoundId;
+use crate::shard::ClearedRound;
+
+/// A winner's two contingent rewards, quoted at clearing time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardQuote {
+    /// Paid when the winner completes at least one of her tasks.
+    pub success: f64,
+    /// Paid (possibly negative) when she completes none.
+    pub failure: f64,
+}
+
+impl RewardQuote {
+    /// The payout for an observed outcome.
+    pub fn payout(&self, completed: bool) -> f64 {
+        if completed {
+            self.success
+        } else {
+            self.failure
+        }
+    }
+}
+
+/// The payouts of one settled round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSettlement {
+    /// The settled round.
+    pub round: RoundId,
+    /// Per-winner payout this round.
+    pub payouts: BTreeMap<UserId, f64>,
+    /// Sum of the payouts (the platform's expense this round).
+    pub total: f64,
+}
+
+/// Signed per-user balances accumulated across settled rounds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ledger {
+    balances: BTreeMap<UserId, f64>,
+    total_paid: f64,
+    rounds_settled: u64,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Settles `round`: pays every winner her quoted reward for the
+    /// reported outcome and posts it to her balance.
+    pub fn settle(&mut self, round: &ClearedRound) -> RoundSettlement {
+        let mut payouts = BTreeMap::new();
+        let mut total = 0.0;
+        for (&user, quote) in &round.quotes {
+            let completed = round.reports.get(&user).copied().unwrap_or(false);
+            let payout = quote.payout(completed);
+            *self.balances.entry(user).or_insert(0.0) += payout;
+            total += payout;
+            payouts.insert(user, payout);
+        }
+        self.total_paid += total;
+        self.rounds_settled += 1;
+        RoundSettlement {
+            round: round.id,
+            payouts,
+            total,
+        }
+    }
+
+    /// The user's accumulated balance (0 if she never won).
+    pub fn balance(&self, user: UserId) -> f64 {
+        self.balances.get(&user).copied().unwrap_or(0.0)
+    }
+
+    /// All non-trivial balances.
+    pub fn balances(&self) -> &BTreeMap<UserId, f64> {
+        &self.balances
+    }
+
+    /// Total paid out across all settled rounds.
+    pub fn total_paid(&self) -> f64 {
+        self.total_paid
+    }
+
+    /// Number of rounds settled.
+    pub fn rounds_settled(&self) -> u64 {
+        self.rounds_settled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::RoundId;
+    use mcs_core::mechanism::Allocation;
+
+    fn cleared(id: u64, quotes: &[(u32, f64, f64)], completed: &[u32]) -> ClearedRound {
+        ClearedRound {
+            id: RoundId(id),
+            allocation: Allocation::from_winners(quotes.iter().map(|&(u, _, _)| UserId::new(u))),
+            quotes: quotes
+                .iter()
+                .map(|&(u, s, f)| {
+                    (
+                        UserId::new(u),
+                        RewardQuote {
+                            success: s,
+                            failure: f,
+                        },
+                    )
+                })
+                .collect(),
+            reports: quotes
+                .iter()
+                .map(|&(u, _, _)| (UserId::new(u), completed.contains(&u)))
+                .collect(),
+            social_cost: 0.0,
+        }
+    }
+
+    #[test]
+    fn pays_the_quoted_branch() {
+        let mut ledger = Ledger::new();
+        let round = cleared(0, &[(0, 5.0, -1.0), (1, 4.0, -2.0)], &[0]);
+        let settlement = ledger.settle(&round);
+        assert_eq!(settlement.payouts[&UserId::new(0)], 5.0);
+        assert_eq!(settlement.payouts[&UserId::new(1)], -2.0);
+        assert!((settlement.total - 3.0).abs() < 1e-12);
+        assert_eq!(ledger.balance(UserId::new(0)), 5.0);
+        assert_eq!(ledger.balance(UserId::new(1)), -2.0);
+    }
+
+    #[test]
+    fn balances_accumulate_across_rounds() {
+        let mut ledger = Ledger::new();
+        let totals: f64 = [
+            cleared(0, &[(0, 5.0, -1.0)], &[0]),
+            cleared(1, &[(0, 5.0, -1.0)], &[]),
+            cleared(2, &[(0, 6.0, 0.5)], &[0]),
+        ]
+        .iter()
+        .map(|round| ledger.settle(round).total)
+        .sum();
+        assert_eq!(ledger.rounds_settled(), 3);
+        assert!((ledger.balance(UserId::new(0)) - 10.0).abs() < 1e-12);
+        assert!((ledger.total_paid() - totals).abs() < 1e-12);
+    }
+}

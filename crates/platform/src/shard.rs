@@ -1,0 +1,271 @@
+//! Sharded round clearing: a fixed worker pool running winner
+//! determination, reward quoting, and execution draws.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed engine seed, clearing is **bitwise identical for every
+//! worker count**. Three properties make that hold:
+//!
+//! 1. [`clear_round`] is a pure function of `(round, config)` — the
+//!    mechanisms are deterministic and float evaluation order is fixed.
+//! 2. Execution draws come from a private RNG seeded from
+//!    `(config.seed, round id)`, never from a shared stream that worker
+//!    interleaving could perturb.
+//! 3. Results are collected into a `BTreeMap` keyed by [`RoundId`], so
+//!    completion order — the only thing the worker count changes — is
+//!    erased before anyone observes the results.
+//!
+//! Workers wrap each round in `catch_unwind`: a panicking round becomes a
+//! [`RoundError::Panicked`] and the pool keeps serving (see
+//! [`crate::degrade`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mcs_core::mechanism::{Allocation, Mechanism};
+use mcs_core::multi_task::MultiTaskMechanism;
+use mcs_core::single_task::SingleTaskMechanism;
+use mcs_core::types::{TypeProfile, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::batch::{Round, RoundId};
+use crate::config::EngineConfig;
+use crate::degrade::{panic_message, RoundError};
+use crate::metrics::{Metrics, Stage};
+use crate::settle::RewardQuote;
+
+/// A successfully cleared round, ready for settlement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClearedRound {
+    /// The round.
+    pub id: RoundId,
+    /// The winning users.
+    pub allocation: Allocation,
+    /// Each winner's contingent reward quotes.
+    pub quotes: BTreeMap<UserId, RewardQuote>,
+    /// Execution reports: whether each winner completed at least one of
+    /// her tasks (independent Bernoulli draws from her declared PoS).
+    pub reports: BTreeMap<UserId, bool>,
+    /// Social cost `Σ c_i` over the winners.
+    pub social_cost: f64,
+}
+
+/// Per-round RNG seed: a SplitMix64-style mix of the engine seed and the
+/// round id, so every round gets an independent, reproducible stream.
+fn round_seed(engine_seed: u64, id: RoundId) -> u64 {
+    let mut z = engine_seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn quote_all<M: Mechanism>(
+    mechanism: &M,
+    profile: &TypeProfile,
+) -> Result<(Allocation, BTreeMap<UserId, RewardQuote>), mcs_core::McsError> {
+    let allocation = mechanism.select_winners(profile)?;
+    let mut quotes = BTreeMap::new();
+    for winner in allocation.winners() {
+        let success = mechanism.reward(profile, &allocation, winner, true)?;
+        let failure = mechanism.reward(profile, &allocation, winner, false)?;
+        quotes.insert(winner, RewardQuote { success, failure });
+    }
+    Ok((allocation, quotes))
+}
+
+/// Clears one round: winner determination, reward quotes for both
+/// outcomes, and one set of execution draws.
+///
+/// Single-task rounds use the FPTAS mechanism (`ε` from the config);
+/// multi-task rounds use the greedy mechanism.
+///
+/// # Errors
+///
+/// A typed [`RoundError`] — most commonly
+/// [`RoundError::Infeasible`] when the round's bidders cannot cover some
+/// task's requirement.
+pub fn clear_round(round: &Round, config: &EngineConfig) -> Result<ClearedRound, RoundError> {
+    let profile = &round.profile;
+    let (allocation, quotes) = if profile.is_single_task() {
+        let mechanism = SingleTaskMechanism::new(config.epsilon, config.alpha)?;
+        quote_all(&mechanism, profile)?
+    } else {
+        let mechanism = MultiTaskMechanism::new(config.alpha)?;
+        quote_all(&mechanism, profile)?
+    };
+
+    let mut rng = StdRng::seed_from_u64(round_seed(config.seed, round.id));
+    let mut reports = BTreeMap::new();
+    let mut social_cost = 0.0;
+    for winner in allocation.winners() {
+        let user = profile.user(winner)?;
+        let mut completed = false;
+        for (_, pos) in user.tasks() {
+            // Draw every task so the stream's shape does not depend on
+            // earlier outcomes.
+            let done = rng.gen_bool(pos.value());
+            completed |= done;
+        }
+        reports.insert(winner, completed);
+        social_cost += user.cost().value();
+    }
+
+    Ok(ClearedRound {
+        id: round.id,
+        allocation,
+        quotes,
+        reports,
+        social_cost,
+    })
+}
+
+/// A fixed-size pool of shard workers.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPool {
+    workers: usize,
+}
+
+impl ShardPool {
+    /// A pool with `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        ShardPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Clears every round across the pool, catching panics at the round
+    /// boundary. Rounds whose id is in `faults` panic deliberately (a
+    /// test hook for the degrade path).
+    ///
+    /// The result map is keyed by round id and is identical for every
+    /// worker count (see the module docs). The second tuple element is
+    /// the round's bidder count, kept for quarantine records.
+    pub fn clear_all(
+        &self,
+        rounds: Vec<Round>,
+        config: &EngineConfig,
+        faults: &BTreeSet<RoundId>,
+        metrics: &Metrics,
+    ) -> BTreeMap<RoundId, (usize, Result<ClearedRound, RoundError>)> {
+        let (round_tx, round_rx) = mpsc::channel::<Round>();
+        for round in rounds {
+            round_tx.send(round).expect("receiver alive");
+        }
+        drop(round_tx);
+        let round_rx = Arc::new(Mutex::new(round_rx));
+
+        let (result_tx, result_rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let round_rx = Arc::clone(&round_rx);
+                let result_tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    // Take the lock only to pop; clearing runs unlocked.
+                    let next = round_rx.lock().expect("queue lock").recv();
+                    let Ok(round) = next else { break };
+                    let bidders = round.profile.user_count();
+                    let start = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if faults.contains(&round.id) {
+                            panic!("injected fault in round {}", round.id);
+                        }
+                        clear_round(&round, config)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(RoundError::Panicked {
+                            message: panic_message(payload.as_ref()),
+                        })
+                    });
+                    metrics.record(Stage::Shard, start.elapsed());
+                    if result_tx.send((round.id, bidders, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(result_tx);
+
+        result_rx
+            .into_iter()
+            .map(|(id, bidders, outcome)| (id, (bidders, outcome)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_core::types::{Cost, Pos, UserType};
+    use mcs_core::types::{Task, TaskId};
+
+    fn round(id: u64, costs_and_pos: &[(f64, f64)]) -> Round {
+        let users = costs_and_pos
+            .iter()
+            .enumerate()
+            .map(|(i, &(cost, pos))| {
+                UserType::builder(UserId::new(i as u32))
+                    .cost(Cost::new(cost).unwrap())
+                    .task(TaskId::new(0), Pos::new(pos).unwrap())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        Round {
+            id: RoundId(id),
+            profile: TypeProfile::new(
+                users,
+                vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()],
+            )
+            .unwrap(),
+        }
+    }
+
+    fn feasible_round(id: u64) -> Round {
+        round(id, &[(2.0, 0.6), (2.5, 0.7), (3.0, 0.5), (1.5, 0.6)])
+    }
+
+    #[test]
+    fn cleared_round_is_internally_consistent() {
+        let cleared = clear_round(&feasible_round(0), &EngineConfig::default()).unwrap();
+        assert!(!cleared.allocation.is_empty());
+        assert_eq!(cleared.quotes.len(), cleared.allocation.winner_count());
+        assert_eq!(cleared.reports.len(), cleared.allocation.winner_count());
+        assert!(cleared.social_cost > 0.0);
+        for quote in cleared.quotes.values() {
+            assert!(quote.success > quote.failure);
+        }
+    }
+
+    #[test]
+    fn infeasible_round_degrades_with_typed_error() {
+        let thin = round(1, &[(1.0, 0.2)]);
+        let error = clear_round(&thin, &EngineConfig::default()).unwrap_err();
+        assert!(matches!(error, RoundError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn round_seeds_are_engine_and_round_dependent() {
+        assert_ne!(round_seed(1, RoundId(0)), round_seed(1, RoundId(1)));
+        assert_ne!(round_seed(1, RoundId(0)), round_seed(2, RoundId(0)));
+    }
+
+    #[test]
+    fn pool_results_do_not_depend_on_worker_count() {
+        let config = EngineConfig::default().with_seed(11);
+        let rounds: Vec<Round> = (0..12).map(feasible_round).collect();
+        let faults = BTreeSet::new();
+        let one = ShardPool::new(1).clear_all(rounds.clone(), &config, &faults, &Metrics::new());
+        let many = ShardPool::new(4).clear_all(rounds, &config, &faults, &Metrics::new());
+        assert_eq!(one, many);
+        assert_eq!(one.len(), 12);
+    }
+}

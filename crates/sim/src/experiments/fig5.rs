@@ -161,13 +161,7 @@ mod tests {
     #[test]
     fn fig5a_orderings_hold() {
         let chart = run_5a(quick_repro());
-        let by_label = |label: &str| {
-            chart
-                .series
-                .iter()
-                .find(|s| s.label.contains(label))
-                .unwrap_or_else(|| panic!("missing series {label}"))
-        };
+        let by_label = |label: &str| chart.series_containing(label).unwrap();
         let mut compared = 0;
         for x in chart.xs() {
             let (Some(opt), Some(fptas)) = (by_label("OPT").y_at(x), by_label("eps=0.5").y_at(x))

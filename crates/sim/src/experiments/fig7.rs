@@ -145,13 +145,7 @@ mod tests {
     #[test]
     fn our_mechanisms_meet_requirements_and_vcg_does_not() {
         let chart = run(quick_repro());
-        let series = |label: &str| {
-            chart
-                .series
-                .iter()
-                .find(|s| s.label.contains(label))
-                .unwrap_or_else(|| panic!("missing series {label}"))
-        };
+        let series = |label: &str| chart.series_containing(label).unwrap();
         let mut checked = 0;
         for x in chart.xs() {
             if let Some(ours) = series("single task").y_at(x) {

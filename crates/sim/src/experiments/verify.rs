@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::{fig3, fig4, fig5, fig6, fig7, fig89, Repro};
-use crate::report::{Chart, Series};
+use crate::report::Series;
 
 /// One verified claim.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,12 +26,25 @@ pub struct ShapeCheck {
     pub evidence: String,
 }
 
-fn series<'c>(chart: &'c Chart, label: &str) -> &'c Series {
-    chart
-        .series
-        .iter()
-        .find(|s| s.label.contains(label))
-        .unwrap_or_else(|| panic!("missing series {label}"))
+/// Evaluates a claim that needs chart series lookups: a missing series —
+/// a [`MissingSeries`](crate::report::MissingSeries) from
+/// [`Chart::series_containing`] — becomes a FAIL row naming what was
+/// absent, instead of a panic that would abort the whole verdict table.
+fn checked(
+    figure: &str,
+    claim: &str,
+    evaluate: impl FnOnce() -> Result<(bool, String), crate::report::MissingSeries>,
+) -> ShapeCheck {
+    let (pass, evidence) = match evaluate() {
+        Ok(outcome) => outcome,
+        Err(missing) => (false, missing.to_string()),
+    };
+    ShapeCheck {
+        figure: figure.into(),
+        claim: claim.into(),
+        pass,
+        evidence,
+    }
 }
 
 fn feasible(series: &Series) -> Vec<(f64, f64)> {
@@ -72,63 +85,75 @@ pub fn verify(repro: &Repro) -> Vec<ShapeCheck> {
 
     // Figure 5(a).
     let chart = fig5::run_5a(repro);
-    let opt = series(&chart, "OPT");
-    let fptas = series(&chart, "eps=0.5");
-    let greedy = series(&chart, "Min-Greedy");
-    let mut orderings = true;
-    let mut compared = 0;
-    for x in chart.xs() {
-        if let (Some(o), Some(f)) = (opt.y_at(x), fptas.y_at(x)) {
-            orderings &= o <= f + 1e-9 && f <= 1.5 * o + 1e-9;
-            if let Some(g) = greedy.y_at(x) {
-                orderings &= f <= g + 1e-9;
+    checks.push(checked(
+        "Fig 5(a)",
+        "OPT ≤ FPTAS ≤ (1+ε)·OPT ≤ Min-Greedy; cost falls with n",
+        || {
+            let opt = chart.series_containing("OPT")?;
+            let fptas = chart.series_containing("eps=0.5")?;
+            let greedy = chart.series_containing("Min-Greedy")?;
+            let mut orderings = true;
+            let mut compared = 0;
+            for x in chart.xs() {
+                if let (Some(o), Some(f)) = (opt.y_at(x), fptas.y_at(x)) {
+                    orderings &= o <= f + 1e-9 && f <= 1.5 * o + 1e-9;
+                    if let Some(g) = greedy.y_at(x) {
+                        orderings &= f <= g + 1e-9;
+                    }
+                    compared += 1;
+                }
             }
-            compared += 1;
-        }
-    }
-    let trend = {
-        let f = feasible(fptas);
-        f.len() >= 2 && f.last().unwrap().1 <= f.first().unwrap().1 + 1e-9
-    };
-    checks.push(ShapeCheck {
-        figure: "Fig 5(a)".into(),
-        claim: "OPT ≤ FPTAS ≤ (1+ε)·OPT ≤ Min-Greedy; cost falls with n".into(),
-        pass: orderings && trend && compared >= 3,
-        evidence: format!("{compared} comparable points, orderings {orderings}, falling {trend}"),
-    });
+            let trend = {
+                let f = feasible(fptas);
+                f.len() >= 2 && f.last().unwrap().1 <= f.first().unwrap().1 + 1e-9
+            };
+            Ok((
+                orderings && trend && compared >= 3,
+                format!("{compared} comparable points, orderings {orderings}, falling {trend}"),
+            ))
+        },
+    ));
 
     // Figure 5(b).
     let chart = fig5::run_5b(repro);
-    let greedy = series(&chart, "Greedy");
-    let opt = series(&chart, "OPT");
-    let mut close = true;
-    let mut compared = 0;
-    for x in chart.xs() {
-        if let (Some(g), Some(o)) = (greedy.y_at(x), opt.y_at(x)) {
-            close &= o <= g + 1e-9 && g <= 2.0 * o + 1e-9;
-            compared += 1;
-        }
-    }
-    checks.push(ShapeCheck {
-        figure: "Fig 5(b)".into(),
-        claim: "greedy stays close to OPT across n".into(),
-        pass: close && compared >= 4,
-        evidence: format!("{compared} comparable points, within 2× {close}"),
-    });
+    checks.push(checked(
+        "Fig 5(b)",
+        "greedy stays close to OPT across n",
+        || {
+            let greedy = chart.series_containing("Greedy")?;
+            let opt = chart.series_containing("OPT")?;
+            let mut close = true;
+            let mut compared = 0;
+            for x in chart.xs() {
+                if let (Some(g), Some(o)) = (greedy.y_at(x), opt.y_at(x)) {
+                    close &= o <= g + 1e-9 && g <= 2.0 * o + 1e-9;
+                    compared += 1;
+                }
+            }
+            Ok((
+                close && compared >= 4,
+                format!("{compared} comparable points, within 2× {close}"),
+            ))
+        },
+    ));
 
     // Figure 5(c).
     let chart = fig5::run_5c(repro);
-    let greedy = feasible(series(&chart, "Greedy"));
-    let rising = greedy.len() >= 2 && greedy.last().unwrap().1 >= greedy.first().unwrap().1;
-    checks.push(ShapeCheck {
-        figure: "Fig 5(c)".into(),
-        claim: "social cost rises with the number of tasks".into(),
-        pass: rising,
-        evidence: format!(
-            "{} feasible points, endpoints rising {rising}",
-            greedy.len()
-        ),
-    });
+    checks.push(checked(
+        "Fig 5(c)",
+        "social cost rises with the number of tasks",
+        || {
+            let greedy = feasible(chart.series_containing("Greedy")?);
+            let rising = greedy.len() >= 2 && greedy.last().unwrap().1 >= greedy.first().unwrap().1;
+            Ok((
+                rising,
+                format!(
+                    "{} feasible points, endpoints rising {rising}",
+                    greedy.len()
+                ),
+            ))
+        },
+    ));
 
     // Figure 6.
     let chart = fig6::run(repro);
@@ -152,31 +177,39 @@ pub fn verify(repro: &Repro) -> Vec<ShapeCheck> {
 
     // Figure 7.
     let chart = fig7::run(repro);
-    let mut ours_ok = true;
-    let mut vcg_misses = 0;
-    let mut checked = 0;
-    for x in chart.xs() {
-        if let Some(y) = series(&chart, "single task").y_at(x) {
-            ours_ok &= y >= x - 1e-6;
-            checked += 1;
-        }
-        if let Some(y) = series(&chart, "multi-task").y_at(x) {
-            ours_ok &= y >= x - 1e-6;
-        }
-        for label in ["ST-VCG", "MT-VCG"] {
-            if let Some(y) = series(&chart, label).y_at(x) {
-                if y < x {
-                    vcg_misses += 1;
+    checks.push(checked(
+        "Fig 7",
+        "our mechanisms meet every requirement; VCG-like do not",
+        || {
+            let single = chart.series_containing("single task")?;
+            let multi = chart.series_containing("multi-task")?;
+            let st_vcg = chart.series_containing("ST-VCG")?;
+            let mt_vcg = chart.series_containing("MT-VCG")?;
+            let mut ours_ok = true;
+            let mut vcg_misses = 0;
+            let mut compared = 0;
+            for x in chart.xs() {
+                if let Some(y) = single.y_at(x) {
+                    ours_ok &= y >= x - 1e-6;
+                    compared += 1;
+                }
+                if let Some(y) = multi.y_at(x) {
+                    ours_ok &= y >= x - 1e-6;
+                }
+                for vcg in [st_vcg, mt_vcg] {
+                    if let Some(y) = vcg.y_at(x) {
+                        if y < x {
+                            vcg_misses += 1;
+                        }
+                    }
                 }
             }
-        }
-    }
-    checks.push(ShapeCheck {
-        figure: "Fig 7".into(),
-        claim: "our mechanisms meet every requirement; VCG-like do not".into(),
-        pass: ours_ok && vcg_misses >= 6 && checked >= 4,
-        evidence: format!("{checked} requirements met: {ours_ok}; VCG shortfalls: {vcg_misses}"),
-    });
+            Ok((
+                ours_ok && vcg_misses >= 6 && compared >= 4,
+                format!("{compared} requirements met: {ours_ok}; VCG shortfalls: {vcg_misses}"),
+            ))
+        },
+    ));
 
     // Figures 8 & 9.
     for (chart, figure) in [
@@ -225,6 +258,19 @@ pub fn render(checks: &[ShapeCheck]) -> String {
 mod tests {
     use super::*;
     use crate::experiments::test_support::quick_repro;
+    use crate::report::Chart;
+
+    #[test]
+    fn missing_series_degrades_to_failed_check_not_panic() {
+        let chart = Chart::new("empty", "x", "y", vec![]);
+        let check = checked("Fig X", "some claim", || {
+            chart.series_containing("OPT")?;
+            Ok((true, "unreachable".into()))
+        });
+        assert!(!check.pass);
+        assert!(check.evidence.contains("no series labelled"));
+        assert_eq!(check.figure, "Fig X");
+    }
 
     #[test]
     fn every_claim_passes_at_quick_scale() {

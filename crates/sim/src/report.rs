@@ -61,6 +61,23 @@ impl Chart {
         }
     }
 
+    /// The first series whose label contains `label`.
+    ///
+    /// # Errors
+    ///
+    /// [`MissingSeries`] naming the chart and the label looked for —
+    /// callers that tolerate partial charts (e.g. `repro verify`) can
+    /// report the miss instead of panicking.
+    pub fn series_containing(&self, label: &str) -> Result<&Series, MissingSeries> {
+        self.series
+            .iter()
+            .find(|s| s.label.contains(label))
+            .ok_or_else(|| MissingSeries {
+                chart: self.title.clone(),
+                label: label.to_string(),
+            })
+    }
+
     /// All distinct x-values across series, ascending.
     pub fn xs(&self) -> Vec<f64> {
         let mut xs: Vec<f64> = self
@@ -154,6 +171,27 @@ impl Chart {
         out
     }
 }
+
+/// A chart lookup failed: no series label contains the searched fragment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissingSeries {
+    /// Title of the chart that was searched.
+    pub chart: String,
+    /// The label fragment looked for.
+    pub label: String,
+}
+
+impl std::fmt::Display for MissingSeries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chart {:?} has no series labelled {:?}",
+            self.chart, self.label
+        )
+    }
+}
+
+impl std::error::Error for MissingSeries {}
 
 /// Formats a number compactly: integers without decimals, otherwise 4
 /// significant-ish decimals.
@@ -252,6 +290,16 @@ mod tests {
         let chart = chart();
         assert_eq!(chart.series[1].y_at(30.0), None);
         assert_eq!(chart.series[0].y_at(20.0), Some(1.0));
+    }
+
+    #[test]
+    fn series_containing_matches_by_fragment_or_errors() {
+        let chart = chart();
+        assert_eq!(chart.series_containing("A").unwrap().label, "A");
+        let missing = chart.series_containing("OPT").unwrap_err();
+        assert_eq!(missing.chart, "Figure X");
+        assert_eq!(missing.label, "OPT");
+        assert!(missing.to_string().contains("no series labelled"));
     }
 
     #[test]

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The full local CI gate: formatting, lints, release build, tests.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+# Not --all: that would also format the vendored stand-in crates in
+# vendor/, which are path dependencies rather than workspace members.
+cargo fmt -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "CI green."

@@ -1,0 +1,238 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! This workspace is built in environments without access to crates.io;
+//! external dependencies are replaced by minimal, std-only vendored
+//! implementations via `[patch.crates-io]`. This stand-in keeps
+//! criterion's API shape — [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`criterion_group!`],
+//! [`criterion_main!`] — but measures plainly: a short warm-up, then
+//! `sample_size` timed samples of an adaptively-chosen iteration count,
+//! reporting min/mean/max wall-clock per iteration to stdout. There are
+//! no statistics, baselines, or HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported for benches that use `criterion::black_box`; prefer
+/// `std::hint::black_box` (which this is).
+pub use std::hint::black_box;
+
+/// The top-level harness handle passed to every bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration. This stand-in only recognises (and
+    /// otherwise ignores) the flags cargo passes through, notably
+    /// `--bench`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut |bencher| f(bencher, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally with a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A bare parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Things accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// Converts into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    // Warm-up: one iteration, also used to pick an iteration count that
+    // keeps each sample around a few milliseconds.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(5);
+    let iterations = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut per_iteration: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iteration.push(bencher.elapsed.as_secs_f64() / iterations as f64);
+    }
+    let min = per_iteration.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iteration.iter().copied().fold(0.0, f64::max);
+    let mean = per_iteration.iter().sum::<f64>() / per_iteration.len() as f64;
+    println!(
+        "bench: {label:<50} [{} {} {}] ({} iters x {} samples)",
+        format_seconds(min),
+        format_seconds(mean),
+        format_seconds(max),
+        iterations,
+        samples
+    );
+}
+
+fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a bench group: a function invoking each target with a shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

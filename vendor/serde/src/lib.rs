@@ -1,0 +1,621 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! This workspace is built in environments without access to crates.io, so
+//! external dependencies are replaced by minimal, std-only vendored
+//! implementations via `[patch.crates-io]` (see `vendor/` in the repository
+//! root). Instead of upstream serde's visitor-based, zero-copy data model,
+//! this stand-in routes every (de)serialization through one owned
+//! [`Value`] tree — the JSON data model. That is dramatically simpler and
+//! fully sufficient for this workspace, whose only format is JSON
+//! (`serde_json`) and whose types are owned (no borrowed `&'de str`
+//! fields).
+//!
+//! The public surface mirrors upstream where the workspace touches it:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits, derivable via
+//!   `#[derive(Serialize, Deserialize)]` (feature `derive`), including the
+//!   container attributes `#[serde(try_from = "T", into = "T")]`;
+//! * [`Serializer`] / [`Deserializer`] traits (used as bounds by manual
+//!   impls) and [`de::Error::custom`] / [`ser::Error::custom`];
+//! * impls for the primitives, `String`, tuples, `Vec`, `Option`,
+//!   `BTreeMap` / `BTreeSet` (maps serialize with stringified keys, like
+//!   upstream's JSON behaviour).
+//!
+//! Both traits have *two* methods with mutually-recursive defaults:
+//! `serialize` ⇄ `__to_value` and `deserialize` ⇄ `__from_value`. Every
+//! impl overrides at least one of the pair (derived impls override the
+//! `__*_value` side; hand-written impls in the workspace override the
+//! upstream-shaped side), so the defaults never actually recurse.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::{self, Display};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The single data model everything routes through: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also stands in for non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer.
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A finite floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::I64(_) | Value::U64(_) => "an integer",
+            Value::F64(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Seq(_) => "an array",
+            Value::Map(_) => "an object",
+        }
+    }
+}
+
+/// The error produced when mapping a [`Value`] into a Rust type.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: Display>(message: T) -> Self {
+        DeError(message.to_string())
+    }
+}
+
+impl Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Deserialization support: error plumbing.
+pub mod de {
+    use std::fmt::Display;
+
+    /// The trait bound `serde::de::Error::custom` calls go through.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(message: T) -> Self;
+    }
+
+    impl Error for super::DeError {
+        fn custom<T: Display>(message: T) -> Self {
+            super::DeError::custom(message)
+        }
+    }
+}
+
+/// Serialization support: error plumbing.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// The trait bound `serde::ser::Error::custom` calls go through.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(message: T) -> Self;
+    }
+}
+
+/// A format that consumes [`Value`]s.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type of the format.
+    type Error: ser::Error;
+
+    #[doc(hidden)]
+    fn __serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A format that produces [`Value`]s.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: de::Error;
+
+    #[doc(hidden)]
+    fn __into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be serialized.
+///
+/// Implementors must override [`Serialize::__to_value`] (the default pair
+/// is mutually recursive; derived impls always override it).
+pub trait Serialize {
+    #[doc(hidden)]
+    fn __to_value(&self) -> Value;
+
+    /// Serializes `self` into the given format.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.__serialize_value(self.__to_value())
+    }
+}
+
+/// A type that can be deserialized.
+///
+/// Implementors must override at least one of [`Deserialize::deserialize`]
+/// and [`Deserialize::__from_value`]: the defaults route into each other
+/// (derived impls override `__from_value`; the workspace's hand-written
+/// impls override `deserialize`).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from the given format.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.__into_value()?;
+        Self::__from_value(&value).map_err(de::Error::custom)
+    }
+
+    #[doc(hidden)]
+    fn __from_value(value: &Value) -> Result<Self, DeError> {
+        Self::deserialize(ValueDeserializer::new(value.clone()))
+    }
+}
+
+/// A [`Deserializer`] over an in-memory [`Value`].
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn __into_value(self) -> Result<Value, Self::Error> {
+        Ok(self.value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Support helpers used by derived code (doc(hidden), semver-exempt).
+// ---------------------------------------------------------------------------
+
+#[doc(hidden)]
+pub fn __from_value_infer<'de, T: Deserialize<'de>>(value: &Value) -> Result<T, DeError> {
+    T::__from_value(value)
+}
+
+#[doc(hidden)]
+pub fn __field<'de, T: Deserialize<'de>>(
+    entries: &[(String, Value)],
+    field: &'static str,
+    container: &'static str,
+) -> Result<T, DeError> {
+    let value = entries
+        .iter()
+        .find(|(key, _)| key == field)
+        .map(|(_, value)| value)
+        .ok_or_else(|| DeError::custom(format!("missing field `{field}` in `{container}`")))?;
+    T::__from_value(value)
+        .map_err(|e| DeError::custom(format!("invalid field `{field}` in `{container}`: {e}")))
+}
+
+/// Stringifies a map key the way JSON object keys require.
+#[doc(hidden)]
+pub fn __map_key(value: &Value) -> String {
+    match value {
+        Value::Str(s) => s.clone(),
+        Value::Bool(b) => b.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::U64(n) => n.to_string(),
+        Value::F64(n) => n.to_string(),
+        Value::Null => "null".to_string(),
+        // Upstream errors on composite keys; this workspace never uses them.
+        Value::Seq(_) | Value::Map(_) => "<composite key>".to_string(),
+    }
+}
+
+/// Rebuilds a map key from its stringified form: tries the string itself
+/// first, then re-interprets it as a number (how integer-keyed maps round
+/// trip through JSON).
+#[doc(hidden)]
+pub fn __key_from_str<'de, K: Deserialize<'de>>(key: &str) -> Result<K, DeError> {
+    let as_string = K::__from_value(&Value::Str(key.to_string()));
+    if as_string.is_ok() {
+        return as_string;
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = K::__from_value(&Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = K::__from_value(&Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<f64>() {
+        if let Ok(k) = K::__from_value(&Value::F64(n)) {
+            return Ok(k);
+        }
+    }
+    as_string
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn __to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn __from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected a boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn __from_value(value: &Value) -> Result<Self, DeError> {
+                let raw: u64 = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) => u64::try_from(*n).map_err(DeError::custom)?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected an unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(DeError::custom)
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 {
+                    Value::I64(n)
+                } else {
+                    Value::U64(n as u64)
+                }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn __from_value(value: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(DeError::custom)?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected an integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(DeError::custom)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn __to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            // JSON has no NaN/Infinity; upstream serde_json emits null.
+            Value::Null
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn __from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(n) => Ok(*n),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::custom(format!(
+                "expected a number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn __to_value(&self) -> Value {
+        f64::from(*self).__to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn __from_value(value: &Value) -> Result<Self, DeError> {
+        f64::__from_value(value).map(|n| n as f32)
+    }
+}
+
+impl Serialize for String {
+    fn __to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn __from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn __to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn __to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn __from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::__from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn __to_value(&self) -> Value {
+        (**self).__to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn __to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.__to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn __from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::__from_value(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequences, tuples, maps, sets.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn __to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn __to_value(&self) -> Value {
+        self.as_slice().__to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn __from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected an array, found {}", value.kind())))?;
+        items.iter().map(T::__from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn __to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn __from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected an array, found {}", value.kind())))?;
+        items.iter().map(T::__from_value).collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn __to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(key, value)| (__map_key(&key.__to_value()), value.__to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn __from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| DeError::custom(format!("expected an object, found {}", value.kind())))?;
+        entries
+            .iter()
+            .map(|(key, value)| Ok((__key_from_str(key)?, V::__from_value(value)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn __to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.__to_value()),+])
+            }
+        }
+
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn __from_value(value: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($i),+].len();
+                let items = value.as_seq().ok_or_else(|| {
+                    DeError::custom(format!("expected an array, found {}", value.kind()))
+                })?;
+                if items.len() != LEN {
+                    return Err(DeError::custom(format!(
+                        "expected a {LEN}-element array, found {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::__from_value(&items[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for () {
+    fn __to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn __from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::custom(format!(
+                "expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::__from_value(&42u32.__to_value()).unwrap(), 42);
+        assert_eq!(i64::__from_value(&(-7i64).__to_value()).unwrap(), -7);
+        assert_eq!(f64::__from_value(&1.5f64.__to_value()).unwrap(), 1.5);
+        assert_eq!(bool::__from_value(&true.__to_value()).unwrap(), true);
+        let s = String::from("hi");
+        assert_eq!(String::__from_value(&s.__to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.__to_value(), Value::Null);
+        assert_eq!(f64::INFINITY.__to_value(), Value::Null);
+    }
+
+    #[test]
+    fn int_keyed_map_round_trips_through_string_keys() {
+        let map: BTreeMap<u32, String> = [(3, "three".to_string()), (7, "seven".to_string())]
+            .into_iter()
+            .collect();
+        let value = map.__to_value();
+        match &value {
+            Value::Map(entries) => assert_eq!(entries[0].0, "3"),
+            other => panic!("expected map, got {other:?}"),
+        }
+        let back: BTreeMap<u32, String> = BTreeMap::__from_value(&value).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn tuples_and_vecs_round_trip() {
+        let points = vec![(1.0f64, 2.0f64), (3.5, -4.5)];
+        let back: Vec<(f64, f64)> = Vec::__from_value(&points.__to_value()).unwrap();
+        assert_eq!(back, points);
+    }
+
+    #[test]
+    fn wrong_shape_is_a_typed_error() {
+        let err = u32::__from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected an unsigned integer"));
+    }
+}

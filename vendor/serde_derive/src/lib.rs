@@ -1,0 +1,479 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Emits impls of the vendored `serde`'s [`Value`]-based `Serialize` /
+//! `Deserialize` traits (overriding the hidden `__to_value` /
+//! `__from_value` methods). Because this environment cannot reach
+//! crates.io, the macro is written against `proc_macro` alone — no `syn`,
+//! no `quote`: the item is parsed with a small hand-rolled token walker and
+//! the impl is emitted as a string that is parsed back into a
+//! `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives):
+//!
+//! * structs with named fields;
+//! * tuple structs (arity 1 serializes transparently, like upstream
+//!   newtypes; arity ≥ 2 as an array);
+//! * enums with unit and single-field (newtype) variants, externally
+//!   tagged like upstream: `"Variant"` or `{"Variant": payload}`;
+//! * container attributes `#[serde(try_from = "T")]` and
+//!   `#[serde(into = "T")]`.
+//!
+//! Generics, struct variants, and field-level attributes are not needed by
+//! the workspace and are rejected with a compile-time panic naming the
+//! unsupported construct.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_deserialize(&item).parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    /// `#[serde(try_from = "T")]`: deserialize via `T` then `TryFrom`.
+    try_from: Option<String>,
+    /// `#[serde(into = "T")]`: serialize by `Clone` + `Into` into `T`.
+    into: Option<String>,
+}
+
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    /// Variants as (name, payload arity): 0 = unit, 1 = newtype.
+    Enum { variants: Vec<(String, usize)> },
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+
+    // Leading attributes (incl. doc comments) and visibility.
+    let keyword = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(group)) = tokens.get(i + 1) {
+                    collect_serde_attr(group, &mut attrs);
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(group)) = tokens.get(i) {
+                    if group.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    i += 1;
+                    break kw;
+                }
+                panic!("serde derive: unexpected `{kw}` before struct/enum keyword");
+            }
+            other => panic!("serde derive: unexpected input near {other:?}"),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic type `{name}` is not supported by the vendored derive");
+        }
+    }
+
+    let shape = if keyword == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => Shape::Enum {
+                variants: parse_variants(body, &name),
+            },
+            other => panic!("serde derive: expected enum body for `{name}`, found {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct {
+                    fields: parse_named_fields(body, &name),
+                }
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    arity: count_top_level_fields(body),
+                }
+            }
+            _ => panic!("serde derive: unit struct `{name}` is not supported"),
+        }
+    };
+
+    Item { name, attrs, shape }
+}
+
+/// Records `try_from` / `into` from a `#[serde(...)]` attribute group; all
+/// other attributes (docs, derives, `#[default]`) are ignored.
+fn collect_serde_attr(group: &Group, attrs: &mut ContainerAttrs) {
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(list)) = inner.next() else {
+        return;
+    };
+    let tokens: Vec<TokenTree> = list.stream().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let value = match (tokens.get(i + 1), tokens.get(i + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                i += 3;
+                Some(lit.to_string().trim_matches('"').to_string())
+            }
+            _ => {
+                i += 1;
+                None
+            }
+        };
+        match (key.as_str(), value) {
+            ("try_from", Some(ty)) => attrs.try_from = Some(ty),
+            ("into", Some(ty)) => attrs.into = Some(ty),
+            (other, _) => panic!(
+                "serde derive: container attribute `{other}` is not supported by the vendored derive"
+            ),
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn parse_named_fields(body: &Group, container: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        // Attributes (incl. doc comments).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(group)) = tokens.get(i) {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let Some(token) = tokens.get(i) else { break };
+        let name = match token {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name in `{container}`, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde derive: expected `:` after field `{name}` in `{container}`, found {other:?}"
+            ),
+        }
+        // Skip the type up to the next top-level comma. `<`/`>` nesting is
+        // tracked; parens/brackets arrive as single groups.
+        let mut depth = 0i64;
+        while let Some(token) = tokens.get(i) {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts comma-separated fields at the top level of a parenthesised group.
+fn count_top_level_fields(body: &Group) -> usize {
+    let mut depth = 0i64;
+    let mut arity = 0;
+    let mut pending = false;
+    for token in body.stream() {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: &Group, container: &str) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(token) = tokens.get(i) else { break };
+        let name = match token {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant in `{container}`, found {other:?}"),
+        };
+        i += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(payload)) = tokens.get(i) {
+            match payload.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_top_level_fields(payload);
+                    i += 1;
+                }
+                Delimiter::Brace => panic!(
+                    "serde derive: struct variant `{container}::{name}` is not supported by the vendored derive"
+                ),
+                _ => {}
+            }
+        }
+        if arity > 1 {
+            panic!(
+                "serde derive: variant `{container}::{name}` has {arity} fields; only unit and newtype variants are supported"
+            );
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, arity));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn expand_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+
+    if let Some(ty) = &item.attrs.into {
+        let _ = write!(
+            body,
+            "let __repr: {ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::__to_value(&__repr)"
+        );
+    } else {
+        match &item.shape {
+            Shape::NamedStruct { fields } => {
+                body.push_str("::serde::Value::Map(::std::vec![\n");
+                for field in fields {
+                    let _ = writeln!(
+                        body,
+                        "(::std::string::String::from(\"{field}\"), \
+                         ::serde::Serialize::__to_value(&self.{field})),"
+                    );
+                }
+                body.push_str("])");
+            }
+            Shape::TupleStruct { arity: 1 } => {
+                body.push_str("::serde::Serialize::__to_value(&self.0)");
+            }
+            Shape::TupleStruct { arity } => {
+                body.push_str("::serde::Value::Seq(::std::vec![\n");
+                for index in 0..*arity {
+                    let _ = writeln!(body, "::serde::Serialize::__to_value(&self.{index}),");
+                }
+                body.push_str("])");
+            }
+            Shape::Enum { variants } => {
+                body.push_str("match self {\n");
+                for (variant, arity) in variants {
+                    if *arity == 0 {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{variant} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{variant}\")),"
+                        );
+                    } else {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{variant}(__payload) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{variant}\"), \
+                             ::serde::Serialize::__to_value(__payload))]),"
+                        );
+                    }
+                }
+                body.push_str("}");
+            }
+        }
+    }
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn __to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn expand_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+
+    if let Some(ty) = &item.attrs.try_from {
+        let _ = write!(
+            body,
+            "let __raw: {ty} = ::serde::__from_value_infer(__value)?;\n\
+             <Self as ::std::convert::TryFrom<{ty}>>::try_from(__raw)\
+                 .map_err(::serde::DeError::custom)"
+        );
+    } else {
+        match &item.shape {
+            Shape::NamedStruct { fields } => {
+                let _ = write!(
+                    body,
+                    "let __entries = match __value {{\n\
+                         ::serde::Value::Map(__entries) => __entries,\n\
+                         __other => return ::std::result::Result::Err(::serde::DeError::custom(\n\
+                             ::std::format!(\"expected an object for `{name}`, found {{}}\", __other.kind()))),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name} {{\n"
+                );
+                for field in fields {
+                    let _ = writeln!(
+                        body,
+                        "{field}: ::serde::__field(__entries, \"{field}\", \"{name}\")?,"
+                    );
+                }
+                body.push_str("})");
+            }
+            Shape::TupleStruct { arity: 1 } => {
+                let _ = write!(
+                    body,
+                    "::std::result::Result::Ok({name}(::serde::__from_value_infer(__value)?))"
+                );
+            }
+            Shape::TupleStruct { arity } => {
+                let _ = write!(
+                    body,
+                    "let __items = match __value {{\n\
+                         ::serde::Value::Seq(__items) if __items.len() == {arity} => __items,\n\
+                         __other => return ::std::result::Result::Err(::serde::DeError::custom(\n\
+                             ::std::format!(\"expected a {arity}-element array for `{name}`, found {{}}\", __other.kind()))),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name}(\n"
+                );
+                for index in 0..*arity {
+                    let _ = writeln!(body, "::serde::__from_value_infer(&__items[{index}])?,");
+                }
+                body.push_str("))");
+            }
+            Shape::Enum { variants } => {
+                let has_payload = variants.iter().any(|(_, arity)| *arity > 0);
+                body.push_str("match __value {\n::serde::Value::Str(__variant) => match __variant.as_str() {\n");
+                for (variant, arity) in variants {
+                    if *arity == 0 {
+                        let _ = writeln!(
+                            body,
+                            "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),"
+                        );
+                    }
+                }
+                let _ = write!(
+                    body,
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(\n\
+                         ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                     }},\n"
+                );
+                if has_payload {
+                    body.push_str(
+                        "::serde::Value::Map(__entries) if __entries.len() == 1 => {\n\
+                             let (__variant, __payload) = &__entries[0];\n\
+                             match __variant.as_str() {\n",
+                    );
+                    for (variant, arity) in variants {
+                        if *arity > 0 {
+                            let _ = writeln!(
+                                body,
+                                "\"{variant}\" => ::std::result::Result::Ok(\
+                                 {name}::{variant}(::serde::__from_value_infer(__payload)?)),"
+                            );
+                        }
+                    }
+                    let _ = write!(
+                        body,
+                        "__other => ::std::result::Result::Err(::serde::DeError::custom(\n\
+                             ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                         }}\n\
+                         }},\n"
+                    );
+                }
+                let _ = write!(
+                    body,
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(\n\
+                         ::std::format!(\"expected a variant of `{name}`, found {{}}\", __other.kind()))),\n\
+                     }}"
+                );
+            }
+        }
+    }
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn __from_value(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

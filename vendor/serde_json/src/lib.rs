@@ -1,0 +1,493 @@
+//! Offline stand-in for the [`serde_json`](https://crates.io/crates/serde_json) crate.
+//!
+//! Converts JSON text to and from the vendored `serde`'s [`Value`] data
+//! model (see `vendor/serde`). Covers the API subset this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`to_vec`], [`to_vec_pretty`],
+//! [`from_str`], [`from_slice`], and an [`Error`] that converts into
+//! `std::io::Error` (so `?` works in functions returning `io::Result`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display, Write as _};
+
+use serde::{de, Deserialize, Serialize, Value, ValueDeserializer};
+
+/// A JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl de::Error for Error {
+    fn custom<T: Display>(message: T) -> Self {
+        Error::new(message.to_string())
+    }
+}
+
+impl From<Error> for std::io::Error {
+    fn from(error: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, error.message)
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.__to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed (2-space indented) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.__to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes `value` to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<'de, T: Deserialize<'de>>(input: &'de str) -> Result<T, Error> {
+    let value = parse(input)?;
+    T::deserialize(ValueDeserializer::new(value)).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<'de, T: Deserialize<'de>>(input: &'de [u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::new(e.to_string()))?;
+    let value = parse(text)?;
+    T::deserialize(ValueDeserializer::new(value)).map_err(|e| Error::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(n) => write_f64(out, *n),
+        Value::Str(s) => write_json_string(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (index, item) in items.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (index, (key, item)) in entries.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, value: f64) {
+    if !value.is_finite() {
+        out.push_str("null");
+    } else if value == value.trunc() && value.abs() < 1e15 {
+        // Keep integral floats recognisably floats, like upstream ("1.0").
+        let _ = write!(out, "{value:.1}");
+    } else {
+        // Rust's shortest round-trip formatting.
+        let _ = write!(out, "{value}");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parses JSON text into a [`Value`].
+pub fn parse(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> Error {
+        Error::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("JSON nesting too deep"));
+        }
+        let value = match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        };
+        self.depth -= 1;
+        value
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(escape) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let high = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&high) {
+                                // Surrogate pair.
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                high
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.error("invalid escape character")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character (input is a valid &str).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&3u32).unwrap(), "3");
+        assert_eq!(to_string(&-4i64).unwrap(), "-4");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a \"b\"\n").unwrap(), "\"a \\\"b\\\"\\n\"");
+        assert_eq!(from_str::<u32>("3").unwrap(), 3);
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(from_str::<String>("\"a \\\"b\\\"\\n\"").unwrap(), "a \"b\"\n");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let points = vec![(1.0f64, 2.5f64), (3.0, -0.125)];
+        let json = to_string(&points).unwrap();
+        let back: Vec<(f64, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, points);
+
+        let map: std::collections::BTreeMap<u32, Vec<u64>> =
+            [(1, vec![2, 3]), (9, vec![])].into_iter().collect();
+        let json = to_string(&map).unwrap();
+        assert_eq!(json, "{\"1\":[2,3],\"9\":[]}");
+        let back: std::collections::BTreeMap<u32, Vec<u64>> = from_str(&json).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn pretty_printer_indents() {
+        let map: std::collections::BTreeMap<u32, Vec<u64>> = [(1, vec![2])].into_iter().collect();
+        let pretty = to_string_pretty(&map).unwrap();
+        assert_eq!(pretty, "{\n  \"1\": [\n    2\n  ]\n}");
+        let back: std::collections::BTreeMap<u32, Vec<u64>> = from_str(&pretty).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>("\"\\u0041\"").unwrap(), "A");
+        assert_eq!(from_str::<String>("\"\\uD83D\\uDE00\"").unwrap(), "😀");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(from_str::<u32>("true").is_err());
+        assert!(from_str::<u32>("3 4").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(parse("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}
