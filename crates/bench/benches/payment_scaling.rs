@@ -1,0 +1,185 @@
+//! End-to-end allocation + payment scaling: the indexed lazy-greedy /
+//! warm-started / parallel engine versus the pre-optimization reference
+//! path, sweeping n ∈ {100, 500, 1000} users at 50 tasks.
+//!
+//! Besides the Criterion display run, this bench writes
+//! `BENCH_payment_scaling.json` at the repo root — machine-readable
+//! `{mechanism, n, tasks, median_ns}` entries — so the perf trajectory is
+//! tracked across PRs. `--test` runs a smoke mode instead: one small
+//! instance, asserting the two paths produce bitwise-identical quotes.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use criterion::{BenchmarkId, Criterion};
+use mcs_bench::synthetic_multi_task;
+use mcs_core::mechanism::{contingent_reward, WinnerDetermination};
+use mcs_core::multi_task::{reference, MultiTaskMechanism};
+use mcs_core::types::{TypeProfile, UserId};
+use std::hint::black_box;
+
+const TASKS: usize = 50;
+const REQUIREMENT: f64 = 0.8;
+const ALPHA: f64 = 10.0;
+const SIZES: [usize; 3] = [100, 500, 1000];
+
+/// One cleared round's quotes: `(success, failure)` per winner.
+type Quotes = BTreeMap<UserId, (f64, f64)>;
+
+/// The pre-PR path: reference scan greedy, then one cloning bisection per
+/// winner.
+fn clear_reference(profile: &TypeProfile) -> Quotes {
+    let allocation = reference::select_winners(profile).expect("bench instance is feasible");
+    allocation
+        .winners()
+        .map(|winner| {
+            let critical = reference::critical_contribution(profile, winner)
+                .expect("winner has a critical bid")
+                .pos();
+            let cost = profile.user(winner).expect("winner exists").cost();
+            (
+                winner,
+                (
+                    contingent_reward(ALPHA, critical, cost, true),
+                    contingent_reward(ALPHA, critical, cost, false),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// The new engine: indexed lazy greedy, warm-started bisections, parallel
+/// batch payments.
+fn clear_fast(profile: &TypeProfile, threads: usize) -> Quotes {
+    let mechanism = MultiTaskMechanism::new(ALPHA)
+        .expect("valid alpha")
+        .with_payment_threads(threads);
+    let allocation = mechanism
+        .select_winners(profile)
+        .expect("bench instance is feasible");
+    mechanism
+        .critical_pos_all(profile, &allocation)
+        .expect("winners have critical bids")
+        .into_iter()
+        .map(|(winner, critical)| {
+            let cost = profile.user(winner).expect("winner exists").cost();
+            (
+                winner,
+                (
+                    contingent_reward(ALPHA, critical, cost, true),
+                    contingent_reward(ALPHA, critical, cost, false),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Median wall-clock nanoseconds of `runs` timed executions.
+fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// `--test`: one small instance, both paths, bitwise-identical quotes.
+fn smoke() {
+    let profile = synthetic_multi_task(48, 12, 0.7, 42);
+    let reference_quotes = clear_reference(&profile);
+    assert!(!reference_quotes.is_empty(), "smoke instance has winners");
+    for threads in [1usize, 4] {
+        let fast = clear_fast(&profile, threads);
+        assert_eq!(
+            fast.len(),
+            reference_quotes.len(),
+            "winner sets diverge at {threads} threads"
+        );
+        for (winner, &(success, failure)) in &reference_quotes {
+            let &(fast_success, fast_failure) = fast.get(winner).expect("same winners");
+            assert_eq!(
+                fast_success.to_bits(),
+                success.to_bits(),
+                "success quote diverges for {winner} at {threads} threads"
+            );
+            assert_eq!(
+                fast_failure.to_bits(),
+                failure.to_bits(),
+                "failure quote diverges for {winner} at {threads} threads"
+            );
+        }
+    }
+    println!("payment_scaling smoke: fast engine matches reference bitwise. ok");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Cargo appends `--bench` when running bench targets; ignore it.
+    if args.iter().any(|a| a == "--test") {
+        smoke();
+        return;
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(1);
+    let mut entries: Vec<(String, usize, u128)> = Vec::new();
+
+    // Criterion display pass over the fast engine (the reference path at
+    // n = 1000 is far too slow for criterion's sampling; its numbers come
+    // from the manual median pass below).
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("payment_scaling_fast");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let profile = synthetic_multi_task(n, TASKS, REQUIREMENT, 1000 + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &profile, |b, p| {
+            b.iter(|| black_box(clear_fast(black_box(p), threads)))
+        });
+    }
+    group.finish();
+
+    for &n in &SIZES {
+        let profile = synthetic_multi_task(n, TASKS, REQUIREMENT, 1000 + n as u64);
+        // Equal work check once per size before timing anything.
+        let reference_quotes = clear_reference(&profile);
+        let fast_quotes = clear_fast(&profile, threads);
+        assert_eq!(reference_quotes, fast_quotes, "paths diverge at n = {n}");
+        let winners = reference_quotes.len();
+
+        let fast = median_ns(5, || {
+            black_box(clear_fast(black_box(&profile), threads));
+        });
+        let runs = if n >= 1000 { 3 } else { 5 };
+        let slow = median_ns(runs, || {
+            black_box(clear_reference(black_box(&profile)));
+        });
+        println!(
+            "n={n} tasks={TASKS} winners={winners}: reference {:.2} ms, fast {:.2} ms ({:.1}x)",
+            slow as f64 / 1e6,
+            fast as f64 / 1e6,
+            slow as f64 / fast as f64
+        );
+        entries.push(("reference".to_string(), n, slow));
+        entries.push(("fast".to_string(), n, fast));
+    }
+
+    let mut json = String::from("[\n");
+    for (i, (mechanism, n, ns)) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"mechanism\": \"{mechanism}\", \"n\": {n}, \"tasks\": {TASKS}, \"median_ns\": {ns}}}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_payment_scaling.json"
+    );
+    std::fs::write(path, json).expect("write benchmark JSON");
+    println!("wrote {path}");
+}

@@ -100,6 +100,18 @@ pub enum McsError {
         /// The offending value.
         value: f64,
     },
+    /// A bisection probe inside a critical-bid search failed with an error
+    /// other than [`McsError::Infeasible`] (which just means "loses").
+    ///
+    /// The wrapped source error alone does not say *whose* payment was
+    /// being computed; platform quarantine logs need the probed user id to
+    /// be actionable.
+    CriticalProbeFailed {
+        /// The winner whose critical bid was being probed.
+        user: UserId,
+        /// The underlying error raised inside the probe.
+        source: Box<McsError>,
+    },
 }
 
 impl fmt::Display for McsError {
@@ -154,11 +166,21 @@ impl fmt::Display for McsError {
                     "reward scaling factor {value} is not a finite non-negative number"
                 )
             }
+            McsError::CriticalProbeFailed { user, source } => {
+                write!(f, "critical-bid probe for user {user} failed: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for McsError {}
+impl std::error::Error for McsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McsError::CriticalProbeFailed { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// Convenient alias used throughout the crate.
 pub type Result<T, E = McsError> = std::result::Result<T, E>;
@@ -199,6 +221,19 @@ mod tests {
                 user: UserId::new(4)
             },
         );
+    }
+
+    #[test]
+    fn critical_probe_failure_names_user_and_chains_the_source() {
+        let err = McsError::CriticalProbeFailed {
+            user: UserId::new(9),
+            source: Box::new(McsError::EmptyUsers),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('9'));
+        assert!(msg.contains("no users"));
+        let source = std::error::Error::source(&err).expect("wrapped source");
+        assert_eq!(source.to_string(), McsError::EmptyUsers.to_string());
     }
 
     #[test]

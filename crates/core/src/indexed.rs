@@ -1,0 +1,526 @@
+//! A dense, index-based view of a [`TypeProfile`] and the lazy-greedy
+//! allocation engine built on top of it.
+//!
+//! [`TypeProfile`] is the validated boundary type: `BTreeMap`-backed,
+//! id-keyed, convenient to build and to mutate one declaration at a time.
+//! The multi-task mechanism, however, replays winner determination
+//! hundreds of times per round — every critical bid is a bisection whose
+//! each probe re-runs the full greedy — and at that call rate the map
+//! probes and profile clones dominate the runtime. [`IndexedProfile`]
+//! flattens the instance **once** into contiguous arrays (CSR-style
+//! per-user `(task index, contribution)` entries plus per-task
+//! requirements), so every re-run touches nothing but dense `f64` slices
+//! and never allocates a modified profile: excluding a user or scaling her
+//! contributions is expressed through [`RunOptions`] instead of cloning.
+//!
+//! The engine is the paper's greedy (Algorithm 4) accelerated with the
+//! CELF lazy-evaluation trick from the submodular-maximization literature:
+//! a max-heap holds every candidate's capped contribution–cost ratio as a
+//! *stale upper bound*. Capped contributions `Σ_j min(q_i^j, Q̄_j)` are
+//! monotone non-increasing as the residuals `Q̄` shrink (this also holds
+//! for the rounded floating-point sums, because `fl(a+b)` is monotone in
+//! both arguments), so a popped entry whose bound is already fresh is the
+//! exact argmax and can be selected without rescanning anyone else.
+//!
+//! ## Bitwise equivalence
+//!
+//! The engine is not "approximately" the reference implementation
+//! ([`crate::multi_task::reference`]): selections, capped contributions,
+//! residual snapshots, and every critical bid derived from them are
+//! **bitwise identical**. The float operations are kept in the reference
+//! order — capped sums add a user's entries in task publication order
+//! (skipping an absent task adds an exact `0.0`, which is a no-op on
+//! non-negative sums), residual subtraction is the same saturating
+//! `max(0, Q̄ - q)`, and ties break by the same cross-multiplied ratio
+//! comparison followed by smaller-user-id-wins. The equivalence is
+//! enforced by the proptest suites in `tests/engine_equivalence.rs`.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use crate::types::{TaskId, TypeProfile, UserId, CONTRIBUTION_TOLERANCE};
+
+/// A dense snapshot of a [`TypeProfile`], built once per round and shared
+/// (immutably) by every greedy re-run and payment computation.
+///
+/// User positions follow declaration order, task positions follow
+/// publication order — the same orders the reference implementation
+/// iterates in, which is what makes the float arithmetic reproducible.
+#[derive(Debug, Clone)]
+pub struct IndexedProfile {
+    user_ids: Vec<UserId>,
+    costs: Vec<f64>,
+    /// Declared total contribution per user, `Σ_j q_i^j` — taken verbatim
+    /// from [`crate::types::UserType::total_contribution`], which sums in
+    /// ascending `TaskId` order (not necessarily publication order), so it
+    /// is stored rather than recomputed from the entries below.
+    totals: Vec<f64>,
+    /// CSR offsets: user `i`'s entries live at `offsets[i]..offsets[i+1]`.
+    offsets: Vec<usize>,
+    /// Task position (publication order) of each entry, ascending per user.
+    entry_task: Vec<usize>,
+    /// Contribution `q_i^j` of each entry.
+    entry_q: Vec<f64>,
+    /// Requirement contribution `Q_j` per task, in publication order.
+    requirements: Vec<f64>,
+    task_ids: Vec<TaskId>,
+    index_of: BTreeMap<UserId, usize>,
+}
+
+impl IndexedProfile {
+    /// Flattens `profile` into the dense form.
+    pub fn from_profile(profile: &TypeProfile) -> Self {
+        let task_position: BTreeMap<TaskId, usize> = profile
+            .task_ids()
+            .enumerate()
+            .map(|(position, task)| (task, position))
+            .collect();
+
+        let n = profile.user_count();
+        let mut user_ids = Vec::with_capacity(n);
+        let mut costs = Vec::with_capacity(n);
+        let mut totals = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entry_task = Vec::new();
+        let mut entry_q = Vec::new();
+        offsets.push(0);
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        for user in profile.users() {
+            user_ids.push(user.id());
+            costs.push(user.cost().value());
+            totals.push(user.total_contribution().value());
+            entries.clear();
+            entries.extend(
+                user.tasks()
+                    .map(|(task, pos)| (task_position[&task], pos.contribution().value())),
+            );
+            // Publication order, so capped sums accumulate exactly like the
+            // reference scan over the task list.
+            entries.sort_unstable_by_key(|&(position, _)| position);
+            for &(position, q) in &entries {
+                entry_task.push(position);
+                entry_q.push(q);
+            }
+            offsets.push(entry_task.len());
+        }
+
+        IndexedProfile {
+            index_of: user_ids
+                .iter()
+                .enumerate()
+                .map(|(index, &id)| (id, index))
+                .collect(),
+            user_ids,
+            costs,
+            totals,
+            offsets,
+            entry_task,
+            entry_q,
+            requirements: profile
+                .tasks()
+                .iter()
+                .map(|t| t.requirement_contribution().value())
+                .collect(),
+            task_ids: profile.task_ids().collect(),
+        }
+    }
+
+    /// Number of users `n`.
+    pub fn user_count(&self) -> usize {
+        self.user_ids.len()
+    }
+
+    /// Number of tasks `t`.
+    pub fn task_count(&self) -> usize {
+        self.task_ids.len()
+    }
+
+    /// The id of the user at `position` (declaration order).
+    pub fn user_id(&self, position: usize) -> UserId {
+        self.user_ids[position]
+    }
+
+    /// The id of the task at `position` (publication order).
+    pub fn task_id(&self, position: usize) -> TaskId {
+        self.task_ids[position]
+    }
+
+    /// The cost `c_i` of the user at `position`.
+    pub fn cost(&self, position: usize) -> f64 {
+        self.costs[position]
+    }
+
+    /// The declared total contribution `Σ_j q_i^j` of the user at `position`.
+    pub fn total(&self, position: usize) -> f64 {
+        self.totals[position]
+    }
+
+    /// The position of `user`, if she is in the profile.
+    pub fn position_of(&self, user: UserId) -> Option<usize> {
+        self.index_of.get(&user).copied()
+    }
+
+    /// The contribution entries `q_i^j` of the user at `position`, in task
+    /// publication order — the slice shape a [`RunOptions::substitute`]
+    /// override must match.
+    pub fn contributions_of(&self, position: usize) -> &[f64] {
+        &self.entry_q[self.offsets[position]..self.offsets[position + 1]]
+    }
+
+    /// User `position`'s `(task position, contribution)` entries, in task
+    /// publication order, honoring a [`RunOptions::substitute`] override.
+    fn entries<'a>(
+        &'a self,
+        position: usize,
+        options: &RunOptions<'a>,
+    ) -> impl Iterator<Item = (usize, f64)> + 'a {
+        let span = self.offsets[position]..self.offsets[position + 1];
+        let qs = match options.substitute {
+            Some((substituted, qs)) if substituted == position => qs,
+            _ => &self.entry_q[span.clone()],
+        };
+        self.entry_task[span]
+            .iter()
+            .copied()
+            .zip(qs.iter().copied())
+    }
+
+    /// `Σ_{j ∈ S_i} min(q_i^j, Q̄_j)` — the capped marginal contribution,
+    /// accumulated exactly like the reference (`Contribution::min` picks
+    /// `q` on ties; absent tasks contribute an exact `0.0`, skipped here).
+    fn capped(&self, position: usize, residual: &[f64], options: &RunOptions<'_>) -> f64 {
+        let mut sum = 0.0;
+        for (task, q) in self.entries(position, options) {
+            let r = residual[task];
+            sum += if q <= r { q } else { r };
+        }
+        sum
+    }
+
+    /// Runs the lazy greedy to exhaustion. See [`Record`] for what gets
+    /// written into the returned [`EngineRun`]; probes use
+    /// [`Record::Selection`] and skip all bookkeeping.
+    pub fn run(
+        &self,
+        workspace: &mut Workspace,
+        options: RunOptions<'_>,
+        record: Record,
+    ) -> EngineRun {
+        let residual = &mut workspace.residual;
+        residual.clear();
+        residual.extend_from_slice(&self.requirements);
+        let mut unmet = residual
+            .iter()
+            .filter(|&&r| r > CONTRIBUTION_TOLERANCE)
+            .count();
+
+        let heap = &mut workspace.heap;
+        heap.clear();
+        for position in 0..self.user_count() {
+            if options.excluded == Some(position) {
+                continue;
+            }
+            let capped = self.capped(position, residual, &options);
+            if capped > CONTRIBUTION_TOLERANCE {
+                heap_push(
+                    heap,
+                    HeapEntry {
+                        capped,
+                        cost: self.costs[position],
+                        id: self.user_ids[position],
+                        position,
+                        version: 0,
+                    },
+                );
+            }
+        }
+
+        let mut run = EngineRun {
+            selection: Vec::new(),
+            capped: Vec::new(),
+            snapshots: Vec::new(),
+            uncovered: None,
+        };
+        let mut version = 0u32;
+        while unmet > 0 {
+            let Some(top) = heap_pop(heap) else {
+                run.uncovered = residual.iter().position(|&r| r > CONTRIBUTION_TOLERANCE);
+                break;
+            };
+            if top.version != version {
+                // Stale upper bound: refresh against the current residuals
+                // and re-queue. Capped contributions only shrink, so a
+                // candidate that drops to zero is gone for good — exactly
+                // the users the reference scan filters out.
+                let capped = self.capped(top.position, residual, &options);
+                if capped > CONTRIBUTION_TOLERANCE {
+                    heap_push(
+                        heap,
+                        HeapEntry {
+                            capped,
+                            version,
+                            ..top
+                        },
+                    );
+                }
+                continue;
+            }
+            // Fresh bound at the top of the heap: `top` is the exact argmax
+            // of the capped-contribution–cost ratio — select it.
+            if record >= Record::Full {
+                run.snapshots.push(residual.clone());
+            }
+            if record >= Record::Iterations {
+                run.capped.push(top.capped);
+            }
+            run.selection.push(top.position);
+            for (task, q) in self.entries(top.position, &options) {
+                let r = &mut residual[task];
+                let was_unmet = *r > CONTRIBUTION_TOLERANCE;
+                *r = (*r - q).max(0.0);
+                if was_unmet && *r <= CONTRIBUTION_TOLERANCE {
+                    unmet -= 1;
+                }
+            }
+            version += 1;
+        }
+        run
+    }
+}
+
+/// Instance modifications for a greedy re-run, replacing the profile
+/// clones the reference implementation builds per probe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions<'a> {
+    /// Run on `θ_{-i}`: the user at this position does not participate.
+    pub excluded: Option<usize>,
+    /// Override the contribution entries of the user at this position with
+    /// the given slice (same length and task order as her stored entries).
+    /// This is how bisection probes express a uniformly scaled declaration.
+    pub substitute: Option<(usize, &'a [f64])>,
+}
+
+/// How much bookkeeping a greedy run records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Record {
+    /// Selection order and the uncovered marker only — what a bisection
+    /// probe needs.
+    Selection,
+    /// Additionally each iteration's capped contribution (Algorithm 5
+    /// inspects these on the `θ_{-i}` re-run).
+    Iterations,
+    /// Additionally a residual snapshot per iteration — the full
+    /// [`crate::multi_task::GreedyRun`] record.
+    Full,
+}
+
+/// The raw outcome of a lazy-greedy run, in dense positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineRun {
+    /// Selected user positions, in selection order.
+    pub selection: Vec<usize>,
+    /// Capped contribution per iteration ([`Record::Iterations`] and up).
+    pub capped: Vec<f64>,
+    /// Residuals at iteration start, per iteration ([`Record::Full`]).
+    pub snapshots: Vec<Vec<f64>>,
+    /// First task position (publication order) left uncovered when the
+    /// candidates ran out, if the instance was infeasible for them.
+    pub uncovered: Option<usize>,
+}
+
+impl EngineRun {
+    /// Whether every requirement was covered.
+    pub fn is_complete(&self) -> bool {
+        self.uncovered.is_none()
+    }
+
+    /// Whether the user at `position` was selected.
+    pub fn selected(&self, position: usize) -> bool {
+        self.selection.contains(&position)
+    }
+}
+
+/// Reusable scratch space for greedy runs: one residual vector and one
+/// heap, recycled across the hundreds of re-runs a payment computation
+/// performs so the hot path never allocates.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    residual: Vec<f64>,
+    heap: Vec<HeapEntry>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
+/// One candidate in the lazy-greedy heap: her capped contribution as of
+/// `version`, which is an upper bound on the current value.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    capped: f64,
+    cost: f64,
+    id: UserId,
+    position: usize,
+    version: u32,
+}
+
+/// The strict total order the heap maximizes: the cross-multiplied ratio
+/// comparison of the reference greedy (`a.capped/a.cost > b.capped/b.cost`
+/// without dividing, so free users order correctly), ties broken by
+/// smaller user id. Distinct users never compare equal.
+fn beats(a: &HeapEntry, b: &HeapEntry) -> bool {
+    let left = a.capped * b.cost;
+    let right = b.capped * a.cost;
+    match left.partial_cmp(&right).expect("finite ratio products") {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => a.id < b.id,
+    }
+}
+
+fn heap_push(heap: &mut Vec<HeapEntry>, entry: HeapEntry) {
+    heap.push(entry);
+    let mut child = heap.len() - 1;
+    while child > 0 {
+        let parent = (child - 1) / 2;
+        if beats(&heap[child], &heap[parent]) {
+            heap.swap(child, parent);
+            child = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn heap_pop(heap: &mut Vec<HeapEntry>) -> Option<HeapEntry> {
+    if heap.is_empty() {
+        return None;
+    }
+    let last = heap.len() - 1;
+    heap.swap(0, last);
+    let top = heap.pop();
+    let mut parent = 0;
+    loop {
+        let left = 2 * parent + 1;
+        if left >= heap.len() {
+            break;
+        }
+        let right = left + 1;
+        let mut best = left;
+        if right < heap.len() && beats(&heap[right], &heap[left]) {
+            best = right;
+        }
+        if beats(&heap[best], &heap[parent]) {
+            heap.swap(best, parent);
+            parent = best;
+        } else {
+            break;
+        }
+    }
+    top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Cost, Pos, Task, UserType};
+
+    fn profile(users: &[(f64, &[(u32, f64)])], tasks: &[(u32, f64)]) -> TypeProfile {
+        let tasks = tasks
+            .iter()
+            .map(|&(id, req)| Task::with_requirement(TaskId::new(id), req).unwrap())
+            .collect();
+        let users = users
+            .iter()
+            .enumerate()
+            .map(|(i, &(cost, entries))| {
+                let mut b = UserType::builder(UserId::new(i as u32)).cost(Cost::new(cost).unwrap());
+                for &(t, p) in entries {
+                    b = b.task(TaskId::new(t), Pos::new(p).unwrap());
+                }
+                b.build().unwrap()
+            })
+            .collect();
+        TypeProfile::new(users, tasks).unwrap()
+    }
+
+    #[test]
+    fn heap_is_a_max_heap_under_the_ratio_order() {
+        let mut heap = Vec::new();
+        for (i, (capped, cost)) in [(1.0, 2.0), (3.0, 1.0), (2.0, 2.0), (3.0, 1.0)]
+            .into_iter()
+            .enumerate()
+        {
+            heap_push(
+                &mut heap,
+                HeapEntry {
+                    capped,
+                    cost,
+                    id: UserId::new(i as u32),
+                    position: i,
+                    version: 0,
+                },
+            );
+        }
+        // Ratios: 0.5, 3.0, 1.0, 3.0 — the tie at 3.0 breaks to user 1.
+        let order: Vec<usize> = std::iter::from_fn(|| heap_pop(&mut heap))
+            .map(|e| e.position)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn indexing_preserves_orders_and_values() {
+        // Task ids published out of numeric order: publication order must
+        // win over id order for entries, while totals follow the user's
+        // own (id-ordered) sum.
+        let p = profile(
+            &[(2.0, &[(7, 0.5), (1, 0.3)]), (1.0, &[(1, 0.4)])],
+            &[(7, 0.6), (1, 0.5)],
+        );
+        let indexed = IndexedProfile::from_profile(&p);
+        assert_eq!(indexed.user_count(), 2);
+        assert_eq!(indexed.task_count(), 2);
+        assert_eq!(indexed.task_id(0), TaskId::new(7));
+        assert_eq!(indexed.position_of(UserId::new(1)), Some(1));
+        assert_eq!(indexed.position_of(UserId::new(9)), None);
+        // User 0's entries in publication order: task 7 first.
+        assert_eq!(indexed.entry_task[0..2], [0, 1]);
+        let q7 = Pos::new(0.5).unwrap().contribution().value();
+        assert_eq!(indexed.entry_q[0], q7);
+        let expected_total = p.user(UserId::new(0)).unwrap().total_contribution().value();
+        assert_eq!(indexed.total(0), expected_total);
+    }
+
+    #[test]
+    fn excluded_user_never_wins() {
+        let p = profile(&[(1.0, &[(0, 0.6)]), (5.0, &[(0, 0.6)])], &[(0, 0.5)]);
+        let indexed = IndexedProfile::from_profile(&p);
+        let mut ws = Workspace::new();
+        let run = indexed.run(&mut ws, RunOptions::default(), Record::Selection);
+        assert_eq!(run.selection, vec![0]);
+        let without = indexed.run(
+            &mut ws,
+            RunOptions {
+                excluded: Some(0),
+                substitute: None,
+            },
+            Record::Selection,
+        );
+        assert_eq!(without.selection, vec![1]);
+        assert!(without.is_complete());
+    }
+
+    #[test]
+    fn infeasible_run_reports_first_uncovered_task_position() {
+        let p = profile(&[(1.0, &[(0, 0.9)])], &[(0, 0.5), (1, 0.5)]);
+        let indexed = IndexedProfile::from_profile(&p);
+        let run = indexed.run(&mut Workspace::new(), RunOptions::default(), Record::Full);
+        assert_eq!(run.uncovered, Some(1));
+        assert_eq!(run.selection, vec![0]);
+        assert_eq!(run.snapshots.len(), 1);
+    }
+}

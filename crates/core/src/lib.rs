@@ -36,6 +36,9 @@
 //! * [`baselines`] — the evaluation baselines: exact optimal solvers,
 //!   the Min-Greedy 2-approximation, and the (deliberately broken)
 //!   ST-VCG / MT-VCG mechanisms.
+//! * [`indexed`] — the dense, index-based profile view and CELF-style
+//!   lazy-greedy engine behind the multi-task fast paths (allocation,
+//!   critical-bid bisection, parallel payments).
 //! * [`mechanism`] — the [`WinnerDetermination`](mechanism::WinnerDetermination),
 //!   [`RewardScheme`](mechanism::RewardScheme) and
 //!   [`Mechanism`](mechanism::Mechanism) traits tying the pieces together.
@@ -85,6 +88,7 @@ pub mod auction;
 pub mod baselines;
 mod error;
 pub mod extensions;
+pub mod indexed;
 pub mod knapsack;
 pub mod mechanism;
 pub mod multi_task;

@@ -176,14 +176,25 @@ pub trait RewardScheme {
         user: UserId,
         completed: bool,
     ) -> Result<f64> {
-        let critical = self.critical_pos(profile, allocation, user)?.value();
-        let cost = profile.user(user)?.cost().value();
-        let reward = if completed {
-            (1.0 - critical) * self.alpha() + cost
-        } else {
-            -critical * self.alpha() + cost
-        };
-        Ok(reward)
+        let critical = self.critical_pos(profile, allocation, user)?;
+        let cost = profile.user(user)?.cost();
+        Ok(contingent_reward(self.alpha(), critical, cost, completed))
+    }
+}
+
+/// The execution-contingent reward formula shared by every scheme:
+/// `(1 - p̄_i)·α + c_i` on completion, `-p̄_i·α + c_i` otherwise.
+///
+/// Factored out so batch payment paths (e.g. the platform's shard workers,
+/// which compute all of a round's critical bids at once) produce quotes
+/// bitwise identical to the per-user [`RewardScheme::reward`] default.
+pub fn contingent_reward(alpha: f64, critical: Pos, cost: Cost, completed: bool) -> f64 {
+    let critical = critical.value();
+    let cost = cost.value();
+    if completed {
+        (1.0 - critical) * alpha + cost
+    } else {
+        -critical * alpha + cost
     }
 }
 

@@ -1,8 +1,12 @@
 //! The complete multi-task, single-minded mechanism: greedy winner
 //! determination plus the per-iteration critical-bid reward scheme.
 
-use crate::error::Result;
+use std::collections::BTreeMap;
+
+use crate::error::{McsError, Result};
+use crate::indexed::{IndexedProfile, Record, RunOptions, Workspace};
 use crate::mechanism::{validate_alpha, Allocation, RewardScheme, WinnerDetermination};
+use crate::multi_task::reward::critical_contributions_parallel;
 use crate::multi_task::{critical_pos, GreedyWinnerDetermination};
 use crate::types::{Pos, TypeProfile, UserId};
 
@@ -50,6 +54,7 @@ use crate::types::{Pos, TypeProfile, UserId};
 pub struct MultiTaskMechanism {
     winner_determination: GreedyWinnerDetermination,
     alpha: f64,
+    payment_threads: usize,
 }
 
 impl MultiTaskMechanism {
@@ -62,12 +67,78 @@ impl MultiTaskMechanism {
         Ok(MultiTaskMechanism {
             winner_determination: GreedyWinnerDetermination::new(),
             alpha: validate_alpha(alpha)?,
+            payment_threads: 1,
         })
+    }
+
+    /// Sets how many OS threads [`MultiTaskMechanism::critical_pos_all`]
+    /// fans winners out over (clamped to at least 1).
+    ///
+    /// The result is bitwise identical for every thread count; this knob
+    /// only trades wall-clock time for cores.
+    #[must_use]
+    pub fn with_payment_threads(mut self, threads: usize) -> Self {
+        self.payment_threads = threads.max(1);
+        self
+    }
+
+    /// The configured payment fan-out width.
+    pub fn payment_threads(&self) -> usize {
+        self.payment_threads
     }
 
     /// The underlying winner-determination algorithm.
     pub fn winner_determination(&self) -> &GreedyWinnerDetermination {
         &self.winner_determination
+    }
+
+    /// Computes the critical PoS of *every* winner in `allocation` at once,
+    /// in parallel over [`MultiTaskMechanism::payment_threads`] threads.
+    ///
+    /// This is the batch counterpart of [`RewardScheme::critical_pos`]:
+    /// the dense profile view and the feasibility/winner checks are shared
+    /// across winners instead of being redone per call, and the per-winner
+    /// bisections run concurrently. Values are bitwise identical to the
+    /// per-user path, and identical for every thread count; when several
+    /// winners fail, the error for the smallest winner id is returned.
+    ///
+    /// # Errors
+    ///
+    /// * [`McsError::Infeasible`] if `profile` itself is infeasible.
+    /// * [`McsError::NotAWinner`] if `allocation` contains a user that does
+    ///   not actually win under `profile` (e.g. an allocation from a
+    ///   different instance).
+    pub fn critical_pos_all(
+        &self,
+        profile: &TypeProfile,
+        allocation: &Allocation,
+    ) -> Result<BTreeMap<UserId, Pos>> {
+        let indexed = IndexedProfile::from_profile(profile);
+        let base = indexed.run(
+            &mut Workspace::new(),
+            RunOptions::default(),
+            Record::Selection,
+        );
+        if let Some(task) = base.uncovered {
+            return Err(McsError::Infeasible {
+                task: indexed.task_id(task),
+            });
+        }
+        let winners: Vec<UserId> = allocation.winners().collect();
+        for &winner in &winners {
+            let wins = indexed
+                .position_of(winner)
+                .is_some_and(|position| base.selected(position));
+            if !wins {
+                return Err(McsError::NotAWinner { user: winner });
+            }
+        }
+        let criticals = critical_contributions_parallel(&indexed, &winners, self.payment_threads);
+        let mut map = BTreeMap::new();
+        for (winner, critical) in winners.into_iter().zip(criticals) {
+            map.insert(winner, critical?.pos());
+        }
+        Ok(map)
     }
 }
 
@@ -231,5 +302,49 @@ mod tests {
         assert!(MultiTaskMechanism::new(f64::NAN).is_err());
         assert!(MultiTaskMechanism::new(-2.0).is_err());
         assert_eq!(MultiTaskMechanism::new(10.0).unwrap().alpha(), 10.0);
+    }
+
+    #[test]
+    fn batch_critical_pos_matches_per_user_path_for_any_thread_count() {
+        let profile = five_user_profile();
+        let mechanism = MultiTaskMechanism::new(10.0).unwrap();
+        let allocation = mechanism.select_winners(&profile).unwrap();
+        let sequential = mechanism.critical_pos_all(&profile, &allocation).unwrap();
+        assert_eq!(sequential.len(), allocation.winner_count());
+        for (&winner, &critical) in &sequential {
+            let single = mechanism
+                .critical_pos(&profile, &allocation, winner)
+                .unwrap();
+            assert_eq!(critical.value().to_bits(), single.value().to_bits());
+        }
+        for threads in [2, 4, 8] {
+            let parallel = mechanism
+                .clone()
+                .with_payment_threads(threads)
+                .critical_pos_all(&profile, &allocation)
+                .unwrap();
+            assert_eq!(parallel, sequential, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn batch_critical_pos_rejects_foreign_winners() {
+        let profile = five_user_profile();
+        let mechanism = MultiTaskMechanism::new(10.0).unwrap();
+        let foreign = Allocation::from_winners([UserId::new(99)]);
+        assert_eq!(
+            mechanism.critical_pos_all(&profile, &foreign).unwrap_err(),
+            crate::McsError::NotAWinner {
+                user: UserId::new(99)
+            }
+        );
+    }
+
+    #[test]
+    fn payment_threads_clamp_to_at_least_one() {
+        let mechanism = MultiTaskMechanism::new(1.0)
+            .unwrap()
+            .with_payment_threads(0);
+        assert_eq!(mechanism.payment_threads(), 1);
     }
 }

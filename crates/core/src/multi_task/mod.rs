@@ -8,6 +8,7 @@
 //! ([`MultiTaskMechanism`], Algorithm 5).
 
 mod mechanism;
+pub mod reference;
 mod reward;
 mod winner;
 

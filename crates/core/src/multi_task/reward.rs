@@ -25,14 +25,41 @@
 //! instances where caps never bind the two computations agree (see the
 //! tests); [`algorithm5_critical_contribution`] preserves the paper's
 //! original rule for comparison and ablation.
+//!
+//! # Performance: warm-started bisection on the indexed engine
+//!
+//! The bisection here runs on [`crate::indexed`]: probes never clone the
+//! profile (a [`RunOptions::substitute`] override expresses the scaled
+//! declaration) and never record iteration bookkeeping. On top of that,
+//! Algorithm 5's estimate is recycled as a *certificate*: if user `i` wins
+//! at scale `s`, the greedy run before her first selection coincides with
+//! the `θ_{-i}` rerun, so she must have beaten some selected rival `k` at
+//! ratio `f̄_k / c_k` — hence `s · Σ_j q_i^j ≥ min_k (c_i / c_k) · f̄_k`.
+//! Any probe strictly below that bound (with a relative float-safety
+//! margin) is declared lost without running the greedy at all, which
+//! typically skips the bottom half of the bisection. The answer is
+//! **bitwise identical** to the reference search
+//! ([`crate::multi_task::reference::critical_contribution`]); the proptest
+//! suite in `tests/engine_equivalence.rs` enforces it.
+//!
+//! For whole-round payments, [`crate::multi_task::MultiTaskMechanism::critical_pos_all`]
+//! computes every winner's critical bid in parallel; per-winner
+//! computations are independent, so the merge is deterministic for any
+//! thread count.
 
 use crate::error::{McsError, Result};
+use crate::indexed::{IndexedProfile, Record, RunOptions, Workspace};
 use crate::mechanism::{Allocation, WinnerDetermination};
+use crate::multi_task::reference::BISECTION_STEPS;
 use crate::multi_task::GreedyWinnerDetermination;
-use crate::types::{Contribution, Pos, TypeProfile, UserId};
+use crate::types::{Contribution, Pos, TypeProfile, UserId, CONTRIBUTION_TOLERANCE};
 
-/// Bisection steps for the critical-scale search.
-const BISECTION_STEPS: u32 = 60;
+/// Relative safety margin for the Algorithm-5 warm-start certificate: a
+/// probe scale is skipped as a certain loss only when it is below the
+/// certified threshold by more than accumulated float rounding could
+/// account for (the certificate's own error is ~1e-13 relative), so
+/// skipping never changes a probe outcome.
+const WARM_START_MARGIN: f64 = 1e-9;
 
 /// Computes the critical contribution `q̄_i` of winning user `user` as
 /// `s̄ · Σ_j q_i^j`, where `s̄` is the smallest uniform scaling of her
@@ -58,37 +85,150 @@ pub fn critical_contribution(
     if !current.contains(user) {
         return Err(McsError::NotAWinner { user });
     }
-    let declared_total = profile.user(user)?.total_contribution();
-    if declared_total.is_zero() {
+    let indexed = IndexedProfile::from_profile(profile);
+    critical_of_winner(&indexed, &mut Workspace::new(), user)
+}
+
+/// The fast critical-bid search for a user already verified to win the
+/// (feasible) instance. Shared by [`critical_contribution`] and the
+/// parallel batch path in
+/// [`crate::multi_task::MultiTaskMechanism::critical_pos_all`].
+pub(crate) fn critical_of_winner(
+    indexed: &IndexedProfile,
+    workspace: &mut Workspace,
+    user: UserId,
+) -> Result<Contribution> {
+    let position = indexed
+        .position_of(user)
+        .ok_or(McsError::NotAWinner { user })?;
+    let declared_total = indexed.total(position);
+    if declared_total <= CONTRIBUTION_TOLERANCE {
         // A zero-contribution winner can only be a degenerate monopoly;
         // her critical bid is zero.
         return Ok(Contribution::ZERO);
     }
 
-    let wins_at = |scale: f64| -> Result<bool> {
-        let scaled = profile.user(user)?.with_scaled_contributions(scale);
-        match winner_determination.select_winners(&profile.with_user_type(scaled)?) {
-            Ok(outcome) => Ok(outcome.contains(user)),
-            // Scaling down so far that the instance becomes infeasible
-            // certainly does not win.
-            Err(McsError::Infeasible { .. }) => Ok(false),
-            Err(other) => Err(other),
+    // Warm start: certify a loss region from the Algorithm-5 estimate on
+    // the θ_{-i} rerun. Winning at scale s implies beating some selected
+    // rival k with c_k > 0 at her recorded ratio (a free rival is
+    // unbeatable for c_i > 0, and a stalled rerun makes i a monopolist),
+    // so s · Σ_j q_i^j ≥ min_k (c_i / c_k) · f̄_k. Below that, probes
+    // cannot win and are skipped.
+    let cost_i = indexed.cost(position);
+    let mut certified = 0.0f64;
+    if cost_i > 0.0 && indexed.user_count() > 1 {
+        let without = indexed.run(
+            workspace,
+            RunOptions {
+                excluded: Some(position),
+                substitute: None,
+            },
+            Record::Iterations,
+        );
+        if without.is_complete() {
+            let mut bound = f64::INFINITY;
+            for (&rival, &capped) in without.selection.iter().zip(&without.capped) {
+                let cost_k = indexed.cost(rival);
+                if cost_k > 0.0 {
+                    bound = bound.min(capped * cost_i / cost_k);
+                }
+            }
+            if bound.is_finite() {
+                certified = bound;
+            }
         }
-    };
+    }
+    let skip_below = (certified / declared_total) * (1.0 - WARM_START_MARGIN);
 
-    // She wins at her declaration (scale 1); zero contribution never wins.
+    // Bisection over uniform scalings, exactly the reference trajectory:
+    // she wins at her declaration (scale 1); zero contribution never wins.
+    let mut scaled: Vec<f64> = Vec::with_capacity(indexed.contributions_of(position).len());
     let mut lo = 0.0f64;
     let mut hi = 1.0f64;
-    debug_assert!(wins_at(1.0)?, "winner determination is not deterministic");
     for _ in 0..BISECTION_STEPS {
         let mid = 0.5 * (lo + hi);
-        if wins_at(mid)? {
+        let wins = if mid < skip_below {
+            false
+        } else {
+            // The probe declaration round-trips each scaled entry through
+            // the probability domain, replicating
+            // `UserType::with_scaled_contributions` bit for bit.
+            scaled.clear();
+            scaled.extend(
+                indexed
+                    .contributions_of(position)
+                    .iter()
+                    .map(|&q| scaled_entry(q, mid)),
+            );
+            let probe = indexed.run(
+                workspace,
+                RunOptions {
+                    excluded: None,
+                    substitute: Some((position, scaled.as_slice())),
+                },
+                Record::Selection,
+            );
+            // Scaling down so far that the instance becomes infeasible
+            // certainly does not win.
+            probe.is_complete() && probe.selected(position)
+        };
+        if wins {
             hi = mid;
         } else {
             lo = mid;
         }
     }
-    Contribution::new(hi * declared_total.value())
+    Contribution::new(hi * declared_total)
+}
+
+/// One contribution entry of a probe declaration: `q` scaled by `scale`,
+/// round-tripped through [`Pos`] exactly like
+/// [`crate::types::UserType::with_scaled_contributions`] (which saturates
+/// at [`Pos::MAX`] rather than failing).
+fn scaled_entry(q: f64, scale: f64) -> f64 {
+    Contribution::new(q * scale)
+        .map(Contribution::pos)
+        .unwrap_or(Pos::MAX)
+        .contribution()
+        .value()
+}
+
+/// Critical contributions for a batch of verified winners, fanned out
+/// over `threads` OS threads (`std::thread::scope`).
+///
+/// Each winner's search is an independent pure function of the shared
+/// [`IndexedProfile`], and each result lands in its winner's own
+/// pre-assigned slot — so the output is bitwise identical for every
+/// thread count, including the inlined `threads == 1` path.
+pub(crate) fn critical_contributions_parallel(
+    indexed: &IndexedProfile,
+    winners: &[UserId],
+    threads: usize,
+) -> Vec<Result<Contribution>> {
+    let threads = threads.max(1).min(winners.len().max(1));
+    if threads == 1 {
+        let mut workspace = Workspace::new();
+        return winners
+            .iter()
+            .map(|&winner| critical_of_winner(indexed, &mut workspace, winner))
+            .collect();
+    }
+    let chunk = winners.len().div_ceil(threads);
+    let mut results: Vec<Option<Result<Contribution>>> = vec![None; winners.len()];
+    std::thread::scope(|scope| {
+        for (winner_chunk, result_chunk) in winners.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                let mut workspace = Workspace::new();
+                for (&winner, slot) in winner_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *slot = Some(critical_of_winner(indexed, &mut workspace, winner));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("chunks cover every winner slot"))
+        .collect()
 }
 
 /// The paper's original Algorithm 5: the minimum over iterations of a
@@ -97,7 +237,8 @@ pub fn critical_contribution(
 /// Exact when residual caps never bind; an *underestimate* of the true
 /// critical bid otherwise (see the module documentation). Kept for
 /// comparison with [`critical_contribution`] and for the ablation
-/// benchmarks.
+/// benchmarks — and doubling as the warm-start certificate of the robust
+/// search.
 ///
 /// If the remaining users cannot complete the tasks at all, `user` is a
 /// monopolist: she is selected under any feasible declaration, so her
@@ -113,37 +254,50 @@ pub fn algorithm5_critical_contribution(
     profile: &TypeProfile,
     user: UserId,
 ) -> Result<Contribution> {
-    let run = winner_determination.run(profile)?;
-    if !run.allocation().contains(user) {
+    let current = winner_determination.select_winners(profile)?;
+    if !current.contains(user) {
         return Err(McsError::NotAWinner { user });
     }
-    let cost_i = profile.user(user)?.cost();
+    let indexed = IndexedProfile::from_profile(profile);
+    let position = indexed
+        .position_of(user)
+        .ok_or(McsError::NotAWinner { user })?;
+    let cost_i = indexed.cost(position);
 
-    let (iterations, monopoly) = match profile.without_user(user) {
-        Err(McsError::EmptyUsers) => (Vec::new(), true),
-        Err(other) => return Err(other),
-        Ok(reduced) => {
-            let run = winner_determination.run_to_exhaustion(&reduced);
-            let monopoly = !run.is_complete();
-            (run.iterations().to_vec(), monopoly)
-        }
+    let mut workspace = Workspace::new();
+    let (without, monopoly) = if indexed.user_count() == 1 {
+        (None, true)
+    } else {
+        let run = indexed.run(
+            &mut workspace,
+            RunOptions {
+                excluded: Some(position),
+                substitute: None,
+            },
+            Record::Iterations,
+        );
+        let monopoly = !run.is_complete();
+        (Some(run), monopoly)
     };
 
     let mut critical: Option<Contribution> = monopoly.then_some(Contribution::ZERO);
-    for iteration in &iterations {
-        // To be selected instead of user k, i's capped contribution must
-        // reach (c_i / c_k) · f̄_k. Free rivals (c_k = 0) are unbeatable
-        // unless i is free too.
-        let candidate = if iteration.cost.value() > 0.0 {
-            Some(iteration.capped_contribution.value() * cost_i.value() / iteration.cost.value())
-        } else if cost_i.value() == 0.0 {
-            Some(iteration.capped_contribution.value())
-        } else {
-            None
-        };
-        if let Some(value) = candidate {
-            let candidate = Contribution::new(value)?;
-            critical = Some(critical.map_or(candidate, |c| c.min(candidate)));
+    if let Some(run) = &without {
+        for (&rival, &capped) in run.selection.iter().zip(&run.capped) {
+            // To be selected instead of user k, i's capped contribution must
+            // reach (c_i / c_k) · f̄_k. Free rivals (c_k = 0) are unbeatable
+            // unless i is free too.
+            let cost_k = indexed.cost(rival);
+            let candidate = if cost_k > 0.0 {
+                Some(capped * cost_i / cost_k)
+            } else if cost_i == 0.0 {
+                Some(capped)
+            } else {
+                None
+            };
+            if let Some(value) = candidate {
+                let candidate = Contribution::new(value)?;
+                critical = Some(critical.map_or(candidate, |c| c.min(candidate)));
+            }
         }
     }
 
@@ -172,6 +326,7 @@ pub fn critical_pos(
 mod tests {
     use super::*;
     use crate::mechanism::WinnerDetermination;
+    use crate::multi_task::reference;
     use crate::types::{Cost, Task, TaskId, UserType};
 
     fn task(id: u32, req: f64) -> Task {
@@ -404,5 +559,30 @@ mod tests {
                 user: UserId::new(0)
             }
         );
+    }
+
+    #[test]
+    fn fast_search_is_bitwise_equal_to_the_reference_search() {
+        // Not approximately equal: the warm-started, substitution-based
+        // bisection must reproduce the cloning reference bit for bit.
+        let profile = TypeProfile::new(
+            vec![
+                user(0, 2.0, &[(0, 0.3), (1, 0.4)]),
+                user(1, 1.5, &[(0, 0.2), (2, 0.3)]),
+                user(2, 3.0, &[(1, 0.5), (2, 0.5)]),
+                user(3, 1.0, &[(0, 0.2), (1, 0.2), (2, 0.2)]),
+                user(4, 2.5, &[(0, 0.4), (2, 0.4)]),
+            ],
+            vec![task(0, 0.5), task(1, 0.6), task(2, 0.55)],
+        )
+        .unwrap();
+        let wd = GreedyWinnerDetermination::new();
+        let allocation = wd.select_winners(&profile).unwrap();
+        assert!(!allocation.is_empty());
+        for winner in allocation.winners() {
+            let fast = critical_contribution(&wd, &profile, winner).unwrap();
+            let slow = reference::critical_contribution(&profile, winner).unwrap();
+            assert_eq!(fast.value().to_bits(), slow.value().to_bits(), "{winner}");
+        }
     }
 }

@@ -8,12 +8,21 @@
 //! of task `j`, then subtracts her contributions from the residuals. The
 //! result is an `H(γ)`-approximation (Theorem 5) and the rule is monotone
 //! in declared contributions (Lemma 2).
+//!
+//! The implementation runs on the dense CELF-style lazy-greedy engine in
+//! [`crate::indexed`]: instead of rescanning every user each iteration it
+//! keeps a max-heap of stale ratio upper bounds and refreshes only what it
+//! pops. Selections, capped contributions, and residual snapshots are
+//! bitwise identical to the straightforward scan
+//! ([`crate::multi_task::reference`]); the proptest suites in
+//! `tests/engine_equivalence.rs` enforce that claim.
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::{McsError, Result};
+use crate::indexed::{EngineRun, IndexedProfile, Record, RunOptions, Workspace};
 use crate::mechanism::{Allocation, WinnerDetermination};
-use crate::types::{Contribution, Cost, TaskId, TypeProfile, UserId, UserType};
+use crate::types::{Contribution, Cost, TaskId, TypeProfile, UserId};
 
 /// The greedy submodular-set-cover winner-determination algorithm.
 ///
@@ -78,103 +87,66 @@ impl GreedyWinnerDetermination {
     /// uses this on `θ_{-i}` instances, which may well be infeasible
     /// without user `i`.
     pub fn run_to_exhaustion(&self, profile: &TypeProfile) -> GreedyRun {
-        let mut residual = Residuals::new(profile);
-        let mut selected: Vec<bool> = vec![false; profile.user_count()];
-        let mut iterations = Vec::new();
-        let mut uncovered = None;
-
-        while let Some(task) = residual.first_unmet() {
-            let best = profile
-                .users()
-                .iter()
-                .enumerate()
-                .filter(|&(idx, _)| !selected[idx])
-                .map(|(idx, user)| (idx, user, residual.capped_contribution(user)))
-                .filter(|(_, _, capped)| !capped.is_zero())
-                .max_by(|a, b| {
-                    ratio_order(a.2, a.1.cost(), b.2, b.1.cost())
-                        // Deterministic tie-break: smaller user id wins.
-                        .then(b.1.id().cmp(&a.1.id()))
-                });
-            let Some((idx, user, capped)) = best else {
-                uncovered = Some(task);
-                break;
-            };
-            selected[idx] = true;
-            iterations.push(GreedyIteration {
-                user: user.id(),
-                cost: user.cost(),
-                capped_contribution: capped,
-                residual_before: residual.snapshot(),
-            });
-            residual.subtract(user);
-        }
-
-        GreedyRun {
-            iterations,
-            uncovered,
-        }
+        let indexed = IndexedProfile::from_profile(profile);
+        let run = indexed.run(&mut Workspace::new(), RunOptions::default(), Record::Full);
+        materialize(profile, &indexed, run)
     }
 }
 
 impl WinnerDetermination for GreedyWinnerDetermination {
     fn select_winners(&self, profile: &TypeProfile) -> Result<Allocation> {
-        Ok(self.run(profile)?.allocation())
-    }
-}
-
-/// Compares two contribution–cost ratios `a_q/a_c` vs `b_q/b_c` by
-/// cross-multiplication, so zero costs order correctly (a free contributor
-/// has an infinite ratio).
-fn ratio_order(a_q: Contribution, a_c: Cost, b_q: Contribution, b_c: Cost) -> std::cmp::Ordering {
-    let left = a_q.value() * b_c.value();
-    let right = b_q.value() * a_c.value();
-    left.partial_cmp(&right).expect("finite ratio products")
-}
-
-/// Residual contribution requirements `Q̄` during a greedy run.
-#[derive(Debug, Clone)]
-struct Residuals {
-    /// `(task, residual requirement)` for every task, in publication order.
-    entries: Vec<(TaskId, Contribution)>,
-}
-
-impl Residuals {
-    fn new(profile: &TypeProfile) -> Self {
-        Residuals {
-            entries: profile
-                .tasks()
+        // Selection-only mode: no capped-contribution log, no residual
+        // snapshots — callers that want those go through `run`.
+        let indexed = IndexedProfile::from_profile(profile);
+        let run = indexed.run(
+            &mut Workspace::new(),
+            RunOptions::default(),
+            Record::Selection,
+        );
+        match run.uncovered {
+            Some(task) => Err(McsError::Infeasible {
+                task: indexed.task_id(task),
+            }),
+            None => Ok(run
+                .selection
                 .iter()
-                .map(|t| (t.id(), t.requirement_contribution()))
-                .collect(),
+                .map(|&position| indexed.user_id(position))
+                .collect()),
         }
     }
+}
 
-    /// The first task whose residual requirement is still positive.
-    fn first_unmet(&self) -> Option<TaskId> {
-        self.entries
-            .iter()
-            .find(|(_, residual)| !residual.is_zero())
-            .map(|&(task, _)| task)
-    }
-
-    /// `Σ_{j ∈ S_i} min(q_i^j, Q̄_j)` — the user's marginal value.
-    fn capped_contribution(&self, user: &UserType) -> Contribution {
-        self.entries
-            .iter()
-            .map(|&(task, residual)| user.contribution_for(task).min(residual))
-            .sum()
-    }
-
-    /// Applies a selected user: `Q̄_j ← max(0, Q̄_j − q_i^j)`.
-    fn subtract(&mut self, user: &UserType) {
-        for (task, residual) in &mut self.entries {
-            *residual = *residual - user.contribution_for(*task);
-        }
-    }
-
-    fn snapshot(&self) -> Vec<(TaskId, Contribution)> {
-        self.entries.clone()
+/// Converts a dense [`EngineRun`] (recorded in [`Record::Full`] mode) back
+/// into the id-keyed [`GreedyRun`] the public API exposes.
+fn materialize(profile: &TypeProfile, indexed: &IndexedProfile, run: EngineRun) -> GreedyRun {
+    let iterations = run
+        .selection
+        .iter()
+        .enumerate()
+        .map(|(iteration, &position)| {
+            let user = &profile.users()[position];
+            GreedyIteration {
+                user: user.id(),
+                cost: user.cost(),
+                capped_contribution: Contribution::new(run.capped[iteration])
+                    .expect("capped contribution is a finite non-negative sum"),
+                residual_before: run.snapshots[iteration]
+                    .iter()
+                    .enumerate()
+                    .map(|(task, &residual)| {
+                        (
+                            indexed.task_id(task),
+                            Contribution::new(residual)
+                                .expect("residuals stay finite and non-negative"),
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    GreedyRun {
+        iterations,
+        uncovered: run.uncovered.map(|task| indexed.task_id(task)),
     }
 }
 
@@ -199,6 +171,15 @@ pub struct GreedyRun {
 }
 
 impl GreedyRun {
+    /// Assembles a run from its parts (crate-internal: the reference
+    /// implementation builds runs too).
+    pub(crate) fn from_parts(iterations: Vec<GreedyIteration>, uncovered: Option<TaskId>) -> Self {
+        GreedyRun {
+            iterations,
+            uncovered,
+        }
+    }
+
     /// The iterations in selection order.
     pub fn iterations(&self) -> &[GreedyIteration] {
         &self.iterations
@@ -224,7 +205,8 @@ impl GreedyRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::{Pos, Task};
+    use crate::multi_task::reference::Residuals;
+    use crate::types::{Pos, Task, UserType};
 
     fn task(id: u32, req: f64) -> Task {
         Task::with_requirement(TaskId::new(id), req).unwrap()
@@ -419,5 +401,22 @@ mod tests {
             residual.subtract(profile.user(iteration.user).unwrap());
             chosen.push(iteration.user);
         }
+    }
+
+    #[test]
+    fn lazy_and_reference_greedy_agree_on_a_fixed_instance() {
+        let profile = TypeProfile::new(
+            vec![
+                user(0, 2.0, &[(0, 0.3), (1, 0.4)]),
+                user(1, 1.5, &[(0, 0.2), (2, 0.3)]),
+                user(2, 3.0, &[(1, 0.5), (2, 0.5)]),
+                user(3, 1.0, &[(0, 0.2), (1, 0.2), (2, 0.2)]),
+            ],
+            vec![task(0, 0.5), task(1, 0.6), task(2, 0.55)],
+        )
+        .unwrap();
+        let lazy = GreedyWinnerDetermination::new().run_to_exhaustion(&profile);
+        let reference = crate::multi_task::reference::run_to_exhaustion(&profile);
+        assert_eq!(lazy, reference);
     }
 }

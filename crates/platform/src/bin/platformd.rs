@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! platformd [--rounds N] [--users N] [--workers N] [--seed S]
-//!           [--multi TASKS] [--paper]
+//!           [--multi TASKS] [--payment-threads N] [--paper]
 //! ```
 //!
 //! * `--rounds`  rounds to synthesize (default 200)
@@ -14,6 +14,7 @@
 //! * `--workers` shard workers (default 4)
 //! * `--seed`    engine + stream seed (default 1)
 //! * `--multi`   publish TASKS tasks per round instead of one
+//! * `--payment-threads` threads per round for multi-task payments (default 1)
 //! * `--paper`   use the test-scale data set instead of the reduced one
 
 use std::process::ExitCode;
@@ -32,6 +33,7 @@ struct Options {
     workers: usize,
     seed: u64,
     multi: Option<usize>,
+    payment_threads: usize,
     paper: bool,
 }
 
@@ -43,6 +45,7 @@ impl Options {
             workers: 4,
             seed: 1,
             multi: None,
+            payment_threads: 1,
             paper: false,
         };
         let mut args = std::env::args().skip(1);
@@ -55,10 +58,13 @@ impl Options {
                 "--workers" => options.workers = parse(&value("--workers")?)?,
                 "--seed" => options.seed = parse(&value("--seed")?)?,
                 "--multi" => options.multi = Some(parse(&value("--multi")?)?),
+                "--payment-threads" => {
+                    options.payment_threads = parse(&value("--payment-threads")?)?
+                }
                 "--paper" => options.paper = true,
                 "--help" | "-h" => {
                     return Err("usage: platformd [--rounds N] [--users N] [--workers N] \
-                         [--seed S] [--multi TASKS] [--paper]"
+                         [--seed S] [--multi TASKS] [--payment-threads N] [--paper]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -119,7 +125,8 @@ fn main() -> ExitCode {
 
     let mut config = EngineConfig::default()
         .with_workers(options.workers)
-        .with_seed(options.seed);
+        .with_seed(options.seed)
+        .with_payment_threads(options.payment_threads);
     config.batch.max_bids = options.users;
     config.alpha = sim.alpha;
     config.epsilon = sim.epsilon;

@@ -46,6 +46,10 @@ pub struct EngineConfig {
     pub alpha: f64,
     /// FPTAS approximation parameter `ε` (single-task rounds only).
     pub epsilon: f64,
+    /// Threads each shard worker fans a multi-task round's per-winner
+    /// payments over. Payments are bitwise identical for every value ≥ 1;
+    /// this knob only trades wall-clock time for cores.
+    pub payment_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +60,7 @@ impl Default for EngineConfig {
             seed: 0,
             alpha: 10.0,
             epsilon: 0.5,
+            payment_threads: 1,
         }
     }
 }
@@ -70,6 +75,13 @@ impl EngineConfig {
     /// This configuration with a different master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// This configuration with a different per-round payment fan-out
+    /// (clamped to ≥ 1).
+    pub fn with_payment_threads(mut self, threads: usize) -> Self {
+        self.payment_threads = threads.max(1);
         self
     }
 }
@@ -97,5 +109,22 @@ mod tests {
     #[test]
     fn worker_count_is_clamped() {
         assert_eq!(EngineConfig::default().with_workers(0).workers, 1);
+    }
+
+    #[test]
+    fn payment_threads_default_and_clamp() {
+        assert_eq!(EngineConfig::default().payment_threads, 1);
+        assert_eq!(
+            EngineConfig::default()
+                .with_payment_threads(0)
+                .payment_threads,
+            1
+        );
+        assert_eq!(
+            EngineConfig::default()
+                .with_payment_threads(8)
+                .payment_threads,
+            8
+        );
     }
 }

@@ -22,21 +22,36 @@ pub enum Stage {
     Ingest,
     /// Closing a round into an auction instance.
     Batch,
-    /// Winner determination, reward quoting, and execution draws.
+    /// End-to-end round clearing inside a shard worker (winner
+    /// determination + payments + execution draws).
     Shard,
+    /// Winner determination only (a sub-span of [`Stage::Shard`]).
+    Allocate,
+    /// Critical-bid payments / reward quoting only (a sub-span of
+    /// [`Stage::Shard`]).
+    Pay,
     /// Applying execution-contingent payouts to the ledger.
     Settle,
 }
 
 impl Stage {
-    const ALL: [Stage; 4] = [Stage::Ingest, Stage::Batch, Stage::Shard, Stage::Settle];
+    const ALL: [Stage; 6] = [
+        Stage::Ingest,
+        Stage::Batch,
+        Stage::Shard,
+        Stage::Allocate,
+        Stage::Pay,
+        Stage::Settle,
+    ];
 
     fn index(self) -> usize {
         match self {
             Stage::Ingest => 0,
             Stage::Batch => 1,
             Stage::Shard => 2,
-            Stage::Settle => 3,
+            Stage::Allocate => 3,
+            Stage::Pay => 4,
+            Stage::Settle => 5,
         }
     }
 
@@ -45,6 +60,8 @@ impl Stage {
             Stage::Ingest => "ingest",
             Stage::Batch => "batch",
             Stage::Shard => "shard",
+            Stage::Allocate => "allocate",
+            Stage::Pay => "pay",
             Stage::Settle => "settle",
         }
     }
@@ -133,7 +150,7 @@ pub struct Metrics {
     rounds_cleared: AtomicU64,
     rounds_degraded: AtomicU64,
     winners_selected: AtomicU64,
-    stages: [StageHistogram; 4],
+    stages: [StageHistogram; 6],
 }
 
 impl Default for Metrics {
@@ -213,7 +230,8 @@ impl Metrics {
 /// Latency statistics of one pipeline stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageSnapshot {
-    /// Stage name (`ingest`, `batch`, `shard`, `settle`).
+    /// Stage name (`ingest`, `batch`, `shard`, `allocate`, `pay`,
+    /// `settle`).
     pub stage: String,
     /// Number of recorded samples.
     pub count: u64,
@@ -289,6 +307,25 @@ mod tests {
         let settle = snap.stages.iter().find(|s| s.stage == "settle").unwrap();
         assert_eq!(settle.count, 0);
         assert_eq!(settle.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn allocate_and_pay_are_distinct_shard_subspans() {
+        let m = Metrics::new();
+        m.record(Stage::Allocate, Duration::from_micros(5));
+        m.record(Stage::Pay, Duration::from_micros(50));
+        m.record(Stage::Pay, Duration::from_micros(70));
+        let snap = m.snapshot();
+        let stage = |name: &str| snap.stages.iter().find(|s| s.stage == name).unwrap();
+        assert_eq!(stage("allocate").count, 1);
+        assert_eq!(stage("pay").count, 2);
+        assert_eq!(stage("shard").count, 0);
+        // Snapshot order follows the pipeline.
+        let names: Vec<&str> = snap.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(
+            names,
+            ["ingest", "batch", "shard", "allocate", "pay", "settle"]
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use mcs_core::mechanism::{Allocation, Mechanism};
+use mcs_core::mechanism::{
+    contingent_reward, Allocation, Mechanism, RewardScheme, WinnerDetermination,
+};
 use mcs_core::multi_task::MultiTaskMechanism;
 use mcs_core::single_task::SingleTaskMechanism;
 use mcs_core::types::{TypeProfile, UserId};
@@ -63,17 +65,60 @@ fn round_seed(engine_seed: u64, id: RoundId) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Records `elapsed` against `stage` when metrics are attached (probes
+/// from `clear_round`'s public, unmetered entry point pass `None`).
+fn record_stage(metrics: Option<&Metrics>, stage: Stage, elapsed: std::time::Duration) {
+    if let Some(metrics) = metrics {
+        metrics.record(stage, elapsed);
+    }
+}
+
 fn quote_all<M: Mechanism>(
     mechanism: &M,
     profile: &TypeProfile,
+    metrics: Option<&Metrics>,
 ) -> Result<(Allocation, BTreeMap<UserId, RewardQuote>), mcs_core::McsError> {
+    let start = Instant::now();
     let allocation = mechanism.select_winners(profile)?;
+    record_stage(metrics, Stage::Allocate, start.elapsed());
+    let start = Instant::now();
     let mut quotes = BTreeMap::new();
     for winner in allocation.winners() {
         let success = mechanism.reward(profile, &allocation, winner, true)?;
         let failure = mechanism.reward(profile, &allocation, winner, false)?;
         quotes.insert(winner, RewardQuote { success, failure });
     }
+    record_stage(metrics, Stage::Pay, start.elapsed());
+    Ok((allocation, quotes))
+}
+
+/// The multi-task fast path: one shared winner determination, then every
+/// winner's critical bid in one (optionally parallel) batch. Quotes go
+/// through [`contingent_reward`], the same formula as the per-user
+/// [`RewardScheme::reward`] default, so they are bitwise identical to
+/// [`quote_all`]'s for every `payment_threads` value.
+fn quote_all_multi_task(
+    mechanism: &MultiTaskMechanism,
+    profile: &TypeProfile,
+    metrics: Option<&Metrics>,
+) -> Result<(Allocation, BTreeMap<UserId, RewardQuote>), mcs_core::McsError> {
+    let start = Instant::now();
+    let allocation = mechanism.select_winners(profile)?;
+    record_stage(metrics, Stage::Allocate, start.elapsed());
+    let start = Instant::now();
+    let criticals = mechanism.critical_pos_all(profile, &allocation)?;
+    let mut quotes = BTreeMap::new();
+    for (winner, critical) in criticals {
+        let cost = profile.user(winner)?.cost();
+        quotes.insert(
+            winner,
+            RewardQuote {
+                success: contingent_reward(mechanism.alpha(), critical, cost, true),
+                failure: contingent_reward(mechanism.alpha(), critical, cost, false),
+            },
+        );
+    }
+    record_stage(metrics, Stage::Pay, start.elapsed());
     Ok((allocation, quotes))
 }
 
@@ -81,7 +126,8 @@ fn quote_all<M: Mechanism>(
 /// outcomes, and one set of execution draws.
 ///
 /// Single-task rounds use the FPTAS mechanism (`ε` from the config);
-/// multi-task rounds use the greedy mechanism.
+/// multi-task rounds use the greedy mechanism with
+/// [`EngineConfig::payment_threads`]-wide parallel payments.
 ///
 /// # Errors
 ///
@@ -89,13 +135,24 @@ fn quote_all<M: Mechanism>(
 /// [`RoundError::Infeasible`] when the round's bidders cannot cover some
 /// task's requirement.
 pub fn clear_round(round: &Round, config: &EngineConfig) -> Result<ClearedRound, RoundError> {
+    clear_round_metered(round, config, None)
+}
+
+/// [`clear_round`] with optional allocate/pay stage timing, used by the
+/// pool so the two sub-spans of [`Stage::Shard`] show up in metrics.
+fn clear_round_metered(
+    round: &Round,
+    config: &EngineConfig,
+    metrics: Option<&Metrics>,
+) -> Result<ClearedRound, RoundError> {
     let profile = &round.profile;
     let (allocation, quotes) = if profile.is_single_task() {
         let mechanism = SingleTaskMechanism::new(config.epsilon, config.alpha)?;
-        quote_all(&mechanism, profile)?
+        quote_all(&mechanism, profile, metrics)?
     } else {
-        let mechanism = MultiTaskMechanism::new(config.alpha)?;
-        quote_all(&mechanism, profile)?
+        let mechanism =
+            MultiTaskMechanism::new(config.alpha)?.with_payment_threads(config.payment_threads);
+        quote_all_multi_task(&mechanism, profile, metrics)?
     };
 
     let mut rng = StdRng::seed_from_u64(round_seed(config.seed, round.id));
@@ -178,7 +235,7 @@ impl ShardPool {
                         if faults.contains(&round.id) {
                             panic!("injected fault in round {}", round.id);
                         }
-                        clear_round(&round, config)
+                        clear_round_metered(&round, config, Some(metrics))
                     }))
                     .unwrap_or_else(|payload| {
                         Err(RoundError::Panicked {
@@ -267,5 +324,63 @@ mod tests {
         let many = ShardPool::new(4).clear_all(rounds, &config, &faults, &Metrics::new());
         assert_eq!(one, many);
         assert_eq!(one.len(), 12);
+    }
+
+    fn multi_task_round(id: u64) -> Round {
+        let specs: [(f64, &[(u32, f64)]); 5] = [
+            (2.0, &[(0, 0.3), (1, 0.4)]),
+            (1.5, &[(0, 0.2), (2, 0.3)]),
+            (3.0, &[(1, 0.5), (2, 0.5)]),
+            (1.0, &[(0, 0.2), (1, 0.2), (2, 0.2)]),
+            (2.5, &[(0, 0.4), (2, 0.4)]),
+        ];
+        let users = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(cost, tasks))| {
+                let mut b = UserType::builder(UserId::new(i as u32)).cost(Cost::new(cost).unwrap());
+                for &(t, p) in tasks {
+                    b = b.task(TaskId::new(t), Pos::new(p).unwrap());
+                }
+                b.build().unwrap()
+            })
+            .collect();
+        Round {
+            id: RoundId(id),
+            profile: TypeProfile::new(
+                users,
+                vec![
+                    Task::with_requirement(TaskId::new(0), 0.5).unwrap(),
+                    Task::with_requirement(TaskId::new(1), 0.6).unwrap(),
+                    Task::with_requirement(TaskId::new(2), 0.55).unwrap(),
+                ],
+            )
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn payment_thread_count_never_changes_cleared_rounds() {
+        let base = EngineConfig::default().with_seed(3);
+        let sequential = clear_round(&multi_task_round(0), &base).unwrap();
+        assert!(!sequential.allocation.is_empty());
+        for threads in [2, 4, 8] {
+            let parallel =
+                clear_round(&multi_task_round(0), &base.with_payment_threads(threads)).unwrap();
+            assert_eq!(sequential, parallel, "{threads} payment threads diverged");
+        }
+    }
+
+    #[test]
+    fn pool_times_allocate_and_pay_subspans() {
+        let config = EngineConfig::default().with_seed(5);
+        let metrics = Metrics::new();
+        let rounds = vec![multi_task_round(0), feasible_round(1)];
+        ShardPool::new(2).clear_all(rounds, &config, &BTreeSet::new(), &metrics);
+        let snap = metrics.snapshot();
+        let stage = |name: &str| snap.stages.iter().find(|s| s.stage == name).unwrap();
+        assert_eq!(stage("allocate").count, 2);
+        assert_eq!(stage("pay").count, 2);
+        assert_eq!(stage("shard").count, 2);
     }
 }

@@ -208,7 +208,7 @@ fn metrics_snapshot_reports_every_stage() {
     assert_eq!(snapshot.rounds_degraded, 0);
     assert!(snapshot.winners_selected > 0);
 
-    assert_eq!(snapshot.stages.len(), 4);
+    assert_eq!(snapshot.stages.len(), 6);
     for stage in &snapshot.stages {
         assert!(
             stage.count > 0,

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs the allocation + payment scaling bench and refreshes the
+# machine-readable perf record BENCH_payment_scaling.json at the repo
+# root, so the perf trajectory is tracked across PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo bench payment_scaling (writes BENCH_payment_scaling.json)"
+cargo bench -p mcs-bench --bench payment_scaling
+
+echo "==> BENCH_payment_scaling.json"
+cat BENCH_payment_scaling.json

@@ -18,4 +18,7 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> payment_scaling bench smoke (--test)"
+cargo bench -p mcs-bench --bench payment_scaling -- --test
+
 echo "CI green."
