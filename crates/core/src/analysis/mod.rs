@@ -22,6 +22,8 @@ pub use self::metrics::{
 };
 pub use self::payment::{payment_report, PaymentReport};
 pub use self::properties::{
-    check_individual_rationality, check_monotonicity, check_strategy_proofness, expected_utility,
-    Violation,
+    check_critical_bid_padding, check_individual_rationality, check_monotonicity,
+    check_strategy_proofness, check_strategy_proofness_grid, expected_utility,
+    expected_utility_from_quotes, implied_critical_pos, misreport_factor_grid,
+    CriticalPadViolation, Violation,
 };

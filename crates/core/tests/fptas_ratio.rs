@@ -1,0 +1,93 @@
+//! FPTAS approximation-ratio guarantee against the exact OPT baseline
+//! (Theorem 2): for every ε, the single-task winner determination's
+//! social cost is at most `(1 + ε) · OPT` — and, being a minimization,
+//! never *below* OPT either.
+
+use mcs_core::baselines::OptimalSingleTask;
+use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::single_task::FptasWinnerDetermination;
+use mcs_core::types::{Pos, TypeProfile, UserId, UserType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EPSILONS: [f64; 3] = [0.5, 0.1, 0.01];
+const USERS: usize = 14;
+const INSTANCES_PER_EPSILON: usize = 10;
+
+fn random_profile(rng: &mut StdRng) -> TypeProfile {
+    let users = (0..USERS)
+        .map(|i| {
+            UserType::single(
+                UserId::new(i as u32),
+                rng.gen_range(0.5..30.0),
+                rng.gen_range(0.05..0.7),
+            )
+            .unwrap()
+        })
+        .collect();
+    TypeProfile::single_task(Pos::new(rng.gen_range(0.5..0.95)).unwrap(), users).unwrap()
+}
+
+#[test]
+fn fptas_cost_is_sandwiched_between_opt_and_one_plus_epsilon_opt() {
+    let opt = OptimalSingleTask::new();
+    for (offset, &epsilon) in EPSILONS.iter().enumerate() {
+        // A distinct pinned stream per ε so a regression names the exact
+        // (ε, seed) pair to replay.
+        let mut rng = StdRng::seed_from_u64(900 + offset as u64);
+        let fptas = FptasWinnerDetermination::new(epsilon).unwrap();
+        let mut checked = 0;
+        while checked < INSTANCES_PER_EPSILON {
+            let profile = random_profile(&mut rng);
+            let Ok(optimal) = opt.select_winners(&profile) else {
+                // Exact solver says infeasible; the FPTAS must agree
+                // rather than hallucinate a winner set.
+                assert!(fptas.select_winners(&profile).is_err());
+                continue;
+            };
+            checked += 1;
+            let opt_cost = optimal.social_cost(&profile).unwrap().value();
+            let fptas_cost = fptas
+                .select_winners(&profile)
+                .unwrap()
+                .social_cost(&profile)
+                .unwrap()
+                .value();
+            assert!(
+                fptas_cost <= (1.0 + epsilon) * opt_cost + 1e-9,
+                "ε={epsilon}: FPTAS cost {fptas_cost} exceeds (1+ε)·OPT = {}",
+                (1.0 + epsilon) * opt_cost
+            );
+            assert!(
+                fptas_cost >= opt_cost - 1e-9,
+                "ε={epsilon}: FPTAS cost {fptas_cost} beat the exact optimum {opt_cost}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tighter_epsilon_never_yields_a_worse_allocation_bound() {
+    // Sanity across the ε ladder on one pinned instance: each tightening
+    // of ε keeps the cost within its own (1+ε) envelope of OPT, so the
+    // admissible band shrinks monotonically.
+    let mut rng = StdRng::seed_from_u64(77);
+    let profile = random_profile(&mut rng);
+    let opt_cost = OptimalSingleTask::new()
+        .select_winners(&profile)
+        .unwrap()
+        .social_cost(&profile)
+        .unwrap()
+        .value();
+    for &epsilon in &EPSILONS {
+        let cost = FptasWinnerDetermination::new(epsilon)
+            .unwrap()
+            .select_winners(&profile)
+            .unwrap()
+            .social_cost(&profile)
+            .unwrap()
+            .value();
+        assert!(cost >= opt_cost - 1e-9);
+        assert!(cost <= (1.0 + epsilon) * opt_cost + 1e-9);
+    }
+}

@@ -111,6 +111,76 @@ proptest! {
 
 // ---------- knapsack DP ----------
 
+/// Unpruned oracle: enumerate all 2^n subsets and take the minimum scaled
+/// cost over those meeting the requirement. No dominance pruning, no
+/// level cap, no saturation — the ground truth both DP formulations must
+/// reproduce.
+fn exhaustive_min_feasible(items: &[KnapsackItem], requirement: Contribution) -> Option<u64> {
+    let mut best: Option<u64> = None;
+    for mask in 0u32..(1 << items.len()) {
+        let mut q = Contribution::ZERO;
+        let mut scaled = 0u64;
+        for (i, item) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                q += item.contribution;
+                scaled += item.scaled_cost;
+            }
+        }
+        if q.meets(requirement) && best.is_none_or(|b| scaled < b) {
+            best = Some(scaled);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn pruned_dp_matches_the_unpruned_exhaustive_optimum(
+        items in proptest::collection::vec((0.01..3.0f64, 0u64..12), 1..9),
+        requirement in 0.1..4.0f64,
+    ) {
+        let items: Vec<KnapsackItem> = items
+            .into_iter()
+            .enumerate()
+            .map(|(index, (q, scaled))| KnapsackItem {
+                index,
+                contribution: Contribution::new(q).unwrap(),
+                scaled_cost: scaled,
+                actual_cost: Cost::new(scaled as f64).unwrap(),
+            })
+            .collect();
+        let requirement = Contribution::new(requirement).unwrap();
+        let oracle = exhaustive_min_feasible(&items, requirement);
+
+        // The saturating, dominance-pruned table agrees with the oracle.
+        let table = DpTable::solve(&items, requirement, None);
+        let via_table = table.min_feasible(requirement);
+        prop_assert_eq!(via_table.map(|(level, _)| level), oracle);
+        if let Some((level, cell)) = via_table {
+            // The witness subset really has that scaled cost and is feasible.
+            let witness_cost: u64 = cell.members.iter().map(|i| items[i].scaled_cost).sum();
+            let witness_q: Contribution = cell.members.iter().map(|i| items[i].contribution).sum();
+            prop_assert_eq!(witness_cost, level);
+            prop_assert!(witness_q.meets(requirement));
+        }
+
+        // The Pareto-frontier formulation agrees too.
+        let frontier = pareto_frontier(&items);
+        prop_assert_eq!(
+            frontier_min_feasible(&frontier, requirement).map(|s| s.scaled_cost),
+            oracle
+        );
+
+        // Truncating the table at any known-feasible level (the documented
+        // pruning contract) preserves the optimum exactly.
+        if let Some(best) = oracle {
+            let capped = DpTable::solve(&items, requirement, Some(best));
+            prop_assert_eq!(capped.min_feasible(requirement).map(|(level, _)| level), Some(best));
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
     #[test]

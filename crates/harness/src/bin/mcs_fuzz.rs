@@ -1,0 +1,224 @@
+//! `mcs-fuzz` — seeded chaos campaigns against the auction platform.
+//!
+//! Synthesizes a faulted bid stream from a seed, drives it through a real
+//! engine, and oracle-checks every surviving round against the paper's
+//! economic invariants. Exits non-zero on any violation, so it slots
+//! straight into CI.
+//!
+//! ```text
+//! mcs-fuzz [--seed S] [--rounds N] [--faults F] [--tasks T] [--bids B]
+//!          [--workers W] [--payment-threads P] [--drain-every D]
+//!          [--verify-determinism] [--ci-smoke]
+//! ```
+//!
+//! * `--seed`    campaign seed: bid stream, fault plan, execution draws (default 1)
+//! * `--rounds`  logical rounds to synthesize (default 60)
+//! * `--faults`  fault intensity: per-round fault probability in [0, 1] (default 0.35)
+//! * `--tasks`   published tasks per round; 1 = FPTAS, >1 = greedy (default 1)
+//! * `--bids`    well-formed bids per round (default 8)
+//! * `--workers` shard workers (default 4)
+//! * `--payment-threads` per-round payment fan-out (default 1)
+//! * `--drain-every`     drain cadence in logical rounds (default 4)
+//! * `--verify-determinism` re-run at several worker/payment-thread
+//!   combinations and require identical fingerprints
+//! * `--ci-smoke` run the fixed CI campaign matrix (<30 s) and exit
+//!   non-zero on any violation or fingerprint mismatch
+//!
+//! A failing campaign is reproduced by re-running with the same `--seed`,
+//! `--rounds`, `--faults`, and `--tasks`; the fingerprint printed at the
+//! end must match bitwise.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mcs_harness::prelude::*;
+
+struct Options {
+    seed: u64,
+    rounds: u64,
+    faults: f64,
+    tasks: usize,
+    bids: usize,
+    workers: usize,
+    payment_threads: usize,
+    drain_every: u64,
+    verify_determinism: bool,
+    ci_smoke: bool,
+}
+
+impl Options {
+    fn parse() -> Result<Options, String> {
+        let mut options = Options {
+            seed: 1,
+            rounds: 60,
+            faults: 0.35,
+            tasks: 1,
+            bids: 8,
+            workers: 4,
+            payment_threads: 1,
+            drain_every: 4,
+            verify_determinism: false,
+            ci_smoke: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value =
+                |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+            match arg.as_str() {
+                "--seed" => options.seed = parse(&value("--seed")?)?,
+                "--rounds" => options.rounds = parse(&value("--rounds")?)?,
+                "--faults" => options.faults = parse(&value("--faults")?)?,
+                "--tasks" => options.tasks = parse(&value("--tasks")?)?,
+                "--bids" => options.bids = parse(&value("--bids")?)?,
+                "--workers" => options.workers = parse(&value("--workers")?)?,
+                "--payment-threads" => {
+                    options.payment_threads = parse(&value("--payment-threads")?)?
+                }
+                "--drain-every" => options.drain_every = parse(&value("--drain-every")?)?,
+                "--verify-determinism" => options.verify_determinism = true,
+                "--ci-smoke" => options.ci_smoke = true,
+                "--help" | "-h" => {
+                    return Err("usage: mcs-fuzz [--seed S] [--rounds N] [--faults F] \
+                         [--tasks T] [--bids B] [--workers W] [--payment-threads P] \
+                         [--drain-every D] [--verify-determinism] [--ci-smoke]"
+                        .to_string())
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if !(0.0..=1.0).contains(&options.faults) {
+            return Err(format!(
+                "--faults expects a probability in [0, 1], got {}",
+                options.faults
+            ));
+        }
+        Ok(options)
+    }
+
+    fn campaign(&self) -> CampaignConfig {
+        CampaignConfig {
+            seed: self.seed,
+            rounds: self.rounds,
+            bids_per_round: self.bids,
+            task_count: self.tasks,
+            workers: self.workers,
+            payment_threads: self.payment_threads,
+            drain_every: self.drain_every,
+            oracle: OracleConfig::default(),
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("could not parse {text:?}"))
+}
+
+/// Runs one campaign and prints its summary. Returns the outcome.
+fn run_one(config: &CampaignConfig, plan: &FaultPlan, label: &str) -> CampaignOutcome {
+    let start = Instant::now();
+    let outcome = run_campaign(config, plan);
+    println!(
+        "{label}: seed {} · {} logical rounds · {} faults planned · \
+         {} cleared, {} quarantined, {} bids rejected, {} rebuilds · \
+         fingerprint {:016x} · {:.2?}",
+        config.seed,
+        config.rounds,
+        plan.fault_count(),
+        outcome.results.len(),
+        outcome.quarantine.len(),
+        outcome.rejections,
+        outcome.rebuilds,
+        outcome.fingerprint(),
+        start.elapsed()
+    );
+    for violation in &outcome.violations {
+        eprintln!("  VIOLATION: {violation}");
+    }
+    outcome
+}
+
+/// Re-runs a campaign at several worker/payment-thread combinations and
+/// checks the fingerprints agree bitwise. Returns whether they did.
+fn determinism_holds(config: &CampaignConfig, plan: &FaultPlan, reference: u64) -> bool {
+    let mut ok = true;
+    for (workers, payment_threads) in [(1, 1), (2, 3), (8, 2)] {
+        let variant = CampaignConfig {
+            workers,
+            payment_threads,
+            ..config.clone()
+        };
+        let fingerprint = run_campaign(&variant, plan).fingerprint();
+        if fingerprint != reference {
+            eprintln!(
+                "  DETERMINISM BROKEN: workers={workers} payment_threads={payment_threads} \
+                 fingerprint {fingerprint:016x} != reference {reference:016x}"
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// The fixed CI smoke matrix: a few seeds over both mechanism families,
+/// each verified clean and bitwise identical across worker counts.
+fn ci_smoke() -> ExitCode {
+    let mut failed = false;
+    for seed in [1u64, 7, 42] {
+        for tasks in [1usize, 3] {
+            let config = CampaignConfig {
+                seed,
+                rounds: 40,
+                bids_per_round: 8,
+                task_count: tasks,
+                workers: 1,
+                payment_threads: 1,
+                drain_every: 4,
+                oracle: OracleConfig::default(),
+            };
+            let plan = FaultPlan::generate(seed, config.rounds, 0.35);
+            let label = format!("smoke[seed={seed} tasks={tasks}]");
+            let outcome = run_one(&config, &plan, &label);
+            if !outcome.is_clean() {
+                failed = true;
+            }
+            if !determinism_holds(&config, &plan, outcome.fingerprint()) {
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("ci-smoke: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("ci-smoke: all campaigns clean and deterministic");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match Options::parse() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.ci_smoke {
+        return ci_smoke();
+    }
+
+    let config = options.campaign();
+    let plan = FaultPlan::generate(options.seed, options.rounds, options.faults);
+    let outcome = run_one(&config, &plan, "campaign");
+    let mut ok = outcome.is_clean();
+    if options.verify_determinism && !determinism_holds(&config, &plan, outcome.fingerprint()) {
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,570 @@
+//! Campaign execution: drive a faulted bid stream through a real
+//! [`Engine`], mirror every accepted bid, and oracle-check every
+//! surviving round.
+//!
+//! ## The mirror
+//!
+//! The engine never exposes the declared profile of a round it cleared,
+//! and batch faults (delayed ticks) can split a logical round across
+//! engine rounds — so the campaign runs a *mirror* [`Batcher`] with the
+//! same policy, fed the exact same submissions and ticks. Because batching
+//! and validation are deterministic, the mirror closes bitwise-identical
+//! rounds with identical ids, giving the campaign a per-round
+//! [`TypeProfile`] to hand the oracle and a ground truth for which bids
+//! must be rejected. Any engine/mirror disagreement is itself reported as
+//! an [`OracleViolation::StreamDesync`].
+//!
+//! ## Reproducibility
+//!
+//! A campaign is a pure function of `(CampaignConfig, FaultPlan)`: the
+//! bid stream derives from the seed per round, faults arm by round id,
+//! and the engine is bitwise deterministic across worker counts — so
+//! [`CampaignOutcome::fingerprint`] must match for any `workers` /
+//! `payment_threads` combination. The CI smoke test asserts exactly that.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Once};
+
+use mcs_core::types::{Task, TaskId, TypeProfile, UserId};
+use mcs_platform::batch::{Batcher, Round, RoundId};
+use mcs_platform::config::EngineConfig;
+use mcs_platform::degrade::QuarantinedRound;
+use mcs_platform::engine::Engine;
+use mcs_platform::settle::RoundSettlement;
+use mcs_platform::shard::ClearedRound;
+
+use crate::inject::{PlanInjector, CHAOS_PREFIX};
+use crate::oracle::{check_round, OracleConfig, OracleViolation};
+use crate::plan::{Fault, FaultPlan};
+use crate::stream::{round_actions, Action};
+
+/// Everything that parameterises one campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Master seed: drives the bid stream and the engine's execution
+    /// draws.
+    pub seed: u64,
+    /// Number of logical rounds to synthesise.
+    pub rounds: u64,
+    /// Well-formed bids per logical round (also the batcher's bid
+    /// capacity).
+    pub bids_per_round: usize,
+    /// Published tasks per round: 1 exercises the single-task FPTAS
+    /// mechanism, more the multi-task greedy mechanism.
+    pub task_count: usize,
+    /// Shard worker count. Outcomes must not depend on it.
+    pub workers: usize,
+    /// Per-round payment fan-out. Outcomes must not depend on it.
+    pub payment_threads: usize,
+    /// Drain (clear + settle + oracle-check) every this many logical
+    /// rounds.
+    pub drain_every: u64,
+    /// Oracle tuning.
+    pub oracle: OracleConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0,
+            rounds: 20,
+            bids_per_round: 8,
+            task_count: 1,
+            workers: 4,
+            payment_threads: 1,
+            drain_every: 4,
+            oracle: OracleConfig::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The engine configuration this campaign runs under.
+    pub fn engine_config(&self) -> EngineConfig {
+        let mut config = EngineConfig::default()
+            .with_seed(self.seed)
+            .with_workers(self.workers)
+            .with_payment_threads(self.payment_threads);
+        config.batch.max_bids = self.bids_per_round;
+        config
+    }
+
+    /// The tasks every round publishes: requirement 0.8 for the
+    /// single-task setting, 0.6 each for multi-task (so the synthetic
+    /// streams stay feasible).
+    pub fn published_tasks(&self) -> Vec<Task> {
+        let requirement = if self.task_count <= 1 { 0.8 } else { 0.6 };
+        (0..self.task_count.max(1) as u32)
+            .map(|i| {
+                Task::with_requirement(TaskId::new(i), requirement)
+                    .expect("campaign requirements are valid probabilities")
+            })
+            .collect()
+    }
+}
+
+/// Everything a finished campaign produced, accumulated across
+/// mid-campaign engine rebuilds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    /// Every cleared round, keyed by engine round id.
+    pub results: BTreeMap<RoundId, ClearedRound>,
+    /// Every settlement, keyed by engine round id.
+    pub settlements: BTreeMap<RoundId, RoundSettlement>,
+    /// Every quarantined round, in settlement order.
+    pub quarantine: Vec<QuarantinedRound>,
+    /// Final per-user ledger balances (carried across rebuilds).
+    pub balances: BTreeMap<UserId, f64>,
+    /// Final ledger total.
+    pub total_paid: f64,
+    /// Every oracle violation, in detection order. Empty means the
+    /// campaign upheld all of the paper's invariants.
+    pub violations: Vec<OracleViolation>,
+    /// Bids rejected at ingest (each verified to reject identically on
+    /// the engine and the mirror).
+    pub rejections: u64,
+    /// Mid-campaign checkpoint/drop/rebuild cycles executed.
+    pub rebuilds: u64,
+    /// Engine rounds closed over the whole campaign.
+    pub rounds_closed: u64,
+    /// Shard/settle/batch faults armed onto concrete engine rounds.
+    pub faults_armed: u64,
+}
+
+impl CampaignOutcome {
+    /// Whether every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// An FNV-1a digest over the campaign's observable outcomes: round
+    /// ids, winners, quotes, reports, payouts, balances, quarantine
+    /// records, and the rejection/rebuild counters. Two campaigns with
+    /// the same seed and plan must fingerprint identically for any
+    /// worker or payment-thread count.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fnv = Fnv::new();
+        for (id, round) in &self.results {
+            fnv.write_u64(id.0);
+            for winner in round.allocation.winners() {
+                fnv.write_u64(winner.index() as u64);
+            }
+            for (user, quote) in &round.quotes {
+                fnv.write_u64(user.index() as u64);
+                fnv.write_u64(quote.success.to_bits());
+                fnv.write_u64(quote.failure.to_bits());
+            }
+            for (user, &completed) in &round.reports {
+                fnv.write_u64(user.index() as u64);
+                fnv.write_u64(completed as u64);
+            }
+            fnv.write_u64(round.social_cost.to_bits());
+        }
+        for (id, settlement) in &self.settlements {
+            fnv.write_u64(id.0);
+            for (user, payout) in &settlement.payouts {
+                fnv.write_u64(user.index() as u64);
+                fnv.write_u64(payout.to_bits());
+            }
+            fnv.write_u64(settlement.total.to_bits());
+        }
+        for record in &self.quarantine {
+            fnv.write_u64(record.id.0);
+            fnv.write_u64(record.bidders as u64);
+            fnv.write_bytes(record.error.to_string().as_bytes());
+        }
+        for (user, balance) in &self.balances {
+            fnv.write_u64(user.index() as u64);
+            fnv.write_u64(balance.to_bits());
+        }
+        fnv.write_u64(self.total_paid.to_bits());
+        fnv.write_u64(self.rejections);
+        fnv.write_u64(self.rebuilds);
+        fnv.write_u64(self.rounds_closed);
+        fnv.finish()
+    }
+
+    /// The quarantine log as human-readable lines, one per record.
+    pub fn quarantine_log(&self) -> String {
+        self.quarantine
+            .iter()
+            .map(|q| format!("{} ({} bidders): {}", q.id, q.bidders, q.error))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// FNV-1a, 64-bit.
+struct Fnv {
+    hash: u64,
+}
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv {
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.hash ^= byte as u64;
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Installs (once per process) a panic hook that swallows panics whose
+/// payload carries the [`CHAOS_PREFIX`] and delegates everything else to
+/// the previous hook. Injected shard panics are *expected* — without
+/// this, every campaign would spray backtraces over the test output.
+pub fn silence_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !payload.contains(CHAOS_PREFIX) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs one campaign to completion. Pure in `(config, plan)`: see the
+/// module docs for the reproducibility contract.
+pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcome {
+    silence_injected_panics();
+    let engine_config = config.engine_config();
+    let tasks = config.published_tasks();
+    let injector = Arc::new(PlanInjector::new());
+    let mut engine = Engine::with_injector(engine_config, tasks.clone(), injector.clone());
+    let mut mirror = Batcher::new(engine_config.batch, tasks.clone());
+
+    let mut profiles: BTreeMap<RoundId, TypeProfile> = BTreeMap::new();
+    let mut outcome = CampaignOutcome {
+        results: BTreeMap::new(),
+        settlements: BTreeMap::new(),
+        quarantine: Vec::new(),
+        balances: BTreeMap::new(),
+        total_paid: 0.0,
+        violations: Vec::new(),
+        rejections: 0,
+        rebuilds: 0,
+        rounds_closed: 0,
+        faults_armed: 0,
+    };
+    let mut absorbed_quarantine = 0usize;
+    let mut pending_rebuild = false;
+
+    for logical in 0..config.rounds {
+        let faults = plan.faults_for(logical);
+        if faults.contains(&Fault::DropAndRebuild) {
+            pending_rebuild = true;
+        }
+        for action in round_actions(config, logical, faults) {
+            match action {
+                Action::Submit(bid) => {
+                    let engine_side = engine.submit(&bid);
+                    let mirror_side = mirror.submit(&bid);
+                    match (engine_side, mirror_side) {
+                        (Ok(()), Ok(closed)) => {
+                            if let Some(round) = closed {
+                                register(round, faults, &injector, &mut profiles, &mut outcome);
+                            }
+                        }
+                        // Compare rejections by rendered message, not
+                        // PartialEq: a NaN-cost rejection carries the NaN
+                        // in its payload, and NaN != NaN.
+                        (Err(engine_error), Err(mirror_error))
+                            if engine_error.to_string() == mirror_error.to_string() =>
+                        {
+                            outcome.rejections += 1;
+                        }
+                        (engine_side, mirror_side) => {
+                            outcome.violations.push(OracleViolation::StreamDesync {
+                                detail: format!(
+                                    "round {logical} user u{}: engine {engine_side:?} \
+                                     vs mirror {:?}",
+                                    bid.user,
+                                    mirror_side.map(|r| r.map(|round| round.id))
+                                ),
+                            });
+                        }
+                    }
+                }
+                Action::Tick => {
+                    engine.tick();
+                    if let Some(round) = mirror.tick() {
+                        register(round, faults, &injector, &mut profiles, &mut outcome);
+                    }
+                }
+            }
+        }
+
+        let at_drain_point = (logical + 1) % config.drain_every.max(1) == 0;
+        if at_drain_point || pending_rebuild {
+            engine.drain();
+            absorb(
+                config,
+                &engine,
+                &profiles,
+                &mut outcome,
+                &mut absorbed_quarantine,
+            );
+        }
+        if pending_rebuild {
+            // A checkpoint does not capture the partially filled batch, so
+            // close it identically on both sides and drain it first.
+            engine.flush();
+            if let Some(round) = mirror.flush() {
+                register(round, &[], &injector, &mut profiles, &mut outcome);
+            }
+            engine.drain();
+            absorb(
+                config,
+                &engine,
+                &profiles,
+                &mut outcome,
+                &mut absorbed_quarantine,
+            );
+            let checkpoint = engine.checkpoint();
+            engine = Engine::restore(engine_config, tasks.clone(), checkpoint, injector.clone());
+            absorbed_quarantine = 0;
+            outcome.rebuilds += 1;
+            pending_rebuild = false;
+        }
+    }
+
+    engine.flush();
+    if let Some(round) = mirror.flush() {
+        register(round, &[], &injector, &mut profiles, &mut outcome);
+    }
+    engine.drain();
+    absorb(
+        config,
+        &engine,
+        &profiles,
+        &mut outcome,
+        &mut absorbed_quarantine,
+    );
+
+    // Stream synchronisation: after identical drive sequences the engine
+    // and the mirror must agree on the next round id.
+    let engine_next = engine.checkpoint().next_round_id;
+    if engine_next != mirror.next_round_id() {
+        outcome.violations.push(OracleViolation::StreamDesync {
+            detail: format!(
+                "engine next round id {engine_next} != mirror {}",
+                mirror.next_round_id()
+            ),
+        });
+    }
+
+    // Zero silent drops: every round the mirror closed must have been
+    // cleared or quarantined.
+    for &id in profiles.keys() {
+        let cleared = outcome.results.contains_key(&id);
+        let quarantined = outcome.quarantine.iter().any(|q| q.id == id);
+        if !cleared && !quarantined {
+            outcome
+                .violations
+                .push(OracleViolation::SilentDrop { round: id });
+        }
+    }
+
+    // The injector observed exactly the quarantines the engine recorded.
+    if injector.observed_quarantines() != outcome.quarantine {
+        outcome.violations.push(OracleViolation::StreamDesync {
+            detail: "quarantine observations diverge from engine records".to_string(),
+        });
+    }
+
+    // Ledger conservation: balances equal summed payouts, in total and
+    // per user, across every rebuild.
+    let ledger = engine.ledger();
+    let mut expected: BTreeMap<UserId, f64> = BTreeMap::new();
+    let mut expected_total = 0.0;
+    for settlement in outcome.settlements.values() {
+        for (&user, &payout) in &settlement.payouts {
+            *expected.entry(user).or_insert(0.0) += payout;
+        }
+        expected_total += settlement.total;
+    }
+    if (ledger.total_paid() - expected_total).abs() > 1e-9 {
+        outcome.violations.push(OracleViolation::LedgerDrift {
+            detail: format!(
+                "ledger total {} != summed settlements {expected_total}",
+                ledger.total_paid()
+            ),
+        });
+    }
+    if ledger.balances().keys().ne(expected.keys()) {
+        outcome.violations.push(OracleViolation::LedgerDrift {
+            detail: "ledger and settlements pay different user sets".to_string(),
+        });
+    }
+    for (&user, &sum) in &expected {
+        if (ledger.balance(user) - sum).abs() > 1e-9 {
+            outcome.violations.push(OracleViolation::LedgerDrift {
+                detail: format!(
+                    "{user}: balance {} != summed payouts {sum}",
+                    ledger.balance(user)
+                ),
+            });
+        }
+    }
+    outcome.balances = ledger.balances().clone();
+    outcome.total_paid = ledger.total_paid();
+
+    outcome
+}
+
+/// Records a round the mirror closed: stores its declared profile and
+/// arms the logical round's shard/settle/batch faults onto the concrete
+/// engine round id.
+fn register(
+    round: Round,
+    faults: &[Fault],
+    injector: &PlanInjector,
+    profiles: &mut BTreeMap<RoundId, TypeProfile>,
+    outcome: &mut CampaignOutcome,
+) {
+    for fault in faults {
+        match fault {
+            Fault::ShardPanic => {
+                injector.arm_panic(round.id);
+                outcome.faults_armed += 1;
+            }
+            Fault::FlipReports => {
+                injector.arm_flip(round.id);
+                outcome.faults_armed += 1;
+            }
+            Fault::ReorderPending => {
+                injector.arm_reorder(round.id);
+                outcome.faults_armed += 1;
+            }
+            _ => {}
+        }
+    }
+    outcome.rounds_closed += 1;
+    profiles.insert(round.id, round.profile);
+}
+
+/// Copies everything the engine produced since the last absorption into
+/// the campaign accumulators, oracle-checking each newly cleared round.
+fn absorb(
+    config: &CampaignConfig,
+    engine: &Engine,
+    profiles: &BTreeMap<RoundId, TypeProfile>,
+    outcome: &mut CampaignOutcome,
+    absorbed_quarantine: &mut usize,
+) {
+    let engine_config = engine.config();
+    for (&id, round) in engine.results() {
+        if outcome.results.contains_key(&id) {
+            continue;
+        }
+        let settlement = &engine.settlements()[&id];
+        match profiles.get(&id) {
+            Some(profile) => {
+                outcome.violations.extend(check_round(
+                    &config.oracle,
+                    profile,
+                    round,
+                    settlement,
+                    engine_config,
+                ));
+            }
+            None => outcome.violations.push(OracleViolation::StreamDesync {
+                detail: format!("{id} cleared but was never mirrored"),
+            }),
+        }
+        outcome.results.insert(id, round.clone());
+        outcome.settlements.insert(id, settlement.clone());
+    }
+    for record in &engine.quarantine()[*absorbed_quarantine..] {
+        outcome.quarantine.push(record.clone());
+    }
+    *absorbed_quarantine = engine.quarantine().len();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_campaign_is_clean_and_reproducible() {
+        let config = CampaignConfig {
+            rounds: 8,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&config, &FaultPlan::new());
+        let b = run_campaign(&config, &FaultPlan::new());
+        assert!(a.is_clean(), "{:?}", a.violations);
+        assert_eq!(a.results.len(), 8);
+        assert!(a.quarantine.is_empty());
+        assert_eq!(a.rejections, 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_fingerprint_differently() {
+        let base = CampaignConfig {
+            rounds: 4,
+            ..CampaignConfig::default()
+        };
+        let other = CampaignConfig {
+            seed: 1,
+            ..base.clone()
+        };
+        let a = run_campaign(&base, &FaultPlan::new());
+        let b = run_campaign(&other, &FaultPlan::new());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn multi_task_campaigns_run_clean() {
+        let config = CampaignConfig {
+            rounds: 6,
+            task_count: 3,
+            bids_per_round: 6,
+            ..CampaignConfig::default()
+        };
+        let outcome = run_campaign(&config, &FaultPlan::new());
+        assert!(outcome.is_clean(), "{:?}", outcome.violations);
+        assert_eq!(outcome.results.len(), 6);
+    }
+
+    #[test]
+    fn quarantine_log_renders_one_line_per_record() {
+        let config = CampaignConfig {
+            rounds: 6,
+            ..CampaignConfig::default()
+        };
+        let mut plan = FaultPlan::new();
+        plan.schedule(2, Fault::ShardPanic)
+            .schedule(4, Fault::InfeasibleRound);
+        let outcome = run_campaign(&config, &plan);
+        assert!(outcome.is_clean(), "{:?}", outcome.violations);
+        assert_eq!(outcome.quarantine.len(), 2);
+        let log = outcome.quarantine_log();
+        assert_eq!(log.lines().count(), 2);
+        assert!(log.contains("panicked"));
+        assert!(log.contains("infeasible"));
+    }
+}

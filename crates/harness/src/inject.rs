@@ -1,0 +1,133 @@
+//! The campaign's [`FaultInjector`]: plan-armed hooks for the shard,
+//! settle, and batch stages.
+//!
+//! Logical campaign rounds and engine [`RoundId`]s drift apart once a
+//! batch fault splits a round, so the injector cannot be armed up front
+//! from the plan. Instead the campaign arms it *online*: whenever its
+//! mirror batcher closes an engine round during a faulty logical round, it
+//! arms that concrete round id here. Between drains the armed sets are
+//! constant, so every hook is a pure function of its arguments while the
+//! shard workers run — the determinism contract of
+//! [`mcs_platform::fault`] holds and campaigns stay bitwise reproducible
+//! across worker counts.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use mcs_core::types::UserId;
+use mcs_platform::batch::{Round, RoundId};
+use mcs_platform::degrade::QuarantinedRound;
+use mcs_platform::fault::FaultInjector;
+
+/// The prefix of every panic message this injector raises; the campaign's
+/// panic-hook filter recognises injected panics by it.
+pub const CHAOS_PREFIX: &str = "chaos:";
+
+/// A [`FaultInjector`] armed round-by-round from a
+/// [`FaultPlan`](crate::plan::FaultPlan) as the campaign maps logical
+/// rounds onto engine round ids.
+#[derive(Debug, Default)]
+pub struct PlanInjector {
+    panic_rounds: Mutex<BTreeSet<RoundId>>,
+    flip_rounds: Mutex<BTreeSet<RoundId>>,
+    reorder_rounds: Mutex<BTreeSet<RoundId>>,
+    quarantined: Mutex<Vec<QuarantinedRound>>,
+}
+
+impl PlanInjector {
+    /// A fully disarmed injector.
+    pub fn new() -> Self {
+        PlanInjector::default()
+    }
+
+    /// Arms a shard panic for engine round `id`.
+    pub fn arm_panic(&self, id: RoundId) {
+        self.panic_rounds.lock().unwrap().insert(id);
+    }
+
+    /// Arms report flipping for engine round `id`.
+    pub fn arm_flip(&self, id: RoundId) {
+        self.flip_rounds.lock().unwrap().insert(id);
+    }
+
+    /// Arms a pending-queue reversal for the drain containing round `id`.
+    pub fn arm_reorder(&self, id: RoundId) {
+        self.reorder_rounds.lock().unwrap().insert(id);
+    }
+
+    /// Every quarantined round observed so far, in observation order.
+    pub fn observed_quarantines(&self) -> Vec<QuarantinedRound> {
+        self.quarantined.lock().unwrap().clone()
+    }
+}
+
+impl FaultInjector for PlanInjector {
+    fn reorder_pending(&self, pending: &mut [Round]) {
+        let armed = self.reorder_rounds.lock().unwrap();
+        if pending.iter().any(|round| armed.contains(&round.id)) {
+            pending.reverse();
+        }
+    }
+
+    fn shard_panic(&self, round: RoundId) -> Option<String> {
+        self.panic_rounds
+            .lock()
+            .unwrap()
+            .contains(&round)
+            .then(|| format!("{CHAOS_PREFIX} injected shard panic in {round}"))
+    }
+
+    fn flip_report(&self, round: RoundId, _user: UserId, completed: bool) -> bool {
+        if self.flip_rounds.lock().unwrap().contains(&round) {
+            !completed
+        } else {
+            completed
+        }
+    }
+
+    fn on_quarantine(&self, round: &QuarantinedRound) {
+        self.quarantined.lock().unwrap().push(round.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_platform::degrade::RoundError;
+
+    #[test]
+    fn armed_hooks_fire_only_for_their_rounds() {
+        let injector = PlanInjector::new();
+        injector.arm_panic(RoundId(2));
+        injector.arm_flip(RoundId(3));
+        assert!(injector.shard_panic(RoundId(1)).is_none());
+        let message = injector.shard_panic(RoundId(2)).unwrap();
+        assert!(message.starts_with(CHAOS_PREFIX));
+        assert!(!injector.flip_report(RoundId(3), UserId::new(0), true));
+        assert!(injector.flip_report(RoundId(1), UserId::new(0), true));
+    }
+
+    #[test]
+    fn reorder_reverses_only_when_an_armed_round_is_pending() {
+        let injector = PlanInjector::new();
+        injector.arm_reorder(RoundId(1));
+        // No fixture rounds here: an empty queue must stay empty and the
+        // call must not panic.
+        injector.reorder_pending(&mut []);
+    }
+
+    #[test]
+    fn quarantine_observations_accumulate() {
+        let injector = PlanInjector::new();
+        injector.on_quarantine(&QuarantinedRound {
+            id: RoundId(5),
+            bidders: 3,
+            error: RoundError::Infeasible {
+                task: mcs_core::types::TaskId::new(0),
+            },
+        });
+        let seen = injector.observed_quarantines();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].id, RoundId(5));
+    }
+}

@@ -1,0 +1,554 @@
+//! Economic-invariant oracles: the paper's guarantees, checked round by
+//! round against what the platform actually produced.
+//!
+//! After every surviving round a campaign calls [`check_round`] with the
+//! round's declared profile (from the campaign's mirror batcher), the
+//! engine's [`ClearedRound`], and its [`RoundSettlement`]. The oracle
+//! re-derives what the mechanism *should* have done and reports every
+//! discrepancy as a typed [`OracleViolation`]:
+//!
+//! * **Coverage feasibility** — winners jointly meet `Σ q_i^j ≥ Q_j` for
+//!   every published task.
+//! * **Allocation fidelity** — re-running winner determination on the
+//!   declared profile reproduces the engine's allocation exactly.
+//! * **Quote structure** — `success − failure = α` for every quote (both
+//!   branches price the same critical bid).
+//! * **Ex-post individual rationality** — each winner's expected utility
+//!   from her quoted rewards is non-negative.
+//! * **Critical-bid monotonicity** — padding a winner's declared PoS
+//!   toward the critical value implied by her quote keeps her winning at
+//!   an unchanged payment.
+//! * **Settlement consistency** — each payout equals the quoted branch of
+//!   the stored report, and the round total adds up.
+//!
+//! Campaign-level checks (ledger conservation, zero silent round drops,
+//! stream synchronisation) live in [`crate::campaign`] and reuse the same
+//! violation type.
+
+use std::fmt;
+
+use mcs_core::analysis::{
+    check_critical_bid_padding, expected_utility_from_quotes, implied_critical_pos,
+    meets_all_requirements, social_cost, CriticalPadViolation,
+};
+use mcs_core::multi_task::MultiTaskMechanism;
+use mcs_core::single_task::SingleTaskMechanism;
+use mcs_core::types::{TypeProfile, UserId};
+use mcs_platform::batch::RoundId;
+use mcs_platform::config::EngineConfig;
+use mcs_platform::settle::RoundSettlement;
+use mcs_platform::shard::ClearedRound;
+
+/// Oracle tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleConfig {
+    /// Absolute tolerance for payment and utility comparisons.
+    pub tolerance: f64,
+    /// Pad fractions for the critical-bid monotonicity check: each moves
+    /// the winner's declaration this fraction of the way toward her
+    /// critical value.
+    pub pads: Vec<f64>,
+    /// How many winners per round get the (mechanism-re-running)
+    /// critical-bid check; the cheap checks always cover all of them.
+    pub max_padded_winners: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            tolerance: 1e-6,
+            pads: vec![0.5, 0.9],
+            max_padded_winners: 2,
+        }
+    }
+}
+
+/// One violated invariant, attributed to a round (and user, where it
+/// applies).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleViolation {
+    /// The winner set does not cover some task's PoS requirement.
+    CoverageShortfall {
+        /// The offending round.
+        round: RoundId,
+    },
+    /// Re-running winner determination disagrees with the engine's
+    /// allocation.
+    AllocationMismatch {
+        /// The offending round.
+        round: RoundId,
+        /// Winners the engine recorded.
+        engine: Vec<UserId>,
+        /// Winners the oracle recomputed.
+        oracle: Vec<UserId>,
+    },
+    /// The recorded social cost drifted from `Σ c_i` over the winners.
+    SocialCostDrift {
+        /// The offending round.
+        round: RoundId,
+        /// The engine's recorded social cost.
+        recorded: f64,
+        /// The oracle's recomputed social cost.
+        recomputed: f64,
+    },
+    /// A quote's branches are not exactly `α` apart.
+    QuoteSpread {
+        /// The offending round.
+        round: RoundId,
+        /// The quoted winner.
+        user: UserId,
+        /// The observed `success − failure` spread.
+        spread: f64,
+    },
+    /// A winner's expected utility from her quotes is negative.
+    IrViolation {
+        /// The offending round.
+        round: RoundId,
+        /// The losing winner.
+        user: UserId,
+        /// Her expected utility.
+        utility: f64,
+    },
+    /// Padding a winner toward her critical value demoted her.
+    Demoted {
+        /// The offending round.
+        round: RoundId,
+        /// The demoted winner.
+        user: UserId,
+        /// The pad fraction that demoted her.
+        pad: f64,
+    },
+    /// Padding a winner toward her critical value moved her payment.
+    PaymentChanged {
+        /// The offending round.
+        round: RoundId,
+        /// The affected winner.
+        user: UserId,
+        /// The pad fraction at which the payment moved.
+        pad: f64,
+        /// The truthful success reward.
+        reference: f64,
+        /// The padded success reward.
+        padded: f64,
+    },
+    /// A payout disagrees with the quoted branch of the stored report.
+    ReportPayoutMismatch {
+        /// The offending round.
+        round: RoundId,
+        /// The mis-paid winner.
+        user: UserId,
+    },
+    /// Money created or destroyed between settlements and the ledger.
+    LedgerDrift {
+        /// What drifted and by how much.
+        detail: String,
+    },
+    /// A closed round vanished: neither cleared nor quarantined.
+    SilentDrop {
+        /// The dropped round.
+        round: RoundId,
+    },
+    /// The campaign's mirror batcher and the engine disagreed — an
+    /// accepted/rejected bid mismatch or a round-id drift.
+    StreamDesync {
+        /// What went out of sync.
+        detail: String,
+    },
+    /// The oracle itself failed to evaluate an invariant.
+    OracleError {
+        /// The offending round.
+        round: RoundId,
+        /// The rendered error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleViolation::CoverageShortfall { round } => {
+                write!(f, "{round}: winners do not cover every task requirement")
+            }
+            OracleViolation::AllocationMismatch {
+                round,
+                engine,
+                oracle,
+            } => write!(
+                f,
+                "{round}: engine allocation {engine:?} != recomputed {oracle:?}"
+            ),
+            OracleViolation::SocialCostDrift {
+                round,
+                recorded,
+                recomputed,
+            } => write!(
+                f,
+                "{round}: social cost {recorded} != recomputed {recomputed}"
+            ),
+            OracleViolation::QuoteSpread {
+                round,
+                user,
+                spread,
+            } => write!(
+                f,
+                "{round}: {user} quote spread {spread} is not the reward scale α"
+            ),
+            OracleViolation::IrViolation {
+                round,
+                user,
+                utility,
+            } => write!(f, "{round}: {user} has negative expected utility {utility}"),
+            OracleViolation::Demoted { round, user, pad } => write!(
+                f,
+                "{round}: {user} padded {pad} of the way to critical stopped winning"
+            ),
+            OracleViolation::PaymentChanged {
+                round,
+                user,
+                pad,
+                reference,
+                padded,
+            } => write!(
+                f,
+                "{round}: {user} payment moved {reference} -> {padded} at pad {pad}"
+            ),
+            OracleViolation::ReportPayoutMismatch { round, user } => {
+                write!(f, "{round}: {user} payout disagrees with quoted branch")
+            }
+            OracleViolation::LedgerDrift { detail } => write!(f, "ledger drift: {detail}"),
+            OracleViolation::SilentDrop { round } => {
+                write!(f, "{round}: closed but neither cleared nor quarantined")
+            }
+            OracleViolation::StreamDesync { detail } => write!(f, "stream desync: {detail}"),
+            OracleViolation::OracleError { round, detail } => {
+                write!(f, "{round}: oracle error: {detail}")
+            }
+        }
+    }
+}
+
+/// Checks every per-round invariant; see the module docs for the list.
+/// Returns all violations found (empty = the round is clean).
+pub fn check_round(
+    oracle: &OracleConfig,
+    profile: &TypeProfile,
+    cleared: &ClearedRound,
+    settlement: &RoundSettlement,
+    engine: &EngineConfig,
+) -> Vec<OracleViolation> {
+    let round = cleared.id;
+    let mut violations = Vec::new();
+
+    if !meets_all_requirements(profile, &cleared.allocation) {
+        violations.push(OracleViolation::CoverageShortfall { round });
+    }
+
+    match social_cost(profile, &cleared.allocation) {
+        Ok(recomputed) if (recomputed - cleared.social_cost).abs() > 1e-9 => {
+            violations.push(OracleViolation::SocialCostDrift {
+                round,
+                recorded: cleared.social_cost,
+                recomputed,
+            });
+        }
+        Ok(_) => {}
+        Err(error) => violations.push(OracleViolation::OracleError {
+            round,
+            detail: error.to_string(),
+        }),
+    }
+
+    // The engine picks the mechanism by the round's task count; rebuild
+    // the same one to replay its decisions.
+    let single;
+    let multi;
+    let mechanism: &dyn ReplayMechanism = if profile.is_single_task() {
+        match SingleTaskMechanism::new(engine.epsilon, engine.alpha) {
+            Ok(m) => {
+                single = m;
+                &single
+            }
+            Err(error) => {
+                violations.push(OracleViolation::OracleError {
+                    round,
+                    detail: error.to_string(),
+                });
+                return violations;
+            }
+        }
+    } else {
+        match MultiTaskMechanism::new(engine.alpha) {
+            Ok(m) => {
+                multi = m;
+                &multi
+            }
+            Err(error) => {
+                violations.push(OracleViolation::OracleError {
+                    round,
+                    detail: error.to_string(),
+                });
+                return violations;
+            }
+        }
+    };
+
+    match mechanism.winners(profile) {
+        Ok(oracle_winners) => {
+            let engine_winners: Vec<UserId> = cleared.allocation.winners().collect();
+            if engine_winners != oracle_winners {
+                violations.push(OracleViolation::AllocationMismatch {
+                    round,
+                    engine: engine_winners,
+                    oracle: oracle_winners,
+                });
+            }
+        }
+        Err(error) => violations.push(OracleViolation::OracleError {
+            round,
+            detail: error.to_string(),
+        }),
+    }
+
+    for (padded_so_far, (&user, quote)) in cleared.quotes.iter().enumerate() {
+        let spread = quote.success - quote.failure;
+        if (spread - engine.alpha).abs() > oracle.tolerance {
+            violations.push(OracleViolation::QuoteSpread {
+                round,
+                user,
+                spread,
+            });
+        }
+
+        let user_type = match profile.user(user) {
+            Ok(t) => t,
+            Err(error) => {
+                violations.push(OracleViolation::OracleError {
+                    round,
+                    detail: error.to_string(),
+                });
+                continue;
+            }
+        };
+        let cost = user_type.cost().value();
+        let utility = expected_utility_from_quotes(
+            user_type.any_task_pos().value(),
+            quote.success,
+            quote.failure,
+            cost,
+        );
+        if utility < -oracle.tolerance {
+            violations.push(OracleViolation::IrViolation {
+                round,
+                user,
+                utility,
+            });
+        }
+
+        if let Some(&completed) = cleared.reports.get(&user) {
+            let paid = settlement.payouts.get(&user).copied();
+            if paid != Some(quote.payout(completed)) {
+                violations.push(OracleViolation::ReportPayoutMismatch { round, user });
+            }
+        } else {
+            violations.push(OracleViolation::ReportPayoutMismatch { round, user });
+        }
+
+        if padded_so_far < oracle.max_padded_winners {
+            match implied_critical_pos(engine.alpha, quote.success, cost) {
+                Ok(critical) => {
+                    match mechanism.padding(
+                        profile,
+                        user,
+                        critical,
+                        quote.success,
+                        &oracle.pads,
+                        oracle.tolerance,
+                    ) {
+                        Ok(pad_violations) => {
+                            for violation in pad_violations {
+                                violations.push(match violation {
+                                    CriticalPadViolation::Demoted { user, pad } => {
+                                        OracleViolation::Demoted { round, user, pad }
+                                    }
+                                    CriticalPadViolation::PaymentChanged {
+                                        user,
+                                        pad,
+                                        reference,
+                                        padded,
+                                    } => OracleViolation::PaymentChanged {
+                                        round,
+                                        user,
+                                        pad,
+                                        reference,
+                                        padded,
+                                    },
+                                });
+                            }
+                        }
+                        Err(error) => violations.push(OracleViolation::OracleError {
+                            round,
+                            detail: error.to_string(),
+                        }),
+                    }
+                }
+                Err(error) => violations.push(OracleViolation::OracleError {
+                    round,
+                    detail: error.to_string(),
+                }),
+            }
+        }
+    }
+
+    let paid_total: f64 = settlement.payouts.values().sum();
+    if (paid_total - settlement.total).abs() > 1e-9 {
+        violations.push(OracleViolation::LedgerDrift {
+            detail: format!(
+                "{round}: settlement total {} != summed payouts {paid_total}",
+                settlement.total
+            ),
+        });
+    }
+
+    violations
+}
+
+/// Object-safe facade over the two concrete mechanisms, so [`check_round`]
+/// can hold either behind one reference.
+trait ReplayMechanism {
+    fn winners(&self, profile: &TypeProfile) -> mcs_core::Result<Vec<UserId>>;
+
+    #[allow(clippy::too_many_arguments)]
+    fn padding(
+        &self,
+        profile: &TypeProfile,
+        user: UserId,
+        critical: mcs_core::types::Pos,
+        reference_success: f64,
+        pads: &[f64],
+        tolerance: f64,
+    ) -> mcs_core::Result<Vec<CriticalPadViolation>>;
+}
+
+impl<M: mcs_core::mechanism::Mechanism> ReplayMechanism for M {
+    fn winners(&self, profile: &TypeProfile) -> mcs_core::Result<Vec<UserId>> {
+        Ok(self.select_winners(profile)?.winners().collect())
+    }
+
+    fn padding(
+        &self,
+        profile: &TypeProfile,
+        user: UserId,
+        critical: mcs_core::types::Pos,
+        reference_success: f64,
+        pads: &[f64],
+        tolerance: f64,
+    ) -> mcs_core::Result<Vec<CriticalPadViolation>> {
+        check_critical_bid_padding(
+            self,
+            profile,
+            user,
+            critical,
+            reference_success,
+            pads,
+            tolerance,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_core::types::{Task, TaskId};
+    use mcs_platform::engine::Engine;
+    use mcs_platform::ingest::Bid;
+
+    /// Runs one real engine round and returns everything the oracle needs.
+    fn cleared_round() -> (TypeProfile, ClearedRound, RoundSettlement, EngineConfig) {
+        let mut config = EngineConfig::default().with_seed(5);
+        config.batch.max_bids = 4;
+        let tasks = vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()];
+        let mut engine = Engine::new(config, tasks.clone());
+        let bids = [
+            (0u32, 2.0, 0.6),
+            (1, 2.5, 0.7),
+            (2, 3.0, 0.5),
+            (3, 1.5, 0.6),
+        ];
+        let mut queue = mcs_platform::ingest::IngestQueue::new(tasks.iter().map(|t| t.id()));
+        for &(user, cost, pos) in &bids {
+            let bid = Bid {
+                user,
+                cost,
+                tasks: vec![(0, pos)],
+            };
+            engine.submit(&bid).unwrap();
+            queue.push(&bid).unwrap();
+        }
+        engine.drain();
+        let profile = TypeProfile::new(queue.drain(), tasks).unwrap();
+        let cleared = engine.results().values().next().unwrap().clone();
+        let settlement = engine.settlements().values().next().unwrap().clone();
+        (profile, cleared, settlement, config)
+    }
+
+    #[test]
+    fn a_real_round_passes_every_check() {
+        let (profile, cleared, settlement, config) = cleared_round();
+        let violations = check_round(
+            &OracleConfig::default(),
+            &profile,
+            &cleared,
+            &settlement,
+            &config,
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn doctored_quotes_are_caught() {
+        let (profile, mut cleared, settlement, config) = cleared_round();
+        let user = *cleared.quotes.keys().next().unwrap();
+        cleared.quotes.get_mut(&user).unwrap().success += 3.0;
+        let violations = check_round(
+            &OracleConfig::default(),
+            &profile,
+            &cleared,
+            &settlement,
+            &config,
+        );
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, OracleViolation::QuoteSpread { .. })));
+        // The inflated success branch also breaks report/payout agreement
+        // when the user succeeded, or survives when she failed — either
+        // way the spread check alone must have fired.
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn doctored_allocation_is_caught() {
+        let (profile, mut cleared, settlement, config) = cleared_round();
+        // Claim an empty allocation while keeping the quotes.
+        cleared.allocation = mcs_core::mechanism::Allocation::from_winners(Vec::<UserId>::new());
+        cleared.social_cost = 0.0;
+        let violations = check_round(
+            &OracleConfig::default(),
+            &profile,
+            &cleared,
+            &settlement,
+            &config,
+        );
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, OracleViolation::CoverageShortfall { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, OracleViolation::AllocationMismatch { .. })));
+    }
+
+    #[test]
+    fn violations_render_for_humans() {
+        let text = OracleViolation::SilentDrop { round: RoundId(9) }.to_string();
+        assert!(text.contains("r9"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic bid-stream synthesis, with faults woven in.
+//!
+//! Each *logical* campaign round expands into a sequence of [`Action`]s —
+//! bid submissions and engine ticks — derived purely from
+//! `(campaign seed, round index, scheduled faults)`. Round `r`'s RNG
+//! stream is seeded from a SplitMix64 mix of the campaign seed and `r`,
+//! so removing or adding a fault in one round can never shift the random
+//! draws of any other round. That per-round isolation is what lets the
+//! quarantine-regression tests assert "only the faulted round changed".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mcs_platform::ingest::Bid;
+
+use crate::campaign::CampaignConfig;
+use crate::plan::Fault;
+
+/// One step of the campaign's drive sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Submit this bid to the engine (and the mirror batcher).
+    Submit(Bid),
+    /// Advance the engine's (and the mirror's) batch clock one tick.
+    Tick,
+}
+
+/// SplitMix64: the same per-round stream derivation the platform's shard
+/// stage uses, so harness streams inherit its isolation property.
+pub fn splitmix64(seed: u64, round: u64) -> u64 {
+    let mut z = seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Expands logical round `round` into its drive sequence.
+///
+/// The fault-free shape is `bids_per_round` well-formed bids from users
+/// `0..bids_per_round`, costs in `[1, 5)` and per-task PoS in
+/// `[0.3, 0.8)` — always feasible for the campaign's published
+/// requirements. Ingest faults insert one malformed bid just before the
+/// round's last base bid (so the rejection cannot move the
+/// capacity-close); [`Fault::DelayedTicks`] inserts ticks halfway;
+/// [`Fault::InfeasibleRound`] replaces the whole round with a single
+/// too-weak bidder plus enough ticks to force the round closed.
+pub fn round_actions(config: &CampaignConfig, round: u64, faults: &[Fault]) -> Vec<Action> {
+    let mut rng = StdRng::seed_from_u64(splitmix64(config.seed, round));
+    let task_ids: Vec<u32> = (0..config.task_count as u32).collect();
+
+    if faults.contains(&Fault::InfeasibleRound) {
+        // One bidder far too weak for any requirement, then force the
+        // round closed on its tick budget so it cannot bleed into the
+        // next logical round.
+        let mut actions = vec![Action::Submit(Bid {
+            user: 0,
+            cost: 1.0,
+            tasks: task_ids.iter().map(|&t| (t, 0.05)).collect(),
+        })];
+        for _ in 0..config.engine_config().batch.max_ticks {
+            actions.push(Action::Tick);
+        }
+        return actions;
+    }
+
+    let mut actions: Vec<Action> = (0..config.bids_per_round as u32)
+        .map(|user| {
+            Action::Submit(Bid {
+                user,
+                cost: rng.gen_range(1.0..5.0),
+                tasks: task_ids
+                    .iter()
+                    .map(|&t| (t, rng.gen_range(0.3..0.8)))
+                    .collect(),
+            })
+        })
+        .collect();
+
+    for fault in faults {
+        match fault {
+            Fault::DelayedTicks(ticks) => {
+                let at = actions.len() / 2;
+                for _ in 0..*ticks {
+                    actions.insert(at, Action::Tick);
+                }
+            }
+            fault if fault.is_ingest() => {
+                let bad = malformed_bid(config, *fault);
+                // Just before the final base bid: the reject never
+                // disturbs which bid closes the round at capacity.
+                let at = actions.len().saturating_sub(1);
+                actions.insert(at, Action::Submit(bad));
+            }
+            _ => {}
+        }
+    }
+    actions
+}
+
+/// The malformed bid an ingest-stage fault materialises as. Each is
+/// crafted to trip exactly one [`IngestError`](mcs_platform::ingest::IngestError)
+/// variant.
+fn malformed_bid(config: &CampaignConfig, fault: Fault) -> Bid {
+    // A fresh user id so rejection (not user-dedup) is what's tested —
+    // except for DuplicateUserBid, which reuses user 0 on purpose.
+    let fresh = config.bids_per_round as u32 + 7;
+    match fault {
+        Fault::NanCostBid => Bid {
+            user: fresh,
+            cost: f64::NAN,
+            tasks: vec![(0, 0.5)],
+        },
+        Fault::NegativeCostBid => Bid {
+            user: fresh,
+            cost: -2.0,
+            tasks: vec![(0, 0.5)],
+        },
+        Fault::OutOfRangePosBid => Bid {
+            user: fresh,
+            cost: 2.0,
+            tasks: vec![(0, 1.5)],
+        },
+        Fault::EmptyTaskSetBid => Bid {
+            user: fresh,
+            cost: 2.0,
+            tasks: Vec::new(),
+        },
+        Fault::UnknownTaskBid => Bid {
+            user: fresh,
+            cost: 2.0,
+            tasks: vec![(9_999, 0.5)],
+        },
+        Fault::DuplicateTaskBid => Bid {
+            user: fresh,
+            cost: 2.0,
+            tasks: vec![(0, 0.5), (0, 0.6)],
+        },
+        Fault::DuplicateUserBid => Bid {
+            user: 0,
+            cost: 2.0,
+            tasks: vec![(0, 0.5)],
+        },
+        Fault::OversizedBid => Bid {
+            user: fresh,
+            cost: 2.0,
+            tasks: (0..256).map(|i| (10_000 + i, 0.5)).collect(),
+        },
+        other => unreachable!("{other:?} is not an ingest fault"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+
+    fn config() -> CampaignConfig {
+        CampaignConfig::default()
+    }
+
+    #[test]
+    fn fault_free_rounds_are_reproducible_and_well_formed() {
+        let a = round_actions(&config(), 3, &[]);
+        let b = round_actions(&config(), 3, &[]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), config().bids_per_round);
+        for action in &a {
+            match action {
+                Action::Submit(bid) => {
+                    assert!(bid.cost.is_finite());
+                    assert_eq!(bid.tasks.len(), config().task_count);
+                }
+                Action::Tick => panic!("no ticks in a fault-free round"),
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_draw_independent_streams() {
+        let a = round_actions(&config(), 0, &[]);
+        let b = round_actions(&config(), 1, &[]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn a_fault_in_one_round_leaves_other_rounds_bitwise_identical() {
+        let clean = round_actions(&config(), 4, &[]);
+        // Round 3 carrying a fault must not change round 4's draws.
+        let _ = round_actions(&config(), 3, &[Fault::ShardPanic]);
+        assert_eq!(round_actions(&config(), 4, &[]), clean);
+    }
+
+    #[test]
+    fn ingest_faults_insert_one_extra_bid_before_the_last() {
+        let actions = round_actions(&config(), 0, &[Fault::NanCostBid]);
+        assert_eq!(actions.len(), config().bids_per_round + 1);
+        let Action::Submit(bad) = &actions[actions.len() - 2] else {
+            panic!("expected the malformed bid second-to-last");
+        };
+        assert!(bad.cost.is_nan());
+    }
+
+    #[test]
+    fn delayed_ticks_appear_mid_round() {
+        let actions = round_actions(&config(), 0, &[Fault::DelayedTicks(3)]);
+        assert_eq!(
+            actions.iter().filter(|a| matches!(a, Action::Tick)).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn infeasible_round_is_one_weak_bid_plus_forced_close() {
+        let cfg = config();
+        let actions = round_actions(&cfg, 0, &[Fault::InfeasibleRound]);
+        let ticks = cfg.engine_config().batch.max_ticks as usize;
+        assert_eq!(actions.len(), 1 + ticks);
+        let Action::Submit(weak) = &actions[0] else {
+            panic!("expected the weak bid first");
+        };
+        assert!(weak.tasks.iter().all(|&(_, p)| p < 0.1));
+    }
+}

@@ -63,6 +63,28 @@ impl Batcher {
         &self.tasks
     }
 
+    /// The id the next closed round will receive.
+    pub fn next_round_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Fast-forwards the round-id sequence so the next closed round
+    /// receives `next_id` — used when rebuilding an engine from a
+    /// checkpoint, so ids stay monotone across the rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would move the sequence backwards (ids must never
+    /// repeat).
+    pub fn resume_at(&mut self, next_id: u64) {
+        assert!(
+            next_id >= self.next_id,
+            "round ids are monotone: cannot resume at {next_id} after {}",
+            self.next_id
+        );
+        self.next_id = next_id;
+    }
+
     /// Bids accepted into the round currently being filled.
     pub fn pending_bids(&self) -> usize {
         self.queue.len()
@@ -166,6 +188,24 @@ mod tests {
         let round = b.tick().expect("tick budget elapsed");
         assert_eq!(round.profile.user_count(), 1);
         assert_eq!(b.tick(), None);
+    }
+
+    #[test]
+    fn resume_at_continues_the_id_sequence() {
+        let mut b = batcher(1, 100);
+        assert_eq!(b.next_round_id(), 0);
+        b.resume_at(7);
+        let round = b.submit(&bid(0)).unwrap().unwrap();
+        assert_eq!(round.id, RoundId(7));
+        assert_eq!(b.next_round_id(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn resume_at_rejects_going_backwards() {
+        let mut b = batcher(1, 100);
+        b.resume_at(5);
+        b.resume_at(3);
     }
 
     #[test]

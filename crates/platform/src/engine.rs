@@ -5,7 +5,7 @@
 //! on a bad round: failures are quarantined (see [`crate::degrade`]) and
 //! serving continues.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -14,10 +14,27 @@ use mcs_core::types::Task;
 use crate::batch::{Batcher, Round, RoundId};
 use crate::config::EngineConfig;
 use crate::degrade::QuarantinedRound;
+use crate::fault::{FaultInjector, NoFaults};
 use crate::ingest::{Bid, IngestError};
 use crate::metrics::{Metrics, Stage};
 use crate::settle::{Ledger, RoundSettlement};
 use crate::shard::{ClearedRound, ShardPool};
+
+/// The durable state needed to rebuild an engine mid-stream: the signed
+/// ledger and the next round id. Everything else (results, settlements,
+/// quarantine records, metrics) is derived history a supervisor keeps for
+/// itself; a rebuilt engine starts those empty while round ids and
+/// balances continue seamlessly.
+///
+/// Take a checkpoint *after* [`Engine::drain`]: closed-but-undrained
+/// rounds and the partially filled batch are not captured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineCheckpoint {
+    /// The per-user balance ledger at checkpoint time.
+    pub ledger: Ledger,
+    /// The id the next closed round will receive.
+    pub next_round_id: u64,
+}
 
 /// The auction-serving runtime.
 #[derive(Debug)]
@@ -31,16 +48,32 @@ pub struct Engine {
     quarantine: Vec<QuarantinedRound>,
     ledger: Ledger,
     metrics: Arc<Metrics>,
-    faults: BTreeSet<RoundId>,
+    injector: Arc<dyn FaultInjector>,
 }
 
 impl Engine {
-    /// Creates an engine whose rounds publish `tasks`.
+    /// Creates an engine whose rounds publish `tasks`, with fault
+    /// injection disabled ([`NoFaults`]).
     ///
     /// # Panics
     ///
     /// Panics if `tasks` is empty.
     pub fn new(config: EngineConfig, tasks: Vec<Task>) -> Self {
+        Engine::with_injector(config, tasks, Arc::new(NoFaults))
+    }
+
+    /// Creates an engine with a [`FaultInjector`] wired into every stage
+    /// boundary. Production code wants [`Engine::new`]; this constructor
+    /// exists for chaos harnesses and degrade-path tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn with_injector(
+        config: EngineConfig,
+        tasks: Vec<Task>,
+        injector: Arc<dyn FaultInjector>,
+    ) -> Self {
         Engine {
             config,
             batcher: Batcher::new(config.batch, tasks),
@@ -51,7 +84,38 @@ impl Engine {
             quarantine: Vec::new(),
             ledger: Ledger::new(),
             metrics: Arc::new(Metrics::new()),
-            faults: BTreeSet::new(),
+            injector,
+        }
+    }
+
+    /// Rebuilds an engine from a [`checkpoint`](Engine::checkpoint): the
+    /// ledger and round-id sequence continue where the old engine
+    /// stopped; results, settlements, quarantine records, and metrics
+    /// start empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn restore(
+        config: EngineConfig,
+        tasks: Vec<Task>,
+        checkpoint: EngineCheckpoint,
+        injector: Arc<dyn FaultInjector>,
+    ) -> Self {
+        let mut engine = Engine::with_injector(config, tasks, injector);
+        engine.batcher.resume_at(checkpoint.next_round_id);
+        engine.ledger = checkpoint.ledger;
+        engine
+    }
+
+    /// Captures the durable state a supervisor needs to rebuild this
+    /// engine with [`Engine::restore`]. Intended to be taken right after
+    /// [`Engine::drain`]: pending rounds and partially filled batches are
+    /// not part of a checkpoint.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            ledger: self.ledger.clone(),
+            next_round_id: self.batcher.next_round_id(),
         }
     }
 
@@ -78,6 +142,8 @@ impl Engine {
     /// keeps serving either way.
     pub fn submit(&mut self, bid: &Bid) -> Result<(), IngestError> {
         self.metrics.bid_received();
+        let corrupted = self.injector.corrupt_bid(bid);
+        let bid = corrupted.as_ref().unwrap_or(bid);
         let start = Instant::now();
         let outcome = self.batcher.submit(bid);
         self.metrics.record(Stage::Ingest, start.elapsed());
@@ -108,12 +174,6 @@ impl Engine {
         self.enqueue(closed);
     }
 
-    /// Marks a future round as faulty: the shard worker clearing it will
-    /// panic deliberately. A test hook for the degrade path.
-    pub fn inject_fault(&mut self, round: RoundId) {
-        self.faults.insert(round);
-    }
-
     /// Rounds closed but not yet drained.
     pub fn pending_rounds(&self) -> usize {
         self.pending.len()
@@ -126,17 +186,23 @@ impl Engine {
         if self.pending.is_empty() {
             return 0;
         }
-        let rounds = std::mem::take(&mut self.pending);
-        let outcomes = self
-            .pool
-            .clear_all(rounds, &self.config, &self.faults, &self.metrics);
+        let mut rounds = std::mem::take(&mut self.pending);
+        self.injector.reorder_pending(&mut rounds);
+        let outcomes =
+            self.pool
+                .clear_all(rounds, &self.config, self.injector.as_ref(), &self.metrics);
         let mut cleared = 0;
         // BTreeMap iteration settles in round-id order no matter which
         // worker finished first, keeping the ledger deterministic.
         for (id, (bidders, outcome)) in outcomes {
             match outcome {
-                Ok(round) => {
+                Ok(mut round) => {
                     self.metrics.round_cleared(round.allocation.winner_count());
+                    // Settle-stage hook: reports may be flipped, but the
+                    // stored round and its settlement always agree.
+                    for (&user, completed) in round.reports.iter_mut() {
+                        *completed = self.injector.flip_report(id, user, *completed);
+                    }
                     let start = Instant::now();
                     let settlement = self.ledger.settle(&round);
                     self.metrics.record(Stage::Settle, start.elapsed());
@@ -146,8 +212,9 @@ impl Engine {
                 }
                 Err(error) => {
                     self.metrics.round_degraded();
-                    self.quarantine
-                        .push(QuarantinedRound { id, bidders, error });
+                    let record = QuarantinedRound { id, bidders, error };
+                    self.injector.on_quarantine(&record);
+                    self.quarantine.push(record);
                 }
             }
         }
@@ -241,5 +308,111 @@ mod tests {
         assert_eq!(e.drain(), 0);
         e.tick();
         assert_eq!(e.pending_rounds(), 0);
+    }
+
+    fn submit_feasible_round(e: &mut Engine, offset: u32) {
+        for (i, &(c, p)) in [(2.0, 0.6), (2.5, 0.7), (3.0, 0.5), (1.5, 0.6)]
+            .iter()
+            .enumerate()
+        {
+            e.submit(&bid(offset + i as u32, c, p)).unwrap();
+        }
+    }
+
+    #[test]
+    fn restored_engine_continues_round_ids_and_ledger() {
+        let mut e = engine(4);
+        submit_feasible_round(&mut e, 0);
+        e.drain();
+        let checkpoint = e.checkpoint();
+        assert_eq!(checkpoint.next_round_id, 1);
+        let total_before = checkpoint.ledger.total_paid();
+        assert!(total_before != 0.0);
+
+        let config = *e.config();
+        drop(e);
+        let mut rebuilt = Engine::restore(
+            config,
+            vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()],
+            checkpoint,
+            Arc::new(NoFaults),
+        );
+        assert!(rebuilt.results().is_empty());
+        submit_feasible_round(&mut rebuilt, 0);
+        rebuilt.drain();
+        // The new round got the next id, not a recycled one.
+        assert_eq!(
+            rebuilt.results().keys().copied().collect::<Vec<_>>(),
+            vec![RoundId(1)]
+        );
+        // Balances carried over and kept accumulating.
+        assert_eq!(rebuilt.ledger().rounds_settled(), 2);
+        let delta = rebuilt.ledger().total_paid() - total_before;
+        assert!((delta - rebuilt.settlements()[&RoundId(1)].total).abs() < 1e-12);
+    }
+
+    /// An injector that forces every bid's cost to a fixed value, to prove
+    /// the ingest hook runs before validation.
+    #[derive(Debug)]
+    struct CostClamp(f64);
+
+    impl crate::fault::FaultInjector for CostClamp {
+        fn corrupt_bid(&self, bid: &Bid) -> Option<Bid> {
+            let mut corrupted = bid.clone();
+            corrupted.cost = self.0;
+            Some(corrupted)
+        }
+    }
+
+    #[test]
+    fn corrupt_bid_hook_feeds_validation() {
+        let mut config = EngineConfig::default();
+        config.batch.max_bids = 4;
+        let tasks = vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()];
+        let mut e = Engine::with_injector(config, tasks, Arc::new(CostClamp(f64::NAN)));
+        // A perfectly valid bid is corrupted to a NaN cost and rejected.
+        assert!(matches!(
+            e.submit(&bid(0, 2.0, 0.6)),
+            Err(IngestError::InvalidCost { .. })
+        ));
+        assert_eq!(e.metrics().snapshot().bids_rejected, 1);
+    }
+
+    /// An injector flipping every report, to prove results and
+    /// settlements stay mutually consistent under settle-stage faults.
+    #[derive(Debug)]
+    struct FlipAll;
+
+    impl crate::fault::FaultInjector for FlipAll {
+        fn flip_report(
+            &self,
+            _round: RoundId,
+            _user: mcs_core::types::UserId,
+            completed: bool,
+        ) -> bool {
+            !completed
+        }
+    }
+
+    #[test]
+    fn flipped_reports_settle_consistently() {
+        let mut config = EngineConfig::default().with_seed(3);
+        config.batch.max_bids = 4;
+        let tasks = vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()];
+        let mut flipped = Engine::with_injector(config, tasks.clone(), Arc::new(FlipAll));
+        let mut straight = Engine::new(config, tasks);
+        submit_feasible_round(&mut flipped, 0);
+        submit_feasible_round(&mut straight, 0);
+        flipped.drain();
+        straight.drain();
+        let f = &flipped.results()[&RoundId(0)];
+        let s = &straight.results()[&RoundId(0)];
+        for (user, report) in &s.reports {
+            // The stored report is the flipped one…
+            assert_eq!(f.reports[user], !report);
+            // …and the payout matches the stored report's quoted branch.
+            let payout = flipped.settlements()[&RoundId(0)].payouts[user];
+            assert_eq!(payout, f.quotes[user].payout(f.reports[user]));
+        }
     }
 }

@@ -63,6 +63,7 @@ pub mod batch;
 pub mod config;
 pub mod degrade;
 pub mod engine;
+pub mod fault;
 pub mod ingest;
 pub mod metrics;
 pub mod settle;
@@ -73,7 +74,8 @@ pub mod prelude {
     pub use crate::batch::{Round, RoundId};
     pub use crate::config::{BatchPolicy, EngineConfig};
     pub use crate::degrade::{QuarantinedRound, RoundError};
-    pub use crate::engine::Engine;
+    pub use crate::engine::{Engine, EngineCheckpoint};
+    pub use crate::fault::{FaultInjector, NoFaults, PanicRounds};
     pub use crate::ingest::{Bid, IngestError};
     pub use crate::metrics::{Metrics, MetricsSnapshot, Stage};
     pub use crate::settle::{Ledger, RewardQuote, RoundSettlement};

@@ -19,7 +19,7 @@
 //! [`RoundError::Panicked`] and the pool keeps serving (see
 //! [`crate::degrade`]).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -37,6 +37,7 @@ use rand::{Rng, SeedableRng};
 use crate::batch::{Round, RoundId};
 use crate::config::EngineConfig;
 use crate::degrade::{panic_message, RoundError};
+use crate::fault::FaultInjector;
 use crate::metrics::{Metrics, Stage};
 use crate::settle::RewardQuote;
 
@@ -200,8 +201,10 @@ impl ShardPool {
     }
 
     /// Clears every round across the pool, catching panics at the round
-    /// boundary. Rounds whose id is in `faults` panic deliberately (a
-    /// test hook for the degrade path).
+    /// boundary. Each worker consults
+    /// [`FaultInjector::shard_panic`] before clearing, so a chaos
+    /// harness can panic chosen rounds deliberately; production passes
+    /// [`NoFaults`](crate::fault::NoFaults).
     ///
     /// The result map is keyed by round id and is identical for every
     /// worker count (see the module docs). The second tuple element is
@@ -210,7 +213,7 @@ impl ShardPool {
         &self,
         rounds: Vec<Round>,
         config: &EngineConfig,
-        faults: &BTreeSet<RoundId>,
+        injector: &dyn FaultInjector,
         metrics: &Metrics,
     ) -> BTreeMap<RoundId, (usize, Result<ClearedRound, RoundError>)> {
         let (round_tx, round_rx) = mpsc::channel::<Round>();
@@ -232,8 +235,8 @@ impl ShardPool {
                     let bidders = round.profile.user_count();
                     let start = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        if faults.contains(&round.id) {
-                            panic!("injected fault in round {}", round.id);
+                        if let Some(message) = injector.shard_panic(round.id) {
+                            panic!("{message}");
                         }
                         clear_round_metered(&round, config, Some(metrics))
                     }))
@@ -261,6 +264,7 @@ impl ShardPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::NoFaults;
     use mcs_core::types::{Cost, Pos, UserType};
     use mcs_core::types::{Task, TaskId};
 
@@ -319,9 +323,8 @@ mod tests {
     fn pool_results_do_not_depend_on_worker_count() {
         let config = EngineConfig::default().with_seed(11);
         let rounds: Vec<Round> = (0..12).map(feasible_round).collect();
-        let faults = BTreeSet::new();
-        let one = ShardPool::new(1).clear_all(rounds.clone(), &config, &faults, &Metrics::new());
-        let many = ShardPool::new(4).clear_all(rounds, &config, &faults, &Metrics::new());
+        let one = ShardPool::new(1).clear_all(rounds.clone(), &config, &NoFaults, &Metrics::new());
+        let many = ShardPool::new(4).clear_all(rounds, &config, &NoFaults, &Metrics::new());
         assert_eq!(one, many);
         assert_eq!(one.len(), 12);
     }
@@ -376,7 +379,7 @@ mod tests {
         let config = EngineConfig::default().with_seed(5);
         let metrics = Metrics::new();
         let rounds = vec![multi_task_round(0), feasible_round(1)];
-        ShardPool::new(2).clear_all(rounds, &config, &BTreeSet::new(), &metrics);
+        ShardPool::new(2).clear_all(rounds, &config, &NoFaults, &metrics);
         let snap = metrics.snapshot();
         let stage = |name: &str| snap.stages.iter().find(|s| s.stage == name).unwrap();
         assert_eq!(stage("allocate").count, 2);

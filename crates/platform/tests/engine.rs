@@ -84,9 +84,14 @@ fn same_seed_same_outcome_across_runs() {
 #[test]
 fn faulty_and_infeasible_rounds_are_isolated() {
     let stream = bid_stream(5);
-    let mut engine = engine_with_workers(4, 3);
     // Round 1 will panic inside the worker; the pool must survive it.
-    engine.inject_fault(RoundId(1));
+    let mut config = EngineConfig::default().with_workers(4).with_seed(3);
+    config.batch.max_bids = BIDS_PER_ROUND;
+    let mut engine = Engine::with_injector(
+        config,
+        vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()],
+        std::sync::Arc::new(PanicRounds::new([RoundId(1)])),
+    );
     for round in stream.iter().take(20) {
         for bid in round {
             engine.submit(bid).unwrap();

@@ -21,4 +21,7 @@ cargo test -q --workspace
 echo "==> payment_scaling bench smoke (--test)"
 cargo bench -p mcs-bench --bench payment_scaling -- --test
 
+echo "==> chaos smoke (mcs-fuzz --ci-smoke)"
+cargo run --release -p mcs-harness --bin mcs-fuzz -- --ci-smoke
+
 echo "CI green."

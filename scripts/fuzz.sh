@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Long-form chaos campaigns: more seeds, more rounds, higher fault
+# intensity than the CI smoke, each verified clean and bitwise
+# deterministic across worker/payment-thread counts.
+#
+#   scripts/fuzz.sh              # default sweep (~a few minutes)
+#   SEEDS="1 2 3" ROUNDS=500 scripts/fuzz.sh
+#
+# A failing campaign prints its seed and fingerprint; replay it with
+#   cargo run --release -p mcs-harness --bin mcs-fuzz -- \
+#     --seed S --rounds $ROUNDS --faults $FAULTS --tasks T
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${SEEDS:-1 2 3 5 8 13 21 34}"
+ROUNDS="${ROUNDS:-200}"
+FAULTS="${FAULTS:-0.5}"
+
+cargo build --release -p mcs-harness
+
+status=0
+for seed in $SEEDS; do
+  for tasks in 1 3; do
+    if ! target/release/mcs-fuzz \
+        --seed "$seed" --rounds "$ROUNDS" --faults "$FAULTS" \
+        --tasks "$tasks" --verify-determinism; then
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "fuzz: FAILED (see violations above)"
+  exit "$status"
+fi
+echo "fuzz: all campaigns clean and deterministic."

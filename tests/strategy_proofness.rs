@@ -1,20 +1,38 @@
-//! Adversarial strategy-proofness suite: randomized instances, dense
-//! deviation grids, and the paper's own counterexample, for both
-//! mechanisms.
+//! Adversarial strategy-proofness suite: randomized instances, systematic
+//! ±ε misreport grids, critical-bid padding, and the paper's own
+//! counterexample, for both mechanisms.
 //!
 //! These are the integration-level teeth behind Theorems 1 and 4: any
 //! implementation bug that lets a user gain by misreporting her PoS shows
-//! up here as a concrete profitable deviation.
+//! up here as a concrete profitable deviation. The deviation grids are
+//! built with [`misreport_factor_grid`], so each user is probed at
+//! scaling factors `1 ± ε` for a dense ladder of ε — small perturbations
+//! near truth-telling where payment discontinuities hide, plus large
+//! exaggerations and the total under-report at 0.
 
-use mcs_core::analysis::{check_strategy_proofness, expected_utility};
-use mcs_core::mechanism::WinnerDetermination;
+use mcs_core::analysis::{
+    check_critical_bid_padding, check_strategy_proofness, check_strategy_proofness_grid,
+    expected_utility, misreport_factor_grid,
+};
+use mcs_core::mechanism::{RewardScheme, WinnerDetermination};
 use mcs_core::multi_task::MultiTaskMechanism;
 use mcs_core::single_task::SingleTaskMechanism;
 use mcs_core::types::{Cost, Pos, Task, TaskId, TypeProfile, UserId, UserType};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const FACTORS: [f64; 10] = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.5, 2.5, 6.0];
+/// Relative deviations probed on every user: dense near zero (where a
+/// broken tie-break or payment discontinuity would first pay), sparse
+/// out to 5× exaggerations. The grid helper mirrors each ε to both
+/// sides of truth-telling and adds the total under-report at 0.
+const EPSILONS: [f64; 12] = [
+    0.01, 0.02, 0.05, 0.1, 0.15, 0.25, 0.4, 0.6, 0.8, 1.0, 2.0, 5.0,
+];
+
+/// Fractions of the gap between a winner's declared contribution and her
+/// critical contribution; padding by any of these must keep her winning
+/// at an unchanged payment.
+const PADS: [f64; 5] = [0.25, 0.5, 0.75, 0.9, 0.99];
 
 fn random_single_task(rng: &mut StdRng, n: usize) -> TypeProfile {
     let users = (0..n)
@@ -54,7 +72,20 @@ fn random_multi_task(rng: &mut StdRng, n: usize, t: usize) -> TypeProfile {
 }
 
 #[test]
-fn single_task_mechanism_resists_uniform_deviations() {
+fn the_misreport_grid_brackets_truth_from_both_sides() {
+    let grid = misreport_factor_grid(&EPSILONS);
+    // 0, the 12 under-reports 1-ε, and the 12 over-reports 1+ε; the
+    // clipped negatives (ε ≥ 1 gives max(0, 1-ε) = 0) dedup into the
+    // leading 0.
+    assert!(grid.contains(&0.0));
+    assert!(grid.contains(&0.99) && grid.contains(&1.01));
+    assert!(grid.contains(&6.0));
+    assert!(!grid.contains(&1.0), "truth-telling is not a deviation");
+    assert!(grid.windows(2).all(|w| w[0] < w[1]), "grid must be sorted");
+}
+
+#[test]
+fn single_task_mechanism_resists_epsilon_grid_deviations() {
     let mut rng = StdRng::seed_from_u64(101);
     let mut feasible = 0;
     for _ in 0..6 {
@@ -64,14 +95,15 @@ fn single_task_mechanism_resists_uniform_deviations() {
             continue;
         }
         feasible += 1;
-        let violations = check_strategy_proofness(&mechanism, &truth, &FACTORS, 1e-6).unwrap();
+        let violations =
+            check_strategy_proofness_grid(&mechanism, &truth, &EPSILONS, 1e-6).unwrap();
         assert!(violations.is_empty(), "deviations found: {violations:?}");
     }
     assert!(feasible >= 3, "too few feasible random instances");
 }
 
 #[test]
-fn multi_task_mechanism_resists_uniform_deviations() {
+fn multi_task_mechanism_resists_epsilon_grid_deviations() {
     let mut rng = StdRng::seed_from_u64(202);
     let mut feasible = 0;
     for _ in 0..6 {
@@ -81,10 +113,81 @@ fn multi_task_mechanism_resists_uniform_deviations() {
             continue;
         }
         feasible += 1;
-        let violations = check_strategy_proofness(&mechanism, &truth, &FACTORS, 1e-6).unwrap();
+        let violations =
+            check_strategy_proofness_grid(&mechanism, &truth, &EPSILONS, 1e-6).unwrap();
         assert!(violations.is_empty(), "deviations found: {violations:?}");
     }
     assert!(feasible >= 3, "too few feasible random instances");
+}
+
+#[test]
+fn grid_check_agrees_with_the_legacy_explicit_factor_check() {
+    // The grid helper is the same predicate over a derived factor set;
+    // on a fixed instance both formulations must agree that no deviation
+    // pays.
+    let mut rng = StdRng::seed_from_u64(404);
+    let truth = random_single_task(&mut rng, 8);
+    let mechanism = SingleTaskMechanism::new(0.3, 10.0).unwrap();
+    if mechanism.select_winners(&truth).is_err() {
+        return;
+    }
+    let factors = misreport_factor_grid(&EPSILONS);
+    let explicit = check_strategy_proofness(&mechanism, &truth, &factors, 1e-6).unwrap();
+    let grid = check_strategy_proofness_grid(&mechanism, &truth, &EPSILONS, 1e-6).unwrap();
+    assert_eq!(explicit.len(), grid.len());
+    assert!(grid.is_empty(), "deviations found: {grid:?}");
+}
+
+#[test]
+fn single_task_winners_padded_toward_critical_keep_winning_at_the_same_price() {
+    // Lemma-level monotonicity behind Theorem 1: a winner who shades her
+    // declared PoS toward (but not past) her critical value still wins,
+    // and — because the payment depends only on the critical value — is
+    // paid exactly the same.
+    let mut rng = StdRng::seed_from_u64(505);
+    let mechanism = SingleTaskMechanism::new(0.4, 10.0).unwrap();
+    let mut padded_winners = 0;
+    for _ in 0..6 {
+        let truth = random_single_task(&mut rng, 10);
+        let Ok(allocation) = mechanism.select_winners(&truth) else {
+            continue;
+        };
+        for user in allocation.winners() {
+            let critical = mechanism.critical_pos(&truth, &allocation, user).unwrap();
+            let reference = mechanism.reward(&truth, &allocation, user, true).unwrap();
+            let violations = check_critical_bid_padding(
+                &mechanism, &truth, user, critical, reference, &PADS, 1e-6,
+            )
+            .unwrap();
+            assert!(violations.is_empty(), "user {user}: {violations:?}");
+            padded_winners += 1;
+        }
+    }
+    assert!(padded_winners >= 5, "too few winners exercised");
+}
+
+#[test]
+fn multi_task_winners_padded_toward_critical_keep_winning_at_the_same_price() {
+    let mut rng = StdRng::seed_from_u64(606);
+    let mechanism = MultiTaskMechanism::new(10.0).unwrap();
+    let mut padded_winners = 0;
+    for _ in 0..6 {
+        let truth = random_multi_task(&mut rng, 12, 3);
+        let Ok(allocation) = mechanism.select_winners(&truth) else {
+            continue;
+        };
+        for user in allocation.winners() {
+            let critical = mechanism.critical_pos(&truth, &allocation, user).unwrap();
+            let reference = mechanism.reward(&truth, &allocation, user, true).unwrap();
+            let violations = check_critical_bid_padding(
+                &mechanism, &truth, user, critical, reference, &PADS, 1e-6,
+            )
+            .unwrap();
+            assert!(violations.is_empty(), "user {user}: {violations:?}");
+            padded_winners += 1;
+        }
+    }
+    assert!(padded_winners >= 5, "too few winners exercised");
 }
 
 #[test]
@@ -109,7 +212,8 @@ fn scaling_any_fixed_direction_is_truthful_but_per_task_lies_are_out_of_scope() 
             continue;
         }
         instances += 1;
-        let violations = check_strategy_proofness(&mechanism, &truth, &FACTORS, 1e-6).unwrap();
+        let violations =
+            check_strategy_proofness_grid(&mechanism, &truth, &EPSILONS, 1e-6).unwrap();
         assert!(
             violations.is_empty(),
             "uniform deviations paid: {violations:?}"
