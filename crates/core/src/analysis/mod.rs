@@ -12,11 +12,15 @@
 //! * Platform payment exposure and frugality ([`payment_report`]).
 
 mod approx;
+mod economics;
 mod metrics;
 mod payment;
 mod properties;
 
 pub use self::approx::{measure_ratio, RatioMeasurement};
+pub use self::economics::{
+    coverage_slack, expected_payment_from_quotes, overpayment_ratio, winner_redundancy,
+};
 pub use self::metrics::{
     achieved_pos, achieved_pos_all, average_achieved_pos, meets_all_requirements, social_cost,
 };

@@ -132,10 +132,69 @@ fn run_one(config: &CampaignConfig, plan: &FaultPlan, label: &str) -> CampaignOu
         outcome.fingerprint(),
         start.elapsed()
     );
+    println!(
+        "  trace: {} events into a {}-slot ring (wrapped: {}) · {} post-mortems",
+        outcome.trace_events,
+        outcome.trace_capacity,
+        outcome.trace_wrapped,
+        outcome.post_mortems.len(),
+    );
     for violation in &outcome.violations {
         eprintln!("  VIOLATION: {violation}");
     }
     outcome
+}
+
+/// Observability contract: the flight recorder stays inside its fixed
+/// allocation (it never wrapped, so no round's evidence was lost), and
+/// every injected shard panic produced a complete JSON post-mortem.
+fn observability_holds(config: &CampaignConfig, outcome: &CampaignOutcome) -> bool {
+    let mut ok = true;
+    let configured = config.engine_config().trace.capacity;
+    if outcome.trace_capacity != configured {
+        eprintln!(
+            "  OBSERVABILITY: ring capacity {} != configured {configured}",
+            outcome.trace_capacity
+        );
+        ok = false;
+    }
+    if outcome.trace_wrapped {
+        eprintln!(
+            "  OBSERVABILITY: ring wrapped ({} events into {} slots) — undersized",
+            outcome.trace_events, outcome.trace_capacity
+        );
+        ok = false;
+    }
+    for record in &outcome.quarantine {
+        let error = record.error.to_string();
+        if !error.contains("panicked") {
+            continue;
+        }
+        match outcome
+            .post_mortems
+            .iter()
+            .find(|pm| pm.round == record.id.0)
+        {
+            Some(pm) if pm.complete => {}
+            Some(pm) => {
+                eprintln!(
+                    "  OBSERVABILITY: {} post-mortem incomplete ({} of {} bids)",
+                    record.id,
+                    pm.bids.len(),
+                    record.bidders
+                );
+                ok = false;
+            }
+            None => {
+                eprintln!(
+                    "  OBSERVABILITY: injected panic on {} left no post-mortem",
+                    record.id
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
 }
 
 /// Re-runs a campaign at several worker/payment-thread combinations and
@@ -182,6 +241,9 @@ fn ci_smoke() -> ExitCode {
             if !outcome.is_clean() {
                 failed = true;
             }
+            if !observability_holds(&config, &outcome) {
+                failed = true;
+            }
             if !determinism_holds(&config, &plan, outcome.fingerprint()) {
                 failed = true;
             }
@@ -213,6 +275,9 @@ fn main() -> ExitCode {
     let plan = FaultPlan::generate(options.seed, options.rounds, options.faults);
     let outcome = run_one(&config, &plan, "campaign");
     let mut ok = outcome.is_clean();
+    if !observability_holds(&config, &outcome) {
+        ok = false;
+    }
     if options.verify_determinism && !determinism_holds(&config, &plan, outcome.fingerprint()) {
         ok = false;
     }

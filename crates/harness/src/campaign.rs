@@ -26,15 +26,16 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Once};
 
 use mcs_core::types::{Task, TaskId, TypeProfile, UserId};
+use mcs_obs::PostMortem;
 use mcs_platform::batch::{Batcher, Round, RoundId};
-use mcs_platform::config::EngineConfig;
+use mcs_platform::config::{EngineConfig, TraceConfig};
 use mcs_platform::degrade::QuarantinedRound;
 use mcs_platform::engine::Engine;
 use mcs_platform::settle::RoundSettlement;
 use mcs_platform::shard::ClearedRound;
 
 use crate::inject::{PlanInjector, CHAOS_PREFIX};
-use crate::oracle::{check_round, OracleConfig, OracleViolation};
+use crate::oracle::{check_round, check_round_trace, OracleConfig, OracleViolation};
 use crate::plan::{Fault, FaultPlan};
 use crate::stream::{round_actions, Action};
 
@@ -79,14 +80,33 @@ impl Default for CampaignConfig {
 }
 
 impl CampaignConfig {
-    /// The engine configuration this campaign runs under.
+    /// The engine configuration this campaign runs under. Tracing runs in
+    /// logical-clock mode — timestamps are sequence numbers, so traces
+    /// and post-mortems are bitwise deterministic and the campaign
+    /// fingerprint stays independent of worker count.
     pub fn engine_config(&self) -> EngineConfig {
         let mut config = EngineConfig::default()
             .with_seed(self.seed)
             .with_workers(self.workers)
             .with_payment_threads(self.payment_threads);
         config.batch.max_bids = self.bids_per_round;
+        config.trace = TraceConfig {
+            capacity: self.trace_capacity(),
+            logical_clock: true,
+        };
         config
+    }
+
+    /// Ring capacity sized so the recorder never wraps mid-campaign: the
+    /// trace-completeness oracle needs every round's events to survive
+    /// until the final drain. Each logical round emits one event per
+    /// admitted bid plus one per declared task, a handful of rejections,
+    /// and a fixed budget of span/milestone events; doubled for headroom
+    /// (delayed ticks split rounds) and clamped to keep the upfront
+    /// allocation bounded.
+    fn trace_capacity(&self) -> usize {
+        let per_round = self.bids_per_round * (self.task_count + 2) + 32;
+        ((self.rounds as usize + 2) * per_round * 2).clamp(1024, 1 << 20)
     }
 
     /// The tasks every round publishes: requirement 0.8 for the
@@ -113,6 +133,11 @@ pub struct CampaignOutcome {
     pub settlements: BTreeMap<RoundId, RoundSettlement>,
     /// Every quarantined round, in settlement order.
     pub quarantine: Vec<QuarantinedRound>,
+    /// One JSON-ready post-mortem per quarantined round, rebuilt from the
+    /// flight recorder's trace (deliberately excluded from
+    /// [`fingerprint`](CampaignOutcome::fingerprint): the quarantine
+    /// records above already pin the observable outcome).
+    pub post_mortems: Vec<PostMortem>,
     /// Final per-user ledger balances (carried across rebuilds).
     pub balances: BTreeMap<UserId, f64>,
     /// Final ledger total.
@@ -129,6 +154,15 @@ pub struct CampaignOutcome {
     pub rounds_closed: u64,
     /// Shard/settle/batch faults armed onto concrete engine rounds.
     pub faults_armed: u64,
+    /// Events the final engine incarnation's flight recorder held at
+    /// campaign end (rebuilds start a fresh ring).
+    pub trace_events: u64,
+    /// The recorder's fixed ring capacity — tracing never allocates past
+    /// this, no matter how long the campaign runs.
+    pub trace_capacity: usize,
+    /// Whether the final recorder ever lapped its ring (the campaign
+    /// sizes the ring so this stays `false`).
+    pub trace_wrapped: bool,
 }
 
 impl CampaignOutcome {
@@ -259,6 +293,7 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
         results: BTreeMap::new(),
         settlements: BTreeMap::new(),
         quarantine: Vec::new(),
+        post_mortems: Vec::new(),
         balances: BTreeMap::new(),
         total_paid: 0.0,
         violations: Vec::new(),
@@ -266,8 +301,12 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
         rebuilds: 0,
         rounds_closed: 0,
         faults_armed: 0,
+        trace_events: 0,
+        trace_capacity: 0,
+        trace_wrapped: false,
     };
     let mut absorbed_quarantine = 0usize;
+    let mut absorbed_post_mortems = 0usize;
     let mut pending_rebuild = false;
 
     for logical in 0..config.rounds {
@@ -324,6 +363,7 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
                 &profiles,
                 &mut outcome,
                 &mut absorbed_quarantine,
+                &mut absorbed_post_mortems,
             );
         }
         if pending_rebuild {
@@ -340,10 +380,12 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
                 &profiles,
                 &mut outcome,
                 &mut absorbed_quarantine,
+                &mut absorbed_post_mortems,
             );
             let checkpoint = engine.checkpoint();
             engine = Engine::restore(engine_config, tasks.clone(), checkpoint, injector.clone());
             absorbed_quarantine = 0;
+            absorbed_post_mortems = 0;
             outcome.rebuilds += 1;
             pending_rebuild = false;
         }
@@ -360,6 +402,7 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
         &profiles,
         &mut outcome,
         &mut absorbed_quarantine,
+        &mut absorbed_post_mortems,
     );
 
     // Stream synchronisation: after identical drive sequences the engine
@@ -429,6 +472,9 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
     }
     outcome.balances = ledger.balances().clone();
     outcome.total_paid = ledger.total_paid();
+    outcome.trace_events = engine.recorder().recorded();
+    outcome.trace_capacity = engine.recorder().capacity();
+    outcome.trace_wrapped = engine.recorder().wrapped();
 
     outcome
 }
@@ -465,15 +511,23 @@ fn register(
 }
 
 /// Copies everything the engine produced since the last absorption into
-/// the campaign accumulators, oracle-checking each newly cleared round.
+/// the campaign accumulators, oracle-checking each newly cleared round's
+/// results *and* its flight-recorder trace, and requiring a complete
+/// post-mortem for each newly quarantined round.
 fn absorb(
     config: &CampaignConfig,
     engine: &Engine,
     profiles: &BTreeMap<RoundId, TypeProfile>,
     outcome: &mut CampaignOutcome,
     absorbed_quarantine: &mut usize,
+    absorbed_post_mortems: &mut usize,
 ) {
     let engine_config = engine.config();
+    let recorder = engine.recorder();
+    // A lapped ring legitimately loses old events; the campaign sizes the
+    // ring to never wrap, so a wrap here only disables the trace oracle,
+    // it is not itself a violation.
+    let trace_intact = recorder.capacity() > 0 && !recorder.wrapped();
     for (&id, round) in engine.results() {
         if outcome.results.contains_key(&id) {
             continue;
@@ -488,6 +542,14 @@ fn absorb(
                     settlement,
                     engine_config,
                 ));
+                if trace_intact {
+                    outcome.violations.extend(check_round_trace(
+                        id,
+                        &recorder.round_trace(id.0),
+                        profile.user_count(),
+                        round.allocation.winner_count(),
+                    ));
+                }
             }
             None => outcome.violations.push(OracleViolation::StreamDesync {
                 detail: format!("{id} cleared but was never mirrored"),
@@ -497,9 +559,34 @@ fn absorb(
         outcome.settlements.insert(id, settlement.clone());
     }
     for record in &engine.quarantine()[*absorbed_quarantine..] {
+        let post_mortem = engine
+            .post_mortems()
+            .iter()
+            .find(|pm| pm.round == record.id.0);
+        match post_mortem {
+            Some(pm) if trace_intact && !pm.wrapped && !pm.complete => {
+                outcome.violations.push(OracleViolation::TraceIncomplete {
+                    round: record.id,
+                    detail: format!(
+                        "post-mortem rebuilt {} of {} bids",
+                        pm.bids.len(),
+                        record.bidders
+                    ),
+                });
+            }
+            Some(_) => {}
+            None => outcome.violations.push(OracleViolation::TraceIncomplete {
+                round: record.id,
+                detail: "quarantined without a post-mortem".to_string(),
+            }),
+        }
         outcome.quarantine.push(record.clone());
     }
     *absorbed_quarantine = engine.quarantine().len();
+    for pm in &engine.post_mortems()[*absorbed_post_mortems..] {
+        outcome.post_mortems.push(pm.clone());
+    }
+    *absorbed_post_mortems = engine.post_mortems().len();
 }
 
 #[cfg(test)]
@@ -517,6 +604,7 @@ mod tests {
         assert!(a.is_clean(), "{:?}", a.violations);
         assert_eq!(a.results.len(), 8);
         assert!(a.quarantine.is_empty());
+        assert!(a.post_mortems.is_empty());
         assert_eq!(a.rejections, 0);
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(a, b);
@@ -566,5 +654,52 @@ mod tests {
         assert_eq!(log.lines().count(), 2);
         assert!(log.contains("panicked"));
         assert!(log.contains("infeasible"));
+    }
+
+    #[test]
+    fn every_quarantine_yields_a_complete_post_mortem() {
+        let config = CampaignConfig {
+            rounds: 6,
+            ..CampaignConfig::default()
+        };
+        let mut plan = FaultPlan::new();
+        plan.schedule(1, Fault::ShardPanic)
+            .schedule(3, Fault::ShardPanic)
+            .schedule(4, Fault::InfeasibleRound);
+        let outcome = run_campaign(&config, &plan);
+        assert!(outcome.is_clean(), "{:?}", outcome.violations);
+        assert_eq!(outcome.post_mortems.len(), outcome.quarantine.len());
+        for (record, pm) in outcome.quarantine.iter().zip(&outcome.post_mortems) {
+            assert_eq!(pm.round, record.id.0);
+            assert!(pm.complete, "{}", pm.to_json());
+            assert_eq!(pm.bids.len(), record.bidders);
+            assert!(pm.error.contains("panicked") || pm.error.contains("infeasible"));
+        }
+    }
+
+    #[test]
+    fn post_mortems_are_deterministic_and_unfingerprinted() {
+        let config = CampaignConfig {
+            rounds: 5,
+            ..CampaignConfig::default()
+        };
+        let mut plan = FaultPlan::new();
+        plan.schedule(2, Fault::ShardPanic);
+        let a = run_campaign(&config, &plan);
+        let b = run_campaign(
+            &CampaignConfig {
+                workers: 1,
+                payment_threads: 2,
+                ..config.clone()
+            },
+            &plan,
+        );
+        // Logical-clock traces make the JSON dumps bitwise identical for
+        // any worker count, and the fingerprint never sees them.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let dump_a: Vec<String> = a.post_mortems.iter().map(|pm| pm.to_json()).collect();
+        let dump_b: Vec<String> = b.post_mortems.iter().map(|pm| pm.to_json()).collect();
+        assert!(!dump_a.is_empty());
+        assert_eq!(dump_a, dump_b);
     }
 }

@@ -20,12 +20,18 @@
 //!   an unchanged payment.
 //! * **Settlement consistency** — each payout equals the quoted branch of
 //!   the stored report, and the round total adds up.
+//! * **Trace completeness** ([`check_round_trace`]) — the flight
+//!   recorder's per-round trace holds every admitted bid, a balanced and
+//!   correctly nested stage-span tree, and the clearing/settlement
+//!   milestones with the right payloads.
 //!
 //! Campaign-level checks (ledger conservation, zero silent round drops,
 //! stream synchronisation) live in [`crate::campaign`] and reuse the same
 //! violation type.
 
 use std::fmt;
+
+use mcs_obs::{EventKind, Stage, TraceEvent};
 
 use mcs_core::analysis::{
     check_critical_bid_padding, expected_utility_from_quotes, implied_critical_pos,
@@ -154,6 +160,14 @@ pub enum OracleViolation {
         /// What went out of sync.
         detail: String,
     },
+    /// The round's flight-recorder trace is missing events or its span
+    /// tree is malformed.
+    TraceIncomplete {
+        /// The offending round.
+        round: RoundId,
+        /// What the trace is missing or got wrong.
+        detail: String,
+    },
     /// The oracle itself failed to evaluate an invariant.
     OracleError {
         /// The offending round.
@@ -220,6 +234,9 @@ impl fmt::Display for OracleViolation {
                 write!(f, "{round}: closed but neither cleared nor quarantined")
             }
             OracleViolation::StreamDesync { detail } => write!(f, "stream desync: {detail}"),
+            OracleViolation::TraceIncomplete { round, detail } => {
+                write!(f, "{round}: trace incomplete: {detail}")
+            }
             OracleViolation::OracleError { round, detail } => {
                 write!(f, "{round}: oracle error: {detail}")
             }
@@ -412,6 +429,120 @@ pub fn check_round(
     violations
 }
 
+/// Validates a cleared round's flight-recorder trace: every admitted bid
+/// was recorded, the stage span tree is balanced and correctly nested
+/// (`Allocate` and `Pay` inside the `Shard` span, `Settle` strictly after
+/// it), and the clearing/settlement milestones carry the right payloads.
+///
+/// Callers must pass a per-round trace (e.g. `FlightRecorder::round_trace`)
+/// from a recorder that has **not** wrapped — a lapped ring legitimately
+/// loses old events and would produce false positives here.
+pub fn check_round_trace(
+    round: RoundId,
+    events: &[TraceEvent],
+    bidders: usize,
+    winners: usize,
+) -> Vec<OracleViolation> {
+    let mut defects: Vec<String> = Vec::new();
+    let mut admitted = 0usize;
+    let mut closed: Option<u64> = None;
+    let mut cleared: Option<u64> = None;
+    let mut settled = false;
+    let mut enters = [0usize; Stage::ALL.len()];
+    let mut exits = [0usize; Stage::ALL.len()];
+    let mut shard_open = false;
+    let mut shard_done = false;
+
+    for event in events {
+        if event.round != round.0 {
+            defects.push(format!(
+                "event for round {} leaked into this round's trace",
+                event.round
+            ));
+            continue;
+        }
+        match event.kind {
+            EventKind::BidAdmitted => admitted += 1,
+            EventKind::RoundClosed => closed = Some(event.a),
+            EventKind::RoundCleared => cleared = Some(event.a),
+            EventKind::RoundSettled => settled = true,
+            EventKind::StageEnter | EventKind::StageExit => {
+                let Some(stage) = event.stage else {
+                    defects.push("span event without a stage".to_string());
+                    continue;
+                };
+                let index = stage.index();
+                if event.kind == EventKind::StageEnter {
+                    enters[index] += 1;
+                    match stage {
+                        Stage::Shard => shard_open = true,
+                        Stage::Allocate | Stage::Pay if !shard_open => defects.push(format!(
+                            "{} span opened outside the shard span",
+                            stage.name()
+                        )),
+                        Stage::Settle if !shard_done => defects
+                            .push("settle span opened before the shard span closed".to_string()),
+                        _ => {}
+                    }
+                } else {
+                    exits[index] += 1;
+                    if exits[index] > enters[index] {
+                        defects.push(format!("{} span exited before entering", stage.name()));
+                    }
+                    if stage == Stage::Shard {
+                        shard_open = false;
+                        shard_done = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if admitted != bidders {
+        defects.push(format!(
+            "recorded {admitted} admitted bids, round held {bidders}"
+        ));
+    }
+    match closed {
+        None => defects.push("no RoundClosed event".to_string()),
+        Some(count) if count != bidders as u64 => {
+            defects.push(format!(
+                "RoundClosed counted {count} bidders, round held {bidders}"
+            ));
+        }
+        Some(_) => {}
+    }
+    for stage in [Stage::Shard, Stage::Allocate, Stage::Pay, Stage::Settle] {
+        let index = stage.index();
+        if enters[index] != 1 || exits[index] != 1 {
+            defects.push(format!(
+                "{} span unbalanced: {} enter(s), {} exit(s)",
+                stage.name(),
+                enters[index],
+                exits[index]
+            ));
+        }
+    }
+    match cleared {
+        None => defects.push("no RoundCleared event".to_string()),
+        Some(count) if count != winners as u64 => {
+            defects.push(format!(
+                "RoundCleared counted {count} winners, round had {winners}"
+            ));
+        }
+        Some(_) => {}
+    }
+    if !settled {
+        defects.push("no RoundSettled event".to_string());
+    }
+
+    defects
+        .into_iter()
+        .map(|detail| OracleViolation::TraceIncomplete { round, detail })
+        .collect()
+}
+
 /// Object-safe facade over the two concrete mechanisms, so [`check_round`]
 /// can hold either behind one reference.
 trait ReplayMechanism {
@@ -550,5 +681,84 @@ mod tests {
     fn violations_render_for_humans() {
         let text = OracleViolation::SilentDrop { round: RoundId(9) }.to_string();
         assert!(text.contains("r9"));
+        let text = OracleViolation::TraceIncomplete {
+            round: RoundId(3),
+            detail: "no RoundSettled event".to_string(),
+        }
+        .to_string();
+        assert!(text.contains("r3") && text.contains("RoundSettled"));
+    }
+
+    /// Runs one traced engine round and returns its per-round trace.
+    fn traced_round() -> Vec<mcs_obs::TraceEvent> {
+        let mut config = EngineConfig::default().with_seed(5);
+        config.batch.max_bids = 4;
+        config.trace = mcs_platform::config::TraceConfig {
+            capacity: 256,
+            logical_clock: true,
+        };
+        let tasks = vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()];
+        let mut engine = Engine::new(config, tasks);
+        for (user, cost, pos) in [
+            (0u32, 2.0, 0.6),
+            (1, 2.5, 0.7),
+            (2, 3.0, 0.5),
+            (3, 1.5, 0.6),
+        ] {
+            engine
+                .submit(&Bid {
+                    user,
+                    cost,
+                    tasks: vec![(0, pos)],
+                })
+                .unwrap();
+        }
+        engine.drain();
+        assert!(!engine.recorder().wrapped());
+        engine.recorder().round_trace(0)
+    }
+
+    #[test]
+    fn a_real_round_trace_is_complete() {
+        let trace = traced_round();
+        let winners = trace
+            .iter()
+            .find(|e| e.kind == mcs_obs::EventKind::RoundCleared)
+            .map(|e| e.a as usize)
+            .unwrap();
+        let violations = check_round_trace(RoundId(0), &trace, 4, winners);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn truncated_and_doctored_traces_are_caught() {
+        let trace = traced_round();
+        let winners = trace
+            .iter()
+            .find(|e| e.kind == mcs_obs::EventKind::RoundCleared)
+            .map(|e| e.a as usize)
+            .unwrap();
+
+        // Drop the tail: settle span and RoundSettled vanish.
+        let truncated = &trace[..trace.len() - 3];
+        let violations = check_round_trace(RoundId(0), truncated, 4, winners);
+        assert!(violations
+            .iter()
+            .any(|v| v.to_string().contains("RoundSettled")));
+        assert!(violations
+            .iter()
+            .any(|v| v.to_string().contains("settle span unbalanced")));
+
+        // Claim one more bidder than the trace recorded.
+        let violations = check_round_trace(RoundId(0), &trace, 5, winners);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, OracleViolation::TraceIncomplete { .. })));
+
+        // Claim the wrong winner count.
+        let violations = check_round_trace(RoundId(0), &trace, 4, winners + 1);
+        assert!(violations
+            .iter()
+            .any(|v| v.to_string().contains("RoundCleared")));
     }
 }

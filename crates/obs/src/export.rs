@@ -1,0 +1,173 @@
+//! A std-only HTTP exporter for live telemetry.
+//!
+//! [`ExportServer`] binds a `TcpListener`, spawns one accept thread, and
+//! answers two routes from a shared [`MetricsSource`]:
+//!
+//! * `GET /metrics` — Prometheus text exposition (0.0.4)
+//! * `GET /metrics.json` — the full JSON snapshot
+//!
+//! It speaks just enough HTTP/1.0 for `curl` and a Prometheus scraper:
+//! read the request line, ignore headers, answer with
+//! `Connection: close`. Shutdown flips a stop flag and self-connects to
+//! unblock `accept`, so dropping the server never hangs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the exporter serves. The platform's `Metrics` implements this;
+/// tests can serve anything.
+pub trait MetricsSource: Send + Sync {
+    /// The Prometheus text payload for `GET /metrics`.
+    fn prometheus(&self) -> String;
+    /// The JSON payload for `GET /metrics.json`.
+    fn json(&self) -> String;
+}
+
+/// A running metrics endpoint. Stops (and joins its thread) on drop.
+#[derive(Debug)]
+pub struct ExportServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ExportServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9100`; port 0 picks a free one) and
+    /// starts serving `source`.
+    pub fn spawn(addr: &str, source: Arc<dyn MetricsSource>) -> std::io::Result<ExportServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("mcs-obs-export".to_string())
+            .spawn(move || serve(listener, source, thread_stop))
+            .expect("spawn exporter thread");
+        Ok(ExportServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock accept() with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ExportServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve(listener: TcpListener, source: Arc<dyn MetricsSource>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Telemetry must never wedge the process on a stuck client.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = answer(stream, source.as_ref());
+    }
+}
+
+fn answer(stream: TcpStream, source: &dyn MetricsSource) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            source.prometheus(),
+        ),
+        "/metrics.json" | "/metrics.json/" => ("200 OK", "application/json", source.json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found: try /metrics or /metrics.json\n".to_string(),
+        ),
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    struct FakeSource;
+
+    impl MetricsSource for FakeSource {
+        fn prometheus(&self) -> String {
+            "# TYPE mcs_test_total counter\nmcs_test_total 7\n".to_string()
+        }
+        fn json(&self) -> String {
+            "{\"test\":7}".to_string()
+        }
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_prometheus_and_json_routes() {
+        let server = ExportServer::spawn("127.0.0.1:0", Arc::new(FakeSource)).unwrap();
+        let addr = server.local_addr();
+
+        let prom = get(addr, "/metrics");
+        assert!(prom.starts_with("HTTP/1.0 200 OK"));
+        assert!(prom.contains("text/plain; version=0.0.4"));
+        assert!(prom.contains("mcs_test_total 7"));
+
+        let json = get(addr, "/metrics.json");
+        assert!(json.starts_with("HTTP/1.0 200 OK"));
+        assert!(json.contains("application/json"));
+        assert!(json.contains("{\"test\":7}"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+    }
+
+    #[test]
+    fn shutdown_is_prompt_and_idempotent() {
+        let mut server = ExportServer::spawn("127.0.0.1:0", Arc::new(FakeSource)).unwrap();
+        let addr = server.local_addr();
+        assert!(get(addr, "/metrics").contains("200 OK"));
+        server.shutdown();
+        // Idempotent: a second shutdown (and the eventual drop) is a no-op.
+        server.shutdown();
+    }
+}

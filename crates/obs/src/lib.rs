@@ -1,0 +1,46 @@
+//! `mcs-obs` — observability for the crowdsensing auction platform.
+//!
+//! The crate answers the question the aggregate counters cannot: *what
+//! happened inside this round?* It provides, in dependency order:
+//!
+//! * [`event`] — the shared trace vocabulary: pipeline [`Stage`]s,
+//!   [`EventKind`]s, and the fixed-width [`TraceEvent`].
+//! * [`ring`] — the [`FlightRecorder`]: a lock-free, fixed-capacity,
+//!   allocation-free ring buffer of trace events, with a wall clock for
+//!   operators and a logical clock for deterministic harnesses.
+//! * [`postmortem`] — [`PostMortem`]: the JSON artifact dumped when the
+//!   degrade path quarantines a round, reconstructing every admitted bid
+//!   from the round's causal trace.
+//! * [`prom`] — minimal, NaN-safe Prometheus text rendering.
+//! * [`export`] — [`ExportServer`]: a std-only HTTP endpoint serving
+//!   `/metrics` (Prometheus) and `/metrics.json` from any
+//!   [`MetricsSource`].
+//!
+//! The crate depends only on the vendored `serde` stack, so it sits
+//! *below* `mcs-platform` in the dependency graph: the platform calls
+//! into the recorder at every stage boundary, and the recorder knows
+//! nothing about auctions beyond opaque round and user ids.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod postmortem;
+pub mod prom;
+pub mod ring;
+
+pub use event::{EventKind, RawEvent, Stage, TraceEvent};
+pub use export::{ExportServer, MetricsSource};
+pub use postmortem::{BidRecord, PostMortem, TaskDeclaration};
+pub use prom::{PromKind, PromWriter};
+pub use ring::{ClockMode, FlightRecorder};
+
+/// Convenience glob import for downstream crates.
+pub mod prelude {
+    pub use crate::event::{EventKind, RawEvent, Stage, TraceEvent};
+    pub use crate::export::{ExportServer, MetricsSource};
+    pub use crate::postmortem::{BidRecord, PostMortem, TaskDeclaration};
+    pub use crate::prom::{PromKind, PromWriter};
+    pub use crate::ring::{ClockMode, FlightRecorder};
+}

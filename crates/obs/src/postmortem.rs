@@ -1,0 +1,220 @@
+//! Quarantine post-mortems: a round's complete causal trace, packaged
+//! as a JSON artifact the moment the degrade path isolates it.
+//!
+//! When a round fails, the aggregate counters say *that* it failed;
+//! the post-mortem says *what was in it*: every admitted bid (user,
+//! cost, per-task PoS) reconstructed from the flight recorder's
+//! [`BidAdmitted`](crate::event::EventKind::BidAdmitted) /
+//! [`BidTask`](crate::event::EventKind::BidTask) events, the stage spans
+//! the round got through before dying, and the typed error. The
+//! [`PostMortem::complete`] flag records whether the ring still held the
+//! whole trace — a recorder that wrapped between admission and failure
+//! yields a truncated (but honestly labelled) artifact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventKind, TraceEvent};
+
+/// One `(task, PoS)` declaration of a reconstructed bid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDeclaration {
+    /// The declared task id.
+    pub task: u32,
+    /// The declared probability of success.
+    pub pos: f64,
+}
+
+/// An admitted bid, reconstructed from the round's trace events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BidRecord {
+    /// The bidding user.
+    pub user: u32,
+    /// Her declared cost.
+    pub cost: f64,
+    /// Her declared task set with per-task PoS.
+    pub tasks: Vec<TaskDeclaration>,
+    /// How many tasks the admission event said she declared; equals
+    /// `tasks.len()` when the trace survived intact.
+    pub declared_tasks: u64,
+}
+
+impl BidRecord {
+    /// Whether every declared task's event survived in the ring.
+    pub fn is_complete(&self) -> bool {
+        self.tasks.len() as u64 == self.declared_tasks
+    }
+}
+
+/// The JSON artifact emitted when a round is quarantined.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PostMortem {
+    /// The quarantined round's id.
+    pub round: u64,
+    /// How many bidders the round held when it closed.
+    pub bidders: u64,
+    /// The rendered round error.
+    pub error: String,
+    /// Every admitted bid the trace still held.
+    pub bids: Vec<BidRecord>,
+    /// Whether the artifact holds the round's complete causal trace:
+    /// one intact bid record per bidder.
+    pub complete: bool,
+    /// Whether the recorder had wrapped when the artifact was built
+    /// (an incomplete trace with `wrapped = false` is a real bug).
+    pub wrapped: bool,
+    /// The round's surviving trace events, in causal order, with
+    /// sequence numbers renumbered from 0.
+    pub events: Vec<TraceEvent>,
+}
+
+impl PostMortem {
+    /// Builds the artifact from a round's (already renumbered) trace.
+    pub fn from_trace(
+        round: u64,
+        bidders: u64,
+        error: String,
+        events: Vec<TraceEvent>,
+        wrapped: bool,
+    ) -> Self {
+        let mut bids: Vec<BidRecord> = Vec::new();
+        for event in &events {
+            match event.kind {
+                EventKind::BidAdmitted => bids.push(BidRecord {
+                    user: event.a as u32,
+                    cost: f64::from_bits(event.b),
+                    tasks: Vec::new(),
+                    declared_tasks: event.c,
+                }),
+                EventKind::BidTask => {
+                    // Task events directly follow their admission event,
+                    // so they attach to the latest record for the user.
+                    if let Some(bid) = bids.iter_mut().rev().find(|bid| bid.user == event.a as u32)
+                    {
+                        bid.tasks.push(TaskDeclaration {
+                            task: event.b as u32,
+                            pos: f64::from_bits(event.c),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        let complete = bids.len() as u64 == bidders && bids.iter().all(BidRecord::is_complete);
+        PostMortem {
+            round,
+            bidders,
+            error,
+            bids,
+            complete,
+            wrapped,
+            events,
+        }
+    }
+
+    /// The artifact rendered as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("post-mortem serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{RawEvent, Stage};
+    use crate::ring::{ClockMode, FlightRecorder};
+
+    fn admitted(round: u64, user: u64, cost: f64, tasks: &[(u64, f64)]) -> Vec<RawEvent> {
+        let mut events = vec![RawEvent::new(
+            EventKind::BidAdmitted,
+            round,
+            user,
+            cost.to_bits(),
+            tasks.len() as u64,
+        )];
+        for &(task, pos) in tasks {
+            events.push(RawEvent::new(
+                EventKind::BidTask,
+                round,
+                user,
+                task,
+                pos.to_bits(),
+            ));
+        }
+        events
+    }
+
+    #[test]
+    fn reconstructs_every_bid_from_the_trace() {
+        let recorder = FlightRecorder::new(64, ClockMode::Logical);
+        for event in admitted(5, 0, 2.0, &[(0, 0.6), (1, 0.4)]) {
+            recorder.record(event);
+        }
+        for event in admitted(5, 1, 1.5, &[(0, 0.7)]) {
+            recorder.record(event);
+        }
+        recorder.record(RawEvent::new(EventKind::RoundClosed, 5, 2, 0, 0));
+        recorder.record(RawEvent::enter(Stage::Shard, 5));
+        recorder.record(RawEvent::new(EventKind::RoundQuarantined, 5, 2, 0, 0));
+
+        let pm = PostMortem::from_trace(
+            5,
+            2,
+            "round panicked: boom".to_string(),
+            recorder.round_trace(5),
+            recorder.wrapped(),
+        );
+        assert!(pm.complete);
+        assert!(!pm.wrapped);
+        assert_eq!(pm.bids.len(), 2);
+        assert_eq!(pm.bids[0].user, 0);
+        assert_eq!(pm.bids[0].cost, 2.0);
+        assert_eq!(pm.bids[0].tasks.len(), 2);
+        assert_eq!(pm.bids[0].tasks[1].task, 1);
+        assert!((pm.bids[0].tasks[1].pos - 0.4).abs() < 1e-12);
+        assert_eq!(pm.bids[1].user, 1);
+        assert!(pm.bids.iter().all(BidRecord::is_complete));
+    }
+
+    #[test]
+    fn truncated_traces_are_labelled_incomplete() {
+        // Capacity 4 evicts the first bid's events before the dump.
+        let recorder = FlightRecorder::new(4, ClockMode::Logical);
+        for event in admitted(0, 0, 2.0, &[(0, 0.6)]) {
+            recorder.record(event);
+        }
+        for event in admitted(0, 1, 1.5, &[(0, 0.7)]) {
+            recorder.record(event);
+        }
+        recorder.record(RawEvent::new(EventKind::RoundClosed, 0, 2, 0, 0));
+        let pm = PostMortem::from_trace(
+            0,
+            2,
+            "infeasible".to_string(),
+            recorder.round_trace(0),
+            recorder.wrapped(),
+        );
+        assert!(!pm.complete);
+        assert!(pm.wrapped);
+        assert!(pm.bids.len() < 2);
+    }
+
+    #[test]
+    fn post_mortem_round_trips_through_json() {
+        let recorder = FlightRecorder::new(16, ClockMode::Logical);
+        for event in admitted(1, 4, 3.0, &[(0, 0.5)]) {
+            recorder.record(event);
+        }
+        let pm = PostMortem::from_trace(
+            1,
+            1,
+            "mechanism error".to_string(),
+            recorder.round_trace(1),
+            false,
+        );
+        let json = pm.to_json();
+        assert!(json.contains("\"round\""));
+        assert!(json.contains("mechanism error"));
+        let back: PostMortem = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pm);
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal Prometheus text-format (0.0.4) rendering.
+//!
+//! The exporter serves plain `text/plain; version=0.0.4` — no client
+//! library, no registry. [`PromWriter`] is a tiny builder that keeps the
+//! output well-formed: every family gets its `# HELP`/`# TYPE` header
+//! exactly once, label values are escaped, and non-finite floats are
+//! rendered as `0` with the family intact (a scraped payload must never
+//! contain `NaN`).
+
+use std::fmt::Write as _;
+
+/// A metric family's type, as declared in its `# TYPE` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotone counter.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+}
+
+impl PromKind {
+    fn name(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// Builder for a Prometheus text exposition payload.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty payload.
+    pub fn new() -> Self {
+        PromWriter::default()
+    }
+
+    /// Declares a metric family. Call once per family, before its
+    /// samples.
+    pub fn family(&mut self, name: &str, kind: PromKind, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {}", kind.name());
+    }
+
+    /// Emits one unlabelled sample.
+    pub fn sample(&mut self, name: &str, value: f64) {
+        let _ = writeln!(self.out, "{name} {}", render(value));
+    }
+
+    /// Emits one sample with a single `label="value"` pair.
+    pub fn labelled(&mut self, name: &str, label: &str, label_value: &str, value: f64) {
+        let _ = writeln!(
+            self.out,
+            "{name}{{{label}=\"{}\"}} {}",
+            escape(label_value),
+            render(value)
+        );
+    }
+
+    /// The finished payload.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders a sample value; non-finite values become `0` so the payload
+/// always parses.
+fn render(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escapes a label value per the exposition format.
+fn escape(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_samples() {
+        let mut w = PromWriter::new();
+        w.family(
+            "mcs_bids_received_total",
+            PromKind::Counter,
+            "Bids received.",
+        );
+        w.sample("mcs_bids_received_total", 42.0);
+        w.family("mcs_stage_p99_ns", PromKind::Gauge, "Stage p99 latency.");
+        w.labelled("mcs_stage_p99_ns", "stage", "shard", 1024.0);
+        let text = w.finish();
+        assert!(text.contains("# HELP mcs_bids_received_total Bids received."));
+        assert!(text.contains("# TYPE mcs_bids_received_total counter"));
+        assert!(text.contains("mcs_bids_received_total 42"));
+        assert!(text.contains("mcs_stage_p99_ns{stage=\"shard\"} 1024"));
+    }
+
+    #[test]
+    fn non_finite_values_render_as_zero() {
+        let mut w = PromWriter::new();
+        w.family("mcs_overpayment_ratio", PromKind::Gauge, "Ratio.");
+        w.sample("mcs_overpayment_ratio", f64::NAN);
+        w.labelled("mcs_overpayment_ratio", "kind", "x", f64::INFINITY);
+        let text = w.finish();
+        assert!(!text.contains("NaN"));
+        assert!(!text.contains("inf"));
+        assert!(text.contains("mcs_overpayment_ratio 0"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new();
+        w.labelled("m", "l", "a\"b\\c\nd", 1.0);
+        assert_eq!(w.finish(), "m{l=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+}

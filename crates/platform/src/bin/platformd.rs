@@ -7,6 +7,8 @@
 //! ```text
 //! platformd [--rounds N] [--users N] [--workers N] [--seed S]
 //!           [--multi TASKS] [--payment-threads N] [--paper]
+//!           [--metrics-addr ADDR] [--snapshot-every ROUNDS]
+//!           [--trace-capacity EVENTS] [--hold-ms MS]
 //! ```
 //!
 //! * `--rounds`  rounds to synthesize (default 200)
@@ -16,6 +18,15 @@
 //! * `--multi`   publish TASKS tasks per round instead of one
 //! * `--payment-threads` threads per round for multi-task payments (default 1)
 //! * `--paper`   use the test-scale data set instead of the reduced one
+//! * `--metrics-addr` serve live telemetry over HTTP at ADDR (e.g.
+//!   `127.0.0.1:9100`): `/metrics` is Prometheus text, `/metrics.json`
+//!   the JSON snapshot
+//! * `--snapshot-every` drain and print a compact metrics snapshot every
+//!   ROUNDS synthesized rounds instead of only at exit
+//! * `--trace-capacity` flight-recorder ring size in events (default
+//!   16384; 0 disables tracing)
+//! * `--hold-ms` keep the process (and the metrics endpoint) alive MS
+//!   milliseconds after the run, so scrapers can read the final state
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -35,6 +46,10 @@ struct Options {
     multi: Option<usize>,
     payment_threads: usize,
     paper: bool,
+    metrics_addr: Option<String>,
+    snapshot_every: usize,
+    trace_capacity: usize,
+    hold_ms: u64,
 }
 
 impl Options {
@@ -47,6 +62,10 @@ impl Options {
             multi: None,
             payment_threads: 1,
             paper: false,
+            metrics_addr: None,
+            snapshot_every: 0,
+            trace_capacity: TraceConfig::default().capacity,
+            hold_ms: 0,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -62,9 +81,15 @@ impl Options {
                     options.payment_threads = parse(&value("--payment-threads")?)?
                 }
                 "--paper" => options.paper = true,
+                "--metrics-addr" => options.metrics_addr = Some(value("--metrics-addr")?),
+                "--snapshot-every" => options.snapshot_every = parse(&value("--snapshot-every")?)?,
+                "--trace-capacity" => options.trace_capacity = parse(&value("--trace-capacity")?)?,
+                "--hold-ms" => options.hold_ms = parse(&value("--hold-ms")?)?,
                 "--help" | "-h" => {
                     return Err("usage: platformd [--rounds N] [--users N] [--workers N] \
-                         [--seed S] [--multi TASKS] [--payment-threads N] [--paper]"
+                         [--seed S] [--multi TASKS] [--payment-threads N] [--paper] \
+                         [--metrics-addr ADDR] [--snapshot-every ROUNDS] \
+                         [--trace-capacity EVENTS] [--hold-ms MS]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -130,7 +155,27 @@ fn main() -> ExitCode {
     config.batch.max_bids = options.users;
     config.alpha = sim.alpha;
     config.epsilon = sim.epsilon;
+    config.trace.capacity = options.trace_capacity;
     let mut engine = Engine::new(config, tasks);
+
+    // The exporter holds its own Arc to the metrics, so it serves live
+    // values for the whole run (and through --hold-ms).
+    let server = match &options.metrics_addr {
+        Some(addr) => match ExportServer::spawn(addr, engine.metrics_handle()) {
+            Ok(server) => {
+                println!(
+                    "metrics: serving http://{0}/metrics (Prometheus) and http://{0}/metrics.json",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+            Err(error) => {
+                eprintln!("cannot bind metrics endpoint {addr}: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let location = dataset
         .single_task_location(options.users)
@@ -168,6 +213,15 @@ fn main() -> ExitCode {
             bids += 1;
         }
         engine.tick();
+        if options.snapshot_every > 0 && (round + 1) % options.snapshot_every == 0 {
+            engine.drain();
+            let snapshot = engine.metrics().snapshot();
+            println!(
+                "snapshot[{} rounds]: {}",
+                round + 1,
+                serde_json::to_string(&snapshot).expect("snapshot serializes")
+            );
+        }
     }
     engine.flush();
     let ingest_elapsed = ingest_start.elapsed();
@@ -195,6 +249,16 @@ fn main() -> ExitCode {
             quarantined.id, quarantined.error, quarantined.bidders
         );
     }
+    for post_mortem in engine.post_mortems() {
+        println!("post-mortem round {}:", post_mortem.round);
+        println!("{}", post_mortem.to_json());
+    }
+    println!(
+        "trace: {} events recorded into a {}-slot ring ({} collisions)",
+        engine.recorder().recorded(),
+        engine.recorder().capacity(),
+        engine.recorder().collisions()
+    );
     println!(
         "ledger: {} users paid, total {:.2} over {} rounds",
         engine.ledger().balances().len(),
@@ -202,5 +266,13 @@ fn main() -> ExitCode {
         engine.ledger().rounds_settled()
     );
     println!("{}", engine.metrics_json());
+    if options.hold_ms > 0 {
+        println!(
+            "holding for {} ms so the metrics endpoint stays up",
+            options.hold_ms
+        );
+        std::thread::sleep(std::time::Duration::from_millis(options.hold_ms));
+    }
+    drop(server);
     ExitCode::SUCCESS
 }

@@ -26,6 +26,27 @@ impl Default for BatchPolicy {
     }
 }
 
+/// Flight-recorder configuration (see `mcs_obs::FlightRecorder`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Ring capacity in events; 0 disables tracing entirely. All memory
+    /// is allocated up front, so this bounds trace memory forever.
+    pub capacity: usize,
+    /// Timestamp events with their own sequence number instead of wall
+    /// time, making traces (and quarantine post-mortems) bitwise
+    /// deterministic for a fixed seed and any worker count.
+    pub logical_clock: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: 16_384,
+            logical_clock: false,
+        }
+    }
+}
+
 /// Full engine configuration.
 ///
 /// The mechanism parameters mirror the paper's Table II defaults; the
@@ -50,6 +71,8 @@ pub struct EngineConfig {
     /// payments over. Payments are bitwise identical for every value ≥ 1;
     /// this knob only trades wall-clock time for cores.
     pub payment_threads: usize,
+    /// Flight-recorder settings for the engine's trace ring.
+    pub trace: TraceConfig,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +84,7 @@ impl Default for EngineConfig {
             alpha: 10.0,
             epsilon: 0.5,
             payment_threads: 1,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -84,6 +108,12 @@ impl EngineConfig {
         self.payment_threads = threads.max(1);
         self
     }
+
+    /// This configuration with different flight-recorder settings.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +134,19 @@ mod tests {
         let json = serde_json::to_string(&config).unwrap();
         let back: EngineConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(config, back);
+    }
+
+    #[test]
+    fn trace_config_defaults_and_builder() {
+        let config = EngineConfig::default();
+        assert!(config.trace.capacity > 0);
+        assert!(!config.trace.logical_clock);
+        let traced = config.with_trace(TraceConfig {
+            capacity: 1024,
+            logical_clock: true,
+        });
+        assert_eq!(traced.trace.capacity, 1024);
+        assert!(traced.trace.logical_clock);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mcs_core::types::Task;
+use mcs_obs::{ClockMode, EventKind, FlightRecorder, PostMortem, RawEvent, TraceEvent};
 
 use crate::batch::{Batcher, Round, RoundId};
 use crate::config::EngineConfig;
@@ -46,8 +47,10 @@ pub struct Engine {
     results: BTreeMap<RoundId, ClearedRound>,
     settlements: BTreeMap<RoundId, RoundSettlement>,
     quarantine: Vec<QuarantinedRound>,
+    post_mortems: Vec<PostMortem>,
     ledger: Ledger,
     metrics: Arc<Metrics>,
+    recorder: Arc<FlightRecorder>,
     injector: Arc<dyn FaultInjector>,
 }
 
@@ -74,6 +77,11 @@ impl Engine {
         tasks: Vec<Task>,
         injector: Arc<dyn FaultInjector>,
     ) -> Self {
+        let mode = if config.trace.logical_clock {
+            ClockMode::Logical
+        } else {
+            ClockMode::Wall
+        };
         Engine {
             config,
             batcher: Batcher::new(config.batch, tasks),
@@ -82,8 +90,10 @@ impl Engine {
             results: BTreeMap::new(),
             settlements: BTreeMap::new(),
             quarantine: Vec::new(),
+            post_mortems: Vec::new(),
             ledger: Ledger::new(),
             metrics: Arc::new(Metrics::new()),
+            recorder: Arc::new(FlightRecorder::new(config.trace.capacity, mode)),
             injector,
         }
     }
@@ -134,6 +144,28 @@ impl Engine {
         self.metrics.to_json()
     }
 
+    /// A shared handle to the metrics, e.g. for an
+    /// [`ExportServer`](mcs_obs::ExportServer).
+    pub fn metrics_handle(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The engine's flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Every surviving trace event, in recording order.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.recorder.snapshot()
+    }
+
+    /// JSON post-mortems of every quarantined round, in quarantine
+    /// order (parallel to [`Engine::quarantine`]).
+    pub fn post_mortems(&self) -> &[PostMortem] {
+        &self.post_mortems
+    }
+
     /// Submits one bid to the round currently being filled.
     ///
     /// # Errors
@@ -144,16 +176,43 @@ impl Engine {
         self.metrics.bid_received();
         let corrupted = self.injector.corrupt_bid(bid);
         let bid = corrupted.as_ref().unwrap_or(bid);
+        // The round currently being filled will close under this id, so
+        // the bid's trace events carry it even though the round object
+        // does not exist yet.
+        let round_id = self.batcher.next_round_id();
         let start = Instant::now();
         let outcome = self.batcher.submit(bid);
         self.metrics.record(Stage::Ingest, start.elapsed());
         match outcome {
             Ok(closed) => {
+                self.recorder.record(RawEvent::new(
+                    EventKind::BidAdmitted,
+                    round_id,
+                    bid.user as u64,
+                    bid.cost.to_bits(),
+                    bid.tasks.len() as u64,
+                ));
+                for &(task, pos) in &bid.tasks {
+                    self.recorder.record(RawEvent::new(
+                        EventKind::BidTask,
+                        round_id,
+                        bid.user as u64,
+                        task as u64,
+                        pos.to_bits(),
+                    ));
+                }
                 self.enqueue(closed);
                 Ok(())
             }
             Err(error) => {
                 self.metrics.bid_rejected();
+                self.recorder.record(RawEvent::new(
+                    EventKind::BidRejected,
+                    round_id,
+                    bid.user as u64,
+                    bid.cost.to_bits(),
+                    0,
+                ));
                 Err(error)
             }
         }
@@ -188,9 +247,13 @@ impl Engine {
         }
         let mut rounds = std::mem::take(&mut self.pending);
         self.injector.reorder_pending(&mut rounds);
-        let outcomes =
-            self.pool
-                .clear_all(rounds, &self.config, self.injector.as_ref(), &self.metrics);
+        let outcomes = self.pool.clear_all(
+            rounds,
+            &self.config,
+            self.injector.as_ref(),
+            &self.metrics,
+            &self.recorder,
+        );
         let mut cleared = 0;
         // BTreeMap iteration settles in round-id order no matter which
         // worker finished first, keeping the ledger deterministic.
@@ -198,21 +261,61 @@ impl Engine {
             match outcome {
                 Ok(mut round) => {
                     self.metrics.round_cleared(round.allocation.winner_count());
+                    self.metrics.record_economics(&round.economics);
+                    self.recorder.record(RawEvent::new(
+                        EventKind::RoundCleared,
+                        id.0,
+                        round.allocation.winner_count() as u64,
+                        round.social_cost.to_bits(),
+                        0,
+                    ));
                     // Settle-stage hook: reports may be flipped, but the
                     // stored round and its settlement always agree.
                     for (&user, completed) in round.reports.iter_mut() {
                         *completed = self.injector.flip_report(id, user, *completed);
                     }
+                    self.recorder.record(RawEvent::enter(Stage::Settle, id.0));
                     let start = Instant::now();
                     let settlement = self.ledger.settle(&round);
-                    self.metrics.record(Stage::Settle, start.elapsed());
+                    let elapsed = start.elapsed();
+                    self.metrics.record(Stage::Settle, elapsed);
+                    let elapsed_ns = if self.recorder.is_logical() {
+                        0
+                    } else {
+                        u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+                    };
+                    self.recorder
+                        .record(RawEvent::exit(Stage::Settle, id.0, elapsed_ns));
+                    self.recorder.record(RawEvent::new(
+                        EventKind::RoundSettled,
+                        id.0,
+                        settlement.payouts.len() as u64,
+                        settlement.total.to_bits(),
+                        0,
+                    ));
                     self.settlements.insert(id, settlement);
                     self.results.insert(id, round);
                     cleared += 1;
                 }
                 Err(error) => {
                     self.metrics.round_degraded();
+                    self.recorder.record(RawEvent::new(
+                        EventKind::RoundQuarantined,
+                        id.0,
+                        bidders as u64,
+                        0,
+                        0,
+                    ));
                     let record = QuarantinedRound { id, bidders, error };
+                    // Dump-on-quarantine: package the round's surviving
+                    // causal trace before anything can overwrite it.
+                    self.post_mortems.push(PostMortem::from_trace(
+                        id.0,
+                        bidders as u64,
+                        record.error.to_string(),
+                        self.recorder.round_trace(id.0),
+                        self.recorder.wrapped(),
+                    ));
                     self.injector.on_quarantine(&record);
                     self.quarantine.push(record);
                 }
@@ -244,6 +347,13 @@ impl Engine {
     fn enqueue(&mut self, closed: Option<Round>) {
         if let Some(round) = closed {
             self.metrics.round_closed();
+            self.recorder.record(RawEvent::new(
+                EventKind::RoundClosed,
+                round.id.0,
+                round.profile.user_count() as u64,
+                0,
+                0,
+            ));
             self.pending.push(round);
         }
     }
@@ -349,6 +459,122 @@ mod tests {
         assert_eq!(rebuilt.ledger().rounds_settled(), 2);
         let delta = rebuilt.ledger().total_paid() - total_before;
         assert!((delta - rebuilt.settlements()[&RoundId(1)].total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_spans_cover_the_round_lifecycle() {
+        use crate::config::TraceConfig;
+        use mcs_obs::EventKind;
+        let mut config = EngineConfig::default()
+            .with_seed(3)
+            .with_trace(TraceConfig {
+                capacity: 256,
+                logical_clock: true,
+            });
+        config.batch.max_bids = 4;
+        let mut e = Engine::new(
+            config,
+            vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()],
+        );
+        submit_feasible_round(&mut e, 0);
+        e.drain();
+        let trace = e.recorder().round_trace(0);
+        let kinds: Vec<EventKind> = trace.iter().map(|event| event.kind).collect();
+        // 4 bids, each one admission + one task declaration, then the
+        // full lifecycle: close → shard[allocate, pay] → clear →
+        // settle → settled.
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::BidAdmitted,
+                EventKind::BidTask,
+                EventKind::BidAdmitted,
+                EventKind::BidTask,
+                EventKind::BidAdmitted,
+                EventKind::BidTask,
+                EventKind::BidAdmitted,
+                EventKind::BidTask,
+                EventKind::RoundClosed,
+                EventKind::StageEnter, // shard
+                EventKind::StageEnter, // allocate
+                EventKind::StageExit,
+                EventKind::StageEnter, // pay
+                EventKind::StageExit,
+                EventKind::StageExit, // shard
+                EventKind::RoundCleared,
+                EventKind::StageEnter, // settle
+                EventKind::StageExit,
+                EventKind::RoundSettled,
+            ]
+        );
+        // The cleared event carries the winner count and social cost.
+        let cleared = trace
+            .iter()
+            .find(|event| event.kind == EventKind::RoundCleared)
+            .unwrap();
+        let round = &e.results()[&RoundId(0)];
+        assert_eq!(cleared.a, round.allocation.winner_count() as u64);
+        assert_eq!(f64::from_bits(cleared.b), round.social_cost);
+    }
+
+    #[test]
+    fn quarantined_round_yields_a_complete_post_mortem() {
+        use crate::config::TraceConfig;
+        use crate::fault::PanicRounds;
+        let mut config = EngineConfig::default()
+            .with_seed(3)
+            .with_trace(TraceConfig {
+                capacity: 256,
+                logical_clock: true,
+            });
+        config.batch.max_bids = 4;
+        let tasks = vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()];
+        let mut e = Engine::with_injector(config, tasks, Arc::new(PanicRounds::new([RoundId(0)])));
+        let bids = [(2.0, 0.6), (2.5, 0.7), (3.0, 0.5), (1.5, 0.6)];
+        for (i, &(c, p)) in bids.iter().enumerate() {
+            e.submit(&bid(i as u32, c, p)).unwrap();
+        }
+        e.drain();
+        assert_eq!(e.quarantine().len(), 1);
+        assert_eq!(e.post_mortems().len(), 1);
+        let pm = &e.post_mortems()[0];
+        assert_eq!(pm.round, 0);
+        assert_eq!(pm.bidders, 4);
+        assert!(pm.complete, "{pm:?}");
+        assert!(!pm.wrapped);
+        // Every bid of the quarantined round is reconstructed exactly.
+        assert_eq!(pm.bids.len(), 4);
+        for (i, &(cost, pos)) in bids.iter().enumerate() {
+            let record = &pm.bids[i];
+            assert_eq!(record.user, i as u32);
+            assert_eq!(record.cost, cost);
+            assert_eq!(record.tasks.len(), 1);
+            assert_eq!(record.tasks[0].task, 0);
+            assert_eq!(record.tasks[0].pos, pos);
+        }
+        assert!(pm.error.contains("panicked"));
+        // The artifact serializes for operators.
+        assert!(pm.to_json().contains("\"complete\": true"));
+    }
+
+    #[test]
+    fn disabled_tracing_still_clears_rounds() {
+        use crate::config::TraceConfig;
+        let mut config = EngineConfig::default()
+            .with_seed(3)
+            .with_trace(TraceConfig {
+                capacity: 0,
+                logical_clock: false,
+            });
+        config.batch.max_bids = 4;
+        let mut e = Engine::new(
+            config,
+            vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()],
+        );
+        submit_feasible_round(&mut e, 0);
+        assert_eq!(e.drain(), 1);
+        assert!(e.trace_events().is_empty());
+        assert_eq!(e.recorder().recorded(), 0);
     }
 
     /// An injector that forces every bid's cost to a fixed value, to prove

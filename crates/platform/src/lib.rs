@@ -23,8 +23,13 @@
 //!                                           typed error; the engine never dies
 //! ```
 //!
-//! Every stage feeds [`metrics`]: atomic counters plus per-stage latency
-//! histograms, exportable as one JSON snapshot.
+//! Every stage feeds [`metrics`]: atomic counters, per-stage latency
+//! histograms, and per-round economic quality, exportable as a JSON
+//! snapshot or Prometheus text. Every stage boundary also feeds the
+//! `mcs-obs` flight recorder — a lock-free ring of round-causal trace
+//! events — and quarantined rounds are dumped as JSON post-mortems
+//! reconstructing every bid the round held (see
+//! [`Engine::post_mortems`](engine::Engine::post_mortems)).
 //!
 //! ## Determinism
 //!
@@ -72,12 +77,13 @@ pub mod shard;
 /// Convenient glob import: `use mcs_platform::prelude::*;`.
 pub mod prelude {
     pub use crate::batch::{Round, RoundId};
-    pub use crate::config::{BatchPolicy, EngineConfig};
+    pub use crate::config::{BatchPolicy, EngineConfig, TraceConfig};
     pub use crate::degrade::{QuarantinedRound, RoundError};
     pub use crate::engine::{Engine, EngineCheckpoint};
     pub use crate::fault::{FaultInjector, NoFaults, PanicRounds};
     pub use crate::ingest::{Bid, IngestError};
-    pub use crate::metrics::{Metrics, MetricsSnapshot, Stage};
+    pub use crate::metrics::{EconSnapshot, Metrics, MetricsSnapshot, RoundEconomics, Stage};
     pub use crate::settle::{Ledger, RewardQuote, RoundSettlement};
     pub use crate::shard::{clear_round, ClearedRound, ShardPool};
+    pub use mcs_obs::{ClockMode, ExportServer, FlightRecorder, PostMortem, TraceEvent};
 }

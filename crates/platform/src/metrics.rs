@@ -1,70 +1,70 @@
-//! Engine observability: atomic counters and per-stage latency
-//! histograms, exportable as a JSON snapshot.
+//! Engine observability: atomic counters, per-stage latency histograms,
+//! and per-round economic quality, exportable as JSON or Prometheus text.
 //!
 //! [`Metrics`] is shared (`Arc`) between the engine and its shard
 //! workers; every field is an atomic, so recording never blocks the
 //! serving path. Latencies go into power-of-two nanosecond buckets —
 //! coarse, but allocation-free and good enough for p50/p99 under load.
+//! Economic aggregates (overpayment vs. the social-cost lower bound,
+//! coverage slack, winner redundancy) accumulate as `f64` bit-CAS sums so
+//! the live path reports the same quantities `mcs-sim` computes offline.
+//!
+//! The [`Stage`] vocabulary is shared with the `mcs-obs` flight recorder,
+//! so a latency histogram and a trace span always name the same thing.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+pub use mcs_obs::Stage;
+use mcs_obs::{MetricsSource, PromKind, PromWriter};
 use serde::{Deserialize, Serialize};
 
 /// Number of power-of-two latency buckets: bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` nanoseconds; 40 buckets reach ~18 minutes.
 const BUCKETS: usize = 40;
 
-/// The engine's pipeline stages, in round-lifecycle order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Stage {
-    /// Bid validation and deduplication.
-    Ingest,
-    /// Closing a round into an auction instance.
-    Batch,
-    /// End-to-end round clearing inside a shard worker (winner
-    /// determination + payments + execution draws).
-    Shard,
-    /// Winner determination only (a sub-span of [`Stage::Shard`]).
-    Allocate,
-    /// Critical-bid payments / reward quoting only (a sub-span of
-    /// [`Stage::Shard`]).
-    Pay,
-    /// Applying execution-contingent payouts to the ledger.
-    Settle,
+/// Lock-free `f64` accumulator over `AtomicU64` bits.
+#[derive(Debug)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn zero() -> Self {
+        AtomicF64(AtomicU64::new(0f64.to_bits()))
+    }
+
+    fn add(&self, value: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
 }
 
-impl Stage {
-    const ALL: [Stage; 6] = [
-        Stage::Ingest,
-        Stage::Batch,
-        Stage::Shard,
-        Stage::Allocate,
-        Stage::Pay,
-        Stage::Settle,
-    ];
-
-    fn index(self) -> usize {
-        match self {
-            Stage::Ingest => 0,
-            Stage::Batch => 1,
-            Stage::Shard => 2,
-            Stage::Allocate => 3,
-            Stage::Pay => 4,
-            Stage::Settle => 5,
-        }
-    }
-
-    fn name(self) -> &'static str {
-        match self {
-            Stage::Ingest => "ingest",
-            Stage::Batch => "batch",
-            Stage::Shard => "shard",
-            Stage::Allocate => "allocate",
-            Stage::Pay => "pay",
-            Stage::Settle => "settle",
-        }
-    }
+/// Per-round economic quality, computed by the shard at clearing time
+/// from the allocation and quotes it already holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundEconomics {
+    /// Total expected payment `Σ_i p_any·success + (1 − p_any)·failure`
+    /// over the winners, under their declared types.
+    pub expected_payment: f64,
+    /// Social cost `Σ c_i` over the winners — the IR lower bound on what
+    /// any truthful mechanism must spend.
+    pub social_cost: f64,
+    /// Coverage slack `Σ_j (q_j − Q_j)` in the contribution (log) domain.
+    pub coverage_slack: f64,
+    /// Mean winners covering each task.
+    pub winner_redundancy: f64,
 }
 
 #[derive(Debug)]
@@ -100,6 +100,7 @@ impl StageHistogram {
     fn snapshot(&self, stage: Stage) -> StageSnapshot {
         let count = self.count.load(Ordering::Relaxed);
         let total_ns = self.total_ns.load(Ordering::Relaxed);
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
         let buckets: Vec<u64> = self
             .buckets
             .iter()
@@ -114,11 +115,14 @@ impl StageHistogram {
             for (i, &n) in buckets.iter().enumerate() {
                 seen += n;
                 if seen >= rank {
-                    // Report the bucket's upper bound.
-                    return 1u64 << (i + 1).min(63);
+                    // Report the bucket's upper bound, clamped to the
+                    // observed maximum: the top bucket's bound can
+                    // overshoot max_ns by nearly 2×, and no percentile
+                    // can exceed the largest sample.
+                    return (1u64 << (i + 1).min(63)).min(max_ns);
                 }
             }
-            self.max_ns.load(Ordering::Relaxed)
+            max_ns
         };
         StageSnapshot {
             stage: stage.name().to_string(),
@@ -129,7 +133,7 @@ impl StageHistogram {
             } else {
                 self.min_ns.load(Ordering::Relaxed)
             },
-            max_ns: self.max_ns.load(Ordering::Relaxed),
+            max_ns,
             mean_ns: if count == 0 {
                 0.0
             } else {
@@ -151,6 +155,11 @@ pub struct Metrics {
     rounds_degraded: AtomicU64,
     winners_selected: AtomicU64,
     stages: [StageHistogram; 6],
+    econ_rounds: AtomicU64,
+    econ_payment_sum: AtomicF64,
+    econ_social_sum: AtomicF64,
+    econ_slack_sum: AtomicF64,
+    econ_redundancy_sum: AtomicF64,
 }
 
 impl Default for Metrics {
@@ -170,6 +179,11 @@ impl Metrics {
             rounds_degraded: AtomicU64::new(0),
             winners_selected: AtomicU64::new(0),
             stages: std::array::from_fn(|_| StageHistogram::new()),
+            econ_rounds: AtomicU64::new(0),
+            econ_payment_sum: AtomicF64::zero(),
+            econ_social_sum: AtomicF64::zero(),
+            econ_slack_sum: AtomicF64::zero(),
+            econ_redundancy_sum: AtomicF64::zero(),
         }
     }
 
@@ -200,6 +214,15 @@ impl Metrics {
         self.rounds_degraded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Accumulates one cleared round's economic quality.
+    pub fn record_economics(&self, economics: &RoundEconomics) {
+        self.econ_rounds.fetch_add(1, Ordering::Relaxed);
+        self.econ_payment_sum.add(economics.expected_payment);
+        self.econ_social_sum.add(economics.social_cost);
+        self.econ_slack_sum.add(economics.coverage_slack);
+        self.econ_redundancy_sum.add(economics.winner_redundancy);
+    }
+
     /// Records one latency sample for `stage`.
     pub fn record(&self, stage: Stage, elapsed: Duration) {
         self.stages[stage.index()].record(elapsed);
@@ -207,23 +230,64 @@ impl Metrics {
 
     /// A point-in-time copy of every counter and histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let rounds_closed = self.rounds_closed.load(Ordering::Relaxed);
+        let rounds_degraded = self.rounds_degraded.load(Ordering::Relaxed);
+        let econ_rounds = self.econ_rounds.load(Ordering::Relaxed);
+        let mean = |sum: &AtomicF64| {
+            if econ_rounds == 0 {
+                0.0
+            } else {
+                sum.get() / econ_rounds as f64
+            }
+        };
         MetricsSnapshot {
             bids_received: self.bids_received.load(Ordering::Relaxed),
             bids_rejected: self.bids_rejected.load(Ordering::Relaxed),
-            rounds_closed: self.rounds_closed.load(Ordering::Relaxed),
+            rounds_closed,
             rounds_cleared: self.rounds_cleared.load(Ordering::Relaxed),
-            rounds_degraded: self.rounds_degraded.load(Ordering::Relaxed),
+            rounds_degraded,
             winners_selected: self.winners_selected.load(Ordering::Relaxed),
             stages: Stage::ALL
                 .iter()
                 .map(|&s| self.stages[s.index()].snapshot(s))
                 .collect(),
+            economics: EconSnapshot {
+                rounds: econ_rounds,
+                expected_payment_total: self.econ_payment_sum.get(),
+                social_cost_total: self.econ_social_sum.get(),
+                overpayment_ratio: mcs_core::analysis::overpayment_ratio(
+                    self.econ_payment_sum.get(),
+                    self.econ_social_sum.get(),
+                ),
+                coverage_slack_mean: mean(&self.econ_slack_sum),
+                winner_redundancy_mean: mean(&self.econ_redundancy_sum),
+                quarantine_rate: if rounds_closed == 0 {
+                    0.0
+                } else {
+                    rounds_degraded as f64 / rounds_closed as f64
+                },
+            },
         }
     }
 
     /// The snapshot rendered as pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(&self.snapshot()).expect("metrics snapshot serializes")
+    }
+
+    /// The snapshot rendered as Prometheus text exposition (0.0.4).
+    pub fn to_prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+}
+
+impl MetricsSource for Metrics {
+    fn prometheus(&self) -> String {
+        self.to_prometheus()
+    }
+
+    fn json(&self) -> String {
+        self.to_json()
     }
 }
 
@@ -243,10 +307,32 @@ pub struct StageSnapshot {
     pub max_ns: u64,
     /// Mean latency, nanoseconds.
     pub mean_ns: f64,
-    /// Median latency (bucket upper bound), nanoseconds.
+    /// Median latency (bucket upper bound, clamped to `max_ns`),
+    /// nanoseconds.
     pub p50_ns: u64,
-    /// 99th-percentile latency (bucket upper bound), nanoseconds.
+    /// 99th-percentile latency (bucket upper bound, clamped to `max_ns`),
+    /// nanoseconds.
     pub p99_ns: u64,
+}
+
+/// Aggregate economic quality over every cleared round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EconSnapshot {
+    /// Cleared rounds contributing to the aggregates.
+    pub rounds: u64,
+    /// Total expected payment over all cleared rounds.
+    pub expected_payment_total: f64,
+    /// Total social cost (IR lower bound) over all cleared rounds.
+    pub social_cost_total: f64,
+    /// `expected_payment_total / social_cost_total`; `None` until a round
+    /// with positive social cost clears.
+    pub overpayment_ratio: Option<f64>,
+    /// Mean per-round coverage slack `Σ_j (q_j − Q_j)`.
+    pub coverage_slack_mean: f64,
+    /// Mean per-round winner redundancy.
+    pub winner_redundancy_mean: f64,
+    /// Quarantined rounds over closed rounds.
+    pub quarantine_rate: f64,
 }
 
 /// A point-in-time copy of the engine's metrics.
@@ -266,6 +352,121 @@ pub struct MetricsSnapshot {
     pub winners_selected: u64,
     /// Per-stage latency statistics, in pipeline order.
     pub stages: Vec<StageSnapshot>,
+    /// Aggregate economic quality of the cleared rounds.
+    pub economics: EconSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Renders this snapshot as Prometheus text exposition (0.0.4).
+    /// Non-finite values render as `0`; the payload never contains `NaN`.
+    pub fn to_prometheus(&self) -> String {
+        let mut w = PromWriter::new();
+        let counters: [(&str, u64, &str); 6] = [
+            (
+                "mcs_bids_received_total",
+                self.bids_received,
+                "Bids received, including rejected ones.",
+            ),
+            (
+                "mcs_bids_rejected_total",
+                self.bids_rejected,
+                "Bids rejected at ingest.",
+            ),
+            (
+                "mcs_rounds_closed_total",
+                self.rounds_closed,
+                "Rounds closed by the batcher.",
+            ),
+            (
+                "mcs_rounds_cleared_total",
+                self.rounds_cleared,
+                "Rounds cleared successfully.",
+            ),
+            (
+                "mcs_rounds_degraded_total",
+                self.rounds_degraded,
+                "Rounds quarantined by the degrade path.",
+            ),
+            (
+                "mcs_winners_selected_total",
+                self.winners_selected,
+                "Winners selected across all cleared rounds.",
+            ),
+        ];
+        for (name, value, help) in counters {
+            w.family(name, PromKind::Counter, help);
+            w.sample(name, value as f64);
+        }
+
+        type StageGauge = (&'static str, fn(&StageSnapshot) -> f64, &'static str);
+        let gauges: [StageGauge; 5] = [
+            (
+                "mcs_stage_count",
+                |s| s.count as f64,
+                "Latency samples recorded per stage.",
+            ),
+            (
+                "mcs_stage_mean_ns",
+                |s| s.mean_ns,
+                "Mean stage latency, nanoseconds.",
+            ),
+            (
+                "mcs_stage_p50_ns",
+                |s| s.p50_ns as f64,
+                "Median stage latency, nanoseconds.",
+            ),
+            (
+                "mcs_stage_p99_ns",
+                |s| s.p99_ns as f64,
+                "99th-percentile stage latency, nanoseconds.",
+            ),
+            (
+                "mcs_stage_max_ns",
+                |s| s.max_ns as f64,
+                "Slowest stage sample, nanoseconds.",
+            ),
+        ];
+        for (name, value, help) in gauges {
+            w.family(name, PromKind::Gauge, help);
+            for stage in &self.stages {
+                w.labelled(name, "stage", &stage.stage, value(stage));
+            }
+        }
+
+        let econ = &self.economics;
+        let econ_gauges: [(&str, f64, &str); 5] = [
+            (
+                "mcs_econ_rounds",
+                econ.rounds as f64,
+                "Cleared rounds contributing to economic aggregates.",
+            ),
+            (
+                "mcs_overpayment_ratio",
+                econ.overpayment_ratio.unwrap_or(0.0),
+                "Expected payment over the social-cost lower bound (0 until data).",
+            ),
+            (
+                "mcs_coverage_slack_mean",
+                econ.coverage_slack_mean,
+                "Mean per-round coverage slack in the contribution domain.",
+            ),
+            (
+                "mcs_winner_redundancy_mean",
+                econ.winner_redundancy_mean,
+                "Mean winners covering each task.",
+            ),
+            (
+                "mcs_quarantine_rate",
+                econ.quarantine_rate,
+                "Quarantined rounds over closed rounds.",
+            ),
+        ];
+        for (name, value, help) in econ_gauges {
+            w.family(name, PromKind::Gauge, help);
+            w.sample(name, value);
+        }
+        w.finish()
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +489,7 @@ mod tests {
         assert_eq!(snap.rounds_cleared, 1);
         assert_eq!(snap.rounds_degraded, 1);
         assert_eq!(snap.winners_selected, 3);
+        assert_eq!(snap.economics.quarantine_rate, 1.0);
     }
 
     #[test]
@@ -307,6 +509,86 @@ mod tests {
         let settle = snap.stages.iter().find(|s| s.stage == "settle").unwrap();
         assert_eq!(settle.count, 0);
         assert_eq!(settle.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn percentiles_never_exceed_the_observed_maximum() {
+        let m = Metrics::new();
+        // One sample: its bucket's upper bound (2^i+1 ns) overshoots the
+        // sample itself; both percentiles must clamp to it.
+        m.record(Stage::Pay, Duration::from_nanos(1000));
+        let snap = m.snapshot();
+        let pay = snap.stages.iter().find(|s| s.stage == "pay").unwrap();
+        assert_eq!(pay.max_ns, 1000);
+        assert_eq!(pay.p50_ns, 1000);
+        assert_eq!(pay.p99_ns, 1000);
+    }
+
+    #[test]
+    fn bucket_edge_samples_are_recorded_sanely() {
+        let m = Metrics::new();
+        m.record(Stage::Ingest, Duration::from_nanos(0));
+        m.record(Stage::Ingest, Duration::from_nanos(1));
+        // Saturates to u64::MAX ns and the top bucket, without panicking.
+        m.record(Stage::Ingest, Duration::from_secs(u64::MAX / 1_000_000_000));
+        let snap = m.snapshot();
+        let ingest = snap.stages.iter().find(|s| s.stage == "ingest").unwrap();
+        assert_eq!(ingest.count, 3);
+        assert_eq!(ingest.min_ns, 0);
+        assert!(ingest.max_ns > 1u64 << 60);
+        assert!(ingest.p50_ns <= ingest.p99_ns);
+        assert!(ingest.p99_ns <= ingest.max_ns);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zeros() {
+        let snap = Metrics::new().snapshot();
+        assert_eq!(snap.bids_received, 0);
+        assert_eq!(snap.economics.rounds, 0);
+        assert_eq!(snap.economics.overpayment_ratio, None);
+        assert_eq!(snap.economics.quarantine_rate, 0.0);
+        for stage in &snap.stages {
+            assert_eq!(stage.count, 0);
+            assert_eq!(stage.min_ns, 0);
+            assert_eq!(stage.max_ns, 0);
+            assert_eq!(stage.mean_ns, 0.0);
+            assert_eq!(stage.p50_ns, 0);
+            assert_eq!(stage.p99_ns, 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_sums_exactly() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let threads = 8;
+        let per_thread = 500;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let m = std::sync::Arc::clone(&m);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        m.bid_received();
+                        m.record(Stage::Shard, Duration::from_nanos(100));
+                        m.record_economics(&RoundEconomics {
+                            expected_payment: 2.0,
+                            social_cost: 1.0,
+                            coverage_slack: 0.5,
+                            winner_redundancy: 1.0,
+                        });
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        let total = (threads * per_thread) as u64;
+        assert_eq!(snap.bids_received, total);
+        let shard = snap.stages.iter().find(|s| s.stage == "shard").unwrap();
+        assert_eq!(shard.count, total);
+        assert_eq!(shard.total_ns, total * 100);
+        assert_eq!(snap.economics.rounds, total);
+        assert!((snap.economics.expected_payment_total - total as f64 * 2.0).abs() < 1e-6);
+        assert_eq!(snap.economics.overpayment_ratio, Some(2.0));
+        assert!((snap.economics.coverage_slack_mean - 0.5).abs() < 1e-9);
     }
 
     #[test]
@@ -337,5 +619,29 @@ mod tests {
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m.snapshot());
         assert!(json.contains("\"ingest\""));
+    }
+
+    #[test]
+    fn prometheus_payload_is_well_formed_and_nan_free() {
+        let m = Metrics::new();
+        m.bid_received();
+        m.round_closed();
+        m.round_cleared(2);
+        m.record(Stage::Shard, Duration::from_micros(10));
+        let text = m.to_prometheus();
+        for family in [
+            "mcs_bids_received_total",
+            "mcs_rounds_cleared_total",
+            "mcs_stage_p99_ns",
+            "mcs_overpayment_ratio",
+            "mcs_quarantine_rate",
+        ] {
+            assert!(text.contains(&format!("# TYPE {family}")), "{family}");
+        }
+        assert!(text.contains("mcs_bids_received_total 1"));
+        assert!(text.contains("mcs_stage_count{stage=\"shard\"} 1"));
+        assert!(!text.contains("NaN"));
+        // Even an empty registry renders NaN-free.
+        assert!(!Metrics::new().to_prometheus().contains("NaN"));
     }
 }

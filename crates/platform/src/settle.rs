@@ -131,6 +131,7 @@ mod tests {
                 .map(|&(u, _, _)| (UserId::new(u), completed.contains(&u)))
                 .collect(),
             social_cost: 0.0,
+            economics: crate::metrics::RoundEconomics::default(),
         }
     }
 

@@ -31,6 +31,7 @@ use mcs_core::mechanism::{
 use mcs_core::multi_task::MultiTaskMechanism;
 use mcs_core::single_task::SingleTaskMechanism;
 use mcs_core::types::{TypeProfile, UserId};
+use mcs_obs::{FlightRecorder, RawEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,7 +39,7 @@ use crate::batch::{Round, RoundId};
 use crate::config::EngineConfig;
 use crate::degrade::{panic_message, RoundError};
 use crate::fault::FaultInjector;
-use crate::metrics::{Metrics, Stage};
+use crate::metrics::{Metrics, RoundEconomics, Stage};
 use crate::settle::RewardQuote;
 
 /// A successfully cleared round, ready for settlement.
@@ -55,6 +56,9 @@ pub struct ClearedRound {
     pub reports: BTreeMap<UserId, bool>,
     /// Social cost `Σ c_i` over the winners.
     pub social_cost: f64,
+    /// The round's economic quality (overpayment, slack, redundancy),
+    /// computed at clearing time from the declared types.
+    pub economics: RoundEconomics,
 }
 
 /// Per-round RNG seed: a SplitMix64-style mix of the engine seed and the
@@ -74,14 +78,45 @@ fn record_stage(metrics: Option<&Metrics>, stage: Stage, elapsed: std::time::Dur
     }
 }
 
+/// Emits a [`Stage`] enter event when a recorder is attached.
+fn span_enter(trace: Option<&FlightRecorder>, stage: Stage, id: RoundId) {
+    if let Some(recorder) = trace {
+        recorder.record(RawEvent::enter(stage, id.0));
+    }
+}
+
+/// Emits a [`Stage`] exit event. The duration payload is zeroed in
+/// logical-clock mode: wall durations would make otherwise-deterministic
+/// traces differ run to run.
+fn span_exit(
+    trace: Option<&FlightRecorder>,
+    stage: Stage,
+    id: RoundId,
+    elapsed: std::time::Duration,
+) {
+    if let Some(recorder) = trace {
+        let ns = if recorder.is_logical() {
+            0
+        } else {
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+        };
+        recorder.record(RawEvent::exit(stage, id.0, ns));
+    }
+}
+
 fn quote_all<M: Mechanism>(
     mechanism: &M,
     profile: &TypeProfile,
+    id: RoundId,
     metrics: Option<&Metrics>,
+    trace: Option<&FlightRecorder>,
 ) -> Result<(Allocation, BTreeMap<UserId, RewardQuote>), mcs_core::McsError> {
+    span_enter(trace, Stage::Allocate, id);
     let start = Instant::now();
     let allocation = mechanism.select_winners(profile)?;
     record_stage(metrics, Stage::Allocate, start.elapsed());
+    span_exit(trace, Stage::Allocate, id, start.elapsed());
+    span_enter(trace, Stage::Pay, id);
     let start = Instant::now();
     let mut quotes = BTreeMap::new();
     for winner in allocation.winners() {
@@ -90,6 +125,7 @@ fn quote_all<M: Mechanism>(
         quotes.insert(winner, RewardQuote { success, failure });
     }
     record_stage(metrics, Stage::Pay, start.elapsed());
+    span_exit(trace, Stage::Pay, id, start.elapsed());
     Ok((allocation, quotes))
 }
 
@@ -101,11 +137,16 @@ fn quote_all<M: Mechanism>(
 fn quote_all_multi_task(
     mechanism: &MultiTaskMechanism,
     profile: &TypeProfile,
+    id: RoundId,
     metrics: Option<&Metrics>,
+    trace: Option<&FlightRecorder>,
 ) -> Result<(Allocation, BTreeMap<UserId, RewardQuote>), mcs_core::McsError> {
+    span_enter(trace, Stage::Allocate, id);
     let start = Instant::now();
     let allocation = mechanism.select_winners(profile)?;
     record_stage(metrics, Stage::Allocate, start.elapsed());
+    span_exit(trace, Stage::Allocate, id, start.elapsed());
+    span_enter(trace, Stage::Pay, id);
     let start = Instant::now();
     let criticals = mechanism.critical_pos_all(profile, &allocation)?;
     let mut quotes = BTreeMap::new();
@@ -120,6 +161,7 @@ fn quote_all_multi_task(
         );
     }
     record_stage(metrics, Stage::Pay, start.elapsed());
+    span_exit(trace, Stage::Pay, id, start.elapsed());
     Ok((allocation, quotes))
 }
 
@@ -136,29 +178,32 @@ fn quote_all_multi_task(
 /// [`RoundError::Infeasible`] when the round's bidders cannot cover some
 /// task's requirement.
 pub fn clear_round(round: &Round, config: &EngineConfig) -> Result<ClearedRound, RoundError> {
-    clear_round_metered(round, config, None)
+    clear_round_metered(round, config, None, None)
 }
 
-/// [`clear_round`] with optional allocate/pay stage timing, used by the
-/// pool so the two sub-spans of [`Stage::Shard`] show up in metrics.
+/// [`clear_round`] with optional allocate/pay stage timing and span
+/// tracing, used by the pool so the two sub-spans of [`Stage::Shard`]
+/// show up in metrics and in the flight recorder.
 fn clear_round_metered(
     round: &Round,
     config: &EngineConfig,
     metrics: Option<&Metrics>,
+    trace: Option<&FlightRecorder>,
 ) -> Result<ClearedRound, RoundError> {
     let profile = &round.profile;
     let (allocation, quotes) = if profile.is_single_task() {
         let mechanism = SingleTaskMechanism::new(config.epsilon, config.alpha)?;
-        quote_all(&mechanism, profile, metrics)?
+        quote_all(&mechanism, profile, round.id, metrics, trace)?
     } else {
         let mechanism =
             MultiTaskMechanism::new(config.alpha)?.with_payment_threads(config.payment_threads);
-        quote_all_multi_task(&mechanism, profile, metrics)?
+        quote_all_multi_task(&mechanism, profile, round.id, metrics, trace)?
     };
 
     let mut rng = StdRng::seed_from_u64(round_seed(config.seed, round.id));
     let mut reports = BTreeMap::new();
     let mut social_cost = 0.0;
+    let mut expected_payment = 0.0;
     for winner in allocation.winners() {
         let user = profile.user(winner)?;
         let mut completed = false;
@@ -170,7 +215,19 @@ fn clear_round_metered(
         }
         reports.insert(winner, completed);
         social_cost += user.cost().value();
+        let quote = &quotes[&winner];
+        expected_payment += mcs_core::analysis::expected_payment_from_quotes(
+            user.any_task_pos().value(),
+            quote.success,
+            quote.failure,
+        );
     }
+    let economics = RoundEconomics {
+        expected_payment,
+        social_cost,
+        coverage_slack: mcs_core::analysis::coverage_slack(profile, &allocation),
+        winner_redundancy: mcs_core::analysis::winner_redundancy(profile, &allocation),
+    };
 
     Ok(ClearedRound {
         id: round.id,
@@ -178,6 +235,7 @@ fn clear_round_metered(
         quotes,
         reports,
         social_cost,
+        economics,
     })
 }
 
@@ -209,12 +267,17 @@ impl ShardPool {
     /// The result map is keyed by round id and is identical for every
     /// worker count (see the module docs). The second tuple element is
     /// the round's bidder count, kept for quarantine records.
+    ///
+    /// Every round gets a [`Stage::Shard`] enter/exit span pair in the
+    /// flight recorder; the exit is recorded even when the round panics,
+    /// since the span sits outside `catch_unwind`.
     pub fn clear_all(
         &self,
         rounds: Vec<Round>,
         config: &EngineConfig,
         injector: &dyn FaultInjector,
         metrics: &Metrics,
+        recorder: &FlightRecorder,
     ) -> BTreeMap<RoundId, (usize, Result<ClearedRound, RoundError>)> {
         let (round_tx, round_rx) = mpsc::channel::<Round>();
         for round in rounds {
@@ -233,12 +296,13 @@ impl ShardPool {
                     let next = round_rx.lock().expect("queue lock").recv();
                     let Ok(round) = next else { break };
                     let bidders = round.profile.user_count();
+                    span_enter(Some(recorder), Stage::Shard, round.id);
                     let start = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if let Some(message) = injector.shard_panic(round.id) {
                             panic!("{message}");
                         }
-                        clear_round_metered(&round, config, Some(metrics))
+                        clear_round_metered(&round, config, Some(metrics), Some(recorder))
                     }))
                     .unwrap_or_else(|payload| {
                         Err(RoundError::Panicked {
@@ -246,6 +310,7 @@ impl ShardPool {
                         })
                     });
                     metrics.record(Stage::Shard, start.elapsed());
+                    span_exit(Some(recorder), Stage::Shard, round.id, start.elapsed());
                     if result_tx.send((round.id, bidders, outcome)).is_err() {
                         break;
                     }
@@ -323,8 +388,20 @@ mod tests {
     fn pool_results_do_not_depend_on_worker_count() {
         let config = EngineConfig::default().with_seed(11);
         let rounds: Vec<Round> = (0..12).map(feasible_round).collect();
-        let one = ShardPool::new(1).clear_all(rounds.clone(), &config, &NoFaults, &Metrics::new());
-        let many = ShardPool::new(4).clear_all(rounds, &config, &NoFaults, &Metrics::new());
+        let one = ShardPool::new(1).clear_all(
+            rounds.clone(),
+            &config,
+            &NoFaults,
+            &Metrics::new(),
+            &FlightRecorder::disabled(),
+        );
+        let many = ShardPool::new(4).clear_all(
+            rounds,
+            &config,
+            &NoFaults,
+            &Metrics::new(),
+            &FlightRecorder::disabled(),
+        );
         assert_eq!(one, many);
         assert_eq!(one.len(), 12);
     }
@@ -379,11 +456,84 @@ mod tests {
         let config = EngineConfig::default().with_seed(5);
         let metrics = Metrics::new();
         let rounds = vec![multi_task_round(0), feasible_round(1)];
-        ShardPool::new(2).clear_all(rounds, &config, &NoFaults, &metrics);
+        ShardPool::new(2).clear_all(
+            rounds,
+            &config,
+            &NoFaults,
+            &metrics,
+            &FlightRecorder::disabled(),
+        );
         let snap = metrics.snapshot();
         let stage = |name: &str| snap.stages.iter().find(|s| s.stage == name).unwrap();
         assert_eq!(stage("allocate").count, 2);
         assert_eq!(stage("pay").count, 2);
         assert_eq!(stage("shard").count, 2);
+    }
+
+    #[test]
+    fn cleared_rounds_carry_consistent_economics() {
+        let cleared = clear_round(&feasible_round(0), &EngineConfig::default()).unwrap();
+        let econ = cleared.economics;
+        assert_eq!(econ.social_cost, cleared.social_cost);
+        // IR: expected payment at least covers social cost.
+        assert!(econ.expected_payment >= econ.social_cost);
+        // A feasible single-task round has non-negative slack and at
+        // least one winner covering the task.
+        assert!(econ.coverage_slack >= -1e-9);
+        assert!(econ.winner_redundancy >= 1.0);
+    }
+
+    #[test]
+    fn pool_records_round_causal_spans() {
+        use mcs_obs::{ClockMode, EventKind};
+        let config = EngineConfig::default().with_seed(5);
+        let recorder = FlightRecorder::new(256, ClockMode::Logical);
+        let rounds = vec![multi_task_round(0), feasible_round(1)];
+        ShardPool::new(2).clear_all(rounds, &config, &NoFaults, &Metrics::new(), &recorder);
+        for round in [0u64, 1] {
+            let trace = recorder.round_trace(round);
+            let spans: Vec<(EventKind, Option<Stage>)> =
+                trace.iter().map(|e| (e.kind, e.stage)).collect();
+            // Shard wraps the allocate and pay sub-spans.
+            assert_eq!(
+                spans,
+                vec![
+                    (EventKind::StageEnter, Some(Stage::Shard)),
+                    (EventKind::StageEnter, Some(Stage::Allocate)),
+                    (EventKind::StageExit, Some(Stage::Allocate)),
+                    (EventKind::StageEnter, Some(Stage::Pay)),
+                    (EventKind::StageExit, Some(Stage::Pay)),
+                    (EventKind::StageExit, Some(Stage::Shard)),
+                ],
+                "round {round}"
+            );
+            // Logical mode zeroes span durations.
+            assert!(trace
+                .iter()
+                .filter(|e| e.kind == EventKind::StageExit)
+                .all(|e| e.a == 0));
+        }
+    }
+
+    #[test]
+    fn panicking_round_still_closes_its_shard_span() {
+        use crate::fault::PanicRounds;
+        use mcs_obs::{ClockMode, EventKind};
+        let config = EngineConfig::default().with_seed(5);
+        let recorder = FlightRecorder::new(256, ClockMode::Logical);
+        let injector = PanicRounds::new([RoundId(0)]);
+        let outcomes = ShardPool::new(2).clear_all(
+            vec![feasible_round(0)],
+            &config,
+            &injector,
+            &Metrics::new(),
+            &recorder,
+        );
+        assert!(outcomes[&RoundId(0)].1.is_err());
+        let trace = recorder.round_trace(0);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].kind, EventKind::StageEnter);
+        assert_eq!(trace[1].kind, EventKind::StageExit);
+        assert_eq!(trace[1].stage, Some(Stage::Shard));
     }
 }

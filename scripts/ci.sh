@@ -24,4 +24,43 @@ cargo bench -p mcs-bench --bench payment_scaling -- --test
 echo "==> chaos smoke (mcs-fuzz --ci-smoke)"
 cargo run --release -p mcs-harness --bin mcs-fuzz -- --ci-smoke
 
+echo "==> metrics endpoint smoke (platformd --metrics-addr)"
+# Serve a short run on a fixed port, scrape both endpoints, and check the
+# Prometheus payload is well-formed. Scraping uses bash's /dev/tcp so the
+# gate has no dependency on curl.
+METRICS_PORT=19464
+cargo run --release -p mcs-platform --bin platformd -- \
+  --rounds 12 --users 10 --snapshot-every 6 \
+  --metrics-addr "127.0.0.1:${METRICS_PORT}" --hold-ms 4000 &
+PLATFORMD_PID=$!
+trap 'kill "${PLATFORMD_PID}" 2>/dev/null || true' EXIT
+sleep 1
+scrape() {
+  exec 3<>"/dev/tcp/127.0.0.1/${METRICS_PORT}" || return 1
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+for attempt in 1 2 3 4 5; do
+  if PROM="$(scrape /metrics 2>/dev/null)" && [ -n "${PROM}" ]; then break; fi
+  sleep 1
+done
+JSON="$(scrape /metrics.json)"
+wait "${PLATFORMD_PID}"
+trap - EXIT
+echo "${PROM}" | grep -q '^mcs_bids_received_total ' || {
+  echo "metrics smoke: mcs_bids_received_total missing"; exit 1; }
+echo "${PROM}" | grep -q '^mcs_rounds_cleared_total ' || {
+  echo "metrics smoke: mcs_rounds_cleared_total missing"; exit 1; }
+echo "${PROM}" | grep -q '^mcs_stage_p99_ns{stage="allocate"}' || {
+  echo "metrics smoke: labelled stage gauges missing"; exit 1; }
+echo "${PROM}" | grep -q '^mcs_overpayment_ratio ' || {
+  echo "metrics smoke: economics gauges missing"; exit 1; }
+if echo "${PROM}" | grep -Eqi ' [+-]?(nan|inf)$'; then
+  echo "metrics smoke: non-finite sample in Prometheus payload"; exit 1
+fi
+echo "${JSON}" | grep -q '"economics"' || {
+  echo "metrics smoke: JSON snapshot missing economics"; exit 1; }
+echo "metrics smoke: both endpoints healthy"
+
 echo "CI green."
