@@ -8,7 +8,7 @@
 //! ```text
 //! mcs-fuzz [--seed S] [--rounds N] [--faults F] [--tasks T] [--bids B]
 //!          [--workers W] [--payment-threads P] [--drain-every D]
-//!          [--verify-determinism] [--ci-smoke]
+//!          [--verify-determinism] [--ci-smoke] [--soak]
 //! ```
 //!
 //! * `--seed`    campaign seed: bid stream, fault plan, execution draws (default 1)
@@ -23,6 +23,13 @@
 //!   combinations and require identical fingerprints
 //! * `--ci-smoke` run the fixed CI campaign matrix (<30 s) and exit
 //!   non-zero on any violation or fingerprint mismatch
+//! * `--soak` sustained-overload mode: every logical round arrives 10×
+//!   oversubscribed against tail-drop admission and a clearing budget.
+//!   Asserts the memory proxies stay bounded (backlog never exceeds the
+//!   high watermark, the trace ring never wraps), that sheds happen and
+//!   are fully accounted, that over-budget rounds partially clear, and
+//!   that fingerprints stay bitwise identical across worker counts.
+//!   Combine with `--ci-smoke` for the shortened CI variant.
 //!
 //! A failing campaign is reproduced by re-running with the same `--seed`,
 //! `--rounds`, `--faults`, and `--tasks`; the fingerprint printed at the
@@ -32,6 +39,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use mcs_harness::prelude::*;
+use mcs_platform::config::{AdmissionConfig, ShedPolicy};
 
 struct Options {
     seed: u64,
@@ -44,6 +52,7 @@ struct Options {
     drain_every: u64,
     verify_determinism: bool,
     ci_smoke: bool,
+    soak: bool,
 }
 
 impl Options {
@@ -59,6 +68,7 @@ impl Options {
             drain_every: 4,
             verify_determinism: false,
             ci_smoke: false,
+            soak: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -77,10 +87,11 @@ impl Options {
                 "--drain-every" => options.drain_every = parse(&value("--drain-every")?)?,
                 "--verify-determinism" => options.verify_determinism = true,
                 "--ci-smoke" => options.ci_smoke = true,
+                "--soak" => options.soak = true,
                 "--help" | "-h" => {
                     return Err("usage: mcs-fuzz [--seed S] [--rounds N] [--faults F] \
                          [--tasks T] [--bids B] [--workers W] [--payment-threads P] \
-                         [--drain-every D] [--verify-determinism] [--ci-smoke]"
+                         [--drain-every D] [--verify-determinism] [--ci-smoke] [--soak]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -104,6 +115,8 @@ impl Options {
             workers: self.workers,
             payment_threads: self.payment_threads,
             drain_every: self.drain_every,
+            admission: AdmissionConfig::default(),
+            trace_headroom: 1,
             oracle: OracleConfig::default(),
         }
     }
@@ -120,7 +133,7 @@ fn run_one(config: &CampaignConfig, plan: &FaultPlan, label: &str) -> CampaignOu
     let outcome = run_campaign(config, plan);
     println!(
         "{label}: seed {} · {} logical rounds · {} faults planned · \
-         {} cleared, {} quarantined, {} bids rejected, {} rebuilds · \
+         {} cleared, {} quarantined, {} bids rejected, {} shed, {} rebuilds · \
          fingerprint {:016x} · {:.2?}",
         config.seed,
         config.rounds,
@@ -128,6 +141,7 @@ fn run_one(config: &CampaignConfig, plan: &FaultPlan, label: &str) -> CampaignOu
         outcome.results.len(),
         outcome.quarantine.len(),
         outcome.rejections,
+        outcome.sheds,
         outcome.rebuilds,
         outcome.fingerprint(),
         start.elapsed()
@@ -219,6 +233,73 @@ fn determinism_holds(config: &CampaignConfig, plan: &FaultPlan, reference: u64) 
     ok
 }
 
+/// Sustained-overload soak: every logical round arrives 10×
+/// oversubscribed against tail-drop admission with a clearing budget two
+/// bids under round capacity, so both sheds and deadline-aware partial
+/// clears fire continuously. Asserts the conservation oracle held (the
+/// campaign is clean), that the memory proxies stayed bounded — backlog
+/// never above the high watermark, trace ring never wrapped — and that
+/// fingerprints are bitwise identical across worker counts with
+/// shedding engaged.
+fn soak(options: &Options) -> ExitCode {
+    const FACTOR: u32 = 10;
+    let mut config = options.campaign();
+    if options.ci_smoke {
+        config.rounds = 16;
+    }
+    config.admission = AdmissionConfig {
+        high_watermark: 4 * config.bids_per_round,
+        low_watermark: 2 * config.bids_per_round,
+        policy: ShedPolicy::TailDrop,
+        clear_budget: config.bids_per_round.saturating_sub(2).max(2),
+    };
+    let mut plan = FaultPlan::new();
+    for round in 0..config.rounds {
+        plan.schedule(round, Fault::Oversubscribe(FACTOR));
+    }
+    config.trace_headroom = plan.trace_headroom(config.rounds);
+
+    let outcome = run_one(&config, &plan, "soak");
+    println!(
+        "  overload: {} shed, max backlog {} (watermark {}), \
+         {} partial rounds deferring {} bidders",
+        outcome.sheds,
+        outcome.max_backlog,
+        config.admission.high_watermark,
+        outcome.partial_rounds,
+        outcome.deferred,
+    );
+    let mut ok = outcome.is_clean();
+    if !observability_holds(&config, &outcome) {
+        ok = false;
+    }
+    if outcome.sheds == 0 {
+        eprintln!("  SOAK: {FACTOR}x oversubscription shed no bids");
+        ok = false;
+    }
+    if outcome.max_backlog > config.admission.high_watermark {
+        eprintln!(
+            "  SOAK: backlog reached {} — tail-drop must bound it at {}",
+            outcome.max_backlog, config.admission.high_watermark
+        );
+        ok = false;
+    }
+    if outcome.partial_rounds == 0 {
+        eprintln!("  SOAK: no round exceeded the clearing budget");
+        ok = false;
+    }
+    if !determinism_holds(&config, &plan, outcome.fingerprint()) {
+        ok = false;
+    }
+    if ok {
+        println!("soak: overload stayed bounded, accounted, and deterministic");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("soak: FAILED");
+        ExitCode::FAILURE
+    }
+}
+
 /// The fixed CI smoke matrix: a few seeds over both mechanism families,
 /// each verified clean and bitwise identical across worker counts.
 fn ci_smoke() -> ExitCode {
@@ -233,9 +314,13 @@ fn ci_smoke() -> ExitCode {
                 workers: 1,
                 payment_threads: 1,
                 drain_every: 4,
+                admission: AdmissionConfig::default(),
+                trace_headroom: 1,
                 oracle: OracleConfig::default(),
             };
             let plan = FaultPlan::generate(seed, config.rounds, 0.35);
+            let mut config = config;
+            config.trace_headroom = plan.trace_headroom(config.rounds);
             let label = format!("smoke[seed={seed} tasks={tasks}]");
             let outcome = run_one(&config, &plan, &label);
             if !outcome.is_clean() {
@@ -267,12 +352,16 @@ fn main() -> ExitCode {
         }
     };
 
+    if options.soak {
+        return soak(&options);
+    }
     if options.ci_smoke {
         return ci_smoke();
     }
 
-    let config = options.campaign();
+    let mut config = options.campaign();
     let plan = FaultPlan::generate(options.seed, options.rounds, options.faults);
+    config.trace_headroom = plan.trace_headroom(config.rounds);
     let outcome = run_one(&config, &plan, "campaign");
     let mut ok = outcome.is_clean();
     if !observability_holds(&config, &outcome) {

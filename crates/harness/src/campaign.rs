@@ -27,9 +27,10 @@ use std::sync::{Arc, Once};
 
 use mcs_core::types::{Task, TaskId, TypeProfile, UserId};
 use mcs_obs::PostMortem;
+use mcs_platform::admission::{Admission, AdmissionController};
 use mcs_platform::batch::{Batcher, Round, RoundId};
-use mcs_platform::config::{EngineConfig, TraceConfig};
-use mcs_platform::degrade::QuarantinedRound;
+use mcs_platform::config::{AdmissionConfig, EngineConfig, TraceConfig};
+use mcs_platform::degrade::{QuarantinedRound, RoundError};
 use mcs_platform::engine::Engine;
 use mcs_platform::settle::RoundSettlement;
 use mcs_platform::shard::ClearedRound;
@@ -60,6 +61,16 @@ pub struct CampaignConfig {
     /// Drain (clear + settle + oracle-check) every this many logical
     /// rounds.
     pub drain_every: u64,
+    /// Admission control for the engine under test. The campaign runs a
+    /// *mirror* [`AdmissionController`] with the same configuration, fed
+    /// the same backlog, so every shed decision is independently
+    /// predicted — a divergence is an
+    /// [`OracleViolation::ShedUnaccounted`].
+    pub admission: AdmissionConfig,
+    /// Multiplies the computed trace-ring capacity. Leave at 1 for
+    /// normal campaigns; overload soaks push ~10× the bids per logical
+    /// round and need the headroom to keep the trace oracle armed.
+    pub trace_headroom: usize,
     /// Oracle tuning.
     pub oracle: OracleConfig,
 }
@@ -74,6 +85,8 @@ impl Default for CampaignConfig {
             workers: 4,
             payment_threads: 1,
             drain_every: 4,
+            admission: AdmissionConfig::default(),
+            trace_headroom: 1,
             oracle: OracleConfig::default(),
         }
     }
@@ -90,6 +103,7 @@ impl CampaignConfig {
             .with_workers(self.workers)
             .with_payment_threads(self.payment_threads);
         config.batch.max_bids = self.bids_per_round;
+        config.admission = self.admission;
         config.trace = TraceConfig {
             capacity: self.trace_capacity(),
             logical_clock: true,
@@ -106,7 +120,8 @@ impl CampaignConfig {
     /// allocation bounded.
     fn trace_capacity(&self) -> usize {
         let per_round = self.bids_per_round * (self.task_count + 2) + 32;
-        ((self.rounds as usize + 2) * per_round * 2).clamp(1024, 1 << 20)
+        ((self.rounds as usize + 2) * per_round * 2 * self.trace_headroom.max(1))
+            .clamp(1024, 1 << 20)
     }
 
     /// The tasks every round publishes: requirement 0.8 for the
@@ -148,6 +163,17 @@ pub struct CampaignOutcome {
     /// Bids rejected at ingest (each verified to reject identically on
     /// the engine and the mirror).
     pub rejections: u64,
+    /// Bids shed by admission control (each verified to shed identically
+    /// on the engine and the mirror controller).
+    pub sheds: u64,
+    /// Rounds that cleared only their admitted prefix because they
+    /// exceeded the clearing budget.
+    pub partial_rounds: u64,
+    /// Bidders deferred (quarantined) by those partial clears.
+    pub deferred: u64,
+    /// The deepest engine backlog observed after any submission — under
+    /// tail-drop admission this must never exceed the high watermark.
+    pub max_backlog: usize,
     /// Mid-campaign checkpoint/drop/rebuild cycles executed.
     pub rebuilds: u64,
     /// Engine rounds closed over the whole campaign.
@@ -173,9 +199,10 @@ impl CampaignOutcome {
 
     /// An FNV-1a digest over the campaign's observable outcomes: round
     /// ids, winners, quotes, reports, payouts, balances, quarantine
-    /// records, and the rejection/rebuild counters. Two campaigns with
-    /// the same seed and plan must fingerprint identically for any
-    /// worker or payment-thread count.
+    /// records, and the rejection/shed/partial-clear/rebuild counters.
+    /// Two campaigns with the same seed and plan must fingerprint
+    /// identically for any worker or payment-thread count — with or
+    /// without admission control engaged.
     pub fn fingerprint(&self) -> u64 {
         let mut fnv = Fnv::new();
         for (id, round) in &self.results {
@@ -213,6 +240,10 @@ impl CampaignOutcome {
         }
         fnv.write_u64(self.total_paid.to_bits());
         fnv.write_u64(self.rejections);
+        fnv.write_u64(self.sheds);
+        fnv.write_u64(self.partial_rounds);
+        fnv.write_u64(self.deferred);
+        fnv.write_u64(self.max_backlog as u64);
         fnv.write_u64(self.rebuilds);
         fnv.write_u64(self.rounds_closed);
         fnv.finish()
@@ -287,6 +318,13 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
     let injector = Arc::new(PlanInjector::new());
     let mut engine = Engine::with_injector(engine_config, tasks.clone(), injector.clone());
     let mut mirror = Batcher::new(engine_config.batch, tasks.clone());
+    // The mirror's own admission controller: same config, fed the same
+    // backlog, so it must predict every engine shed decision exactly.
+    let mut admission = AdmissionController::new(engine_config.admission);
+    // Bids in rounds the mirror closed that the engine has not drained
+    // yet — the mirror-side equivalent of `Engine::backlog_bids`.
+    let mut mirror_pending = 0usize;
+    let mut tally = ShedTally::default();
 
     let mut profiles: BTreeMap<RoundId, TypeProfile> = BTreeMap::new();
     let mut outcome = CampaignOutcome {
@@ -298,6 +336,10 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
         total_paid: 0.0,
         violations: Vec::new(),
         rejections: 0,
+        sheds: 0,
+        partial_rounds: 0,
+        deferred: 0,
+        max_backlog: 0,
         rebuilds: 0,
         rounds_closed: 0,
         faults_armed: 0,
@@ -317,11 +359,38 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
         for action in round_actions(config, logical, faults) {
             match action {
                 Action::Submit(bid) => {
+                    tally.submitted += 1;
+                    // The mirror controller decides first, on the
+                    // mirror-side backlog; the engine must agree.
+                    let backlog = mirror.pending_bids() + mirror_pending;
+                    let (_, predicted) = admission.admit(backlog);
                     let engine_side = engine.submit(&bid);
+                    outcome.max_backlog = outcome.max_backlog.max(engine.backlog_bids());
+                    if let Admission::Shed(reason) = predicted {
+                        // A shed bid never reaches the mirror batcher.
+                        match engine_side {
+                            Ok(Admission::Shed(_)) => {
+                                tally.shed += 1;
+                                outcome.sheds += 1;
+                            }
+                            other => {
+                                outcome.violations.push(OracleViolation::ShedUnaccounted {
+                                    detail: format!(
+                                        "round {logical} user u{}: mirror shed ({reason}) \
+                                         but engine returned {other:?}",
+                                        bid.user
+                                    ),
+                                });
+                            }
+                        }
+                        continue;
+                    }
                     let mirror_side = mirror.submit(&bid);
                     match (engine_side, mirror_side) {
-                        (Ok(()), Ok(closed)) => {
+                        (Ok(Admission::Admitted), Ok(closed)) => {
+                            tally.admitted += 1;
                             if let Some(round) = closed {
+                                mirror_pending += round.profile.user_count();
                                 register(round, faults, &injector, &mut profiles, &mut outcome);
                             }
                         }
@@ -331,7 +400,17 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
                         (Err(engine_error), Err(mirror_error))
                             if engine_error.to_string() == mirror_error.to_string() =>
                         {
+                            tally.rejected += 1;
                             outcome.rejections += 1;
+                        }
+                        (Ok(Admission::Shed(reason)), _) => {
+                            outcome.violations.push(OracleViolation::ShedUnaccounted {
+                                detail: format!(
+                                    "round {logical} user u{}: engine shed ({reason}) \
+                                     a bid the mirror admitted",
+                                    bid.user
+                                ),
+                            });
                         }
                         (engine_side, mirror_side) => {
                             outcome.violations.push(OracleViolation::StreamDesync {
@@ -348,6 +427,7 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
                 Action::Tick => {
                     engine.tick();
                     if let Some(round) = mirror.tick() {
+                        mirror_pending += round.profile.user_count();
                         register(round, faults, &injector, &mut profiles, &mut outcome);
                     }
                 }
@@ -357,6 +437,7 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
         let at_drain_point = (logical + 1) % config.drain_every.max(1) == 0;
         if at_drain_point || pending_rebuild {
             engine.drain();
+            mirror_pending = 0;
             absorb(
                 config,
                 &engine,
@@ -374,6 +455,7 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
                 register(round, &[], &injector, &mut profiles, &mut outcome);
             }
             engine.drain();
+            mirror_pending = 0;
             absorb(
                 config,
                 &engine,
@@ -382,8 +464,15 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
                 &mut absorbed_quarantine,
                 &mut absorbed_post_mortems,
             );
+            // This incarnation's books close here: every bid it received
+            // must be exactly one of admitted/rejected/shed.
+            check_conservation(&engine, &tally, &mut outcome);
             let checkpoint = engine.checkpoint();
             engine = Engine::restore(engine_config, tasks.clone(), checkpoint, injector.clone());
+            // A restored engine starts a fresh admission controller (and
+            // fresh metrics); the mirror must do the same.
+            admission = AdmissionController::new(engine_config.admission);
+            tally = ShedTally::default();
             absorbed_quarantine = 0;
             absorbed_post_mortems = 0;
             outcome.rebuilds += 1;
@@ -396,6 +485,7 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
         register(round, &[], &injector, &mut profiles, &mut outcome);
     }
     engine.drain();
+    check_conservation(&engine, &tally, &mut outcome);
     absorb(
         config,
         &engine,
@@ -479,6 +569,42 @@ pub fn run_campaign(config: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcom
     outcome
 }
 
+/// Per-incarnation bid bookkeeping: what the campaign itself counted
+/// while driving the current engine incarnation. Reset on rebuild,
+/// because a restored engine starts fresh metrics.
+#[derive(Debug, Default)]
+struct ShedTally {
+    submitted: u64,
+    admitted: u64,
+    rejected: u64,
+    shed: u64,
+}
+
+/// The `ShedUnaccounted` conservation oracle: under any load (including
+/// seeded 10× oversubscription) every bid submitted to this incarnation
+/// must be exactly one of admitted / rejected / shed, and the engine's
+/// own counters must agree with the campaign's independent tally.
+fn check_conservation(engine: &Engine, tally: &ShedTally, outcome: &mut CampaignOutcome) {
+    let snapshot = engine.metrics().snapshot();
+    let checks = [
+        ("bids_received", snapshot.bids_received, tally.submitted),
+        ("bids_rejected", snapshot.bids_rejected, tally.rejected),
+        ("bids_shed", snapshot.bids_shed, tally.shed),
+        (
+            "admitted + rejected + shed",
+            tally.admitted + tally.rejected + tally.shed,
+            tally.submitted,
+        ),
+    ];
+    for (what, observed, expected) in checks {
+        if observed != expected {
+            outcome.violations.push(OracleViolation::ShedUnaccounted {
+                detail: format!("{what}: observed {observed}, expected {expected}"),
+            });
+        }
+    }
+}
+
 /// Records a round the mirror closed: stores its declared profile and
 /// arms the logical round's shard/settle/batch faults onto the concrete
 /// engine round id.
@@ -535,9 +661,41 @@ fn absorb(
         let settlement = &engine.settlements()[&id];
         match profiles.get(&id) {
             Some(profile) => {
+                // A round over the clearing budget cleared only its
+                // admitted prefix; the oracle must replay exactly that
+                // prefix. The trace still documents the whole round.
+                let budget = engine_config.admission.clear_budget;
+                let full_count = profile.user_count();
+                let prefix;
+                let checked = if budget > 0 && full_count > budget {
+                    prefix = TypeProfile::new(
+                        profile.users()[..budget].to_vec(),
+                        profile.tasks().to_vec(),
+                    )
+                    .expect("a prefix of a valid profile is a valid profile");
+                    let deferred = full_count - budget;
+                    let accounted = engine.quarantine().iter().any(|q| {
+                        q.id == id
+                            && q.bidders == deferred
+                            && matches!(q.error, RoundError::DeadlineExceeded {
+                                budget: b, cleared, deferred: d,
+                            } if b == budget && cleared == budget && d == deferred)
+                    });
+                    if !accounted {
+                        outcome.violations.push(OracleViolation::ShedUnaccounted {
+                            detail: format!(
+                                "{id}: cleared {budget} of {full_count} bidders but the \
+                                 {deferred} deferred are not quarantined as DeadlineExceeded"
+                            ),
+                        });
+                    }
+                    &prefix
+                } else {
+                    profile
+                };
                 outcome.violations.extend(check_round(
                     &config.oracle,
-                    profile,
+                    checked,
                     round,
                     settlement,
                     engine_config,
@@ -546,7 +704,7 @@ fn absorb(
                     outcome.violations.extend(check_round_trace(
                         id,
                         &recorder.round_trace(id.0),
-                        profile.user_count(),
+                        full_count,
                         round.allocation.winner_count(),
                     ));
                 }
@@ -559,6 +717,10 @@ fn absorb(
         outcome.settlements.insert(id, settlement.clone());
     }
     for record in &engine.quarantine()[*absorbed_quarantine..] {
+        if let RoundError::DeadlineExceeded { deferred, .. } = record.error {
+            outcome.partial_rounds += 1;
+            outcome.deferred += deferred as u64;
+        }
         let post_mortem = engine
             .post_mortems()
             .iter()

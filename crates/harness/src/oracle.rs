@@ -160,6 +160,13 @@ pub enum OracleViolation {
         /// What went out of sync.
         detail: String,
     },
+    /// Bid conservation broke under load shedding: the engine's
+    /// admitted/rejected/shed counters do not partition the submitted
+    /// bids, or a shed decision diverged from the mirror's.
+    ShedUnaccounted {
+        /// Which counter (or decision) broke and by how much.
+        detail: String,
+    },
     /// The round's flight-recorder trace is missing events or its span
     /// tree is malformed.
     TraceIncomplete {
@@ -234,6 +241,9 @@ impl fmt::Display for OracleViolation {
                 write!(f, "{round}: closed but neither cleared nor quarantined")
             }
             OracleViolation::StreamDesync { detail } => write!(f, "stream desync: {detail}"),
+            OracleViolation::ShedUnaccounted { detail } => {
+                write!(f, "shed unaccounted: {detail}")
+            }
             OracleViolation::TraceIncomplete { round, detail } => {
                 write!(f, "{round}: trace incomplete: {detail}")
             }

@@ -56,6 +56,12 @@ pub enum Fault {
     /// Settle: after the next drain, checkpoint the engine, drop it, and
     /// rebuild from the checkpoint mid-campaign.
     DropAndRebuild,
+    /// Admission: a burst of this-many× the round's base bids arrives
+    /// back-to-back before the round's own bids, spiking the backlog.
+    BurstArrival(u32),
+    /// Admission: sustain this-many× oversubscription across the round —
+    /// after every base bid, `factor − 1` extra bids arrive.
+    Oversubscribe(u32),
 }
 
 impl Fault {
@@ -73,6 +79,7 @@ impl Fault {
             Fault::DelayedTicks(_) | Fault::ReorderPending => "batch",
             Fault::ShardPanic | Fault::InfeasibleRound => "shard",
             Fault::FlipReports | Fault::DropAndRebuild => "settle",
+            Fault::BurstArrival(_) | Fault::Oversubscribe(_) => "admission",
         }
     }
 
@@ -115,6 +122,28 @@ impl FaultPlan {
         self.faults.values().map(Vec::len).sum()
     }
 
+    /// The trace-ring headroom multiplier a campaign over `rounds`
+    /// logical rounds needs for this plan: 1 with no overload faults,
+    /// otherwise enough extra capacity to hold every burst and
+    /// oversubscribed bid without the ring wrapping.
+    pub fn trace_headroom(&self, rounds: u64) -> usize {
+        let extra: u64 = self
+            .faults
+            .values()
+            .flatten()
+            .map(|fault| match fault {
+                Fault::BurstArrival(factor) => *factor as u64,
+                Fault::Oversubscribe(factor) => (*factor as u64).saturating_sub(1),
+                _ => 0,
+            })
+            .sum();
+        if extra == 0 {
+            return 1;
+        }
+        let rounds = rounds.max(1);
+        (rounds + extra).div_ceil(rounds) as usize
+    }
+
     /// Derives a plan from a seed: each of the `rounds` logical rounds
     /// draws one uniformly chosen fault with probability `intensity`.
     /// Identical `(seed, rounds, intensity)` always yields an identical
@@ -130,7 +159,7 @@ impl FaultPlan {
             if !rng.gen_bool(intensity) {
                 continue;
             }
-            let fault = match rng.gen_range(0u32..14) {
+            let fault = match rng.gen_range(0u32..16) {
                 0 => Fault::NanCostBid,
                 1 => Fault::NegativeCostBid,
                 2 => Fault::OutOfRangePosBid,
@@ -144,7 +173,9 @@ impl FaultPlan {
                 10 => Fault::ShardPanic,
                 11 => Fault::InfeasibleRound,
                 12 => Fault::FlipReports,
-                _ => Fault::DropAndRebuild,
+                13 => Fault::DropAndRebuild,
+                14 => Fault::BurstArrival(rng.gen_range(2u32..6)),
+                _ => Fault::Oversubscribe(rng.gen_range(2u32..11)),
             };
             plan.schedule(round, fault);
         }
@@ -179,6 +210,20 @@ mod tests {
     }
 
     #[test]
+    fn trace_headroom_scales_with_scheduled_overload() {
+        let mut plan = FaultPlan::new();
+        assert_eq!(plan.trace_headroom(20), 1);
+        plan.schedule(0, Fault::ShardPanic);
+        assert_eq!(plan.trace_headroom(20), 1);
+        // 10× oversubscription on every one of 20 rounds: 180 extra
+        // round-equivalents → 10× the baseline capacity.
+        for round in 0..20 {
+            plan.schedule(round, Fault::Oversubscribe(10));
+        }
+        assert_eq!(plan.trace_headroom(20), 10);
+    }
+
+    #[test]
     fn zero_intensity_is_the_empty_plan() {
         assert_eq!(FaultPlan::generate(1, 50, 0.0), FaultPlan::new());
     }
@@ -192,7 +237,7 @@ mod tests {
             .collect();
         assert_eq!(
             stages.into_iter().collect::<Vec<_>>(),
-            vec!["batch", "ingest", "settle", "shard"]
+            vec!["admission", "batch", "ingest", "settle", "shard"]
         );
     }
 }

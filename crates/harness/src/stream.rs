@@ -34,6 +34,11 @@ pub fn splitmix64(seed: u64, round: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// User ids from here up are reserved for overload-fault bids, so a
+/// burst can never collide with a round's base bidders (or with the
+/// fresh ids ingest faults use).
+pub const OVERLOAD_USER_BASE: u32 = 10_000;
+
 /// Expands logical round `round` into its drive sequence.
 ///
 /// The fault-free shape is `bids_per_round` well-formed bids from users
@@ -44,6 +49,14 @@ pub fn splitmix64(seed: u64, round: u64) -> u64 {
 /// capacity-close); [`Fault::DelayedTicks`] inserts ticks halfway;
 /// [`Fault::InfeasibleRound`] replaces the whole round with a single
 /// too-weak bidder plus enough ticks to force the round closed.
+///
+/// Overload faults synthesise *well-formed* extra bids from the reserved
+/// [`OVERLOAD_USER_BASE`] id space, drawn from the same per-round RNG
+/// stream after the base bids (so they perturb no other round):
+/// [`Fault::BurstArrival`] prepends `factor × bids_per_round` bids
+/// back-to-back; [`Fault::Oversubscribe`] interleaves `factor − 1` extra
+/// bids after every base bid, sustaining the pressure across the whole
+/// round.
 pub fn round_actions(config: &CampaignConfig, round: u64, faults: &[Fault]) -> Vec<Action> {
     let mut rng = StdRng::seed_from_u64(splitmix64(config.seed, round));
     let task_ids: Vec<u32> = (0..config.task_count as u32).collect();
@@ -76,8 +89,44 @@ pub fn round_actions(config: &CampaignConfig, round: u64, faults: &[Fault]) -> V
         })
         .collect();
 
+    // Overload bids draw from the round's RNG *after* the base bids, so
+    // scheduling an overload fault never changes the base draws.
+    let mut overload_user = OVERLOAD_USER_BASE;
+    let mut overload_bid = |rng: &mut StdRng| {
+        let bid = Bid {
+            user: overload_user,
+            cost: rng.gen_range(1.0..5.0),
+            tasks: task_ids
+                .iter()
+                .map(|&t| (t, rng.gen_range(0.3..0.8)))
+                .collect(),
+        };
+        overload_user += 1;
+        bid
+    };
+
     for fault in faults {
         match fault {
+            Fault::BurstArrival(factor) => {
+                let extra: Vec<Action> = (0..*factor as usize * config.bids_per_round)
+                    .map(|_| Action::Submit(overload_bid(&mut rng)))
+                    .collect();
+                actions.splice(0..0, extra);
+            }
+            Fault::Oversubscribe(factor) => {
+                let per_base = factor.saturating_sub(1) as usize;
+                let mut sustained = Vec::with_capacity(actions.len() * (per_base + 1));
+                for action in actions.drain(..) {
+                    let is_submit = matches!(action, Action::Submit(_));
+                    sustained.push(action);
+                    if is_submit {
+                        for _ in 0..per_base {
+                            sustained.push(Action::Submit(overload_bid(&mut rng)));
+                        }
+                    }
+                }
+                actions = sustained;
+            }
             Fault::DelayedTicks(ticks) => {
                 let at = actions.len() / 2;
                 for _ in 0..*ticks {
@@ -207,6 +256,52 @@ mod tests {
             actions.iter().filter(|a| matches!(a, Action::Tick)).count(),
             3
         );
+    }
+
+    #[test]
+    fn burst_arrival_prepends_factor_rounds_of_fresh_bids() {
+        let cfg = config();
+        let actions = round_actions(&cfg, 2, &[Fault::BurstArrival(3)]);
+        assert_eq!(actions.len(), 4 * cfg.bids_per_round);
+        // The burst comes first, from the reserved id space, well-formed.
+        for action in &actions[..3 * cfg.bids_per_round] {
+            let Action::Submit(bid) = action else {
+                panic!("bursts are back-to-back submissions");
+            };
+            assert!(bid.user >= OVERLOAD_USER_BASE);
+            assert!(bid.cost.is_finite());
+        }
+        // The base bids are bitwise those of the fault-free round.
+        let clean = round_actions(&cfg, 2, &[]);
+        assert_eq!(&actions[3 * cfg.bids_per_round..], clean.as_slice());
+    }
+
+    #[test]
+    fn oversubscription_interleaves_extras_after_every_base_bid() {
+        let cfg = config();
+        let actions = round_actions(&cfg, 5, &[Fault::Oversubscribe(10)]);
+        assert_eq!(actions.len(), 10 * cfg.bids_per_round);
+        let clean = round_actions(&cfg, 5, &[]);
+        for (i, chunk) in actions.chunks(10).enumerate() {
+            assert_eq!(chunk[0], clean[i], "base bid {i} must be undisturbed");
+            for extra in &chunk[1..] {
+                let Action::Submit(bid) = extra else {
+                    panic!("oversubscription submits, never ticks");
+                };
+                assert!(bid.user >= OVERLOAD_USER_BASE);
+            }
+        }
+        // All overload user ids are unique within the round.
+        let mut users: Vec<u32> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Submit(bid) if bid.user >= OVERLOAD_USER_BASE => Some(bid.user),
+                _ => None,
+            })
+            .collect();
+        users.sort_unstable();
+        users.dedup();
+        assert_eq!(users.len(), 9 * cfg.bids_per_round);
     }
 
     #[test]

@@ -19,7 +19,10 @@ fn config(seed: u64, rounds: u64, tasks: usize) -> CampaignConfig {
 fn campaigns_are_bitwise_identical_across_worker_and_payment_thread_counts() {
     for tasks in [1, 3] {
         let plan = FaultPlan::generate(11, 24, 0.5);
-        let base = config(11, 24, tasks);
+        let mut base = config(11, 24, tasks);
+        // Generated plans may schedule overload faults; keep the trace
+        // ring large enough that the trace oracle stays armed.
+        base.trace_headroom = plan.trace_headroom(base.rounds);
         let reference = run_campaign(&base, &plan);
         for (workers, payment_threads) in [(1, 1), (4, 2), (3, 5)] {
             let variant = CampaignConfig {
@@ -178,6 +181,68 @@ fn flipped_reports_move_only_their_own_round() {
     for (id, round) in &clean.results {
         if *id != victim {
             assert_eq!(flipped.results.get(id), Some(round));
+        }
+    }
+}
+
+/// Satellite of the overload work: with admission control engaged and
+/// every round oversubscribed, campaign fingerprints — including the
+/// shed, partial-clear, and backlog counters — stay bitwise identical
+/// across worker counts 1/2/8 and payment-thread counts 1/4, for both
+/// shedding policies.
+#[test]
+fn shedding_campaigns_are_bitwise_identical_across_thread_counts() {
+    use mcs_platform::config::{AdmissionConfig, SeededUniform, ShedPolicy};
+
+    let policies = [
+        ShedPolicy::TailDrop,
+        ShedPolicy::SeededUniform(SeededUniform {
+            seed: 77,
+            rate: 0.4,
+        }),
+    ];
+    for policy in policies {
+        let mut plan = FaultPlan::new();
+        for round in 0..12 {
+            plan.schedule(round, Fault::Oversubscribe(4));
+        }
+        let mut base = config(19, 12, 1);
+        base.bids_per_round = 6;
+        base.admission = AdmissionConfig {
+            high_watermark: 12,
+            low_watermark: 6,
+            policy,
+            clear_budget: 5,
+        };
+        base.trace_headroom = plan.trace_headroom(base.rounds);
+        let reference = run_campaign(&base, &plan);
+        assert!(
+            reference.is_clean(),
+            "{policy:?}: {:?}",
+            reference.violations
+        );
+        assert!(reference.sheds > 0, "{policy:?} shed nothing at 4x load");
+        assert!(
+            reference.partial_rounds > 0,
+            "{policy:?}: no round tripped the clearing budget"
+        );
+        assert!(reference.max_backlog <= 12 || !matches!(policy, ShedPolicy::TailDrop));
+
+        for workers in [1usize, 2, 8] {
+            for payment_threads in [1usize, 4] {
+                let variant = CampaignConfig {
+                    workers,
+                    payment_threads,
+                    ..base.clone()
+                };
+                let outcome = run_campaign(&variant, &plan);
+                assert_eq!(
+                    outcome.fingerprint(),
+                    reference.fingerprint(),
+                    "{policy:?} workers={workers} payment_threads={payment_threads}"
+                );
+                assert_eq!(outcome, reference);
+            }
         }
     }
 }

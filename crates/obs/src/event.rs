@@ -31,17 +31,25 @@ pub enum Stage {
     Pay,
     /// Applying execution-contingent payouts to the ledger.
     Settle,
+    /// Admission-control shedding decisions (overload only). Appended
+    /// after the original six stages so previously recorded stage codes
+    /// stay stable; logically it sits *before* [`Stage::Ingest`] in the
+    /// pipeline — a shed bid is never validated.
+    Shed,
 }
 
 impl Stage {
-    /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 6] = [
+    /// Every stage. The first six are in pipeline order; [`Stage::Shed`]
+    /// is appended last to keep historical stage codes stable even
+    /// though admission control runs before ingest.
+    pub const ALL: [Stage; 7] = [
         Stage::Ingest,
         Stage::Batch,
         Stage::Shard,
         Stage::Allocate,
         Stage::Pay,
         Stage::Settle,
+        Stage::Shed,
     ];
 
     /// Dense index of this stage within [`Stage::ALL`].
@@ -53,6 +61,7 @@ impl Stage {
             Stage::Allocate => 3,
             Stage::Pay => 4,
             Stage::Settle => 5,
+            Stage::Shed => 6,
         }
     }
 
@@ -65,6 +74,7 @@ impl Stage {
             Stage::Allocate => "allocate",
             Stage::Pay => "pay",
             Stage::Settle => "settle",
+            Stage::Shed => "shed",
         }
     }
 
@@ -103,10 +113,18 @@ pub enum EventKind {
     /// The round's payouts were posted to the ledger. `a` = winners
     /// paid, `b` = settlement total as `f64` bits.
     RoundSettled,
+    /// Admission control shed a bid before validation (the bid's
+    /// declared type is *never* read). `a` = arrival sequence number,
+    /// `b` = shed-reason code, `c` = backlog depth at the decision.
+    BidShed,
+    /// The round exceeded its clearing budget and was split: the
+    /// admitted prefix cleared, the remainder was quarantined.
+    /// `a` = cleared prefix size, `b` = deferred bidder count.
+    RoundPartialClear,
 }
 
 impl EventKind {
-    const ALL: [EventKind; 9] = [
+    const ALL: [EventKind; 11] = [
         EventKind::BidAdmitted,
         EventKind::BidTask,
         EventKind::BidRejected,
@@ -116,6 +134,8 @@ impl EventKind {
         EventKind::RoundCleared,
         EventKind::RoundQuarantined,
         EventKind::RoundSettled,
+        EventKind::BidShed,
+        EventKind::RoundPartialClear,
     ];
 
     fn code(self) -> u64 {
@@ -263,7 +283,7 @@ mod tests {
             assert_eq!(Stage::from_index(i), Some(*stage));
             assert!(!stage.name().is_empty());
         }
-        assert_eq!(Stage::from_index(6), None);
+        assert_eq!(Stage::from_index(7), None);
     }
 
     #[test]

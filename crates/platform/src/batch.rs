@@ -93,6 +93,16 @@ impl Batcher {
     /// Submits a bid to the current round. Returns the closed round if
     /// this bid filled it to `max_bids`.
     ///
+    /// # Close precedence
+    ///
+    /// When a capacity close and a tick-budget close land on the same
+    /// tick — the queue reaches `max_bids` while `ticks_open` sits at
+    /// `max_ticks − 1` — the **capacity close wins**: `submit` closes
+    /// the round immediately and resets the tick clock, so the
+    /// following [`Batcher::tick`] sees an empty queue and neither
+    /// double-closes this round nor starts the new round with a stale
+    /// tick count. Exactly one close per round, always.
+    ///
     /// # Errors
     ///
     /// Propagates [`IngestError`] for malformed or duplicate bids; the
@@ -126,6 +136,10 @@ impl Batcher {
     }
 
     fn close(&mut self) -> Option<Round> {
+        // Resetting the tick clock here (not at the call sites) is what
+        // makes the capacity-vs-tick-budget race single-close: whichever
+        // path closes first leaves the other with an empty queue and a
+        // fresh clock.
         self.ticks_open = 0;
         if self.queue.is_empty() {
             return None;
@@ -188,6 +202,36 @@ mod tests {
         let round = b.tick().expect("tick budget elapsed");
         assert_eq!(round.profile.user_count(), 1);
         assert_eq!(b.tick(), None);
+    }
+
+    /// Pinned regression for the close-precedence edge: the round
+    /// reaches bid capacity on the very tick its tick budget would also
+    /// have expired. The capacity close must win, the round must close
+    /// exactly once, and the next round's tick clock must start fresh.
+    #[test]
+    fn capacity_close_beats_tick_budget_close_on_the_same_tick() {
+        let mut b = batcher(3, 2);
+        // Fill to capacity − 1 and burn the budget to max_ticks − 1.
+        b.submit(&bid(0)).unwrap();
+        b.submit(&bid(1)).unwrap();
+        assert!(b.tick().is_none()); // ticks_open = 1 = max_ticks − 1
+
+        // The capacity bid lands on the same tick the budget would
+        // expire: submit closes the round (capacity precedence).
+        let round = b.submit(&bid(2)).unwrap().expect("capacity close");
+        assert_eq!(round.id, RoundId(0));
+        assert_eq!(round.profile.user_count(), 3);
+        // The tick that would have budget-closed the round finds an
+        // empty queue: no double close, and it resets nothing stale.
+        assert_eq!(b.tick(), None);
+        assert_eq!(b.pending_bids(), 0);
+        // The next round starts with a *fresh* tick clock: it needs the
+        // full budget again, not the leftover from before the close.
+        b.submit(&bid(7)).unwrap();
+        assert!(b.tick().is_none()); // 1 of 2
+        let second = b.tick().expect("full budget elapsed");
+        assert_eq!(second.id, RoundId(1));
+        assert_eq!(second.profile.user_count(), 1);
     }
 
     #[test]

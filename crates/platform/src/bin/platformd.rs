@@ -9,6 +9,9 @@
 //!           [--multi TASKS] [--payment-threads N] [--paper]
 //!           [--metrics-addr ADDR] [--snapshot-every ROUNDS]
 //!           [--trace-capacity EVENTS] [--hold-ms MS]
+//!           [--admission-high BIDS] [--admission-low BIDS]
+//!           [--shed-policy tail-drop|seeded-uniform] [--shed-rate P]
+//!           [--clear-budget BIDS]
 //! ```
 //!
 //! * `--rounds`  rounds to synthesize (default 200)
@@ -27,6 +30,16 @@
 //!   16384; 0 disables tracing)
 //! * `--hold-ms` keep the process (and the metrics endpoint) alive MS
 //!   milliseconds after the run, so scrapers can read the final state
+//! * `--admission-high` backlog (bids) at which load shedding engages
+//!   (default 0 = admission control disabled)
+//! * `--admission-low` backlog at which shedding disengages (default
+//!   half of `--admission-high`)
+//! * `--shed-policy` `tail-drop` (default) or `seeded-uniform`
+//! * `--shed-rate` drop probability for `seeded-uniform` (default 0.5;
+//!   the coin is seeded from `--seed`)
+//! * `--clear-budget` per-round clearing budget in bids; larger rounds
+//!   clear partially and quarantine the remainder (default 0 =
+//!   unlimited)
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -50,6 +63,11 @@ struct Options {
     snapshot_every: usize,
     trace_capacity: usize,
     hold_ms: u64,
+    admission_high: usize,
+    admission_low: Option<usize>,
+    shed_policy: String,
+    shed_rate: f64,
+    clear_budget: usize,
 }
 
 impl Options {
@@ -66,6 +84,11 @@ impl Options {
             snapshot_every: 0,
             trace_capacity: TraceConfig::default().capacity,
             hold_ms: 0,
+            admission_high: 0,
+            admission_low: None,
+            shed_policy: "tail-drop".to_string(),
+            shed_rate: 0.5,
+            clear_budget: 0,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -85,17 +108,50 @@ impl Options {
                 "--snapshot-every" => options.snapshot_every = parse(&value("--snapshot-every")?)?,
                 "--trace-capacity" => options.trace_capacity = parse(&value("--trace-capacity")?)?,
                 "--hold-ms" => options.hold_ms = parse(&value("--hold-ms")?)?,
+                "--admission-high" => options.admission_high = parse(&value("--admission-high")?)?,
+                "--admission-low" => {
+                    options.admission_low = Some(parse(&value("--admission-low")?)?)
+                }
+                "--shed-policy" => options.shed_policy = value("--shed-policy")?,
+                "--shed-rate" => options.shed_rate = parse(&value("--shed-rate")?)?,
+                "--clear-budget" => options.clear_budget = parse(&value("--clear-budget")?)?,
                 "--help" | "-h" => {
                     return Err("usage: platformd [--rounds N] [--users N] [--workers N] \
                          [--seed S] [--multi TASKS] [--payment-threads N] [--paper] \
                          [--metrics-addr ADDR] [--snapshot-every ROUNDS] \
-                         [--trace-capacity EVENTS] [--hold-ms MS]"
+                         [--trace-capacity EVENTS] [--hold-ms MS] \
+                         [--admission-high BIDS] [--admission-low BIDS] \
+                         [--shed-policy tail-drop|seeded-uniform] [--shed-rate P] \
+                         [--clear-budget BIDS]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
         Ok(options)
+    }
+
+    /// The admission configuration the flags describe; the seeded coin
+    /// reuses `--seed` so one flag pins the whole run.
+    fn admission(&self) -> Result<AdmissionConfig, String> {
+        let policy = match self.shed_policy.as_str() {
+            "tail-drop" => ShedPolicy::TailDrop,
+            "seeded-uniform" => ShedPolicy::SeededUniform(SeededUniform {
+                seed: self.seed,
+                rate: self.shed_rate,
+            }),
+            other => {
+                return Err(format!(
+                    "unknown shed policy {other:?} (expected tail-drop or seeded-uniform)"
+                ))
+            }
+        };
+        Ok(AdmissionConfig {
+            high_watermark: self.admission_high,
+            low_watermark: self.admission_low.unwrap_or(self.admission_high / 2),
+            policy,
+            clear_budget: self.clear_budget,
+        })
     }
 }
 
@@ -148,10 +204,18 @@ fn main() -> ExitCode {
         }
     };
 
+    let admission = match options.admission() {
+        Ok(admission) => admission,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
     let mut config = EngineConfig::default()
         .with_workers(options.workers)
         .with_seed(options.seed)
-        .with_payment_threads(options.payment_threads);
+        .with_payment_threads(options.payment_threads)
+        .with_admission(admission);
     config.batch.max_bids = options.users;
     config.alpha = sim.alpha;
     config.epsilon = sim.epsilon;
@@ -186,6 +250,7 @@ fn main() -> ExitCode {
     // bids; the round closes itself at max_bids.
     let ingest_start = Instant::now();
     let mut bids = 0u64;
+    let mut shed = 0u64;
     for round in 0..options.rounds {
         let population = match options.multi {
             Some(count) => builder.multi_task(count, options.users, &mut rng),
@@ -207,8 +272,10 @@ fn main() -> ExitCode {
                     .map(|(task, pos)| (task.index() as u32, pos.value()))
                     .collect(),
             };
-            if let Err(error) = engine.submit(&bid) {
-                eprintln!("round {round}: rejected bid: {error}");
+            match engine.submit(&bid) {
+                Ok(Admission::Shed(_)) => shed += 1,
+                Ok(Admission::Admitted) => {}
+                Err(error) => eprintln!("round {round}: rejected bid: {error}"),
             }
             bids += 1;
         }
@@ -226,7 +293,7 @@ fn main() -> ExitCode {
     engine.flush();
     let ingest_elapsed = ingest_start.elapsed();
     println!(
-        "ingest: {bids} bids into {} rounds in {:.2?} ({:.0} bids/s)",
+        "ingest: {bids} bids into {} rounds in {:.2?} ({:.0} bids/s), {shed} shed",
         engine.pending_rounds(),
         ingest_elapsed,
         bids as f64 / ingest_elapsed.as_secs_f64()

@@ -26,6 +26,78 @@ impl Default for BatchPolicy {
     }
 }
 
+/// How admission control decides which bids to shed while the engine is
+/// over its high watermark.
+///
+/// Every policy is *type-blind*: the decision is a function of arrival
+/// order and backlog depth only, never of the bid's declared cost or
+/// PoS. Inspecting the type would reintroduce the manipulation channel
+/// the critical-bid payments close — a user could shade their report to
+/// dodge the shedder — so the shedder never even parses the bid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ShedPolicy {
+    /// Drop every arriving bid while the backlog is over the watermark
+    /// (FIFO tail drop). Gives a hard backlog bound: the backlog can
+    /// never exceed the high watermark.
+    TailDrop,
+    /// Drop each arriving bid with probability [`SeededUniform::rate`],
+    /// using a coin derived from `(seed, arrival sequence)` —
+    /// deterministic for a fixed seed and stream, independent of worker
+    /// count.
+    SeededUniform(SeededUniform),
+}
+
+/// Parameters of [`ShedPolicy::SeededUniform`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeededUniform {
+    /// Seed of the shedding coin stream.
+    pub seed: u64,
+    /// Per-bid drop probability in `[0, 1]`.
+    pub rate: f64,
+}
+
+/// Bounded-admission configuration: the overload-control layer that sits
+/// in front of ingest.
+///
+/// Shedding engages when the engine's backlog (bids batched but not yet
+/// cleared, plus bids in the open round) reaches `high_watermark` and
+/// disengages once it falls back to `low_watermark` — classic
+/// hysteresis, so the shedder does not flap at the boundary. A
+/// `high_watermark` of 0 disables admission control entirely (the
+/// default: nothing sheds unless asked).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Backlog depth (in bids) at which shedding engages; 0 disables
+    /// admission control.
+    pub high_watermark: usize,
+    /// Backlog depth at or below which shedding disengages.
+    pub low_watermark: usize,
+    /// Which bids to shed while engaged.
+    pub policy: ShedPolicy,
+    /// Per-round clearing budget in bids; a round larger than this is
+    /// partially cleared (the admitted prefix clears, the remainder is
+    /// quarantined with a typed reason). 0 means unlimited.
+    pub clear_budget: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            high_watermark: 0,
+            low_watermark: 0,
+            policy: ShedPolicy::TailDrop,
+            clear_budget: 0,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Whether any bid can ever be shed under this configuration.
+    pub fn is_enabled(&self) -> bool {
+        self.high_watermark > 0
+    }
+}
+
 /// Flight-recorder configuration (see `mcs_obs::FlightRecorder`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceConfig {
@@ -73,6 +145,8 @@ pub struct EngineConfig {
     pub payment_threads: usize,
     /// Flight-recorder settings for the engine's trace ring.
     pub trace: TraceConfig,
+    /// Bounded-admission / load-shedding settings (disabled by default).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +159,7 @@ impl Default for EngineConfig {
             epsilon: 0.5,
             payment_threads: 1,
             trace: TraceConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -112,6 +187,12 @@ impl EngineConfig {
     /// This configuration with different flight-recorder settings.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// This configuration with different admission-control settings.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
         self
     }
 }
@@ -147,6 +228,27 @@ mod tests {
         });
         assert_eq!(traced.trace.capacity, 1024);
         assert!(traced.trace.logical_clock);
+    }
+
+    #[test]
+    fn admission_defaults_disabled_and_round_trip_json() {
+        let config = EngineConfig::default();
+        assert!(!config.admission.is_enabled());
+        assert_eq!(config.admission.clear_budget, 0);
+
+        let tuned = config.with_admission(AdmissionConfig {
+            high_watermark: 128,
+            low_watermark: 64,
+            policy: ShedPolicy::SeededUniform(SeededUniform {
+                seed: 9,
+                rate: 0.25,
+            }),
+            clear_budget: 32,
+        });
+        assert!(tuned.admission.is_enabled());
+        let json = serde_json::to_string(&tuned).unwrap();
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(tuned, back);
     }
 
     #[test]

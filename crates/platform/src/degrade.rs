@@ -35,6 +35,17 @@ pub enum RoundError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The round was larger than its clearing budget: the first
+    /// `cleared` bidders cleared normally and the remaining `deferred`
+    /// were quarantined instead of blocking later rounds.
+    DeadlineExceeded {
+        /// Per-round clearing budget in bids.
+        budget: usize,
+        /// Bidders in the cleared prefix.
+        cleared: usize,
+        /// Bidders quarantined past the budget.
+        deferred: usize,
+    },
 }
 
 impl fmt::Display for RoundError {
@@ -45,6 +56,15 @@ impl fmt::Display for RoundError {
             }
             RoundError::Mechanism { message } => write!(f, "mechanism error: {message}"),
             RoundError::Panicked { message } => write!(f, "round panicked: {message}"),
+            RoundError::DeadlineExceeded {
+                budget,
+                cleared,
+                deferred,
+            } => write!(
+                f,
+                "clearing budget {budget} exceeded: cleared {cleared} bidders, \
+                 deferred {deferred}"
+            ),
         }
     }
 }
@@ -104,6 +124,19 @@ mod tests {
             RoundError::from(other),
             RoundError::Mechanism { .. }
         ));
+    }
+
+    #[test]
+    fn deadline_exceeded_renders_its_arithmetic() {
+        let error = RoundError::DeadlineExceeded {
+            budget: 16,
+            cleared: 16,
+            deferred: 9,
+        };
+        assert_eq!(
+            error.to_string(),
+            "clearing budget 16 exceeded: cleared 16 bidders, deferred 9"
+        );
     }
 
     #[test]

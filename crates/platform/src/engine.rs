@@ -9,12 +9,13 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use mcs_core::types::Task;
+use mcs_core::types::{Task, TypeProfile};
 use mcs_obs::{ClockMode, EventKind, FlightRecorder, PostMortem, RawEvent, TraceEvent};
 
+use crate::admission::{Admission, AdmissionController};
 use crate::batch::{Batcher, Round, RoundId};
 use crate::config::EngineConfig;
-use crate::degrade::QuarantinedRound;
+use crate::degrade::{QuarantinedRound, RoundError};
 use crate::fault::{FaultInjector, NoFaults};
 use crate::ingest::{Bid, IngestError};
 use crate::metrics::{Metrics, Stage};
@@ -42,8 +43,13 @@ pub struct EngineCheckpoint {
 pub struct Engine {
     config: EngineConfig,
     batcher: Batcher,
+    admission: AdmissionController,
     pool: ShardPool,
     pending: Vec<Round>,
+    /// Bids inside `pending` rounds (closed but not yet drained); summed
+    /// with the open round's queue depth this is the backlog admission
+    /// control keys on.
+    pending_backlog: usize,
     results: BTreeMap<RoundId, ClearedRound>,
     settlements: BTreeMap<RoundId, RoundSettlement>,
     quarantine: Vec<QuarantinedRound>,
@@ -85,8 +91,10 @@ impl Engine {
         Engine {
             config,
             batcher: Batcher::new(config.batch, tasks),
+            admission: AdmissionController::new(config.admission),
             pool: ShardPool::new(config.workers),
             pending: Vec::new(),
+            pending_backlog: 0,
             results: BTreeMap::new(),
             settlements: BTreeMap::new(),
             quarantine: Vec::new(),
@@ -166,14 +174,43 @@ impl Engine {
         &self.post_mortems
     }
 
+    /// Bids currently held by the engine but not yet cleared: the open
+    /// round's queue plus every closed-but-undrained round. This is the
+    /// backlog admission control keys on, and — under
+    /// [`ShedPolicy::TailDrop`](crate::config::ShedPolicy::TailDrop) —
+    /// the quantity that can never exceed the high watermark.
+    pub fn backlog_bids(&self) -> usize {
+        self.batcher.pending_bids() + self.pending_backlog
+    }
+
     /// Submits one bid to the round currently being filled.
+    ///
+    /// Admission control runs *before* validation and never reads the
+    /// bid: when the backlog is over the watermark, the bid is shed and
+    /// `Ok(Admission::Shed(..))` is returned — accounted for in metrics
+    /// and the flight recorder but invisible to the auction.
     ///
     /// # Errors
     ///
     /// The typed [`IngestError`] the bid was rejected with; the engine
     /// keeps serving either way.
-    pub fn submit(&mut self, bid: &Bid) -> Result<(), IngestError> {
+    pub fn submit(&mut self, bid: &Bid) -> Result<Admission, IngestError> {
         self.metrics.bid_received();
+        let backlog = self.backlog_bids();
+        let shed_start = Instant::now();
+        let (arrival, decision) = self.admission.admit(backlog);
+        if let Admission::Shed(reason) = decision {
+            self.metrics.bid_shed();
+            self.metrics.record(Stage::Shed, shed_start.elapsed());
+            self.recorder.record(RawEvent::new(
+                EventKind::BidShed,
+                self.batcher.next_round_id(),
+                arrival,
+                reason.code(),
+                reason.backlog() as u64,
+            ));
+            return Ok(decision);
+        }
         let corrupted = self.injector.corrupt_bid(bid);
         let bid = corrupted.as_ref().unwrap_or(bid);
         // The round currently being filled will close under this id, so
@@ -202,7 +239,7 @@ impl Engine {
                     ));
                 }
                 self.enqueue(closed);
-                Ok(())
+                Ok(Admission::Admitted)
             }
             Err(error) => {
                 self.metrics.bid_rejected();
@@ -241,12 +278,24 @@ impl Engine {
     /// Clears every pending round across the worker pool and settles the
     /// results in round-id order. Returns how many rounds cleared
     /// successfully this drain.
+    ///
+    /// When a round holds more bids than the configured clearing budget
+    /// (`admission.clear_budget`, 0 = unlimited), it is *partially*
+    /// cleared: the admitted prefix clears normally under the round's
+    /// id and the remainder is quarantined with
+    /// [`RoundError::DeadlineExceeded`] instead of blocking subsequent
+    /// rounds. Such a round appears in both [`Engine::results`] and
+    /// [`Engine::quarantine`].
     pub fn drain(&mut self) -> usize {
         if self.pending.is_empty() {
             return 0;
         }
         let mut rounds = std::mem::take(&mut self.pending);
+        self.pending_backlog = 0;
         self.injector.reorder_pending(&mut rounds);
+        for round in &mut rounds {
+            self.enforce_clear_budget(round);
+        }
         let outcomes = self.pool.clear_all(
             rounds,
             &self.config,
@@ -344,6 +393,62 @@ impl Engine {
         &self.ledger
     }
 
+    /// Deadline-aware partial clearing: truncates `round` to the
+    /// clearing budget, quarantining the deferred suffix with a typed
+    /// reason. The suffix cut is positional (admission order), so —
+    /// like shedding — it never reads declared types.
+    fn enforce_clear_budget(&mut self, round: &mut Round) {
+        let budget = self.config.admission.clear_budget;
+        let total = round.profile.user_count();
+        if budget == 0 || total <= budget {
+            return;
+        }
+        let deferred = total - budget;
+        let prefix = TypeProfile::new(
+            round.profile.users()[..budget].to_vec(),
+            round.profile.tasks().to_vec(),
+        )
+        .expect("a prefix of a valid profile is a valid profile");
+        self.metrics.round_partial(deferred);
+        self.metrics.round_degraded();
+        self.recorder.record(RawEvent::new(
+            EventKind::RoundPartialClear,
+            round.id.0,
+            budget as u64,
+            deferred as u64,
+            0,
+        ));
+        self.recorder.record(RawEvent::new(
+            EventKind::RoundQuarantined,
+            round.id.0,
+            deferred as u64,
+            0,
+            0,
+        ));
+        let record = QuarantinedRound {
+            id: round.id,
+            bidders: deferred,
+            error: RoundError::DeadlineExceeded {
+                budget,
+                cleared: budget,
+                deferred,
+            },
+        };
+        // The post-mortem documents the *whole* round (every admitted
+        // bid), not just the deferred suffix: an operator debugging a
+        // partial clear needs the full instance.
+        self.post_mortems.push(PostMortem::from_trace(
+            round.id.0,
+            total as u64,
+            record.error.to_string(),
+            self.recorder.round_trace(round.id.0),
+            self.recorder.wrapped(),
+        ));
+        self.injector.on_quarantine(&record);
+        self.quarantine.push(record);
+        round.profile = prefix;
+    }
+
     fn enqueue(&mut self, closed: Option<Round>) {
         if let Some(round) = closed {
             self.metrics.round_closed();
@@ -354,6 +459,7 @@ impl Engine {
                 0,
                 0,
             ));
+            self.pending_backlog += round.profile.user_count();
             self.pending.push(round);
         }
     }
@@ -575,6 +681,135 @@ mod tests {
         assert_eq!(e.drain(), 1);
         assert!(e.trace_events().is_empty());
         assert_eq!(e.recorder().recorded(), 0);
+    }
+
+    #[test]
+    fn tail_drop_sheds_above_the_watermark_and_bounds_the_backlog() {
+        use crate::config::{AdmissionConfig, ShedPolicy, TraceConfig};
+        let mut config = EngineConfig::default()
+            .with_seed(3)
+            .with_trace(TraceConfig {
+                capacity: 256,
+                logical_clock: true,
+            });
+        config.batch.max_bids = 4;
+        config.admission = AdmissionConfig {
+            high_watermark: 6,
+            low_watermark: 2,
+            policy: ShedPolicy::TailDrop,
+            clear_budget: 0,
+        };
+        let mut e = Engine::new(
+            config,
+            vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()],
+        );
+        let mut shed = 0u64;
+        let mut admitted = 0u64;
+        for i in 0..32u32 {
+            match e.submit(&bid(i, 2.0, 0.6)).unwrap() {
+                crate::admission::Admission::Admitted => admitted += 1,
+                crate::admission::Admission::Shed(reason) => {
+                    shed += 1;
+                    assert!(reason.backlog() >= config.admission.high_watermark);
+                }
+            }
+            // The tail-drop memory bound: the backlog never exceeds the
+            // high watermark.
+            assert!(e.backlog_bids() <= config.admission.high_watermark);
+        }
+        assert!(shed > 0, "sustained submission must shed");
+        // Conservation: every submitted bid is admitted, rejected, or
+        // shed — exactly once.
+        let snap = e.metrics().snapshot();
+        assert_eq!(snap.bids_received, 32);
+        assert_eq!(snap.bids_shed, shed);
+        assert_eq!(snap.bids_received, admitted + snap.bids_rejected + shed);
+        // Shed bids are visible in the trace but invisible to rounds.
+        let sheds = e
+            .trace_events()
+            .iter()
+            .filter(|event| event.kind == EventKind::BidShed)
+            .count() as u64;
+        assert_eq!(sheds, shed);
+        e.flush();
+        e.drain();
+        // Every admitted bid reached a closed round; no shed bid did.
+        let closed_bids: u64 = e
+            .trace_events()
+            .iter()
+            .filter(|event| event.kind == EventKind::RoundClosed)
+            .map(|event| event.a)
+            .sum();
+        assert_eq!(closed_bids, admitted);
+    }
+
+    #[test]
+    fn over_budget_rounds_clear_partially_and_match_the_prefix() {
+        use crate::config::AdmissionConfig;
+        let bids = [
+            (2.0, 0.6),
+            (2.5, 0.7),
+            (3.0, 0.5),
+            (1.5, 0.6),
+            (2.2, 0.6),
+            (2.8, 0.55),
+        ];
+
+        // Engine A: all six bids, clearing budget of four.
+        let mut config = EngineConfig::default().with_seed(3);
+        config.batch.max_bids = 6;
+        config.admission = AdmissionConfig {
+            clear_budget: 4,
+            ..AdmissionConfig::default()
+        };
+        let mut budgeted = Engine::new(
+            config,
+            vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()],
+        );
+        for (i, &(c, p)) in bids.iter().enumerate() {
+            budgeted.submit(&bid(i as u32, c, p)).unwrap();
+        }
+        assert_eq!(budgeted.drain(), 1);
+
+        // The deferred suffix is quarantined with the typed reason…
+        assert_eq!(budgeted.quarantine().len(), 1);
+        let quarantined = &budgeted.quarantine()[0];
+        assert_eq!(quarantined.id, RoundId(0));
+        assert_eq!(quarantined.bidders, 2);
+        assert_eq!(
+            quarantined.error,
+            crate::degrade::RoundError::DeadlineExceeded {
+                budget: 4,
+                cleared: 4,
+                deferred: 2,
+            }
+        );
+        let snap = budgeted.metrics().snapshot();
+        assert_eq!(snap.rounds_partial, 1);
+        assert_eq!(snap.bids_deferred, 2);
+        assert_eq!(snap.rounds_degraded, 1);
+        assert_eq!(snap.rounds_cleared, 1);
+
+        // …and the cleared part is bitwise the round the prefix alone
+        // would have produced.
+        let mut config = EngineConfig::default().with_seed(3);
+        config.batch.max_bids = 4;
+        let mut prefix = Engine::new(
+            config,
+            vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()],
+        );
+        for (i, &(c, p)) in bids.iter().take(4).enumerate() {
+            prefix.submit(&bid(i as u32, c, p)).unwrap();
+        }
+        assert_eq!(prefix.drain(), 1);
+        assert_eq!(
+            budgeted.results()[&RoundId(0)],
+            prefix.results()[&RoundId(0)]
+        );
+        assert_eq!(
+            budgeted.settlements()[&RoundId(0)],
+            prefix.settlements()[&RoundId(0)]
+        );
     }
 
     /// An injector that forces every bid's cost to a fixed value, to prove

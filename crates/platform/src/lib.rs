@@ -23,6 +23,14 @@
 //!                                           typed error; the engine never dies
 //! ```
 //!
+//! Under overload a bounded [`admission`] layer sits in front of ingest:
+//! when the backlog crosses a configured watermark, arriving bids are
+//! shed by a *type-blind*, seeded policy — the bid's declared cost and
+//! PoS are never read, so shedding cannot be gamed and strategy-proofness
+//! survives overload. Rounds larger than the clearing budget are
+//! partially cleared: the admitted prefix clears, the remainder is
+//! quarantined with a typed reason (see DESIGN.md §10).
+//!
 //! Every stage feeds [`metrics`]: atomic counters, per-stage latency
 //! histograms, and per-round economic quality, exportable as a JSON
 //! snapshot or Prometheus text. Every stage boundary also feeds the
@@ -64,6 +72,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod batch;
 pub mod config;
 pub mod degrade;
@@ -76,8 +85,11 @@ pub mod shard;
 
 /// Convenient glob import: `use mcs_platform::prelude::*;`.
 pub mod prelude {
+    pub use crate::admission::{Admission, AdmissionController, ShedReason};
     pub use crate::batch::{Round, RoundId};
-    pub use crate::config::{BatchPolicy, EngineConfig, TraceConfig};
+    pub use crate::config::{
+        AdmissionConfig, BatchPolicy, EngineConfig, SeededUniform, ShedPolicy, TraceConfig,
+    };
     pub use crate::degrade::{QuarantinedRound, RoundError};
     pub use crate::engine::{Engine, EngineCheckpoint};
     pub use crate::fault::{FaultInjector, NoFaults, PanicRounds};

@@ -150,11 +150,14 @@ impl StageHistogram {
 pub struct Metrics {
     bids_received: AtomicU64,
     bids_rejected: AtomicU64,
+    bids_shed: AtomicU64,
+    bids_deferred: AtomicU64,
     rounds_closed: AtomicU64,
     rounds_cleared: AtomicU64,
     rounds_degraded: AtomicU64,
+    rounds_partial: AtomicU64,
     winners_selected: AtomicU64,
-    stages: [StageHistogram; 6],
+    stages: [StageHistogram; 7],
     econ_rounds: AtomicU64,
     econ_payment_sum: AtomicF64,
     econ_social_sum: AtomicF64,
@@ -174,9 +177,12 @@ impl Metrics {
         Metrics {
             bids_received: AtomicU64::new(0),
             bids_rejected: AtomicU64::new(0),
+            bids_shed: AtomicU64::new(0),
+            bids_deferred: AtomicU64::new(0),
             rounds_closed: AtomicU64::new(0),
             rounds_cleared: AtomicU64::new(0),
             rounds_degraded: AtomicU64::new(0),
+            rounds_partial: AtomicU64::new(0),
             winners_selected: AtomicU64::new(0),
             stages: std::array::from_fn(|_| StageHistogram::new()),
             econ_rounds: AtomicU64::new(0),
@@ -195,6 +201,19 @@ impl Metrics {
     /// Counts one rejected bid.
     pub fn bid_rejected(&self) {
         self.bids_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one bid shed by admission control.
+    pub fn bid_shed(&self) {
+        self.bids_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one partially cleared round with `deferred` bidders
+    /// quarantined past the clearing budget.
+    pub fn round_partial(&self, deferred: usize) {
+        self.rounds_partial.fetch_add(1, Ordering::Relaxed);
+        self.bids_deferred
+            .fetch_add(deferred as u64, Ordering::Relaxed);
     }
 
     /// Counts one closed round.
@@ -243,9 +262,12 @@ impl Metrics {
         MetricsSnapshot {
             bids_received: self.bids_received.load(Ordering::Relaxed),
             bids_rejected: self.bids_rejected.load(Ordering::Relaxed),
+            bids_shed: self.bids_shed.load(Ordering::Relaxed),
+            bids_deferred: self.bids_deferred.load(Ordering::Relaxed),
             rounds_closed,
             rounds_cleared: self.rounds_cleared.load(Ordering::Relaxed),
             rounds_degraded,
+            rounds_partial: self.rounds_partial.load(Ordering::Relaxed),
             winners_selected: self.winners_selected.load(Ordering::Relaxed),
             stages: Stage::ALL
                 .iter()
@@ -338,16 +360,24 @@ pub struct EconSnapshot {
 /// A point-in-time copy of the engine's metrics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
-    /// Bids received, including rejected ones.
+    /// Bids received, including rejected and shed ones.
     pub bids_received: u64,
     /// Bids rejected at ingest.
     pub bids_rejected: u64,
+    /// Bids shed by admission control before validation.
+    pub bids_shed: u64,
+    /// Bids quarantined past a partial clearing's budget.
+    pub bids_deferred: u64,
     /// Rounds closed by the batcher.
     pub rounds_closed: u64,
     /// Rounds cleared successfully.
     pub rounds_cleared: u64,
     /// Rounds quarantined by the degrade path.
     pub rounds_degraded: u64,
+    /// Rounds cleared partially because they exceeded the clearing
+    /// budget (each also counts in `rounds_cleared` and
+    /// `rounds_degraded`).
+    pub rounds_partial: u64,
     /// Winners selected across all cleared rounds.
     pub winners_selected: u64,
     /// Per-stage latency statistics, in pipeline order.
@@ -361,16 +391,31 @@ impl MetricsSnapshot {
     /// Non-finite values render as `0`; the payload never contains `NaN`.
     pub fn to_prometheus(&self) -> String {
         let mut w = PromWriter::new();
-        let counters: [(&str, u64, &str); 6] = [
+        let counters: [(&str, u64, &str); 9] = [
             (
                 "mcs_bids_received_total",
                 self.bids_received,
-                "Bids received, including rejected ones.",
+                "Bids received, including rejected and shed ones.",
             ),
             (
                 "mcs_bids_rejected_total",
                 self.bids_rejected,
                 "Bids rejected at ingest.",
+            ),
+            (
+                "mcs_bids_shed_total",
+                self.bids_shed,
+                "Bids shed by admission control before validation.",
+            ),
+            (
+                "mcs_bids_deferred_total",
+                self.bids_deferred,
+                "Bids quarantined past a partial clearing's budget.",
+            ),
+            (
+                "mcs_rounds_partial_total",
+                self.rounds_partial,
+                "Rounds cleared partially under the clearing budget.",
             ),
             (
                 "mcs_rounds_closed_total",
@@ -479,15 +524,20 @@ mod tests {
         m.bid_received();
         m.bid_received();
         m.bid_rejected();
+        m.bid_shed();
         m.round_closed();
         m.round_cleared(3);
         m.round_degraded();
+        m.round_partial(5);
         let snap = m.snapshot();
         assert_eq!(snap.bids_received, 2);
         assert_eq!(snap.bids_rejected, 1);
+        assert_eq!(snap.bids_shed, 1);
+        assert_eq!(snap.bids_deferred, 5);
         assert_eq!(snap.rounds_closed, 1);
         assert_eq!(snap.rounds_cleared, 1);
         assert_eq!(snap.rounds_degraded, 1);
+        assert_eq!(snap.rounds_partial, 1);
         assert_eq!(snap.winners_selected, 3);
         assert_eq!(snap.economics.quarantine_rate, 1.0);
     }
@@ -606,7 +656,7 @@ mod tests {
         let names: Vec<&str> = snap.stages.iter().map(|s| s.stage.as_str()).collect();
         assert_eq!(
             names,
-            ["ingest", "batch", "shard", "allocate", "pay", "settle"]
+            ["ingest", "batch", "shard", "allocate", "pay", "settle", "shed"]
         );
     }
 
@@ -631,7 +681,9 @@ mod tests {
         let text = m.to_prometheus();
         for family in [
             "mcs_bids_received_total",
+            "mcs_bids_shed_total",
             "mcs_rounds_cleared_total",
+            "mcs_rounds_partial_total",
             "mcs_stage_p99_ns",
             "mcs_overpayment_ratio",
             "mcs_quarantine_rate",

@@ -213,8 +213,14 @@ fn metrics_snapshot_reports_every_stage() {
     assert_eq!(snapshot.rounds_degraded, 0);
     assert!(snapshot.winners_selected > 0);
 
-    assert_eq!(snapshot.stages.len(), 6);
+    assert_eq!(snapshot.stages.len(), 7);
     for stage in &snapshot.stages {
+        if stage.stage == "shed" {
+            // Admission control is disabled here, so the shed stage
+            // must stay untouched.
+            assert_eq!(stage.count, 0);
+            continue;
+        }
         assert!(
             stage.count > 0,
             "stage {} recorded no latency samples",

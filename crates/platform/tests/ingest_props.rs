@@ -1,0 +1,253 @@
+//! Property tests for bid intake and admission control.
+//!
+//! Three contracts, each over arbitrary streams:
+//! 1. every [`IngestError`] variant is reachable from a malformed bid
+//!    (and rejection leaves the queue untouched),
+//! 2. rejected and shed bids never appear in any cleared round,
+//! 3. admission is order-deterministic — the same stream produces the
+//!    same per-bid outcomes and the same cleared rounds, bitwise.
+
+use std::collections::BTreeSet;
+
+use mcs_core::types::{Task, TaskId};
+use mcs_platform::prelude::*;
+use proptest::prelude::*;
+
+const PUBLISHED: u32 = 3;
+
+fn published_tasks() -> Vec<Task> {
+    (0..PUBLISHED)
+        .map(|t| Task::with_requirement(TaskId::new(t), 0.6).unwrap())
+        .collect()
+}
+
+fn queue() -> mcs_platform::ingest::IngestQueue {
+    mcs_platform::ingest::IngestQueue::new((0..PUBLISHED).map(TaskId::new))
+}
+
+fn valid_bid(user: u32) -> Bid {
+    Bid {
+        user,
+        cost: 2.0,
+        tasks: vec![(0, 0.5)],
+    }
+}
+
+/// One malformed bid per [`IngestError`] variant, parameterized by the
+/// generated payloads so shrinking explores the space.
+#[derive(Debug, Clone)]
+enum Malformed {
+    InvalidCost(f64),
+    InvalidPos(f64),
+    EmptyTaskSet,
+    UnknownTask(u32),
+    DuplicateTask(u32),
+    DuplicateUser(u32),
+}
+
+fn malformed_strategy() -> impl Strategy<Value = Malformed> {
+    (0u8..6, 0u8..3, 0u32..40, 0.001..100.0f64).prop_map(|(variant, flavor, id, magnitude)| {
+        match variant {
+            0 => Malformed::InvalidCost(match flavor {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => -magnitude,
+            }),
+            1 => Malformed::InvalidPos(match flavor {
+                0 => f64::NAN,
+                1 => -magnitude,
+                _ => 1.0 + magnitude,
+            }),
+            2 => Malformed::EmptyTaskSet,
+            3 => Malformed::UnknownTask(PUBLISHED + id),
+            4 => Malformed::DuplicateTask(id % PUBLISHED),
+            _ => Malformed::DuplicateUser(id),
+        }
+    })
+}
+
+proptest! {
+    /// Satellite contract 1: every rejection reason is constructible
+    /// from a concrete malformed bid, the error is the *expected*
+    /// variant, and the queue is left exactly as it was.
+    #[test]
+    fn every_reject_reason_is_constructible(malformed in malformed_strategy()) {
+        let mut q = queue();
+        // DuplicateUser needs an existing occupant.
+        if let Malformed::DuplicateUser(user) = malformed {
+            q.push(&valid_bid(user)).unwrap();
+        }
+        let len_before = q.len();
+        let bid = match &malformed {
+            Malformed::InvalidCost(cost) => Bid { cost: *cost, ..valid_bid(1000) },
+            Malformed::InvalidPos(pos) => Bid { tasks: vec![(0, *pos)], ..valid_bid(1000) },
+            Malformed::EmptyTaskSet => Bid { tasks: vec![], ..valid_bid(1000) },
+            Malformed::UnknownTask(task) => Bid { tasks: vec![(*task, 0.5)], ..valid_bid(1000) },
+            Malformed::DuplicateTask(task) => {
+                Bid { tasks: vec![(*task, 0.5), (*task, 0.6)], ..valid_bid(1000) }
+            }
+            Malformed::DuplicateUser(user) => valid_bid(*user),
+        };
+        let error = q.push(&bid).expect_err("malformed bid must be rejected");
+        match (&malformed, &error) {
+            (Malformed::InvalidCost(_), IngestError::InvalidCost { .. })
+            | (Malformed::InvalidPos(_), IngestError::InvalidPos { .. })
+            | (Malformed::EmptyTaskSet, IngestError::EmptyTaskSet)
+            | (Malformed::UnknownTask(_), IngestError::UnknownTask { .. })
+            | (Malformed::DuplicateTask(_), IngestError::DuplicateTask { .. })
+            | (Malformed::DuplicateUser(_), IngestError::DuplicateUser { .. }) => {}
+            other => prop_assert!(false, "wrong rejection: {other:?}"),
+        }
+        // Rejection is side-effect free.
+        prop_assert_eq!(q.len(), len_before);
+    }
+}
+
+/// Builds the overloaded engine every stream property drives: tiny
+/// rounds, tail-drop admission with a low watermark, logical clock.
+fn overloaded_engine() -> Engine {
+    let mut config = EngineConfig::default().with_seed(11).with_workers(1);
+    config.batch.max_bids = 3;
+    config.trace = TraceConfig {
+        capacity: 8192,
+        logical_clock: true,
+    };
+    config.admission = AdmissionConfig {
+        high_watermark: 5,
+        low_watermark: 1,
+        policy: ShedPolicy::TailDrop,
+        clear_budget: 0,
+    };
+    Engine::new(config, published_tasks())
+}
+
+/// Replays `codes` as a deterministic action stream: each byte encodes
+/// one action (mostly submits — valid or malformed — plus ticks and
+/// occasional drains). Every submission uses a globally unique user id,
+/// so per-bid outcomes partition the id space exactly.
+fn drive(codes: &[u8]) -> (Vec<String>, Engine) {
+    let mut engine = overloaded_engine();
+    let mut outcomes = Vec::new();
+    for (i, &code) in codes.iter().enumerate() {
+        let user = i as u32;
+        match code % 10 {
+            0 => {
+                engine.tick();
+                outcomes.push("tick".to_string());
+                continue;
+            }
+            1 => {
+                let bid = Bid {
+                    cost: f64::NAN,
+                    ..valid_bid(user)
+                };
+                outcomes.push(label(engine.submit(&bid)));
+            }
+            2 => {
+                let bid = Bid {
+                    tasks: vec![(0, 1.0)],
+                    ..valid_bid(user)
+                };
+                outcomes.push(label(engine.submit(&bid)));
+            }
+            3 => {
+                let bid = Bid {
+                    tasks: vec![(PUBLISHED + 1, 0.5)],
+                    ..valid_bid(user)
+                };
+                outcomes.push(label(engine.submit(&bid)));
+            }
+            _ => {
+                // Declare every published task so full rounds stay
+                // feasible and actually clear.
+                let pos = 0.5 + f64::from(code % 16) / 64.0;
+                let bid = Bid {
+                    cost: 1.0 + (code as f64) / 64.0,
+                    tasks: (0..PUBLISHED).map(|t| (t, pos)).collect(),
+                    ..valid_bid(user)
+                };
+                outcomes.push(label(engine.submit(&bid)));
+            }
+        }
+        if code & 0x40 != 0 {
+            engine.drain();
+        }
+    }
+    engine.flush();
+    engine.drain();
+    (outcomes, engine)
+}
+
+fn label(outcome: Result<Admission, IngestError>) -> String {
+    match outcome {
+        Ok(Admission::Admitted) => "admitted".to_string(),
+        Ok(Admission::Shed(reason)) => format!("shed: {reason}"),
+        Err(error) => format!("rejected: {error}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite contract 2: no rejected or shed bid is ever visible in
+    /// a cleared round — not in its admitted membership, not among its
+    /// winners, not in its settlement.
+    #[test]
+    fn rejected_and_shed_bids_never_clear(codes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let (outcomes, engine) = drive(&codes);
+        let admitted: BTreeSet<u32> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.as_str() == "admitted")
+            .map(|(i, _)| i as u32)
+            .collect();
+        let dropped: BTreeSet<u32> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.starts_with("shed") || o.starts_with("rejected"))
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        // Round membership from the flight recorder's admission events.
+        let cleared_ids: BTreeSet<u64> = engine.results().keys().map(|id| id.0).collect();
+        let mut members_of_cleared = BTreeSet::new();
+        for event in engine.trace_events() {
+            if event.kind == mcs_obs::EventKind::BidAdmitted && cleared_ids.contains(&event.round) {
+                members_of_cleared.insert(event.a as u32);
+            }
+        }
+        for user in &members_of_cleared {
+            prop_assert!(admitted.contains(user), "u{user} cleared without admission");
+            prop_assert!(!dropped.contains(user), "dropped u{user} reached a cleared round");
+        }
+        for round in engine.results().values() {
+            for winner in round.allocation.winners() {
+                prop_assert!(admitted.contains(&(winner.index() as u32)));
+            }
+        }
+        // Conservation: every submission is exactly one of
+        // admitted/rejected/shed, and the metrics agree.
+        let snap = engine.metrics().snapshot();
+        let ticks = outcomes.iter().filter(|o| o.as_str() == "tick").count();
+        prop_assert_eq!(snap.bids_received as usize, codes.len() - ticks);
+        prop_assert_eq!(
+            snap.bids_received,
+            admitted.len() as u64 + snap.bids_rejected + snap.bids_shed
+        );
+        prop_assert_eq!(snap.bids_shed as usize,
+            outcomes.iter().filter(|o| o.starts_with("shed")).count());
+    }
+
+    /// Satellite contract 3: admission is order-deterministic — the
+    /// same stream replayed gives identical per-bid outcomes and
+    /// bitwise-identical cleared rounds and settlements.
+    #[test]
+    fn admission_is_order_deterministic(codes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let (first_outcomes, first) = drive(&codes);
+        let (second_outcomes, second) = drive(&codes);
+        prop_assert_eq!(first_outcomes, second_outcomes);
+        prop_assert_eq!(first.results(), second.results());
+        prop_assert_eq!(first.settlements(), second.settlements());
+        prop_assert_eq!(first.quarantine(), second.quarantine());
+    }
+}

@@ -24,13 +24,23 @@ cargo bench -p mcs-bench --bench payment_scaling -- --test
 echo "==> chaos smoke (mcs-fuzz --ci-smoke)"
 cargo run --release -p mcs-harness --bin mcs-fuzz -- --ci-smoke
 
+echo "==> overload soak smoke (mcs-fuzz --soak --ci-smoke)"
+# Every round oversubscribed 10x: the backlog must stay bounded by the
+# watermark, every shed bid must be accounted, partial clears must
+# quarantine their deferred tail, and the fingerprint must stay
+# deterministic across worker counts.
+cargo run --release -p mcs-harness --bin mcs-fuzz -- --soak --ci-smoke
+
 echo "==> metrics endpoint smoke (platformd --metrics-addr)"
 # Serve a short run on a fixed port, scrape both endpoints, and check the
 # Prometheus payload is well-formed. Scraping uses bash's /dev/tcp so the
-# gate has no dependency on curl.
+# gate has no dependency on curl. Admission control is engaged with a
+# watermark below the synthesized backlog so the shed counters are
+# exercised live.
 METRICS_PORT=19464
 cargo run --release -p mcs-platform --bin platformd -- \
   --rounds 12 --users 10 --snapshot-every 6 \
+  --admission-high 25 --admission-low 10 --clear-budget 8 \
   --metrics-addr "127.0.0.1:${METRICS_PORT}" --hold-ms 4000 &
 PLATFORMD_PID=$!
 trap 'kill "${PLATFORMD_PID}" 2>/dev/null || true' EXIT
@@ -56,6 +66,10 @@ echo "${PROM}" | grep -q '^mcs_stage_p99_ns{stage="allocate"}' || {
   echo "metrics smoke: labelled stage gauges missing"; exit 1; }
 echo "${PROM}" | grep -q '^mcs_overpayment_ratio ' || {
   echo "metrics smoke: economics gauges missing"; exit 1; }
+echo "${PROM}" | grep -Eq '^mcs_bids_shed_total [1-9]' || {
+  echo "metrics smoke: mcs_bids_shed_total missing or zero under overload"; exit 1; }
+echo "${PROM}" | grep -Eq '^mcs_rounds_partial_total [1-9]' || {
+  echo "metrics smoke: mcs_rounds_partial_total missing or zero under overload"; exit 1; }
 if echo "${PROM}" | grep -Eqi ' [+-]?(nan|inf)$'; then
   echo "metrics smoke: non-finite sample in Prometheus payload"; exit 1
 fi
