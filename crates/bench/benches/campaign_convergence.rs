@@ -1,0 +1,153 @@
+//! Closed-loop campaign convergence: rounds-to-coverage and total
+//! overpayment as the injected execution-failure rate climbs.
+//!
+//! Each point runs the same seeded campaigns (3 tasks, 12 bidders,
+//! budget 24 rounds) at failure rates 0 / 0.15 / 0.30 / 0.45 and
+//! records how many residual re-auction rounds full coverage costs and
+//! how much the platform pays beyond the failure-free baseline of the
+//! same seed. Besides the Criterion display run, this bench writes
+//! `BENCH_campaign_convergence.json` at the repo root. `--test` runs a
+//! smoke mode instead: one 30%-failure campaign, asserting coverage and
+//! a worker-count-independent fingerprint.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{BenchmarkId, Criterion};
+use mcs_campaign::prelude::{CampaignConfig, CampaignReport, CampaignRunner, SyntheticBidSource};
+use mcs_core::types::{Task, TaskId};
+use mcs_platform::prelude::EngineConfig;
+
+const RATES: [f64; 4] = [0.0, 0.15, 0.30, 0.45];
+const SEEDS: [u64; 5] = [1, 7, 42, 99, 123];
+const BIDDERS: u32 = 12;
+const MAX_ROUNDS: u64 = 24;
+
+fn tasks() -> Vec<Task> {
+    vec![
+        Task::with_requirement(TaskId::new(0), 0.95).unwrap(),
+        Task::with_requirement(TaskId::new(1), 0.9).unwrap(),
+        Task::with_requirement(TaskId::new(2), 0.85).unwrap(),
+    ]
+}
+
+fn run(seed: u64, failure_rate: f64) -> CampaignReport {
+    let engine = EngineConfig::default().with_seed(seed);
+    let mut config = CampaignConfig::new(engine, tasks(), MAX_ROUNDS);
+    config.failure_rate = failure_rate;
+    config.failure_seed = seed ^ 0xFA11_FA11;
+    let runner = CampaignRunner::new(config);
+    let mut source = SyntheticBidSource::new(seed, BIDDERS);
+    runner.run(&mut source)
+}
+
+/// Median wall-clock nanoseconds of `runs` timed executions.
+fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// `--test`: one 30%-failure campaign converges and is deterministic.
+fn smoke() {
+    let report = run(42, 0.3);
+    assert!(report.covered, "smoke campaign reaches full coverage");
+    assert!(
+        report.rounds_run() >= 1 && report.rounds_run() <= MAX_ROUNDS,
+        "round count stays within budget"
+    );
+    let reference = report.fingerprint();
+    for workers in [1usize, 2] {
+        let engine = EngineConfig::default().with_seed(42).with_workers(workers);
+        let mut config = CampaignConfig::new(engine, tasks(), MAX_ROUNDS);
+        config.failure_rate = 0.3;
+        config.failure_seed = 42 ^ 0xFA11_FA11;
+        let runner = CampaignRunner::new(config);
+        let mut source = SyntheticBidSource::new(42, BIDDERS);
+        let fingerprint = runner.run(&mut source).fingerprint();
+        assert_eq!(
+            fingerprint, reference,
+            "campaign fingerprint diverges at {workers} workers"
+        );
+    }
+    println!("campaign_convergence smoke: covered and deterministic. ok");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Cargo appends `--bench` when running bench targets; ignore it.
+    if args.iter().any(|a| a == "--test") {
+        smoke();
+        return;
+    }
+
+    // Criterion display pass: one campaign per failure rate.
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("campaign_convergence");
+    group.sample_size(10);
+    for &rate in &RATES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rate_{rate}")),
+            &rate,
+            |b, &rate| b.iter(|| black_box(run(black_box(1), rate))),
+        );
+    }
+    group.finish();
+
+    // Aggregate pass over the seed pool: convergence cost per rate,
+    // overpayment measured against the failure-free run of the same seed.
+    let baselines: Vec<f64> = SEEDS
+        .iter()
+        .map(|&seed| run(seed, 0.0).total_paid)
+        .collect();
+    let mut entries: Vec<String> = Vec::new();
+    for &rate in &RATES {
+        let mut rounds_sum = 0u64;
+        let mut paid_sum = 0.0;
+        let mut overpaid_sum = 0.0;
+        let mut covered = 0usize;
+        for (i, &seed) in SEEDS.iter().enumerate() {
+            let report = run(seed, rate);
+            rounds_sum += report.rounds_run();
+            paid_sum += report.total_paid;
+            overpaid_sum += report.total_paid - baselines[i];
+            covered += report.covered as usize;
+        }
+        let n = SEEDS.len() as f64;
+        let ns = median_ns(3, || {
+            black_box(run(black_box(1), rate));
+        });
+        println!(
+            "rate={rate:.2}: {covered}/{} covered, mean rounds {:.1}, \
+             mean paid {:.2}, mean overpayment {:.2}, median {:.2} ms",
+            SEEDS.len(),
+            rounds_sum as f64 / n,
+            paid_sum / n,
+            overpaid_sum / n,
+            ns as f64 / 1e6
+        );
+        entries.push(format!(
+            "  {{\"failure_rate\": {rate}, \"seeds\": {}, \"covered\": {covered}, \
+             \"mean_rounds\": {:.3}, \"mean_total_paid\": {:.6}, \
+             \"mean_overpayment\": {:.6}, \"median_ns\": {ns}}}",
+            SEEDS.len(),
+            rounds_sum as f64 / n,
+            paid_sum / n,
+            overpaid_sum / n
+        ));
+    }
+
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_campaign_convergence.json"
+    );
+    std::fs::write(path, json).expect("write benchmark JSON");
+    println!("wrote {path}");
+}

@@ -1,8 +1,12 @@
-//! `platformd` — a load driver for the auction-serving engine.
+//! `platformd` — a load driver for the auction-serving engine and the
+//! closed-loop campaign runner.
 //!
-//! Synthesizes bid streams from `mcs-sim`'s taxi-fleet population
-//! generator, pushes them through the engine, and prints throughput plus
-//! the metrics snapshot.
+//! In its default mode, synthesizes bid streams from `mcs-sim`'s
+//! taxi-fleet population generator, pushes them through the engine, and
+//! prints throughput plus the metrics snapshot. With `--campaign`, runs
+//! a closed-loop campaign instead: outcome feedback, calibrated-PoS
+//! admission gating, and residual re-auction until full coverage or the
+//! budget runs out.
 //!
 //! ```text
 //! platformd [--rounds N] [--users N] [--workers N] [--seed S]
@@ -12,6 +16,8 @@
 //!           [--admission-high BIDS] [--admission-low BIDS]
 //!           [--shed-policy tail-drop|seeded-uniform] [--shed-rate P]
 //!           [--clear-budget BIDS]
+//!           [--campaign] [--campaign-rounds N] [--campaign-deadline N]
+//!           [--calibration off|history|mobility] [--failure-rate P]
 //! ```
 //!
 //! * `--rounds`  rounds to synthesize (default 200)
@@ -40,14 +46,29 @@
 //! * `--clear-budget` per-round clearing budget in bids; larger rounds
 //!   clear partially and quarantine the remainder (default 0 =
 //!   unlimited)
+//! * `--campaign` run one closed-loop campaign instead of the open-loop
+//!   round stream; `--multi` (default 5 tasks) sizes the published task
+//!   set, `--metrics-addr` serves `mcs_campaign_*` telemetry
+//! * `--campaign-rounds` campaign round budget, initial + residual
+//!   (default 16)
+//! * `--campaign-deadline` optional slot deadline; each round consumes
+//!   one slot, 0 disables (default 0)
+//! * `--calibration` PoS calibration mode: `off`, `history` (default),
+//!   or `mobility` (history blended with Markov-model visit predictions
+//!   from the dataset)
+//! * `--failure-rate` injected execution-failure probability (default 0)
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use mcs_core::types::{Task, TaskId};
+use mcs_campaign::prelude::*;
+use mcs_core::types::{Task, TaskId, UserId};
+use mcs_mobility::serve::VisitOracle;
+use mcs_obs::MetricsSource;
 use mcs_platform::prelude::*;
 use mcs_sim::config::{DatasetParams, SimParams};
-use mcs_sim::population::{Dataset, PopulationBuilder};
+use mcs_sim::population::{Dataset, Population, PopulationBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -68,6 +89,11 @@ struct Options {
     shed_policy: String,
     shed_rate: f64,
     clear_budget: usize,
+    campaign: bool,
+    campaign_rounds: u64,
+    campaign_deadline: u64,
+    calibration: String,
+    failure_rate: f64,
 }
 
 impl Options {
@@ -89,6 +115,11 @@ impl Options {
             shed_policy: "tail-drop".to_string(),
             shed_rate: 0.5,
             clear_budget: 0,
+            campaign: false,
+            campaign_rounds: 16,
+            campaign_deadline: 0,
+            calibration: "history".to_string(),
+            failure_rate: 0.0,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -115,6 +146,15 @@ impl Options {
                 "--shed-policy" => options.shed_policy = value("--shed-policy")?,
                 "--shed-rate" => options.shed_rate = parse(&value("--shed-rate")?)?,
                 "--clear-budget" => options.clear_budget = parse(&value("--clear-budget")?)?,
+                "--campaign" => options.campaign = true,
+                "--campaign-rounds" => {
+                    options.campaign_rounds = parse(&value("--campaign-rounds")?)?
+                }
+                "--campaign-deadline" => {
+                    options.campaign_deadline = parse(&value("--campaign-deadline")?)?
+                }
+                "--calibration" => options.calibration = value("--calibration")?,
+                "--failure-rate" => options.failure_rate = parse(&value("--failure-rate")?)?,
                 "--help" | "-h" => {
                     return Err("usage: platformd [--rounds N] [--users N] [--workers N] \
                          [--seed S] [--multi TASKS] [--payment-threads N] [--paper] \
@@ -122,7 +162,9 @@ impl Options {
                          [--trace-capacity EVENTS] [--hold-ms MS] \
                          [--admission-high BIDS] [--admission-low BIDS] \
                          [--shed-policy tail-drop|seeded-uniform] [--shed-rate P] \
-                         [--clear-budget BIDS]"
+                         [--clear-budget BIDS] [--campaign] [--campaign-rounds N] \
+                         [--campaign-deadline N] [--calibration off|history|mobility] \
+                         [--failure-rate P]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -153,11 +195,233 @@ impl Options {
             clear_budget: self.clear_budget,
         })
     }
+
+    fn engine_config(&self, sim: &SimParams) -> Result<EngineConfig, String> {
+        let mut config = EngineConfig::default()
+            .with_workers(self.workers)
+            .with_seed(self.seed)
+            .with_payment_threads(self.payment_threads)
+            .with_admission(self.admission()?);
+        config.batch.max_bids = self.users;
+        config.alpha = sim.alpha;
+        config.epsilon = sim.epsilon;
+        config.trace.capacity = self.trace_capacity;
+        Ok(config)
+    }
+
+    fn dataset_params(&self) -> DatasetParams {
+        // A reduced fleet keeps the default run under a few seconds;
+        // --paper switches to the scale the test suite uses.
+        if self.paper {
+            DatasetParams::small()
+        } else {
+            DatasetParams {
+                taxi_count: 400,
+                slots: 240,
+                evaluation_slots: 24,
+                ..DatasetParams::default()
+            }
+        }
+    }
 }
 
 fn parse<T: std::str::FromStr>(text: &str) -> Result<T, String> {
     text.parse()
         .map_err(|_| format!("could not parse {text:?}"))
+}
+
+/// A fixed dataset-derived population re-bidding every campaign round.
+/// Stable user identities across rounds are what make success history
+/// (and therefore calibration) meaningful.
+#[derive(Debug)]
+struct PopulationBidSource {
+    population: Population,
+}
+
+impl BidSource for PopulationBidSource {
+    fn bids(&mut self, _round_index: u64, tasks: &[Task]) -> Vec<Bid> {
+        let open: std::collections::BTreeSet<u32> =
+            tasks.iter().map(|task| task.id().index() as u32).collect();
+        self.population
+            .profile
+            .users()
+            .iter()
+            .filter_map(|user| {
+                let tasks: Vec<(u32, f64)> = user
+                    .tasks()
+                    .filter(|(task, _)| open.contains(&(task.index() as u32)))
+                    .map(|(task, pos)| (task.index() as u32, pos.value()))
+                    .collect();
+                (!tasks.is_empty()).then(|| Bid {
+                    user: user.id().index() as u32,
+                    cost: user.cost().value(),
+                    tasks,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Per-user any-task visit probabilities from the dataset's Markov
+/// models, via the serving-path oracle.
+fn mobility_evidence(
+    dataset: &Dataset,
+    population: &Population,
+    task_count: usize,
+) -> BTreeMap<UserId, f64> {
+    let locations = dataset.campaign_locations(task_count);
+    let horizon = dataset.params().evaluation_slots;
+    let mut oracle = VisitOracle::new(dataset.models().clone(), horizon);
+    let mut visits = BTreeMap::new();
+    for (idx, &taxi) in population.taxis.iter().enumerate() {
+        let Some(origin) = dataset.origin_of(taxi) else {
+            continue;
+        };
+        let mut miss_all = 1.0;
+        for &location in &locations {
+            miss_all *= 1.0 - oracle.visit_probability(taxi, origin, location);
+        }
+        visits.insert(UserId::new(idx as u32), 1.0 - miss_all);
+    }
+    visits
+}
+
+fn run_campaign(options: &Options) -> ExitCode {
+    let Some(mode) = CalibrationMode::parse(&options.calibration) else {
+        eprintln!(
+            "unknown calibration mode {:?} (expected off, history, or mobility)",
+            options.calibration
+        );
+        return ExitCode::from(2);
+    };
+    let params = options.dataset_params();
+    let sim = SimParams::default();
+
+    let start = Instant::now();
+    let dataset = Dataset::build(params);
+    println!(
+        "dataset: {} taxis, {} slots, built in {:.2?}",
+        params.taxi_count,
+        params.slots,
+        start.elapsed()
+    );
+    let builder = PopulationBuilder::new(&dataset, sim);
+    let task_count = options.multi.unwrap_or(5);
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let population = match builder.multi_task(task_count, options.users, &mut rng) {
+        Ok(population) => population,
+        Err(error) => {
+            eprintln!("cannot build campaign population: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tasks = population.profile.tasks().to_vec();
+
+    let engine = match options.engine_config(&sim) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut config = CampaignConfig::new(engine, tasks, options.campaign_rounds);
+    config.deadline = (options.campaign_deadline > 0).then_some(options.campaign_deadline);
+    config.calibration.mode = mode;
+    config.failure_rate = options.failure_rate;
+    config.failure_seed = options.seed ^ 0xFA11_FA11;
+    if mode == CalibrationMode::Mobility {
+        config.mobility_visits = mobility_evidence(&dataset, &population, task_count);
+        println!(
+            "mobility: visit evidence registered for {} of {} users",
+            config.mobility_visits.len(),
+            options.users
+        );
+    }
+
+    let runner = CampaignRunner::new(config);
+    let server = match &options.metrics_addr {
+        Some(addr) => match ExportServer::spawn(addr, runner.metrics_handle()) {
+            Ok(server) => {
+                println!(
+                    "metrics: serving http://{0}/metrics (Prometheus) and http://{0}/metrics.json",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+            Err(error) => {
+                eprintln!("cannot bind metrics endpoint {addr}: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let mut source = PopulationBidSource { population };
+    let campaign_start = Instant::now();
+    let report = runner.run(&mut source);
+    let elapsed = campaign_start.elapsed();
+
+    for round in &report.rounds {
+        println!(
+            "round {:>2} (engine r{}): {} tasks open, {} bids ({} gated), \
+             {} winners, {} succeeded, payout {:+.2}, residual {:.4} -> {:.4}{}",
+            round.index,
+            round.engine_round,
+            round.residual_before.len(),
+            round.bids_offered,
+            round.bids_gated,
+            round.winners.len(),
+            round.successes(),
+            round.payout,
+            round.total_residual_before(),
+            round.total_residual_after(),
+            if round.quarantined {
+                " [quarantined]"
+            } else {
+                ""
+            },
+        );
+    }
+    // Timing goes on its own line: the summary line must diff clean
+    // between runs for the determinism contract.
+    println!(
+        "campaign: {} in {} rounds, paid {:.2}, social cost {:.2}, fingerprint {:016x}",
+        if report.covered {
+            "full coverage"
+        } else {
+            "budget exhausted"
+        },
+        report.rounds_run(),
+        report.total_paid,
+        report.total_social_cost,
+        report.fingerprint()
+    );
+    println!("campaign: finished in {elapsed:.2?}");
+    let metrics = runner.metrics_handle();
+    println!(
+        "calibration: {} decisions, {} gated, mean |divergence| {:.4}",
+        report
+            .rounds
+            .iter()
+            .map(|r| r.bids_offered as u64)
+            .sum::<u64>(),
+        metrics.gated_count(),
+        metrics.mean_divergence()
+    );
+    println!("{}", metrics.json());
+    if options.hold_ms > 0 {
+        println!(
+            "holding for {} ms so the metrics endpoint stays up",
+            options.hold_ms
+        );
+        std::thread::sleep(std::time::Duration::from_millis(options.hold_ms));
+    }
+    drop(server);
+    if report.covered {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -168,19 +432,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if options.campaign {
+        return run_campaign(&options);
+    }
 
-    // A reduced fleet keeps the default run under a few seconds; --paper
-    // switches to the scale the test suite uses.
-    let params = if options.paper {
-        DatasetParams::small()
-    } else {
-        DatasetParams {
-            taxi_count: 400,
-            slots: 240,
-            evaluation_slots: 24,
-            ..DatasetParams::default()
-        }
-    };
+    let params = options.dataset_params();
     let sim = SimParams::default();
 
     let start = Instant::now();
@@ -204,22 +460,13 @@ fn main() -> ExitCode {
         }
     };
 
-    let admission = match options.admission() {
-        Ok(admission) => admission,
+    let config = match options.engine_config(&sim) {
+        Ok(config) => config,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::from(2);
         }
     };
-    let mut config = EngineConfig::default()
-        .with_workers(options.workers)
-        .with_seed(options.seed)
-        .with_payment_threads(options.payment_threads)
-        .with_admission(admission);
-    config.batch.max_bids = options.users;
-    config.alpha = sim.alpha;
-    config.epsilon = sim.epsilon;
-    config.trace.capacity = options.trace_capacity;
     let mut engine = Engine::new(config, tasks);
 
     // The exporter holds its own Arc to the metrics, so it serves live

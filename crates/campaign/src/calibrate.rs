@@ -1,0 +1,299 @@
+//! PoS calibration: blending declared success probabilities with
+//! observed history (and, when available, mobility predictions) to gate
+//! admission.
+//!
+//! ## Why gating, not repricing
+//!
+//! The paper's truthfulness analysis (Theorems 2/6) prices winners off
+//! their *declared* types; substituting a calibrated PoS into the
+//! payment rule would break the incentive argument. The calibrator
+//! therefore never touches what the clearing engine quotes against —
+//! declared bids flow through unchanged. Its only lever is admission:
+//! a user whose calibrated success probability has fallen far enough
+//! below her declaration is kept out of the round entirely, which is
+//! incentive-neutral (a non-participant has no payment to manipulate).
+//! The calibrated→declared divergence is exported as a metric and a
+//! [`PosCalibrated`](mcs_obs::EventKind::PosCalibrated) trace event so
+//! the gap is observable instead of silently absorbed.
+//!
+//! ## The posterior
+//!
+//! For a user with `s` observed successes in `n` attempts and declared
+//! any-task PoS `p`, the calibrated estimate is the Laplace-smoothed
+//! posterior mean
+//!
+//! ```text
+//! p̂ = (s + k·p) / (n + k)
+//! ```
+//!
+//! with prior strength `k` pseudo-observations centred on the
+//! declaration. With no history (`n = 0`) this is exactly `p`; as
+//! `n → ∞` it converges to the empirical frequency `s/n`; for fixed `n`
+//! it is monotone in `s`; and it stays in `[0, 1]` whenever `p` does.
+//! In [`CalibrationMode::Mobility`] the posterior is further blended
+//! with a mobility-model visit probability for the user's task cell.
+
+use mcs_core::types::{Pos, UserId};
+use serde::{Deserialize, Serialize};
+
+use crate::history::SuccessHistory;
+
+/// Which evidence the calibrator folds into declared PoS values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CalibrationMode {
+    /// No calibration: every bid is admitted, calibrated = declared.
+    Off,
+    /// Blend declared PoS with the observed success history.
+    History,
+    /// As [`CalibrationMode::History`], additionally blending a
+    /// mobility-predicted visit probability where one is registered.
+    Mobility,
+}
+
+impl CalibrationMode {
+    /// Parses the `platformd --calibration` flag value.
+    pub fn parse(value: &str) -> Option<CalibrationMode> {
+        match value {
+            "off" => Some(CalibrationMode::Off),
+            "history" => Some(CalibrationMode::History),
+            "mobility" => Some(CalibrationMode::Mobility),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            CalibrationMode::Off => "off",
+            CalibrationMode::History => "history",
+            CalibrationMode::Mobility => "mobility",
+        }
+    }
+}
+
+/// Calibrator knobs. The defaults are deliberately forgiving: three
+/// attempts of grace before any gating, and a gate that only fires when
+/// the posterior has fallen below half the declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibratorConfig {
+    /// Evidence source.
+    pub mode: CalibrationMode,
+    /// Pseudo-observations backing the declared PoS (`k` above). Larger
+    /// values trust declarations longer.
+    pub prior_strength: f64,
+    /// A bid is gated out when `calibrated < gate_ratio · declared`.
+    pub gate_ratio: f64,
+    /// Users with fewer recorded attempts than this are never gated —
+    /// everyone gets a track record before it can be held against them.
+    pub min_attempts: u64,
+    /// Blend weight of the mobility visit probability in
+    /// [`CalibrationMode::Mobility`] (0 = ignore, 1 = replace).
+    pub mobility_weight: f64,
+}
+
+impl Default for CalibratorConfig {
+    fn default() -> Self {
+        CalibratorConfig {
+            mode: CalibrationMode::History,
+            prior_strength: 4.0,
+            gate_ratio: 0.5,
+            min_attempts: 3,
+            mobility_weight: 0.5,
+        }
+    }
+}
+
+impl CalibratorConfig {
+    /// Calibration disabled: admit everything, calibrated = declared.
+    pub fn off() -> Self {
+        CalibratorConfig {
+            mode: CalibrationMode::Off,
+            ..CalibratorConfig::default()
+        }
+    }
+}
+
+/// The calibrator's verdict on one bid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationDecision {
+    /// The declared any-task PoS the decision judged.
+    pub declared: Pos,
+    /// The calibrated estimate (equal to `declared` when calibration is
+    /// off or no evidence applies).
+    pub calibrated: Pos,
+    /// Whether the bid may enter the round.
+    pub admitted: bool,
+}
+
+impl CalibrationDecision {
+    /// Signed calibrated − declared divergence.
+    pub fn divergence(&self) -> f64 {
+        self.calibrated.value() - self.declared.value()
+    }
+}
+
+/// Blends declared PoS with observed evidence and gates admission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PosCalibrator {
+    config: CalibratorConfig,
+    visits: std::collections::BTreeMap<UserId, f64>,
+}
+
+impl PosCalibrator {
+    /// A calibrator with the given knobs and no registered mobility
+    /// evidence.
+    pub fn new(config: CalibratorConfig) -> Self {
+        PosCalibrator {
+            config,
+            visits: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The calibrator's configuration.
+    pub fn config(&self) -> &CalibratorConfig {
+        &self.config
+    }
+
+    /// Registers mobility evidence for `user`: the predicted probability
+    /// of visiting her task's grid cell within the sensing window. Only
+    /// consulted in [`CalibrationMode::Mobility`].
+    pub fn register_visit(&mut self, user: UserId, probability: f64) {
+        self.visits.insert(user, probability.clamp(0.0, 1.0));
+    }
+
+    /// The Laplace-smoothed posterior for `user` given her declaration,
+    /// before any mobility blending.
+    pub fn posterior(&self, history: &SuccessHistory, user: UserId, declared: Pos) -> f64 {
+        let record = history.record_for(user);
+        let k = self.config.prior_strength.max(0.0);
+        let n = record.attempts as f64;
+        if n + k == 0.0 {
+            return declared.value();
+        }
+        (record.successes as f64 + k * declared.value()) / (n + k)
+    }
+
+    /// Calibrates `user`'s declared any-task PoS against `history` and
+    /// decides admission.
+    pub fn decide(
+        &self,
+        history: &SuccessHistory,
+        user: UserId,
+        declared: Pos,
+    ) -> CalibrationDecision {
+        if self.config.mode == CalibrationMode::Off {
+            return CalibrationDecision {
+                declared,
+                calibrated: declared,
+                admitted: true,
+            };
+        }
+        let mut estimate = self.posterior(history, user, declared);
+        if self.config.mode == CalibrationMode::Mobility {
+            if let Some(&visit) = self.visits.get(&user) {
+                let w = self.config.mobility_weight.clamp(0.0, 1.0);
+                estimate = (1.0 - w) * estimate + w * visit;
+            }
+        }
+        let calibrated = Pos::saturating(estimate);
+        let grace = history.record_for(user).attempts < self.config.min_attempts;
+        let admitted = grace || calibrated.value() >= self.config.gate_ratio * declared.value();
+        CalibrationDecision {
+            declared,
+            calibrated,
+            admitted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history_with(user: UserId, successes: u64, attempts: u64) -> SuccessHistory {
+        let mut history = SuccessHistory::new();
+        for i in 0..attempts {
+            history.record(user, i < successes);
+        }
+        history
+    }
+
+    #[test]
+    fn empty_history_degrades_to_declared() {
+        let calibrator = PosCalibrator::new(CalibratorConfig::default());
+        let history = SuccessHistory::new();
+        let declared = Pos::new(0.6).unwrap();
+        let decision = calibrator.decide(&history, UserId::new(0), declared);
+        assert_eq!(decision.calibrated, declared);
+        assert!(decision.admitted);
+        assert_eq!(decision.divergence(), 0.0);
+    }
+
+    #[test]
+    fn posterior_tracks_empirical_frequency() {
+        let calibrator = PosCalibrator::new(CalibratorConfig::default());
+        let user = UserId::new(1);
+        let declared = Pos::new(0.9).unwrap();
+        let posterior = calibrator.posterior(&history_with(user, 10, 100), user, declared);
+        // 100 observations at 10% success pull 0.9 down hard.
+        assert!((posterior - (10.0 + 4.0 * 0.9) / 104.0).abs() < 1e-12);
+        assert!(posterior < 0.14);
+    }
+
+    #[test]
+    fn chronic_failures_are_gated_but_grace_protects_newcomers() {
+        let calibrator = PosCalibrator::new(CalibratorConfig::default());
+        let user = UserId::new(2);
+        let declared = Pos::new(0.9).unwrap();
+        // 2 attempts: inside the grace window, never gated.
+        let young = calibrator.decide(&history_with(user, 0, 2), user, declared);
+        assert!(young.admitted);
+        // 20 straight failures: posterior far below half the declaration.
+        let chronic = calibrator.decide(&history_with(user, 0, 20), user, declared);
+        assert!(!chronic.admitted);
+        assert!(chronic.calibrated.value() < 0.2);
+        assert!(chronic.divergence() < 0.0);
+    }
+
+    #[test]
+    fn off_mode_admits_everything() {
+        let calibrator = PosCalibrator::new(CalibratorConfig::off());
+        let user = UserId::new(3);
+        let declared = Pos::new(0.9).unwrap();
+        let decision = calibrator.decide(&history_with(user, 0, 50), user, declared);
+        assert!(decision.admitted);
+        assert_eq!(decision.calibrated, declared);
+    }
+
+    #[test]
+    fn mobility_mode_blends_registered_visits() {
+        let config = CalibratorConfig {
+            mode: CalibrationMode::Mobility,
+            mobility_weight: 0.5,
+            ..CalibratorConfig::default()
+        };
+        let mut calibrator = PosCalibrator::new(config);
+        let user = UserId::new(4);
+        let declared = Pos::new(0.8).unwrap();
+        let history = SuccessHistory::new();
+        calibrator.register_visit(user, 0.2);
+        let blended = calibrator.decide(&history, user, declared);
+        // (1 - 0.5)·0.8 + 0.5·0.2 = 0.5
+        assert!((blended.calibrated.value() - 0.5).abs() < 1e-12);
+        // Without registered evidence the posterior is untouched.
+        let other = calibrator.decide(&history, UserId::new(5), declared);
+        assert_eq!(other.calibrated, declared);
+    }
+
+    #[test]
+    fn mode_flags_round_trip() {
+        for mode in [
+            CalibrationMode::Off,
+            CalibrationMode::History,
+            CalibrationMode::Mobility,
+        ] {
+            assert_eq!(CalibrationMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(CalibrationMode::parse("bogus"), None);
+    }
+}

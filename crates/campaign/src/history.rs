@@ -1,0 +1,123 @@
+//! Per-user execution-outcome history: the feedback store behind PoS
+//! calibration.
+//!
+//! Every settled round reports, per winner, whether she completed at
+//! least one of her tasks ([`RoundSettlement::outcomes`]). The history
+//! accumulates those Bernoulli observations per user; the
+//! [`PosCalibrator`](crate::calibrate::PosCalibrator) turns them into a
+//! Laplace-smoothed posterior over each user's *actual* success
+//! probability, which is what lets a campaign notice users whose
+//! declared PoS consistently overstates reality.
+//!
+//! The store is a plain `BTreeMap`, so iteration order — and therefore
+//! everything derived from it, including campaign fingerprints — is
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use mcs_core::types::UserId;
+use mcs_platform::prelude::RoundSettlement;
+use serde::{Deserialize, Serialize};
+
+/// One user's observed execution record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserRecord {
+    /// Rounds the user won and completed at least one task.
+    pub successes: u64,
+    /// Rounds the user won (successes + failures).
+    pub attempts: u64,
+}
+
+impl UserRecord {
+    /// The empirical success frequency, `None` before any attempt.
+    pub fn frequency(&self) -> Option<f64> {
+        (self.attempts > 0).then(|| self.successes as f64 / self.attempts as f64)
+    }
+}
+
+/// Accumulated execution outcomes, per user, across settled rounds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuccessHistory {
+    records: BTreeMap<UserId, UserRecord>,
+}
+
+impl SuccessHistory {
+    /// An empty history.
+    pub fn new() -> Self {
+        SuccessHistory::default()
+    }
+
+    /// Folds one settled round's outcomes into the history.
+    pub fn observe(&mut self, settlement: &RoundSettlement) {
+        for (&user, &completed) in &settlement.outcomes {
+            self.record(user, completed);
+        }
+    }
+
+    /// Records a single outcome for `user`.
+    pub fn record(&mut self, user: UserId, completed: bool) {
+        let record = self.records.entry(user).or_default();
+        record.attempts += 1;
+        if completed {
+            record.successes += 1;
+        }
+    }
+
+    /// The user's record (all-zero if she never won a round).
+    pub fn record_for(&self, user: UserId) -> UserRecord {
+        self.records.get(&user).copied().unwrap_or_default()
+    }
+
+    /// Users with at least one recorded attempt, in id order.
+    pub fn users(&self) -> impl Iterator<Item = (UserId, UserRecord)> + '_ {
+        self.records.iter().map(|(&user, &record)| (user, record))
+    }
+
+    /// Number of users with at least one recorded attempt.
+    pub fn user_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total attempts recorded across all users.
+    pub fn total_attempts(&self) -> u64 {
+        self.records.values().map(|r| r.attempts).sum()
+    }
+
+    /// Total successes recorded across all users.
+    pub fn total_successes(&self) -> u64 {
+        self.records.values().map(|r| r.successes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_user() {
+        let mut history = SuccessHistory::new();
+        let user = UserId::new(3);
+        history.record(user, true);
+        history.record(user, false);
+        history.record(user, true);
+        let record = history.record_for(user);
+        assert_eq!(record.attempts, 3);
+        assert_eq!(record.successes, 2);
+        assert!((record.frequency().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(history.record_for(UserId::new(9)), UserRecord::default());
+        assert_eq!(history.record_for(UserId::new(9)).frequency(), None);
+    }
+
+    #[test]
+    fn totals_sum_over_users() {
+        let mut history = SuccessHistory::new();
+        history.record(UserId::new(0), true);
+        history.record(UserId::new(1), false);
+        history.record(UserId::new(1), true);
+        assert_eq!(history.user_count(), 2);
+        assert_eq!(history.total_attempts(), 3);
+        assert_eq!(history.total_successes(), 2);
+        let users: Vec<u64> = history.users().map(|(_, r)| r.attempts).collect();
+        assert_eq!(users, vec![1, 2]);
+    }
+}

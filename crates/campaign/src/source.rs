@@ -1,0 +1,133 @@
+//! Bid sources: where a campaign round's bids come from.
+//!
+//! The runner is generic over a [`BidSource`] so the same closed loop
+//! drives synthetic populations (tests, fuzzing, benchmarks) and
+//! dataset-derived populations (`platformd`). A source sees the round's
+//! *open* task list — for residual rounds that is the uncovered subset
+//! at its residual requirements — and returns the raw bids to screen
+//! and submit.
+//!
+//! Determinism contract: a source must be a pure function of its own
+//! seed/state and the `(round_index, tasks)` arguments. Both provided
+//! sources derive every draw from a SplitMix64 stream keyed on
+//! `(seed, round_index, user)`, so identical campaigns produce
+//! identical bid streams regardless of timing.
+
+use mcs_core::types::Task;
+use mcs_platform::prelude::Bid;
+
+/// Produces each campaign round's bids.
+pub trait BidSource: std::fmt::Debug {
+    /// The bids for campaign round `round_index` over the currently
+    /// open `tasks`. Entries for tasks not in `tasks` are dropped by
+    /// the runner before submission.
+    fn bids(&mut self, round_index: u64, tasks: &[Task]) -> Vec<Bid>;
+}
+
+/// SplitMix64 mix of a seed and two indices — the same construction the
+/// platform uses for per-round RNG seeds.
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z =
+        seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A unit draw in `[0, 1)` from the mixed stream.
+fn unit(seed: u64, a: u64, b: u64) -> f64 {
+    (mix(seed, a, b) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A fixed synthetic population re-bidding every round.
+///
+/// Every round, each of `population` users bids on every open task with
+/// a per-(round, user, task) PoS in `[pos_min, pos_max)` and a
+/// per-(round, user) cost in `[cost_min, cost_max)`. A stable user-id
+/// space across rounds is what gives the calibrator a history to learn
+/// from.
+#[derive(Debug, Clone)]
+pub struct SyntheticBidSource {
+    seed: u64,
+    population: u32,
+    /// PoS draw range.
+    pub pos_range: (f64, f64),
+    /// Cost draw range.
+    pub cost_range: (f64, f64),
+}
+
+impl SyntheticBidSource {
+    /// A source of `population` users seeded with `seed`.
+    pub fn new(seed: u64, population: u32) -> Self {
+        SyntheticBidSource {
+            seed,
+            population,
+            pos_range: (0.35, 0.75),
+            cost_range: (1.0, 3.0),
+        }
+    }
+
+    /// The population size.
+    pub fn population(&self) -> u32 {
+        self.population
+    }
+}
+
+impl BidSource for SyntheticBidSource {
+    fn bids(&mut self, round_index: u64, tasks: &[Task]) -> Vec<Bid> {
+        let (pos_lo, pos_hi) = self.pos_range;
+        let (cost_lo, cost_hi) = self.cost_range;
+        (0..self.population)
+            .map(|user| {
+                let key = round_index.wrapping_mul(0x1_0000).wrapping_add(user as u64);
+                let cost = cost_lo + (cost_hi - cost_lo) * unit(self.seed, key, 0);
+                let tasks: Vec<(u32, f64)> = tasks
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, task)| {
+                        let draw = unit(self.seed, key, 1 + slot as u64);
+                        let pos = pos_lo + (pos_hi - pos_lo) * draw;
+                        (task.id().index() as u32, pos)
+                    })
+                    .collect();
+                Bid { user, cost, tasks }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_core::types::{Pos, TaskId};
+
+    fn tasks() -> Vec<Task> {
+        vec![
+            Task::new(TaskId::new(0), Pos::new(0.9).unwrap()),
+            Task::new(TaskId::new(2), Pos::new(0.8).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn bids_are_deterministic_and_round_dependent() {
+        let mut a = SyntheticBidSource::new(7, 5);
+        let mut b = SyntheticBidSource::new(7, 5);
+        assert_eq!(a.bids(0, &tasks()), b.bids(0, &tasks()));
+        assert_ne!(a.bids(1, &tasks()), b.bids(2, &tasks()));
+    }
+
+    #[test]
+    fn bids_cover_exactly_the_open_tasks() {
+        let mut source = SyntheticBidSource::new(7, 3);
+        let bids = source.bids(0, &tasks());
+        assert_eq!(bids.len(), 3);
+        for bid in &bids {
+            let ids: Vec<u32> = bid.tasks.iter().map(|&(t, _)| t).collect();
+            assert_eq!(ids, vec![0, 2]);
+            for &(_, pos) in &bid.tasks {
+                assert!((0.0..1.0).contains(&pos));
+            }
+            assert!(bid.cost >= 1.0 && bid.cost < 3.0);
+        }
+    }
+}

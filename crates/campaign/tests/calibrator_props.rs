@@ -1,0 +1,111 @@
+//! Property tests for the PoS calibrator: the Laplace posterior is a
+//! probability, monotone in observed successes, converges to the
+//! empirical success frequency, and degrades to the declared value when
+//! there is no history to learn from.
+
+use mcs_campaign::prelude::{CalibratorConfig, PosCalibrator, SuccessHistory};
+use mcs_core::types::{Pos, UserId};
+use proptest::prelude::*;
+
+fn history_of(successes: u64, failures: u64) -> SuccessHistory {
+    let mut history = SuccessHistory::new();
+    let user = UserId::new(0);
+    for _ in 0..successes {
+        history.record(user, true);
+    }
+    for _ in 0..failures {
+        history.record(user, false);
+    }
+    history
+}
+
+fn calibrator(prior_strength: f64) -> PosCalibrator {
+    PosCalibrator::new(CalibratorConfig {
+        prior_strength,
+        ..CalibratorConfig::default()
+    })
+}
+
+proptest! {
+    #[test]
+    fn posterior_is_a_probability(
+        declared in 0.01f64..0.99,
+        successes in 0u64..60,
+        failures in 0u64..60,
+        prior_strength in 0.5f64..16.0,
+    ) {
+        let history = history_of(successes, failures);
+        let posterior = calibrator(prior_strength).posterior(
+            &history,
+            UserId::new(0),
+            Pos::saturating(declared),
+        );
+        prop_assert!((0.0..=1.0).contains(&posterior), "posterior {posterior} left [0, 1]");
+    }
+
+    #[test]
+    fn posterior_is_monotone_in_successes(
+        declared in 0.01f64..0.99,
+        attempts in 1u64..60,
+        prior_strength in 0.5f64..16.0,
+    ) {
+        let calibrator = calibrator(prior_strength);
+        let declared = Pos::saturating(declared);
+        let mut previous = -1.0;
+        for successes in 0..=attempts {
+            let history = history_of(successes, attempts - successes);
+            let posterior = calibrator.posterior(&history, UserId::new(0), declared);
+            prop_assert!(
+                posterior >= previous - 1e-12,
+                "posterior dropped from {previous} to {posterior} \
+                 at {successes}/{attempts} successes"
+            );
+            previous = posterior;
+        }
+    }
+
+    #[test]
+    fn posterior_converges_to_empirical_frequency(
+        declared in 0.01f64..0.99,
+        successes in 0u64..60,
+        failures in 0u64..60,
+        prior_strength in 0.5f64..16.0,
+    ) {
+        if successes + failures == 0 {
+            return Ok(()); // empty history is its own property below
+        }
+        let history = history_of(successes, failures);
+        let posterior = calibrator(prior_strength).posterior(
+            &history,
+            UserId::new(0),
+            Pos::saturating(declared),
+        );
+        let attempts = (successes + failures) as f64;
+        let empirical = successes as f64 / attempts;
+        // The prior of strength k can pull n observations at most
+        // k / (n + k) away from their empirical mean.
+        let bound = prior_strength / (attempts + prior_strength);
+        prop_assert!(
+            (posterior - empirical).abs() <= bound + 1e-12,
+            "posterior {posterior} strayed {:.6} from empirical {empirical} (bound {bound:.6})",
+            (posterior - empirical).abs()
+        );
+    }
+
+    #[test]
+    fn empty_history_degrades_to_declared(
+        declared in 0.01f64..0.99,
+        prior_strength in 0.5f64..16.0,
+    ) {
+        let history = SuccessHistory::new();
+        let posterior = calibrator(prior_strength).posterior(
+            &history,
+            UserId::new(0),
+            Pos::saturating(declared),
+        );
+        prop_assert!(
+            (posterior - declared).abs() < 1e-12,
+            "with no observations the posterior must be the declared {declared}, got {posterior}"
+        );
+    }
+}

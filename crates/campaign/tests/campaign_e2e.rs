@@ -1,0 +1,126 @@
+//! End-to-end campaign acceptance: a seeded campaign with a 30%
+//! injected execution-failure rate reaches full coverage through
+//! residual re-auctions, its per-round economics are scrapeable over
+//! HTTP in both Prometheus and JSON form, its fingerprint is bitwise
+//! identical across worker counts, and back-to-back campaigns on one
+//! ledger conserve the lifetime totals.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+
+use mcs_campaign::prelude::{CampaignConfig, CampaignReport, CampaignRunner, SyntheticBidSource};
+use mcs_core::types::{Task, TaskId};
+use mcs_obs::ExportServer;
+use mcs_platform::prelude::EngineConfig;
+
+const SEED: u64 = 42;
+const FAILURE_RATE: f64 = 0.3;
+
+fn tasks() -> Vec<Task> {
+    vec![
+        Task::with_requirement(TaskId::new(0), 0.95).unwrap(),
+        Task::with_requirement(TaskId::new(1), 0.9).unwrap(),
+        Task::with_requirement(TaskId::new(2), 0.85).unwrap(),
+    ]
+}
+
+fn config(workers: usize) -> CampaignConfig {
+    let engine = EngineConfig::default()
+        .with_seed(SEED)
+        .with_workers(workers);
+    let mut config = CampaignConfig::new(engine, tasks(), 24);
+    config.failure_rate = FAILURE_RATE;
+    config.failure_seed = SEED ^ 0xFA11_FA11;
+    config
+}
+
+fn run(workers: usize) -> (CampaignRunner, CampaignReport) {
+    let runner = CampaignRunner::new(config(workers));
+    let mut source = SyntheticBidSource::new(SEED, 12);
+    let report = runner.run(&mut source);
+    (runner, report)
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn injected_failures_are_closed_by_residual_reauctions() {
+    let (runner, report) = run(2);
+    assert!(
+        report.covered,
+        "30% failures must still reach full coverage"
+    );
+    assert!(
+        report.rounds_run() > 1,
+        "a 30% failure rate should force at least one residual round"
+    );
+    assert!(report.residual_final.values().all(|&r| r < 1e-9));
+    assert!(runner.metrics_handle().residual_reauction_count() > 0);
+    // Residual rounds re-publish strictly fewer-or-equal tasks.
+    for pair in report.rounds.windows(2) {
+        assert!(pair[1].residual_before.len() <= pair[0].residual_before.len());
+    }
+}
+
+#[test]
+fn per_round_economics_are_scrapeable() {
+    let (runner, report) = run(2);
+    let server = ExportServer::spawn("127.0.0.1:0", runner.metrics_handle()).unwrap();
+    let addr = server.local_addr();
+
+    let prom = get(addr, "/metrics");
+    assert!(prom.starts_with("HTTP/1.0 200 OK"));
+    for family in [
+        "mcs_campaign_rounds_total",
+        "mcs_campaign_residual_reauctions_total",
+        "mcs_campaign_executions_succeeded_total",
+        "mcs_campaign_executions_failed_total",
+        "mcs_campaign_total_paid",
+        "mcs_campaign_residual_open",
+        "mcs_campaign_round_payout",
+        "mcs_campaign_round_residual_after",
+    ] {
+        assert!(prom.contains(family), "missing {family} in:\n{prom}");
+    }
+    // Every campaign round shows up as a labelled per-round sample.
+    for round in &report.rounds {
+        let label = format!("round=\"{}\"", round.index);
+        assert!(prom.contains(&label), "missing {label} in:\n{prom}");
+    }
+
+    let json = get(addr, "/metrics.json");
+    assert!(json.starts_with("HTTP/1.0 200 OK"));
+    assert!(json.contains("economics"));
+    assert!(json.contains("residual_after"));
+}
+
+#[test]
+fn fingerprints_match_across_worker_counts() {
+    let fingerprints: Vec<u64> = [1usize, 2, 8]
+        .iter()
+        .map(|&workers| run(workers).1.fingerprint())
+        .collect();
+    assert_eq!(fingerprints[0], fingerprints[1]);
+    assert_eq!(fingerprints[1], fingerprints[2]);
+}
+
+#[test]
+fn chained_campaigns_conserve_the_lifetime_ledger() {
+    let (runner, first) = run(2);
+    let mut source = SyntheticBidSource::new(SEED ^ 1, 12);
+    let second = runner.resume(&mut source, first.checkpoint.clone());
+    let lifetime = second.checkpoint.ledger.total_paid();
+    assert!(
+        (first.total_paid + second.total_paid - lifetime).abs() < 1e-9,
+        "scoped campaign totals must partition the lifetime ledger: \
+         {} + {} != {lifetime}",
+        first.total_paid,
+        second.total_paid
+    );
+}

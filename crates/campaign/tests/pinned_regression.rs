@@ -1,0 +1,45 @@
+//! Pinned-seed regression: the canonical 30%-failure campaign is
+//! bit-for-bit frozen. Any change to bid synthesis, clearing,
+//! settlement, failure injection, calibration gating, or residual
+//! accounting that moves these numbers is a *behavioural* change and
+//! must update this pin deliberately.
+
+use mcs_campaign::prelude::{CampaignConfig, CampaignRunner, SyntheticBidSource};
+use mcs_core::types::{Task, TaskId};
+use mcs_platform::prelude::EngineConfig;
+
+/// Frozen expectations for `(seed=2024, rate=0.3, 12 bidders)`.
+const PINNED_ROUNDS: u64 = 2;
+const PINNED_FINGERPRINT: u64 = 0x747f_0263_a291_f38b;
+
+#[test]
+fn the_canonical_campaign_is_frozen() {
+    let tasks = vec![
+        Task::with_requirement(TaskId::new(0), 0.95).unwrap(),
+        Task::with_requirement(TaskId::new(1), 0.9).unwrap(),
+        Task::with_requirement(TaskId::new(2), 0.85).unwrap(),
+    ];
+    let mut config = CampaignConfig::new(EngineConfig::default().with_seed(2024), tasks, 24);
+    config.failure_rate = 0.3;
+    config.failure_seed = 2024 ^ 0xFA11_FA11;
+    let runner = CampaignRunner::new(config);
+    let mut source = SyntheticBidSource::new(2024, 12);
+    let report = runner.run(&mut source);
+
+    assert!(report.covered, "the pinned campaign reaches full coverage");
+    assert!(
+        report.rounds_run() > 1,
+        "the pinned campaign needs residual rounds to converge"
+    );
+    println!(
+        "pinned campaign: rounds={} fingerprint={:016x}",
+        report.rounds_run(),
+        report.fingerprint()
+    );
+    assert_eq!(report.rounds_run(), PINNED_ROUNDS, "round count drifted");
+    assert_eq!(
+        report.fingerprint(),
+        PINNED_FINGERPRINT,
+        "campaign fingerprint drifted"
+    );
+}

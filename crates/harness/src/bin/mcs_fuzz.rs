@@ -8,7 +8,7 @@
 //! ```text
 //! mcs-fuzz [--seed S] [--rounds N] [--faults F] [--tasks T] [--bids B]
 //!          [--workers W] [--payment-threads P] [--drain-every D]
-//!          [--verify-determinism] [--ci-smoke] [--soak]
+//!          [--verify-determinism] [--ci-smoke] [--soak] [--campaign]
 //! ```
 //!
 //! * `--seed`    campaign seed: bid stream, fault plan, execution draws (default 1)
@@ -30,16 +30,32 @@
 //!   are fully accounted, that over-budget rounds partially clear, and
 //!   that fingerprints stay bitwise identical across worker counts.
 //!   Combine with `--ci-smoke` for the shortened CI variant.
+//! * `--campaign` closed-loop mode: drives seeded *auction* campaigns
+//!   (`mcs-campaign` residual re-auction loops) across a matrix of
+//!   execution-failure rates, with and without chaos faults (report
+//!   flips, shard panics, queue reorders) layered on top, and asserts
+//!   the closed-loop oracles — residual monotonicity, termination,
+//!   calibration sanity, payout conservation — plus bitwise fingerprint
+//!   determinism across worker/payment-thread counts. Combine with
+//!   `--ci-smoke` for the shortened CI variant.
 //!
 //! A failing campaign is reproduced by re-running with the same `--seed`,
 //! `--rounds`, `--faults`, and `--tasks`; the fingerprint printed at the
 //! end must match bitwise.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
+use mcs_campaign::prelude::{CampaignRunner, SyntheticBidSource};
+use mcs_core::types::{Task, TaskId};
 use mcs_harness::prelude::*;
-use mcs_platform::config::{AdmissionConfig, ShedPolicy};
+use mcs_platform::batch::RoundId;
+use mcs_platform::config::{AdmissionConfig, EngineConfig, ShedPolicy};
+
+// mcs-campaign's config — aliased because the chaos harness already
+// says `CampaignConfig` for a *fault* campaign.
+use mcs_campaign::prelude::CampaignConfig as LoopConfig;
 
 struct Options {
     seed: u64,
@@ -53,6 +69,7 @@ struct Options {
     verify_determinism: bool,
     ci_smoke: bool,
     soak: bool,
+    campaign_loop: bool,
 }
 
 impl Options {
@@ -69,6 +86,7 @@ impl Options {
             verify_determinism: false,
             ci_smoke: false,
             soak: false,
+            campaign_loop: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -88,10 +106,12 @@ impl Options {
                 "--verify-determinism" => options.verify_determinism = true,
                 "--ci-smoke" => options.ci_smoke = true,
                 "--soak" => options.soak = true,
+                "--campaign" => options.campaign_loop = true,
                 "--help" | "-h" => {
                     return Err("usage: mcs-fuzz [--seed S] [--rounds N] [--faults F] \
                          [--tasks T] [--bids B] [--workers W] [--payment-threads P] \
-                         [--drain-every D] [--verify-determinism] [--ci-smoke] [--soak]"
+                         [--drain-every D] [--verify-determinism] [--ci-smoke] [--soak] \
+                         [--campaign]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -300,6 +320,115 @@ fn soak(options: &Options) -> ExitCode {
     }
 }
 
+/// The published task set every closed-loop fuzz campaign pursues.
+fn loop_config(seed: u64, failure_rate: f64) -> LoopConfig {
+    let tasks = vec![
+        Task::with_requirement(TaskId::new(0), 0.95).unwrap(),
+        Task::with_requirement(TaskId::new(1), 0.9).unwrap(),
+        Task::with_requirement(TaskId::new(2), 0.85).unwrap(),
+    ];
+    let mut config = LoopConfig::new(EngineConfig::default().with_seed(seed), tasks, 24);
+    config.failure_rate = failure_rate;
+    config.failure_seed = seed ^ 0xFA11_FA11;
+    config
+}
+
+/// A campaign runner, optionally with chaos faults layered over the
+/// execution-failure stream. One campaign round is exactly one engine
+/// round and a fresh run's ids start at 0, so the chaos rounds can be
+/// armed up front.
+fn loop_runner(config: LoopConfig, chaos: bool) -> CampaignRunner {
+    if chaos {
+        let injector = Arc::new(PlanInjector::new());
+        injector.arm_flip(RoundId(1));
+        injector.arm_reorder(RoundId(2));
+        injector.arm_panic(RoundId(3));
+        CampaignRunner::with_injector(config, injector)
+    } else {
+        CampaignRunner::new(config)
+    }
+}
+
+/// Runs one closed-loop campaign, oracle-checks it, and verifies its
+/// fingerprint is bitwise identical across worker/payment-thread
+/// combinations. Returns whether everything held.
+fn run_closed_loop(seed: u64, failure_rate: f64, chaos: bool) -> bool {
+    const BIDDERS: u32 = 12;
+    let start = Instant::now();
+    let config = loop_config(seed, failure_rate);
+    let budget = config.round_budget();
+    let runner = loop_runner(config, chaos);
+    let mut source = SyntheticBidSource::new(seed, BIDDERS);
+    let report = runner.run(&mut source);
+    let violations = check_campaign(&report, budget);
+    println!(
+        "campaign[seed={seed} rate={failure_rate} chaos={chaos}]: \
+         {} rounds · covered {} · paid {:.3} · {} bids gated · \
+         fingerprint {:016x} · {:.2?}",
+        report.rounds_run(),
+        report.covered,
+        report.total_paid,
+        report.rounds.iter().map(|r| r.bids_gated).sum::<usize>(),
+        report.fingerprint(),
+        start.elapsed()
+    );
+    let mut ok = violations.is_empty();
+    for violation in &violations {
+        eprintln!("  VIOLATION: {violation}");
+    }
+    if !chaos && !report.covered {
+        eprintln!("  CAMPAIGN: residual re-auctions failed to reach coverage in {budget} rounds");
+        ok = false;
+    }
+    let reference = report.fingerprint();
+    for (workers, payment_threads) in [(1usize, 1usize), (2, 3), (8, 2)] {
+        let mut variant = loop_config(seed, failure_rate);
+        variant.engine = variant
+            .engine
+            .with_workers(workers)
+            .with_payment_threads(payment_threads);
+        let runner = loop_runner(variant, chaos);
+        let mut source = SyntheticBidSource::new(seed, BIDDERS);
+        let fingerprint = runner.run(&mut source).fingerprint();
+        if fingerprint != reference {
+            eprintln!(
+                "  DETERMINISM BROKEN: workers={workers} payment_threads={payment_threads} \
+                 fingerprint {fingerprint:016x} != reference {reference:016x}"
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// Closed-loop mode: a seeds × failure-rates × chaos matrix of auction
+/// campaigns, each oracle-checked and determinism-verified.
+fn closed_loop_fuzz(options: &Options) -> ExitCode {
+    silence_injected_panics();
+    let seeds: &[u64] = if options.ci_smoke {
+        &[1, 7]
+    } else {
+        &[1, 7, 42, 99, 123]
+    };
+    let mut failed = false;
+    for &seed in seeds {
+        for rate in [0.0, 0.3, 0.6] {
+            for chaos in [false, true] {
+                if !run_closed_loop(seed, rate, chaos) {
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        eprintln!("campaign: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("campaign: every closed loop covered, clean, and deterministic");
+        ExitCode::SUCCESS
+    }
+}
+
 /// The fixed CI smoke matrix: a few seeds over both mechanism families,
 /// each verified clean and bitwise identical across worker counts.
 fn ci_smoke() -> ExitCode {
@@ -352,6 +481,9 @@ fn main() -> ExitCode {
         }
     };
 
+    if options.campaign_loop {
+        return closed_loop_fuzz(&options);
+    }
     if options.soak {
         return soak(&options);
     }

@@ -1,0 +1,374 @@
+//! Closed-loop campaign oracles: invariant checks over a whole
+//! [`CampaignReport`] from `mcs-campaign`.
+//!
+//! The per-round oracles in [`crate::oracle`] judge a single cleared
+//! round; these judge the *loop around* the rounds — the part the
+//! closed-loop campaign engine adds on top of the paper's single-shot
+//! mechanism:
+//!
+//! * **Residual monotonicity** — a task's residual requirement `Q_j'`
+//!   never increases, neither within a round (absorption only
+//!   subtracts) nor across the re-auction boundary (a re-published
+//!   round may not inflate what the previous round left).
+//! * **Termination** — every campaign ends by full coverage or by
+//!   exhausting its round budget; `covered` must agree with the final
+//!   residuals.
+//! * **Calibration sanity** — the Laplace posterior stays a
+//!   probability and is pinned to the empirical success frequency
+//!   within the analytic prior bound `k / (n + k)`.
+//! * **Payout conservation** — the campaign-scoped ledger totals, the
+//!   per-round settlement payouts, and the per-user balances all tell
+//!   the same story.
+//!
+//! Violations carry enough context to reproduce: re-run the campaign
+//! with the same seed and the same round index shows up.
+
+use std::fmt;
+
+use mcs_campaign::prelude::{CampaignReport, PosCalibrator};
+use mcs_core::types::{Pos, TaskId, UserId};
+
+/// Absolute tolerance for residual/payout comparisons. Residuals are
+/// log-domain contributions accumulated by subtraction, so drift is
+/// bounded by a few ulps per round; 1e-9 matches the platform's
+/// contribution tolerance.
+const TOLERANCE: f64 = 1e-9;
+
+/// A closed-loop invariant the campaign failed to uphold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClosedLoopViolation {
+    /// A task's residual grew within a single round: settlement
+    /// absorption can only subtract.
+    ResidualRegression {
+        /// Campaign round index.
+        round: u64,
+        /// The offending task.
+        task: TaskId,
+        /// Residual when the round was published.
+        before: f64,
+        /// Residual after absorbing the round.
+        after: f64,
+    },
+    /// A re-auctioned round published more residual requirement for a
+    /// task than the previous round left uncovered.
+    ResidualInflated {
+        /// Campaign round index of the re-published round.
+        round: u64,
+        /// The offending task.
+        task: TaskId,
+        /// What the previous round left.
+        carried: f64,
+        /// What this round published.
+        published: f64,
+    },
+    /// The campaign stopped early: neither covered nor out of budget.
+    Unterminated {
+        /// Rounds actually run.
+        rounds_run: u64,
+        /// The configured round budget.
+        budget: u64,
+    },
+    /// The campaign ran more rounds than its budget allows.
+    BudgetOverrun {
+        /// Rounds actually run.
+        rounds_run: u64,
+        /// The configured round budget.
+        budget: u64,
+    },
+    /// `covered` disagrees with the final residuals.
+    CoverageMislabelled {
+        /// The reported coverage flag.
+        covered: bool,
+        /// Total residual requirement left at the end.
+        residual: f64,
+    },
+    /// A calibrated posterior left the unit interval.
+    CalibrationOutOfRange {
+        /// The user whose posterior misbehaved.
+        user: UserId,
+        /// The offending posterior value.
+        posterior: f64,
+    },
+    /// A posterior strayed from the empirical success frequency by more
+    /// than the Laplace prior can explain.
+    CalibrationDiverged {
+        /// The user whose posterior misbehaved.
+        user: UserId,
+        /// The computed posterior.
+        posterior: f64,
+        /// The empirical success frequency `s / n`.
+        empirical: f64,
+        /// The analytic bound `k / (n + k)`.
+        bound: f64,
+    },
+    /// Round payouts, scoped ledger total, and user balances disagree.
+    PayoutDrift {
+        /// Which two quantities disagreed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ClosedLoopViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClosedLoopViolation::ResidualRegression {
+                round,
+                task,
+                before,
+                after,
+            } => write!(
+                f,
+                "campaign round {round}: residual of {task} grew {before:.9} -> {after:.9}"
+            ),
+            ClosedLoopViolation::ResidualInflated {
+                round,
+                task,
+                carried,
+                published,
+            } => write!(
+                f,
+                "campaign round {round}: re-published {task} at {published:.9} \
+                 but the previous round left only {carried:.9}"
+            ),
+            ClosedLoopViolation::Unterminated { rounds_run, budget } => write!(
+                f,
+                "campaign stopped after {rounds_run} of {budget} rounds without full coverage"
+            ),
+            ClosedLoopViolation::BudgetOverrun { rounds_run, budget } => write!(
+                f,
+                "campaign ran {rounds_run} rounds against a budget of {budget}"
+            ),
+            ClosedLoopViolation::CoverageMislabelled { covered, residual } => write!(
+                f,
+                "campaign reports covered={covered} but {residual:.9} residual remains"
+            ),
+            ClosedLoopViolation::CalibrationOutOfRange { user, posterior } => write!(
+                f,
+                "calibrated PoS for {user} left the unit interval: {posterior}"
+            ),
+            ClosedLoopViolation::CalibrationDiverged {
+                user,
+                posterior,
+                empirical,
+                bound,
+            } => write!(
+                f,
+                "posterior for {user} is {posterior:.6} but the empirical frequency \
+                 is {empirical:.6}; the prior only explains +/-{bound:.6}"
+            ),
+            ClosedLoopViolation::PayoutDrift { detail } => {
+                write!(f, "campaign payout accounting drifted: {detail}")
+            }
+        }
+    }
+}
+
+/// Checks every closed-loop invariant over a finished campaign.
+///
+/// `budget` is the campaign's effective round budget
+/// ([`CampaignConfig::round_budget`](mcs_campaign::prelude::CampaignConfig::round_budget)).
+/// Returns every violation found; an empty vector means the campaign
+/// upheld residual monotonicity, termination, calibration sanity, and
+/// payout conservation.
+pub fn check_campaign(report: &CampaignReport, budget: u64) -> Vec<ClosedLoopViolation> {
+    let mut violations = Vec::new();
+    residual_monotone(report, &mut violations);
+    termination(report, budget, &mut violations);
+    calibration_sane(report, &mut violations);
+    payouts_conserved(report, &mut violations);
+    violations
+}
+
+/// Residuals only shrink: within each round, and across the re-auction
+/// boundary where the next round re-publishes what the last one left.
+fn residual_monotone(report: &CampaignReport, violations: &mut Vec<ClosedLoopViolation>) {
+    for round in &report.rounds {
+        for (&task, &after) in &round.residual_after {
+            let before = round.residual_before.get(&task).copied().unwrap_or(0.0);
+            if after > before + TOLERANCE {
+                violations.push(ClosedLoopViolation::ResidualRegression {
+                    round: round.index,
+                    task,
+                    before,
+                    after,
+                });
+            }
+        }
+    }
+    for pair in report.rounds.windows(2) {
+        let (previous, next) = (&pair[0], &pair[1]);
+        for (&task, &published) in &next.residual_before {
+            let carried = previous.residual_after.get(&task).copied().unwrap_or(0.0);
+            if published > carried + TOLERANCE {
+                violations.push(ClosedLoopViolation::ResidualInflated {
+                    round: next.index,
+                    task,
+                    carried,
+                    published,
+                });
+            }
+        }
+    }
+}
+
+/// A campaign ends covered or out of budget — never in between — and
+/// the `covered` flag must agree with the final residuals.
+fn termination(report: &CampaignReport, budget: u64, violations: &mut Vec<ClosedLoopViolation>) {
+    let rounds_run = report.rounds_run();
+    if rounds_run > budget {
+        violations.push(ClosedLoopViolation::BudgetOverrun { rounds_run, budget });
+    }
+    if !report.covered && rounds_run < budget {
+        violations.push(ClosedLoopViolation::Unterminated { rounds_run, budget });
+    }
+    let residual: f64 = report.residual_final.values().sum();
+    if report.covered != (residual <= TOLERANCE) {
+        violations.push(ClosedLoopViolation::CoverageMislabelled {
+            covered: report.covered,
+            residual,
+        });
+    }
+}
+
+/// Recomputes the Laplace posterior for every observed user and checks
+/// it is a probability pinned to the empirical frequency within the
+/// analytic prior bound `k / (n + k)` — the most a prior of strength
+/// `k` can pull `n` observations, regardless of the declared value.
+fn calibration_sane(report: &CampaignReport, violations: &mut Vec<ClosedLoopViolation>) {
+    let calibrator = PosCalibrator::new(report.calibration);
+    let prior_strength = report.calibration.prior_strength.max(0.0);
+    for (user, record) in report.history.users() {
+        let Some(empirical) = record.frequency() else {
+            continue;
+        };
+        let bound = prior_strength / (record.attempts as f64 + prior_strength);
+        // Probe the extremes of the declared range: the bound must hold
+        // for any declaration a bidder could make.
+        for declared in [0.01, 0.5, 0.99] {
+            let posterior = calibrator.posterior(&report.history, user, Pos::saturating(declared));
+            if !(0.0..=1.0).contains(&posterior) {
+                violations.push(ClosedLoopViolation::CalibrationOutOfRange { user, posterior });
+                continue;
+            }
+            if (posterior - empirical).abs() > bound + TOLERANCE {
+                violations.push(ClosedLoopViolation::CalibrationDiverged {
+                    user,
+                    posterior,
+                    empirical,
+                    bound,
+                });
+            }
+        }
+    }
+}
+
+/// The scoped ledger total, the per-round settlement payouts, and the
+/// per-user balances must agree.
+fn payouts_conserved(report: &CampaignReport, violations: &mut Vec<ClosedLoopViolation>) {
+    let from_rounds: f64 = report
+        .rounds
+        .iter()
+        .filter(|round| !round.quarantined)
+        .map(|round| round.payout)
+        .sum();
+    let from_balances: f64 = report.balances.values().sum();
+    if (from_rounds - report.total_paid).abs() > 1e-6 {
+        violations.push(ClosedLoopViolation::PayoutDrift {
+            detail: format!(
+                "round payouts sum to {from_rounds:.9} but the scoped ledger paid {:.9}",
+                report.total_paid
+            ),
+        });
+    }
+    if (from_balances - report.total_paid).abs() > 1e-6 {
+        violations.push(ClosedLoopViolation::PayoutDrift {
+            detail: format!(
+                "user balances sum to {from_balances:.9} but the scoped ledger paid {:.9}",
+                report.total_paid
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_campaign::prelude::{CampaignConfig, CampaignRunner, SyntheticBidSource};
+    use mcs_core::types::Task;
+    use mcs_platform::config::EngineConfig;
+
+    fn run(seed: u64, failure_rate: f64, max_rounds: u64) -> (CampaignReport, u64) {
+        let tasks = vec![
+            Task::with_requirement(TaskId::new(0), 0.95).unwrap(),
+            Task::with_requirement(TaskId::new(1), 0.9).unwrap(),
+            Task::with_requirement(TaskId::new(2), 0.85).unwrap(),
+        ];
+        let mut config =
+            CampaignConfig::new(EngineConfig::default().with_seed(seed), tasks, max_rounds);
+        config.failure_rate = failure_rate;
+        config.failure_seed = seed ^ 0xC0FFEE;
+        let budget = config.round_budget();
+        let runner = CampaignRunner::new(config);
+        let mut source = SyntheticBidSource::new(seed, 12);
+        (runner.run(&mut source), budget)
+    }
+
+    #[test]
+    fn healthy_campaigns_pass_every_oracle() {
+        for (seed, rate) in [(1u64, 0.0), (7, 0.3), (42, 0.6)] {
+            let (report, budget) = run(seed, rate, 24);
+            let violations = check_campaign(&report, budget);
+            assert!(
+                violations.is_empty(),
+                "seed {seed} rate {rate}: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn doctored_residual_growth_is_caught() {
+        let (mut report, budget) = run(3, 0.2, 24);
+        let first = &mut report.rounds[0];
+        let task = *first.residual_after.keys().next().unwrap();
+        let before = first.residual_before[&task];
+        first.residual_after.insert(task, before + 1.0);
+        let violations = check_campaign(&report, budget);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ClosedLoopViolation::ResidualRegression { .. })));
+    }
+
+    #[test]
+    fn doctored_coverage_flag_is_caught() {
+        let (mut report, budget) = run(3, 0.0, 24);
+        assert!(report.covered);
+        report.covered = false;
+        let violations = check_campaign(&report, budget);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ClosedLoopViolation::CoverageMislabelled { .. })));
+    }
+
+    #[test]
+    fn doctored_payouts_are_caught() {
+        let (mut report, budget) = run(3, 0.2, 24);
+        report.total_paid += 5.0;
+        let violations = check_campaign(&report, budget);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ClosedLoopViolation::PayoutDrift { .. })));
+    }
+
+    #[test]
+    fn truncated_campaigns_are_caught() {
+        let (mut report, budget) = run(3, 0.6, 24);
+        // Pretend the loop bailed early with work left.
+        report.covered = false;
+        report.residual_final.insert(TaskId::new(0), 1.0);
+        report.rounds.truncate(1);
+        let violations = check_campaign(&report, budget);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ClosedLoopViolation::Unterminated { .. })));
+    }
+}

@@ -24,6 +24,10 @@
 //!   function of `(CampaignConfig, FaultPlan)` whose
 //!   [`fingerprint`](campaign::CampaignOutcome::fingerprint) is identical
 //!   for any worker or payment-thread count.
+//! * [`closed_loop`] — oracles over the *auction* campaigns run by
+//!   `mcs-campaign` (residual monotonicity, termination, calibration
+//!   sanity, payout conservation); `mcs-fuzz --campaign` drives those
+//!   loops under the same fault flavors.
 //!
 //! The `mcs-fuzz` binary drives campaigns from the command line; see
 //! `scripts/ci.sh` (smoke) and `scripts/fuzz.sh` (long campaigns).
@@ -40,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod closed_loop;
 pub mod inject;
 pub mod oracle;
 pub mod plan;
@@ -50,6 +55,7 @@ pub mod prelude {
     pub use crate::campaign::{
         run_campaign, silence_injected_panics, CampaignConfig, CampaignOutcome,
     };
+    pub use crate::closed_loop::{check_campaign, ClosedLoopViolation};
     pub use crate::inject::{PlanInjector, CHAOS_PREFIX};
     pub use crate::oracle::{check_round, OracleConfig, OracleViolation};
     pub use crate::plan::{Fault, FaultPlan};

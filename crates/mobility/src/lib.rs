@@ -15,8 +15,10 @@
 //! 5. [`predict`] — top-k next-location prediction, accuracy evaluation
 //!    (Figure 3), predicted-PoS extraction (Figure 4), and sensing-window
 //!    visit probabilities (the auction PoS pipeline).
-//! 6. [`eval`] — held-out log-likelihood and smoothing comparison.
-//! 7. [`trace_io`] — CSV import/export so a *real* trace can replace the
+//! 6. [`serve`] — the serving-path oracle: cached per-(taxi, origin)
+//!    visit profiles for per-query lookups inside auction rounds.
+//! 7. [`eval`] — held-out log-likelihood and smoothing comparison.
+//! 8. [`trace_io`] — CSV import/export so a *real* trace can replace the
 //!    synthetic city.
 //!
 //! ## Example: the full Figure-3 pipeline in miniature
@@ -46,6 +48,7 @@ pub mod grid;
 pub mod learn;
 pub mod markov;
 pub mod predict;
+pub mod serve;
 pub mod synth;
 pub mod trace;
 pub mod trace_io;

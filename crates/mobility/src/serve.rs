@@ -1,0 +1,173 @@
+//! Serving-path visit-probability oracle: the bulk predictor behind an
+//! incremental, cached lookup API.
+//!
+//! [`predict::visit_profile`](crate::predict::visit_profile) computes a
+//! taxi's sensing-window visit distribution in one `O(h·l²)` pass, which
+//! is the right shape for offline evaluation but the wrong one for a
+//! serving path that asks "will taxi *t*, currently at *o*, reach cell
+//! *g*?" once per (bid, task) pair every auction round. [`VisitOracle`]
+//! amortizes that: the first query for a `(taxi, origin)` pair pays for
+//! the full profile, every later query against any target is a map
+//! lookup. The oracle is deterministic — answers depend only on the
+//! models and the horizon, never on query order — so closed-loop
+//! campaign engines can fold its outputs into bitwise-reproducible
+//! fingerprints.
+
+use std::collections::BTreeMap;
+
+use crate::grid::LocationId;
+use crate::learn::MobilityModel;
+use crate::predict::visit_profile;
+use crate::trace::TaxiId;
+
+/// A cached, per-taxi visit-probability oracle for the serving path.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_mobility::learn::{learn_all, Smoothing};
+/// use mcs_mobility::serve::VisitOracle;
+/// use mcs_mobility::synth::{CityConfig, SyntheticCity};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let city = SyntheticCity::generate(CityConfig::default(), &mut rng);
+/// let traces = city.simulate(4, 60, &mut rng);
+/// let models = learn_all(&traces, Smoothing::Paper);
+/// let taxi = *models.keys().next().unwrap();
+/// let origin = models[&taxi].visited()[0];
+///
+/// let mut oracle = VisitOracle::new(models, 12);
+/// let p = oracle.visit_probability(taxi, origin, origin);
+/// assert!((0.0..=1.0).contains(&p));
+/// assert_eq!(oracle.cached_profiles(), 1); // second query is a lookup
+/// let again = oracle.visit_probability(taxi, origin, origin);
+/// assert_eq!(p, again);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VisitOracle {
+    models: BTreeMap<TaxiId, MobilityModel>,
+    horizon: u32,
+    profiles: BTreeMap<(TaxiId, LocationId), BTreeMap<LocationId, f64>>,
+}
+
+impl VisitOracle {
+    /// An oracle over `models` answering for sensing windows of
+    /// `horizon` slots.
+    pub fn new(models: BTreeMap<TaxiId, MobilityModel>, horizon: u32) -> Self {
+        VisitOracle {
+            models,
+            horizon,
+            profiles: BTreeMap::new(),
+        }
+    }
+
+    /// The sensing-window horizon, in slots.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// The number of taxis the oracle has models for.
+    pub fn taxi_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The probability that `taxi`, starting from `origin`, visits
+    /// `target` at least once within the horizon. Unknown taxis and
+    /// never-visited origins answer 0 — the conservative reading a
+    /// calibrator wants (no evidence the cell is reachable).
+    pub fn visit_probability(
+        &mut self,
+        taxi: TaxiId,
+        origin: LocationId,
+        target: LocationId,
+    ) -> f64 {
+        let Some(model) = self.models.get(&taxi) else {
+            return 0.0;
+        };
+        let profile = self.profiles.entry((taxi, origin)).or_insert_with(|| {
+            visit_profile(model, origin, self.horizon)
+                .into_iter()
+                .collect()
+        });
+        profile.get(&target).copied().unwrap_or(0.0)
+    }
+
+    /// The full cached visit profile for `(taxi, origin)`, computing it
+    /// on first access. Empty when the taxi is unknown or never visited
+    /// `origin` in training.
+    pub fn profile(&mut self, taxi: TaxiId, origin: LocationId) -> &BTreeMap<LocationId, f64> {
+        static EMPTY: BTreeMap<LocationId, f64> = BTreeMap::new();
+        let Some(model) = self.models.get(&taxi) else {
+            return &EMPTY;
+        };
+        self.profiles.entry((taxi, origin)).or_insert_with(|| {
+            visit_profile(model, origin, self.horizon)
+                .into_iter()
+                .collect()
+        })
+    }
+
+    /// How many `(taxi, origin)` profiles are cached — the number of
+    /// bulk computations paid so far.
+    pub fn cached_profiles(&self) -> usize {
+        self.profiles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learn::{learn_all, Smoothing};
+    use crate::synth::{CityConfig, SyntheticCity};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn oracle() -> (VisitOracle, TaxiId, LocationId) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let city = SyntheticCity::generate(CityConfig::default(), &mut rng);
+        let traces = city.simulate(5, 80, &mut rng);
+        let models = learn_all(&traces, Smoothing::Paper);
+        let taxi = *models.keys().next().unwrap();
+        let origin = models[&taxi].visited()[0];
+        (VisitOracle::new(models, 10), taxi, origin)
+    }
+
+    #[test]
+    fn matches_the_bulk_profile() {
+        let (mut oracle, taxi, origin) = oracle();
+        let bulk = visit_profile(&oracle.models[&taxi].clone(), origin, 10);
+        assert!(!bulk.is_empty());
+        for (target, expected) in bulk {
+            assert_eq!(oracle.visit_probability(taxi, origin, target), expected);
+        }
+        // Every query above shares one cached profile.
+        assert_eq!(oracle.cached_profiles(), 1);
+    }
+
+    #[test]
+    fn unknown_taxis_and_targets_answer_zero() {
+        let (mut oracle, taxi, origin) = oracle();
+        assert_eq!(
+            oracle.visit_probability(TaxiId::new(9999), origin, origin),
+            0.0
+        );
+        assert_eq!(
+            oracle.visit_probability(taxi, origin, LocationId::new(u32::MAX)),
+            0.0
+        );
+        // The unknown-taxi query cached nothing.
+        assert_eq!(oracle.cached_profiles(), 1);
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        let (mut oracle, taxi, origin) = oracle();
+        let targets: Vec<LocationId> = oracle.models[&taxi].visited().to_vec();
+        for target in targets {
+            let p = oracle.visit_probability(taxi, origin, target);
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+}

@@ -121,10 +121,26 @@ pub enum EventKind {
     /// admitted prefix cleared, the remainder was quarantined.
     /// `a` = cleared prefix size, `b` = deferred bidder count.
     RoundPartialClear,
+    /// A campaign runner opened a campaign round (`round` is the engine
+    /// round id it will clear under). `a` = campaign round index,
+    /// `b` = open task count, `c` = total residual requirement
+    /// (contribution) as `f64` bits.
+    CampaignRoundOpened,
+    /// Settlement left residual requirement and the campaign enqueued a
+    /// re-auction round restricted to the uncovered tasks. `round` is the
+    /// engine round id that was just settled. `a` = uncovered task count,
+    /// `b` = total residual requirement as `f64` bits, `c` = successful
+    /// executions absorbed this round.
+    ResidualReauction,
+    /// A `PosCalibrator` screened a bid for admission. `a` = user id,
+    /// `b` = declared any-task PoS as `f64` bits, `c` = calibrated
+    /// any-task PoS as `f64` bits (equal to `b` when calibration is off
+    /// or the user has no usable history).
+    PosCalibrated,
 }
 
 impl EventKind {
-    const ALL: [EventKind; 11] = [
+    const ALL: [EventKind; 14] = [
         EventKind::BidAdmitted,
         EventKind::BidTask,
         EventKind::BidRejected,
@@ -136,6 +152,9 @@ impl EventKind {
         EventKind::RoundSettled,
         EventKind::BidShed,
         EventKind::RoundPartialClear,
+        EventKind::CampaignRoundOpened,
+        EventKind::ResidualReauction,
+        EventKind::PosCalibrated,
     ];
 
     fn code(self) -> u64 {

@@ -137,6 +137,14 @@ impl Engine {
         }
     }
 
+    /// The id the next closed round will get. Multi-round supervisors
+    /// (campaign runners) read this before submitting a round's bids so
+    /// they can address the round in fault plans and trace queries
+    /// without cloning a full checkpoint.
+    pub fn next_round_id(&self) -> RoundId {
+        RoundId(self.batcher.next_round_id())
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config

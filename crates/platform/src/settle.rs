@@ -46,14 +46,32 @@ pub struct RoundSettlement {
     pub payouts: BTreeMap<UserId, f64>,
     /// Sum of the payouts (the platform's expense this round).
     pub total: f64,
+    /// Per-winner execution outcome as settled (after any fault-injection
+    /// flips): `true` iff the winner completed at least one of her tasks.
+    /// This is the feedback signal closed-loop consumers (success-history
+    /// stores, PoS calibrators) observe — it is always the outcome the
+    /// payout branch was chosen by, so payments and feedback can never
+    /// disagree.
+    pub outcomes: BTreeMap<UserId, bool>,
 }
 
 /// Signed per-user balances accumulated across settled rounds.
+///
+/// Besides the lifetime totals, the ledger keeps *scope* accumulators for
+/// campaign-scoped accounting: [`Ledger::begin_scope`] zeroes the scoped
+/// totals while the lifetime ones keep accumulating, so back-to-back
+/// campaigns on one ledger can each report their own spend without
+/// bleeding state into each other. Conservation holds by construction:
+/// the lifetime total always equals the sum of every scope's total.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Ledger {
     balances: BTreeMap<UserId, f64>,
     total_paid: f64,
     rounds_settled: u64,
+    scope: u64,
+    scope_paid: f64,
+    scope_rounds: u64,
+    scope_balances: BTreeMap<UserId, f64>,
 }
 
 impl Ledger {
@@ -66,20 +84,26 @@ impl Ledger {
     /// reported outcome and posts it to her balance.
     pub fn settle(&mut self, round: &ClearedRound) -> RoundSettlement {
         let mut payouts = BTreeMap::new();
+        let mut outcomes = BTreeMap::new();
         let mut total = 0.0;
         for (&user, quote) in &round.quotes {
             let completed = round.reports.get(&user).copied().unwrap_or(false);
             let payout = quote.payout(completed);
             *self.balances.entry(user).or_insert(0.0) += payout;
+            *self.scope_balances.entry(user).or_insert(0.0) += payout;
             total += payout;
             payouts.insert(user, payout);
+            outcomes.insert(user, completed);
         }
         self.total_paid += total;
         self.rounds_settled += 1;
+        self.scope_paid += total;
+        self.scope_rounds += 1;
         RoundSettlement {
             round: round.id,
             payouts,
             total,
+            outcomes,
         }
     }
 
@@ -101,6 +125,38 @@ impl Ledger {
     /// Number of rounds settled.
     pub fn rounds_settled(&self) -> u64 {
         self.rounds_settled
+    }
+
+    /// Opens a new accounting scope and returns its id: the scoped
+    /// totals reset to zero, the lifetime totals are untouched. Scope 0
+    /// is open from construction, so a ledger that never scopes behaves
+    /// exactly as before.
+    pub fn begin_scope(&mut self) -> u64 {
+        self.scope += 1;
+        self.scope_paid = 0.0;
+        self.scope_rounds = 0;
+        self.scope_balances.clear();
+        self.scope
+    }
+
+    /// The current scope id (0 until [`Ledger::begin_scope`] is called).
+    pub fn scope(&self) -> u64 {
+        self.scope
+    }
+
+    /// Total paid out within the current scope.
+    pub fn scope_paid(&self) -> f64 {
+        self.scope_paid
+    }
+
+    /// Rounds settled within the current scope.
+    pub fn scope_rounds(&self) -> u64 {
+        self.scope_rounds
+    }
+
+    /// Per-user payouts within the current scope.
+    pub fn scope_balances(&self) -> &BTreeMap<UserId, f64> {
+        &self.scope_balances
     }
 }
 
@@ -145,6 +201,43 @@ mod tests {
         assert!((settlement.total - 3.0).abs() < 1e-12);
         assert_eq!(ledger.balance(UserId::new(0)), 5.0);
         assert_eq!(ledger.balance(UserId::new(1)), -2.0);
+    }
+
+    #[test]
+    fn settlements_report_the_paid_outcome() {
+        let mut ledger = Ledger::new();
+        let round = cleared(0, &[(0, 5.0, -1.0), (1, 4.0, -2.0)], &[0]);
+        let settlement = ledger.settle(&round);
+        assert!(settlement.outcomes[&UserId::new(0)]);
+        assert!(!settlement.outcomes[&UserId::new(1)]);
+        assert_eq!(settlement.outcomes.len(), settlement.payouts.len());
+    }
+
+    #[test]
+    fn scopes_partition_the_lifetime_totals() {
+        let mut ledger = Ledger::new();
+        assert_eq!(ledger.scope(), 0);
+        ledger.settle(&cleared(0, &[(0, 5.0, -1.0)], &[0]));
+        ledger.settle(&cleared(1, &[(1, 4.0, -2.0)], &[]));
+        let first_paid = ledger.scope_paid();
+        let first_rounds = ledger.scope_rounds();
+        assert_eq!(first_rounds, 2);
+        assert!((first_paid - 3.0).abs() < 1e-12);
+
+        assert_eq!(ledger.begin_scope(), 1);
+        assert_eq!(ledger.scope_rounds(), 0);
+        assert_eq!(ledger.scope_paid(), 0.0);
+        assert!(ledger.scope_balances().is_empty());
+        ledger.settle(&cleared(2, &[(0, 6.0, 0.5)], &[0]));
+
+        // Conservation: the scopes partition the lifetime totals.
+        assert!((first_paid + ledger.scope_paid() - ledger.total_paid()).abs() < 1e-12);
+        assert_eq!(
+            first_rounds + ledger.scope_rounds(),
+            ledger.rounds_settled()
+        );
+        assert!((ledger.scope_balances()[&UserId::new(0)] - 6.0).abs() < 1e-12);
+        assert!((ledger.balance(UserId::new(0)) - 11.0).abs() < 1e-12);
     }
 
     #[test]

@@ -31,6 +31,21 @@ echo "==> overload soak smoke (mcs-fuzz --soak --ci-smoke)"
 # deterministic across worker counts.
 cargo run --release -p mcs-harness --bin mcs-fuzz -- --soak --ci-smoke
 
+echo "==> closed-loop campaign smoke (mcs-fuzz --campaign --ci-smoke)"
+# Seeded auction campaigns across failure rates, with and without chaos
+# faults layered on: residual monotonicity, termination, calibration
+# sanity, payout conservation, and fingerprint determinism must all hold.
+cargo run --release -p mcs-harness --bin mcs-fuzz -- --campaign --ci-smoke
+
+echo "==> campaign_convergence bench smoke (--test)"
+cargo bench -p mcs-bench --bench campaign_convergence -- --test
+
+echo "==> campaign e2e smoke (platformd --campaign)"
+# A 30%-failure campaign must reach full coverage through residual
+# re-auctions; exit status asserts coverage.
+cargo run --release -p mcs-campaign --bin platformd -- \
+  --campaign --campaign-rounds 16 --failure-rate 0.3 --seed 42
+
 echo "==> metrics endpoint smoke (platformd --metrics-addr)"
 # Serve a short run on a fixed port, scrape both endpoints, and check the
 # Prometheus payload is well-formed. Scraping uses bash's /dev/tcp so the
@@ -38,7 +53,7 @@ echo "==> metrics endpoint smoke (platformd --metrics-addr)"
 # watermark below the synthesized backlog so the shed counters are
 # exercised live.
 METRICS_PORT=19464
-cargo run --release -p mcs-platform --bin platformd -- \
+cargo run --release -p mcs-campaign --bin platformd -- \
   --rounds 12 --users 10 --snapshot-every 6 \
   --admission-high 25 --admission-low 10 --clear-budget 8 \
   --metrics-addr "127.0.0.1:${METRICS_PORT}" --hold-ms 4000 &
