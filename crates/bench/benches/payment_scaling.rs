@@ -1,18 +1,32 @@
 //! End-to-end allocation + payment scaling: the indexed lazy-greedy /
 //! warm-started / parallel engine versus the pre-optimization reference
-//! path, sweeping n ∈ {100, 500, 1000} users at 50 tasks.
+//! path, sweeping n ∈ {100, 500, 1000} users at 50 tasks, then the
+//! fast engine alone out to n ∈ {10k, 100k} and a 1M-user
+//! allocation-only smoke.
 //!
 //! Besides the Criterion display run, this bench writes
 //! `BENCH_payment_scaling.json` at the repo root — machine-readable
-//! `{mechanism, n, tasks, median_ns}` entries — so the perf trajectory is
-//! tracked across PRs. `--test` runs a smoke mode instead: one small
-//! instance, asserting the two paths produce bitwise-identical quotes.
+//! `{mechanism, n, tasks, median_ns, ns_per_bid}` entries — so the perf
+//! trajectory is tracked across PRs. Row kinds:
+//!
+//! * `reference` — pre-optimization scan greedy + cloning bisections;
+//! * `fast` — the indexed engine through its public (cold-context) API;
+//! * `fast_warm` — the same clear on a persistent [`ClearContext`]:
+//!   steady-state campaign shape, where the CSR index, heap seeds, and
+//!   workspaces carry over and syncing is a delta patch;
+//! * `fast_alloc` — allocation only (no payments), the 1M smoke tier.
+//!
+//! Modes: `--test` asserts fast/reference bitwise equivalence on a small
+//! instance; `--smoke` adds a warm-vs-cold bitwise check plus a timed
+//! n=10k clear (the CI tier); `--profile [n]` pins a hot clear loop for
+//! `scripts/profile.sh` to hang perf on.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 use criterion::{BenchmarkId, Criterion};
 use mcs_bench::synthetic_multi_task;
+use mcs_core::indexed::ClearContext;
 use mcs_core::mechanism::{contingent_reward, WinnerDetermination};
 use mcs_core::multi_task::{reference, MultiTaskMechanism};
 use mcs_core::types::{TypeProfile, UserId};
@@ -21,7 +35,12 @@ use std::hint::black_box;
 const TASKS: usize = 50;
 const REQUIREMENT: f64 = 0.8;
 const ALPHA: f64 = 10.0;
+/// Sizes where the reference path is still affordable to time.
 const SIZES: [usize; 3] = [100, 500, 1000];
+/// Fast-engine-only sizes (reference would take hours here).
+const LARGE_SIZES: [usize; 2] = [10_000, 100_000];
+/// Allocation-only smoke size.
+const ALLOC_SMOKE: usize = 1_000_000;
 
 /// One cleared round's quotes: `(success, failure)` per winner.
 type Quotes = BTreeMap<UserId, (f64, f64)>;
@@ -48,8 +67,8 @@ fn clear_reference(profile: &TypeProfile) -> Quotes {
         .collect()
 }
 
-/// The new engine: indexed lazy greedy, warm-started bisections, parallel
-/// batch payments.
+/// The fast engine through its public entry points: every call builds a
+/// fresh index, seeds, and workspaces (cold context).
 fn clear_fast(profile: &TypeProfile, threads: usize) -> Quotes {
     let mechanism = MultiTaskMechanism::new(ALPHA)
         .expect("valid alpha")
@@ -74,6 +93,42 @@ fn clear_fast(profile: &TypeProfile, threads: usize) -> Quotes {
         .collect()
 }
 
+/// The fast engine on a persistent arena: the shard-worker /
+/// campaign-loop shape, where consecutive rounds delta-patch the index
+/// instead of rebuilding it. Bitwise identical to [`clear_fast`].
+fn clear_fast_warm(profile: &TypeProfile, threads: usize, context: &mut ClearContext) -> Quotes {
+    let mechanism = MultiTaskMechanism::new(ALPHA)
+        .expect("valid alpha")
+        .with_payment_threads(threads);
+    let allocation = mechanism
+        .allocate_with(context, profile)
+        .expect("bench instance is feasible");
+    mechanism
+        .critical_pos_all_with(context, profile, &allocation)
+        .expect("winners have critical bids")
+        .into_iter()
+        .map(|(winner, critical)| {
+            let cost = profile.user(winner).expect("winner exists").cost();
+            (
+                winner,
+                (
+                    contingent_reward(ALPHA, critical, cost, true),
+                    contingent_reward(ALPHA, critical, cost, false),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Allocation only — the piece that has to survive 10^6 bidders.
+fn allocate_fast(profile: &TypeProfile, context: &mut ClearContext) -> usize {
+    let mechanism = MultiTaskMechanism::new(ALPHA).expect("valid alpha");
+    mechanism
+        .allocate_with(context, profile)
+        .expect("bench instance is feasible")
+        .winner_count()
+}
+
 /// Median wall-clock nanoseconds of `runs` timed executions.
 fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
     let mut samples: Vec<u128> = (0..runs)
@@ -85,6 +140,34 @@ fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
         .collect();
     samples.sort_unstable();
     samples[samples.len() / 2]
+}
+
+/// A `{mechanism, n, median_ns}` JSON row; `ns_per_bid` is derived.
+struct Row {
+    mechanism: &'static str,
+    n: usize,
+    median_ns: u128,
+}
+
+fn write_json(rows: &[Row]) {
+    let mut json = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let ns_per_bid = row.median_ns / row.n as u128;
+        json.push_str(&format!(
+            "  {{\"mechanism\": \"{}\", \"n\": {}, \"tasks\": {TASKS}, \"median_ns\": {}, \"ns_per_bid\": {ns_per_bid}}}{}\n",
+            row.mechanism,
+            row.n,
+            row.median_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_payment_scaling.json"
+    );
+    std::fs::write(path, json).expect("write benchmark JSON");
+    println!("wrote {path}");
 }
 
 /// `--test`: one small instance, both paths, bitwise-identical quotes.
@@ -112,8 +195,53 @@ fn smoke() {
                 "failure quote diverges for {winner} at {threads} threads"
             );
         }
+        // The persistent-arena path, twice on one context: the second
+        // clear exercises the sync path and must stay bitwise put.
+        let mut context = ClearContext::new();
+        for round in 0..2 {
+            let warm = clear_fast_warm(&profile, threads, &mut context);
+            assert_eq!(
+                warm, fast,
+                "warm-context quotes diverge at {threads} threads, round {round}"
+            );
+        }
     }
     println!("payment_scaling smoke: fast engine matches reference bitwise. ok");
+}
+
+/// `--smoke`: the CI tier — the `--test` equivalence check plus a timed
+/// fast clear at n=10k proving the large-n path completes end to end.
+fn ci_smoke() {
+    smoke();
+    let n = 10_000;
+    let profile = synthetic_multi_task(n, TASKS, REQUIREMENT, 1000 + n as u64);
+    let start = Instant::now();
+    let quotes = clear_fast(&profile, 1);
+    let elapsed = start.elapsed();
+    assert!(!quotes.is_empty(), "10k-user instance has winners");
+    println!(
+        "payment_scaling ci-smoke: n={n} cleared end to end in {:.2} ms ({} winners). ok",
+        elapsed.as_secs_f64() * 1e3,
+        quotes.len()
+    );
+}
+
+/// `--profile [n]`: a pinned hot loop (no JSON, no Criterion) for perf /
+/// flamegraph attachment; defaults to n=10k, warm-context clears.
+fn profile_loop(n: usize) {
+    let profile = synthetic_multi_task(n, TASKS, REQUIREMENT, 1000 + n as u64);
+    let mut context = ClearContext::new();
+    println!("profiling warm clears at n={n}, tasks={TASKS}; ctrl-C when sampled enough");
+    let started = Instant::now();
+    let mut iterations = 0u64;
+    while started.elapsed().as_secs() < 60 {
+        black_box(clear_fast_warm(black_box(&profile), 1, &mut context));
+        iterations += 1;
+    }
+    println!(
+        "profiled {iterations} clears in {:.1} s",
+        started.elapsed().as_secs_f64()
+    );
 }
 
 fn main() {
@@ -123,11 +251,23 @@ fn main() {
         smoke();
         return;
     }
+    if args.iter().any(|a| a == "--smoke") {
+        ci_smoke();
+        return;
+    }
+    if let Some(at) = args.iter().position(|a| a == "--profile") {
+        let n = args
+            .get(at + 1)
+            .and_then(|raw| raw.parse().ok())
+            .unwrap_or(10_000);
+        profile_loop(n);
+        return;
+    }
 
     let threads = std::thread::available_parallelism()
         .map(|p| p.get().min(8))
         .unwrap_or(1);
-    let mut entries: Vec<(String, usize, u128)> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
 
     // Criterion display pass over the fast engine (the reference path at
     // n = 1000 is far too slow for criterion's sampling; its numbers come
@@ -164,22 +304,79 @@ fn main() {
             fast as f64 / 1e6,
             slow as f64 / fast as f64
         );
-        entries.push(("reference".to_string(), n, slow));
-        entries.push(("fast".to_string(), n, fast));
+        rows.push(Row {
+            mechanism: "reference",
+            n,
+            median_ns: slow,
+        });
+        rows.push(Row {
+            mechanism: "fast",
+            n,
+            median_ns: fast,
+        });
     }
 
-    let mut json = String::from("[\n");
-    for (i, (mechanism, n, ns)) in entries.iter().enumerate() {
-        json.push_str(&format!(
-            "  {{\"mechanism\": \"{mechanism}\", \"n\": {n}, \"tasks\": {TASKS}, \"median_ns\": {ns}}}{}\n",
-            if i + 1 < entries.len() { "," } else { "" }
-        ));
+    // Fast-engine-only tier: full clear + whole-round payments, cold and
+    // warm-context, with the cold/warm bitwise check standing in for the
+    // (unaffordable) reference oracle.
+    for &n in &LARGE_SIZES {
+        let profile = synthetic_multi_task(n, TASKS, REQUIREMENT, 1000 + n as u64);
+        let mut context = ClearContext::new();
+        let cold_quotes = clear_fast(&profile, threads);
+        let warm_quotes = clear_fast_warm(&profile, threads, &mut context);
+        assert_eq!(cold_quotes, warm_quotes, "warm path diverges at n = {n}");
+        let winners = cold_quotes.len();
+
+        let runs = if n >= 100_000 { 1 } else { 3 };
+        let cold = median_ns(runs, || {
+            black_box(clear_fast(black_box(&profile), threads));
+        });
+        let warm = median_ns(runs, || {
+            black_box(clear_fast_warm(black_box(&profile), threads, &mut context));
+        });
+        println!(
+            "n={n} tasks={TASKS} winners={winners}: fast {:.2} ms, warm {:.2} ms ({:.0} / {:.0} ns per bid)",
+            cold as f64 / 1e6,
+            warm as f64 / 1e6,
+            cold as f64 / n as f64,
+            warm as f64 / n as f64
+        );
+        rows.push(Row {
+            mechanism: "fast",
+            n,
+            median_ns: cold,
+        });
+        rows.push(Row {
+            mechanism: "fast_warm",
+            n,
+            median_ns: warm,
+        });
     }
-    json.push_str("]\n");
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_payment_scaling.json"
-    );
-    std::fs::write(path, json).expect("write benchmark JSON");
-    println!("wrote {path}");
+
+    // The 1M smoke: allocation only, once — proving the index, seeds,
+    // and one full lazy-greedy pass hold up at the ROADMAP's north-star
+    // population.
+    {
+        let n = ALLOC_SMOKE;
+        let profile = synthetic_multi_task(n, TASKS, REQUIREMENT, 1000 + n as u64);
+        let mut context = ClearContext::new();
+        // Warm the arena once so the timed pass measures the steady
+        // state (sync + seeded run), not the first flatten.
+        let winners = allocate_fast(&profile, &mut context);
+        let alloc = median_ns(1, || {
+            black_box(allocate_fast(black_box(&profile), &mut context));
+        });
+        println!(
+            "n={n} tasks={TASKS} winners={winners}: allocation {:.2} ms ({:.0} ns per bid)",
+            alloc as f64 / 1e6,
+            alloc as f64 / n as f64
+        );
+        rows.push(Row {
+            mechanism: "fast_alloc",
+            n,
+            median_ns: alloc,
+        });
+    }
+
+    write_json(&rows);
 }

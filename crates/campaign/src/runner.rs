@@ -32,6 +32,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use mcs_core::indexed::ContextPool;
 use mcs_core::types::{Pos, Task, TaskId, UserId};
 use mcs_obs::{EventKind, RawEvent};
 use mcs_platform::prelude::{Engine, EngineCheckpoint, EngineConfig, FaultInjector};
@@ -325,6 +326,13 @@ impl CampaignRunner {
         let mut rounds: Vec<CampaignRoundRecord> = Vec::new();
         let mut total_social_cost = 0.0;
         let budget = self.config.round_budget();
+        // One set of clearing arenas for the whole campaign. Each
+        // round's engine is rebuilt via restore, but adopting this pool
+        // lets its shard workers delta-patch the previous round's CSR
+        // index instead of re-flattening — residual re-auction
+        // populations are mostly carry-over bidders. Bitwise neutral
+        // (see `EngineConfig::reuse_index`).
+        let clear_contexts = ContextPool::new();
 
         let mut index = 0;
         while index < budget && !tracker.is_covered() {
@@ -384,6 +392,7 @@ impl CampaignRunner {
                     Arc::clone(&self.injector),
                 ),
             };
+            engine.adopt_clear_contexts(clear_contexts.clone());
             let engine_round = engine.next_round_id();
             self.metrics.round_opened();
             engine.recorder().record(RawEvent::new(
@@ -597,6 +606,24 @@ mod tests {
         }
         assert_eq!(fingerprints[0], fingerprints[1]);
         assert_eq!(fingerprints[1], fingerprints[2]);
+    }
+
+    #[test]
+    fn index_reuse_never_changes_campaign_fingerprints() {
+        let reused = CampaignRunner::new(config(13, 0.3));
+        let mut source = SyntheticBidSource::new(13, 12);
+        let reused_print = reused.run(&mut source).fingerprint();
+
+        let mut fresh_config = config(13, 0.3);
+        fresh_config.engine = fresh_config.engine.with_reuse_index(false);
+        let fresh = CampaignRunner::new(fresh_config);
+        let mut source = SyntheticBidSource::new(13, 12);
+        let fresh_print = fresh.run(&mut source).fingerprint();
+
+        assert_eq!(
+            reused_print, fresh_print,
+            "delta-patched campaign clearing diverged from fresh-index clearing"
+        );
     }
 
     #[test]

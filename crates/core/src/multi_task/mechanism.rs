@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use crate::error::{McsError, Result};
-use crate::indexed::{IndexedProfile, Record, RunOptions, Workspace};
+use crate::indexed::{ClearContext, Record, RunOptions};
 use crate::mechanism::{validate_alpha, Allocation, RewardScheme, WinnerDetermination};
 use crate::multi_task::reward::critical_contributions_parallel;
 use crate::multi_task::{critical_pos, GreedyWinnerDetermination};
@@ -113,27 +113,96 @@ impl MultiTaskMechanism {
         profile: &TypeProfile,
         allocation: &Allocation,
     ) -> Result<BTreeMap<UserId, Pos>> {
-        let indexed = IndexedProfile::from_profile(profile);
-        let base = indexed.run(
-            &mut Workspace::new(),
-            RunOptions::default(),
+        self.critical_pos_all_with(&mut ClearContext::new(), profile, allocation)
+    }
+
+    /// Winner determination through a reusable [`ClearContext`]: the
+    /// context's persistent index is delta-patched to `profile` (instead
+    /// of re-flattened) and its heap seeds drive the greedy. Results are
+    /// bitwise identical to
+    /// [`WinnerDetermination::select_winners`]; the context is what makes
+    /// round-over-round clearing allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`McsError::Infeasible`] if the users cannot cover some task.
+    pub fn allocate_with(
+        &self,
+        context: &mut ClearContext,
+        profile: &TypeProfile,
+    ) -> Result<Allocation> {
+        let prepared = context.prepare(profile);
+        let mut workspace = prepared.workspaces.checkout();
+        let run = prepared.index.run_in(
+            &mut workspace,
+            RunOptions {
+                seeds: Some(prepared.seeds),
+                ..RunOptions::default()
+            },
+            Record::Selection,
+        );
+        let outcome = match run.uncovered {
+            Some(task) => Err(McsError::Infeasible {
+                task: prepared.index.task_id(task),
+            }),
+            None => Ok(run
+                .selection
+                .iter()
+                .map(|&position| prepared.index.user_id(position))
+                .collect()),
+        };
+        prepared.workspaces.give_back(workspace);
+        outcome
+    }
+
+    /// The batch payment path through a reusable [`ClearContext`] — the
+    /// counterpart of [`MultiTaskMechanism::critical_pos_all`] that reuses
+    /// the context's delta-patched index, heap seeds, and workspace pool
+    /// across rounds. Bitwise identical to the context-free path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MultiTaskMechanism::critical_pos_all`].
+    pub fn critical_pos_all_with(
+        &self,
+        context: &mut ClearContext,
+        profile: &TypeProfile,
+        allocation: &Allocation,
+    ) -> Result<BTreeMap<UserId, Pos>> {
+        let prepared = context.prepare(profile);
+        let mut workspace = prepared.workspaces.checkout();
+        let base = prepared.index.run_in(
+            &mut workspace,
+            RunOptions {
+                seeds: Some(prepared.seeds),
+                ..RunOptions::default()
+            },
             Record::Selection,
         );
         if let Some(task) = base.uncovered {
-            return Err(McsError::Infeasible {
-                task: indexed.task_id(task),
-            });
+            let task = prepared.index.task_id(task);
+            prepared.workspaces.give_back(workspace);
+            return Err(McsError::Infeasible { task });
         }
         let winners: Vec<UserId> = allocation.winners().collect();
         for &winner in &winners {
-            let wins = indexed
+            let wins = prepared
+                .index
                 .position_of(winner)
                 .is_some_and(|position| base.selected(position));
             if !wins {
+                prepared.workspaces.give_back(workspace);
                 return Err(McsError::NotAWinner { user: winner });
             }
         }
-        let criticals = critical_contributions_parallel(&indexed, &winners, self.payment_threads);
+        prepared.workspaces.give_back(workspace);
+        let criticals = critical_contributions_parallel(
+            prepared.index,
+            Some(prepared.seeds),
+            &winners,
+            self.payment_threads,
+            prepared.workspaces,
+        );
         let mut map = BTreeMap::new();
         for (winner, critical) in winners.into_iter().zip(criticals) {
             map.insert(winner, critical?.pos());

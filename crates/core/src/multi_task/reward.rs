@@ -48,7 +48,7 @@
 //! thread count.
 
 use crate::error::{McsError, Result};
-use crate::indexed::{IndexedProfile, Record, RunOptions, Workspace};
+use crate::indexed::{HeapSeeds, IndexedProfile, Record, RunOptions, Workspace, WorkspacePool};
 use crate::mechanism::{Allocation, WinnerDetermination};
 use crate::multi_task::reference::BISECTION_STEPS;
 use crate::multi_task::GreedyWinnerDetermination;
@@ -86,15 +86,20 @@ pub fn critical_contribution(
         return Err(McsError::NotAWinner { user });
     }
     let indexed = IndexedProfile::from_profile(profile);
-    critical_of_winner(&indexed, &mut Workspace::new(), user)
+    let seeds = indexed.heap_seeds();
+    critical_of_winner(&indexed, Some(&seeds), &mut Workspace::new(), user)
 }
 
 /// The fast critical-bid search for a user already verified to win the
 /// (feasible) instance. Shared by [`critical_contribution`] and the
 /// parallel batch path in
 /// [`crate::multi_task::MultiTaskMechanism::critical_pos_all`].
+///
+/// `seeds`, when provided, must match `indexed` exactly; every one of the
+/// ~60 bisection probes then skips the full candidate rescan.
 pub(crate) fn critical_of_winner(
     indexed: &IndexedProfile,
+    seeds: Option<&HeapSeeds>,
     workspace: &mut Workspace,
     user: UserId,
 ) -> Result<Contribution> {
@@ -116,18 +121,21 @@ pub(crate) fn critical_of_winner(
     // cannot win and are skipped.
     let cost_i = indexed.cost(position);
     let mut certified = 0.0f64;
+    let mut base = std::mem::take(&mut workspace.base);
+    base.invalidate();
     if cost_i > 0.0 && indexed.user_count() > 1 {
-        let without = indexed.run(
+        let without = indexed.run_in(
             workspace,
             RunOptions {
                 excluded: Some(position),
-                substitute: None,
+                seeds,
+                ..RunOptions::default()
             },
-            Record::Iterations,
+            Record::Full,
         );
         if without.is_complete() {
             let mut bound = f64::INFINITY;
-            for (&rival, &capped) in without.selection.iter().zip(&without.capped) {
+            for (&rival, &capped) in without.selection.iter().zip(without.capped) {
                 let cost_k = indexed.cost(rival);
                 if cost_k > 0.0 {
                     bound = bound.min(capped * cost_i / cost_k);
@@ -136,13 +144,18 @@ pub(crate) fn critical_of_winner(
             if bound.is_finite() {
                 certified = bound;
             }
+            // Keep the full run around: probes whose scaled declaration
+            // never beats a base pick are certain losses and skip the
+            // greedy entirely (see `IndexedProfile::probe_loses`).
+            without.store_into(&mut base);
         }
     }
     let skip_below = (certified / declared_total) * (1.0 - WARM_START_MARGIN);
 
     // Bisection over uniform scalings, exactly the reference trajectory:
     // she wins at her declaration (scale 1); zero contribution never wins.
-    let mut scaled: Vec<f64> = Vec::with_capacity(indexed.contributions_of(position).len());
+    // The scaled row lives in the workspace so probes allocate nothing.
+    let mut scaled = std::mem::take(&mut workspace.scaled);
     let mut lo = 0.0f64;
     let mut hi = 1.0f64;
     for _ in 0..BISECTION_STEPS {
@@ -160,17 +173,22 @@ pub(crate) fn critical_of_winner(
                     .iter()
                     .map(|&q| scaled_entry(q, mid)),
             );
-            let probe = indexed.run(
-                workspace,
-                RunOptions {
-                    excluded: None,
-                    substitute: Some((position, scaled.as_slice())),
-                },
-                Record::Selection,
-            );
-            // Scaling down so far that the instance becomes infeasible
-            // certainly does not win.
-            probe.is_complete() && probe.selected(position)
+            if base.is_complete() && indexed.probe_loses(position, &scaled, &base) {
+                false
+            } else {
+                let probe = indexed.run_in(
+                    workspace,
+                    RunOptions {
+                        substitute: Some((position, scaled.as_slice())),
+                        seeds,
+                        ..RunOptions::default()
+                    },
+                    Record::Selection,
+                );
+                // Scaling down so far that the instance becomes infeasible
+                // certainly does not win.
+                probe.is_complete() && probe.selected(position)
+            }
         };
         if wins {
             hi = mid;
@@ -178,6 +196,8 @@ pub(crate) fn critical_of_winner(
             lo = mid;
         }
     }
+    workspace.scaled = scaled;
+    workspace.base = base;
     Contribution::new(hi * declared_total)
 }
 
@@ -202,26 +222,31 @@ fn scaled_entry(q: f64, scale: f64) -> f64 {
 /// thread count, including the inlined `threads == 1` path.
 pub(crate) fn critical_contributions_parallel(
     indexed: &IndexedProfile,
+    seeds: Option<&HeapSeeds>,
     winners: &[UserId],
     threads: usize,
+    workspaces: &WorkspacePool,
 ) -> Vec<Result<Contribution>> {
     let threads = threads.max(1).min(winners.len().max(1));
     if threads == 1 {
-        let mut workspace = Workspace::new();
-        return winners
+        let mut workspace = workspaces.checkout();
+        let results = winners
             .iter()
-            .map(|&winner| critical_of_winner(indexed, &mut workspace, winner))
+            .map(|&winner| critical_of_winner(indexed, seeds, &mut workspace, winner))
             .collect();
+        workspaces.give_back(workspace);
+        return results;
     }
     let chunk = winners.len().div_ceil(threads);
     let mut results: Vec<Option<Result<Contribution>>> = vec![None; winners.len()];
     std::thread::scope(|scope| {
         for (winner_chunk, result_chunk) in winners.chunks(chunk).zip(results.chunks_mut(chunk)) {
             scope.spawn(move || {
-                let mut workspace = Workspace::new();
+                let mut workspace = workspaces.checkout();
                 for (&winner, slot) in winner_chunk.iter().zip(result_chunk.iter_mut()) {
-                    *slot = Some(critical_of_winner(indexed, &mut workspace, winner));
+                    *slot = Some(critical_of_winner(indexed, seeds, &mut workspace, winner));
                 }
+                workspaces.give_back(workspace);
             });
         }
     });
@@ -272,7 +297,7 @@ pub fn algorithm5_critical_contribution(
             &mut workspace,
             RunOptions {
                 excluded: Some(position),
-                substitute: None,
+                ..RunOptions::default()
             },
             Record::Iterations,
         );

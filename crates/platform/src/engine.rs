@@ -150,6 +150,25 @@ impl Engine {
         &self.config
     }
 
+    /// A shared handle to the shard pool's clearing arenas (persistent
+    /// delta-patched indexes, heap seeds, workspace buffers). Campaign
+    /// runners grab this before dropping an engine and hand it to the
+    /// successor via [`Engine::adopt_clear_contexts`], so warmed arenas
+    /// survive a [`Engine::restore`] instead of being rebuilt from
+    /// scratch on the next drain.
+    pub fn clear_contexts(&self) -> mcs_core::indexed::ContextPool {
+        self.pool.contexts()
+    }
+
+    /// Adopts clearing arenas carried over from a previous engine (see
+    /// [`Engine::clear_contexts`]). Adopting foreign or stale arenas is
+    /// always safe: workers re-sync an arena's index to each round's
+    /// profile before using it, and outcomes are bitwise identical to
+    /// clearing on a fresh arena.
+    pub fn adopt_clear_contexts(&mut self, contexts: mcs_core::indexed::ContextPool) {
+        self.pool.adopt_contexts(contexts);
+    }
+
     /// The engine's metrics (shared with the shard workers).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics

@@ -15,6 +15,15 @@
 //!    completion order — the only thing the worker count changes — is
 //!    erased before anyone observes the results.
 //!
+//! Workers clear consecutive rounds on a persistent [`ClearContext`]
+//! (delta-patched CSR index, heap seeds, pooled workspaces) checked out
+//! of the pool's [`ContextPool`]. This never perturbs the contract:
+//! syncing an arena to a round's profile is bitwise identical to
+//! building it fresh (`mcs_core::indexed::sync_with`'s tested
+//! invariant), so which worker — with whatever arena history — clears a
+//! round is unobservable. `EngineConfig::reuse_index = false` switches
+//! to a throwaway context per round for A/B timing.
+//!
 //! Workers wrap each round in `catch_unwind`: a panicking round becomes a
 //! [`RoundError::Panicked`] and the pool keeps serving (see
 //! [`crate::degrade`]).
@@ -25,9 +34,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use mcs_core::mechanism::{
-    contingent_reward, Allocation, Mechanism, RewardScheme, WinnerDetermination,
-};
+use mcs_core::indexed::{ClearContext, ContextPool};
+use mcs_core::mechanism::{contingent_reward, Allocation, Mechanism, RewardScheme};
 use mcs_core::multi_task::MultiTaskMechanism;
 use mcs_core::single_task::SingleTaskMechanism;
 use mcs_core::types::{TypeProfile, UserId};
@@ -134,21 +142,27 @@ fn quote_all<M: Mechanism>(
 /// through [`contingent_reward`], the same formula as the per-user
 /// [`RewardScheme::reward`] default, so they are bitwise identical to
 /// [`quote_all`]'s for every `payment_threads` value.
+///
+/// Both stages run through `context`: the allocate span syncs the
+/// context's persistent index to this round's profile (delta-patching
+/// when the population carried over) and the pay span reuses that index,
+/// its heap seeds, and its pooled workspaces for every bisection probe.
 fn quote_all_multi_task(
     mechanism: &MultiTaskMechanism,
     profile: &TypeProfile,
     id: RoundId,
+    context: &mut ClearContext,
     metrics: Option<&Metrics>,
     trace: Option<&FlightRecorder>,
 ) -> Result<(Allocation, BTreeMap<UserId, RewardQuote>), mcs_core::McsError> {
     span_enter(trace, Stage::Allocate, id);
     let start = Instant::now();
-    let allocation = mechanism.select_winners(profile)?;
+    let allocation = mechanism.allocate_with(context, profile)?;
     record_stage(metrics, Stage::Allocate, start.elapsed());
     span_exit(trace, Stage::Allocate, id, start.elapsed());
     span_enter(trace, Stage::Pay, id);
     let start = Instant::now();
-    let criticals = mechanism.critical_pos_all(profile, &allocation)?;
+    let criticals = mechanism.critical_pos_all_with(context, profile, &allocation)?;
     let mut quotes = BTreeMap::new();
     for (winner, critical) in criticals {
         let cost = profile.user(winner)?.cost();
@@ -178,15 +192,22 @@ fn quote_all_multi_task(
 /// [`RoundError::Infeasible`] when the round's bidders cannot cover some
 /// task's requirement.
 pub fn clear_round(round: &Round, config: &EngineConfig) -> Result<ClearedRound, RoundError> {
-    clear_round_metered(round, config, None, None)
+    clear_round_metered(round, config, &mut ClearContext::new(), None, None)
 }
 
 /// [`clear_round`] with optional allocate/pay stage timing and span
 /// tracing, used by the pool so the two sub-spans of [`Stage::Shard`]
 /// show up in metrics and in the flight recorder.
+///
+/// `context` is the worker's clearing arena. The pool hands each worker
+/// a persistent context so consecutive rounds delta-patch the CSR index
+/// instead of rebuilding it; [`clear_round`] passes a fresh one, which
+/// keeps it a pure function of `(round, config)` — the two are bitwise
+/// identical by the `sync_with` contract.
 fn clear_round_metered(
     round: &Round,
     config: &EngineConfig,
+    context: &mut ClearContext,
     metrics: Option<&Metrics>,
     trace: Option<&FlightRecorder>,
 ) -> Result<ClearedRound, RoundError> {
@@ -197,7 +218,7 @@ fn clear_round_metered(
     } else {
         let mechanism =
             MultiTaskMechanism::new(config.alpha)?.with_payment_threads(config.payment_threads);
-        quote_all_multi_task(&mechanism, profile, round.id, metrics, trace)?
+        quote_all_multi_task(&mechanism, profile, round.id, context, metrics, trace)?
     };
 
     let mut rng = StdRng::seed_from_u64(round_seed(config.seed, round.id));
@@ -239,23 +260,46 @@ fn clear_round_metered(
     })
 }
 
-/// A fixed-size pool of shard workers.
-#[derive(Debug, Clone, Copy)]
+/// A fixed-size pool of shard workers sharing a [`ContextPool`] of
+/// clearing arenas.
+///
+/// Each worker checks a [`ClearContext`] out for the duration of a
+/// [`ShardPool::clear_all`] call and returns it afterwards, so the
+/// contexts — and the delta-patched indexes inside them — survive across
+/// drains. Cloning the pool clones the context-pool *handle*: clones
+/// share arenas.
+#[derive(Debug, Clone)]
 pub struct ShardPool {
     workers: usize,
+    contexts: ContextPool,
 }
 
 impl ShardPool {
-    /// A pool with `workers` threads (clamped to ≥ 1).
+    /// A pool with `workers` threads (clamped to ≥ 1) and an empty
+    /// context pool.
     pub fn new(workers: usize) -> Self {
         ShardPool {
             workers: workers.max(1),
+            contexts: ContextPool::new(),
         }
     }
 
     /// The worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// A shared handle to the pool's clearing arenas. Campaign runners
+    /// grab this before tearing an engine down so the warmed indexes
+    /// survive an [`Engine::restore`](crate::engine::Engine::restore).
+    pub fn contexts(&self) -> ContextPool {
+        self.contexts.clone()
+    }
+
+    /// Replaces the pool's clearing arenas with `contexts` — the adopt
+    /// half of the [`ShardPool::contexts`] hand-off.
+    pub fn adopt_contexts(&mut self, contexts: ContextPool) {
+        self.contexts = contexts;
     }
 
     /// Clears every round across the pool, catching panics at the round
@@ -291,28 +335,55 @@ impl ShardPool {
             for _ in 0..self.workers {
                 let round_rx = Arc::clone(&round_rx);
                 let result_tx = result_tx.clone();
-                scope.spawn(move || loop {
-                    // Take the lock only to pop; clearing runs unlocked.
-                    let next = round_rx.lock().expect("queue lock").recv();
-                    let Ok(round) = next else { break };
-                    let bidders = round.profile.user_count();
-                    span_enter(Some(recorder), Stage::Shard, round.id);
-                    let start = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        if let Some(message) = injector.shard_panic(round.id) {
-                            panic!("{message}");
+                let contexts = self.contexts.clone();
+                scope.spawn(move || {
+                    // One clearing arena per worker for the whole drain:
+                    // consecutive rounds on this worker delta-patch its
+                    // persistent index. With reuse disabled every round
+                    // clears on a throwaway context instead.
+                    let mut pooled = config.reuse_index.then(|| contexts.checkout());
+                    loop {
+                        // Take the lock only to pop; clearing runs unlocked.
+                        let next = round_rx.lock().expect("queue lock").recv();
+                        let Ok(round) = next else { break };
+                        let bidders = round.profile.user_count();
+                        span_enter(Some(recorder), Stage::Shard, round.id);
+                        let start = Instant::now();
+                        let mut fresh = ClearContext::new();
+                        let context = pooled.as_mut().unwrap_or(&mut fresh);
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(message) = injector.shard_panic(round.id) {
+                                panic!("{message}");
+                            }
+                            clear_round_metered(
+                                &round,
+                                config,
+                                context,
+                                Some(metrics),
+                                Some(recorder),
+                            )
+                        }));
+                        if caught.is_err() {
+                            // A panic can leave the arena half-patched
+                            // (e.g. mid seed rebuild); discard it rather
+                            // than reason about its state.
+                            if let Some(context) = pooled.as_mut() {
+                                *context = ClearContext::new();
+                            }
                         }
-                        clear_round_metered(&round, config, Some(metrics), Some(recorder))
-                    }))
-                    .unwrap_or_else(|payload| {
-                        Err(RoundError::Panicked {
-                            message: panic_message(payload.as_ref()),
-                        })
-                    });
-                    metrics.record(Stage::Shard, start.elapsed());
-                    span_exit(Some(recorder), Stage::Shard, round.id, start.elapsed());
-                    if result_tx.send((round.id, bidders, outcome)).is_err() {
-                        break;
+                        let outcome = caught.unwrap_or_else(|payload| {
+                            Err(RoundError::Panicked {
+                                message: panic_message(payload.as_ref()),
+                            })
+                        });
+                        metrics.record(Stage::Shard, start.elapsed());
+                        span_exit(Some(recorder), Stage::Shard, round.id, start.elapsed());
+                        if result_tx.send((round.id, bidders, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                    if let Some(context) = pooled {
+                        contexts.give_back(context);
                     }
                 });
             }
@@ -437,6 +508,128 @@ mod tests {
             )
             .unwrap(),
         }
+    }
+
+    /// Like [`multi_task_round`] but with every PoS scaled, so
+    /// consecutive rounds exercise the delta-patch path with real row
+    /// changes instead of `SyncMode::Unchanged` hits.
+    fn multi_task_round_scaled(id: u64, scale: f64) -> Round {
+        let specs: [(f64, &[(u32, f64)]); 5] = [
+            (2.0, &[(0, 0.3), (1, 0.4)]),
+            (1.5, &[(0, 0.2), (2, 0.3)]),
+            (3.0, &[(1, 0.5), (2, 0.5)]),
+            (1.0, &[(0, 0.2), (1, 0.2), (2, 0.2)]),
+            (2.5, &[(0, 0.4), (2, 0.4)]),
+        ];
+        let users = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(cost, tasks))| {
+                let mut b = UserType::builder(UserId::new(i as u32)).cost(Cost::new(cost).unwrap());
+                for &(t, p) in tasks {
+                    b = b.task(TaskId::new(t), Pos::new(p * scale).unwrap());
+                }
+                b.build().unwrap()
+            })
+            .collect();
+        Round {
+            id: RoundId(id),
+            profile: TypeProfile::new(
+                users,
+                vec![
+                    Task::with_requirement(TaskId::new(0), 0.5).unwrap(),
+                    Task::with_requirement(TaskId::new(1), 0.6).unwrap(),
+                    Task::with_requirement(TaskId::new(2), 0.55).unwrap(),
+                ],
+            )
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn persistent_contexts_match_pure_clearing_across_changing_rounds() {
+        let config = EngineConfig::default().with_seed(7);
+        let rounds: Vec<Round> = (0..5)
+            .map(|i| multi_task_round_scaled(i, 0.8 + 0.04 * i as f64))
+            .collect();
+        let pool = ShardPool::new(1);
+        let pooled = pool.clear_all(
+            rounds.clone(),
+            &config,
+            &NoFaults,
+            &Metrics::new(),
+            &FlightRecorder::disabled(),
+        );
+        // The worker's warmed arena is parked for the next drain…
+        assert_eq!(pool.contexts().idle(), 1);
+        // …and a second drain starting from it clears identically.
+        let again = pool.clear_all(
+            rounds.clone(),
+            &config,
+            &NoFaults,
+            &Metrics::new(),
+            &FlightRecorder::disabled(),
+        );
+        assert_eq!(pooled, again);
+        // Every round matches the pure, fresh-context function bitwise,
+        // even though the pooled path delta-patched across rounds.
+        for round in &rounds {
+            let pure = clear_round(round, &config).unwrap();
+            assert_eq!(*pooled[&round.id].1.as_ref().unwrap(), pure);
+        }
+    }
+
+    #[test]
+    fn disabling_index_reuse_changes_nothing_but_the_arena_pool() {
+        let reuse = EngineConfig::default().with_seed(11);
+        let rounds: Vec<Round> = (0..4)
+            .map(|i| multi_task_round_scaled(i, 1.0 - 0.03 * i as f64))
+            .collect();
+        let pooled = ShardPool::new(2).clear_all(
+            rounds.clone(),
+            &reuse,
+            &NoFaults,
+            &Metrics::new(),
+            &FlightRecorder::disabled(),
+        );
+        let throwaway_pool = ShardPool::new(2);
+        let throwaway = throwaway_pool.clear_all(
+            rounds,
+            &reuse.with_reuse_index(false),
+            &NoFaults,
+            &Metrics::new(),
+            &FlightRecorder::disabled(),
+        );
+        assert_eq!(pooled, throwaway);
+        // With reuse off no arena is ever checked out or parked.
+        assert_eq!(throwaway_pool.contexts().idle(), 0);
+    }
+
+    #[test]
+    fn adopted_contexts_are_shared_handles() {
+        let config = EngineConfig::default().with_seed(2);
+        let first = ShardPool::new(1);
+        first.clear_all(
+            vec![multi_task_round(0)],
+            &config,
+            &NoFaults,
+            &Metrics::new(),
+            &FlightRecorder::disabled(),
+        );
+        assert_eq!(first.contexts().idle(), 1);
+        let mut second = ShardPool::new(1);
+        second.adopt_contexts(first.contexts());
+        let outcomes = second.clear_all(
+            vec![multi_task_round(1)],
+            &config,
+            &NoFaults,
+            &Metrics::new(),
+            &FlightRecorder::disabled(),
+        );
+        assert!(outcomes[&RoundId(1)].1.is_ok());
+        // The adopted handle still points at the same free list: the
+        // warmed context went out and came back.
+        assert_eq!(first.contexts().idle(), 1);
     }
 
     #[test]

@@ -2,8 +2,23 @@
 # Runs the allocation + payment scaling bench and refreshes the
 # machine-readable perf record BENCH_payment_scaling.json at the repo
 # root, so the perf trajectory is tracked across PRs.
+#
+# The full grid is: reference + fast at n ∈ {100, 500, 1000}, fast
+# (cold and warm-arena) at n ∈ {10k, 100k}, and a 1M-user
+# allocation-only smoke — all at 50 tasks, with ns/bid derived per row.
+#
+# Usage:
+#   scripts/bench.sh            # full grid (minutes; refreshes the JSON)
+#   scripts/bench.sh --smoke    # CI tier: bitwise equivalence + a timed
+#                               # n=10k end-to-end clear; writes nothing
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  echo "==> payment_scaling --smoke (equivalence + n=10k end-to-end)"
+  cargo bench -p mcs-bench --bench payment_scaling -- --smoke
+  exit 0
+fi
 
 echo "==> cargo bench payment_scaling (writes BENCH_payment_scaling.json)"
 cargo bench -p mcs-bench --bench payment_scaling

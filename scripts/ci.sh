@@ -18,8 +18,10 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> payment_scaling bench smoke (--test)"
-cargo bench -p mcs-bench --bench payment_scaling -- --test
+echo "==> payment_scaling bench smoke (scripts/bench.sh --smoke)"
+# Bitwise fast/reference/warm-arena equivalence plus a timed n=10k
+# end-to-end clear on the arena path.
+bash scripts/bench.sh --smoke
 
 echo "==> chaos smoke (mcs-fuzz --ci-smoke)"
 cargo run --release -p mcs-harness --bin mcs-fuzz -- --ci-smoke

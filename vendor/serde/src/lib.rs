@@ -232,6 +232,29 @@ pub fn __field<'de, T: Deserialize<'de>>(
         .map_err(|e| DeError::custom(format!("invalid field `{field}` in `{container}`: {e}")))
 }
 
+/// Like [`__field`], but a missing entry falls back to `default` instead
+/// of erroring — the backing of `#[serde(default)]` /
+/// `#[serde(default = "path")]` on struct fields. A *present* entry of
+/// the wrong shape still errors: defaults paper over absence, not
+/// corruption.
+#[doc(hidden)]
+pub fn __field_or<'de, T: Deserialize<'de>>(
+    entries: &[(String, Value)],
+    field: &'static str,
+    container: &'static str,
+    default: fn() -> T,
+) -> Result<T, DeError> {
+    let Some(value) = entries
+        .iter()
+        .find(|(key, _)| key == field)
+        .map(|(_, value)| value)
+    else {
+        return Ok(default());
+    };
+    T::__from_value(value)
+        .map_err(|e| DeError::custom(format!("invalid field `{field}` in `{container}`: {e}")))
+}
+
 /// Stringifies a map key the way JSON object keys require.
 #[doc(hidden)]
 pub fn __map_key(value: &Value) -> String {

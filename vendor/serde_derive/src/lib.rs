@@ -16,11 +16,14 @@
 //! * enums with unit and single-field (newtype) variants, externally
 //!   tagged like upstream: `"Variant"` or `{"Variant": payload}`;
 //! * container attributes `#[serde(try_from = "T")]` and
-//!   `#[serde(into = "T")]`.
+//!   `#[serde(into = "T")]`;
+//! * field attributes `#[serde(default)]` and `#[serde(default = "path")]`
+//!   on named-struct fields: a missing JSON entry falls back to
+//!   `Default::default()` / `path()` instead of erroring, like upstream.
 //!
-//! Generics, struct variants, and field-level attributes are not needed by
-//! the workspace and are rejected with a compile-time panic naming the
-//! unsupported construct.
+//! Generics, struct variants, and other field-level attributes are not
+//! needed by the workspace and are rejected with a compile-time panic
+//! naming the unsupported construct.
 
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 use std::fmt::Write as _;
@@ -51,8 +54,23 @@ struct ContainerAttrs {
     into: Option<String>,
 }
 
+/// How a missing named-struct field deserializes.
+enum FieldDefault {
+    /// No `#[serde(default)]`: a missing entry is an error.
+    Required,
+    /// `#[serde(default)]`: fall back to `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: fall back to calling `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
 enum Shape {
-    NamedStruct { fields: Vec<String> },
+    NamedStruct { fields: Vec<Field> },
     TupleStruct { arity: usize },
     /// Variants as (name, payload arity): 0 = unit, 1 = newtype.
     Enum { variants: Vec<(String, usize)> },
@@ -182,13 +200,18 @@ fn collect_serde_attr(group: &Group, attrs: &mut ContainerAttrs) {
     }
 }
 
-fn parse_named_fields(body: &Group, container: &str) -> Vec<String> {
+fn parse_named_fields(body: &Group, container: &str) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        // Attributes (incl. doc comments).
+        // Attributes (incl. doc comments); `#[serde(...)]` ones carry the
+        // field's missing-entry behavior.
+        let mut default = FieldDefault::Required;
         while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(group)) = tokens.get(i + 1) {
+                collect_field_attr(group, container, &mut default);
+            }
             i += 2;
         }
         // Visibility.
@@ -227,9 +250,56 @@ fn parse_named_fields(body: &Group, container: &str) -> Vec<String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
+}
+
+/// Records `default` from a field's `#[serde(...)]` attribute group; doc
+/// comments and non-serde attributes pass through untouched, and any
+/// other serde field key panics rather than being silently dropped.
+fn collect_field_attr(group: &Group, container: &str, default: &mut FieldDefault) {
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(list)) = inner.next() else {
+        return;
+    };
+    let tokens: Vec<TokenTree> = list.stream().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let value = match (tokens.get(i + 1), tokens.get(i + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                i += 3;
+                Some(lit.to_string().trim_matches('"').to_string())
+            }
+            _ => {
+                i += 1;
+                None
+            }
+        };
+        match (key.as_str(), value) {
+            ("default", Some(path)) => *default = FieldDefault::Path(path),
+            ("default", None) => *default = FieldDefault::Trait,
+            (other, _) => panic!(
+                "serde derive: field attribute `{other}` in `{container}` is not supported by the vendored derive"
+            ),
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
 }
 
 /// Counts comma-separated fields at the top level of a parenthesised group.
@@ -316,6 +386,7 @@ fn expand_serialize(item: &Item) -> String {
             Shape::NamedStruct { fields } => {
                 body.push_str("::serde::Value::Map(::std::vec![\n");
                 for field in fields {
+                    let field = &field.name;
                     let _ = writeln!(
                         body,
                         "(::std::string::String::from(\"{field}\"), \
@@ -390,10 +461,24 @@ fn expand_deserialize(item: &Item) -> String {
                      ::std::result::Result::Ok({name} {{\n"
                 );
                 for field in fields {
-                    let _ = writeln!(
-                        body,
-                        "{field}: ::serde::__field(__entries, \"{field}\", \"{name}\")?,"
-                    );
+                    let fallback = match &field.default {
+                        FieldDefault::Required => None,
+                        FieldDefault::Trait => {
+                            Some("::std::default::Default::default".to_string())
+                        }
+                        FieldDefault::Path(path) => Some(path.clone()),
+                    };
+                    let field = &field.name;
+                    let _ = match fallback {
+                        None => writeln!(
+                            body,
+                            "{field}: ::serde::__field(__entries, \"{field}\", \"{name}\")?,"
+                        ),
+                        Some(fallback) => writeln!(
+                            body,
+                            "{field}: ::serde::__field_or(__entries, \"{field}\", \"{name}\", {fallback})?,"
+                        ),
+                    };
                 }
                 body.push_str("})");
             }
