@@ -73,5 +73,5 @@ pub mod prelude {
     pub use crate::metrics::{CampaignMetrics, RoundEcon};
     pub use crate::residual::ResidualTracker;
     pub use crate::runner::{CampaignConfig, CampaignReport, CampaignRoundRecord, CampaignRunner};
-    pub use crate::source::{BidSource, SyntheticBidSource};
+    pub use crate::source::{BidSource, FnBidSource, SyntheticBidSource};
 }

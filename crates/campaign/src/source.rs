@@ -96,6 +96,40 @@ impl BidSource for SyntheticBidSource {
     }
 }
 
+/// A [`BidSource`] backed by a closure — the adapter scenario harnesses
+/// use to drive a campaign from an externally generated population
+/// (arrival curves, shocks, strategic deviations) without re-implementing
+/// the trait.
+///
+/// The determinism contract is inherited: the closure must be a pure
+/// function of `(round_index, tasks)` and whatever seeded state it
+/// captures.
+pub struct FnBidSource<F> {
+    label: &'static str,
+    f: F,
+}
+
+impl<F: FnMut(u64, &[Task]) -> Vec<Bid>> FnBidSource<F> {
+    /// Wraps `f` as a bid source; `label` names it in debug output.
+    pub fn new(label: &'static str, f: F) -> Self {
+        FnBidSource { label, f }
+    }
+}
+
+impl<F> std::fmt::Debug for FnBidSource<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnBidSource")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(u64, &[Task]) -> Vec<Bid>> BidSource for FnBidSource<F> {
+    fn bids(&mut self, round_index: u64, tasks: &[Task]) -> Vec<Bid> {
+        (self.f)(round_index, tasks)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +148,22 @@ mod tests {
         let mut b = SyntheticBidSource::new(7, 5);
         assert_eq!(a.bids(0, &tasks()), b.bids(0, &tasks()));
         assert_ne!(a.bids(1, &tasks()), b.bids(2, &tasks()));
+    }
+
+    #[test]
+    fn fn_sources_delegate_and_debug_print() {
+        let mut source = FnBidSource::new("test", |round, tasks: &[Task]| {
+            vec![Bid {
+                user: round as u32,
+                cost: 1.0,
+                tasks: tasks.iter().map(|t| (t.id().index() as u32, 0.5)).collect(),
+            }]
+        });
+        let bids = source.bids(3, &tasks());
+        assert_eq!(bids.len(), 1);
+        assert_eq!(bids[0].user, 3);
+        assert_eq!(bids[0].tasks.len(), 2);
+        assert!(format!("{source:?}").contains("test"));
     }
 
     #[test]

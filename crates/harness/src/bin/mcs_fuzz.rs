@@ -9,6 +9,8 @@
 //! mcs-fuzz [--seed S] [--rounds N] [--faults F] [--tasks T] [--bids B]
 //!          [--workers W] [--payment-threads P] [--drain-every D]
 //!          [--verify-determinism] [--ci-smoke] [--soak] [--campaign]
+//!          [--scenario NAME|PATH|all] [--record-trace FILE]
+//!          [--replay-trace FILE] [--print-baseline]
 //! ```
 //!
 //! * `--seed`    campaign seed: bid stream, fault plan, execution draws (default 1)
@@ -38,6 +40,19 @@
 //!   calibration sanity, payout conservation — plus bitwise fingerprint
 //!   determinism across worker/payment-thread counts. Combine with
 //!   `--ci-smoke` for the shortened CI variant.
+//! * `--scenario` corpus mode: runs a named scenario from `scenarios/`
+//!   (or a `.toml` path, or `all` for the whole corpus) through the
+//!   scenario driver — diurnal/bursty arrivals, regional PoS shocks,
+//!   strategic populations — and checks the outcome against the
+//!   scenario's pinned `[baseline]` (missing baseline = failure).
+//!   Scenarios with a `[strategy]` section also run the online SP twin
+//!   sweep. Add `--verify-determinism` for the worker × payment-thread
+//!   fingerprint matrix.
+//! * `--record-trace FILE` write the run's checksummed drive log
+//! * `--replay-trace FILE` replay a recorded log instead of generating
+//!   bids; the outcome must still match the pinned baseline bitwise
+//! * `--print-baseline` print the observed `[baseline]` block (for
+//!   pinning new or re-versioned scenarios) instead of enforcing one
 //!
 //! A failing campaign is reproduced by re-running with the same `--seed`,
 //! `--rounds`, `--faults`, and `--tasks`; the fingerprint printed at the
@@ -50,6 +65,7 @@ use std::time::Instant;
 use mcs_campaign::prelude::{CampaignRunner, SyntheticBidSource};
 use mcs_core::types::{Task, TaskId};
 use mcs_harness::prelude::*;
+use mcs_obs::replay::ReplayLog;
 use mcs_platform::batch::RoundId;
 use mcs_platform::config::{AdmissionConfig, EngineConfig, ShedPolicy};
 
@@ -70,6 +86,10 @@ struct Options {
     ci_smoke: bool,
     soak: bool,
     campaign_loop: bool,
+    scenario: Option<String>,
+    record_trace: Option<String>,
+    replay_trace: Option<String>,
+    print_baseline: bool,
 }
 
 impl Options {
@@ -87,6 +107,10 @@ impl Options {
             ci_smoke: false,
             soak: false,
             campaign_loop: false,
+            scenario: None,
+            record_trace: None,
+            replay_trace: None,
+            print_baseline: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -107,11 +131,16 @@ impl Options {
                 "--ci-smoke" => options.ci_smoke = true,
                 "--soak" => options.soak = true,
                 "--campaign" => options.campaign_loop = true,
+                "--scenario" => options.scenario = Some(value("--scenario")?),
+                "--record-trace" => options.record_trace = Some(value("--record-trace")?),
+                "--replay-trace" => options.replay_trace = Some(value("--replay-trace")?),
+                "--print-baseline" => options.print_baseline = true,
                 "--help" | "-h" => {
                     return Err("usage: mcs-fuzz [--seed S] [--rounds N] [--faults F] \
                          [--tasks T] [--bids B] [--workers W] [--payment-threads P] \
                          [--drain-every D] [--verify-determinism] [--ci-smoke] [--soak] \
-                         [--campaign]"
+                         [--campaign] [--scenario NAME|PATH|all] [--record-trace FILE] \
+                         [--replay-trace FILE] [--print-baseline]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -429,6 +458,213 @@ fn closed_loop_fuzz(options: &Options) -> ExitCode {
     }
 }
 
+/// Runs one corpus scenario end to end: drive (or replay a recorded
+/// trace), enforce the pinned baseline, optionally sweep the
+/// determinism matrix, and — when the scenario schedules strategic
+/// bidders — run the online strategy-proofness twins. Returns whether
+/// everything held.
+fn run_scenario_cli(scenario: &Scenario, options: &Options) -> bool {
+    let start = Instant::now();
+    let outcome = if let Some(path) = &options.replay_trace {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(error) => {
+                eprintln!("scenario[{}]: cannot read {path}: {error}", scenario.name);
+                return false;
+            }
+        };
+        let log = match ReplayLog::from_bytes(&bytes) {
+            Ok(log) => log,
+            Err(error) => {
+                eprintln!("scenario[{}]: corrupt trace {path}: {error}", scenario.name);
+                return false;
+            }
+        };
+        match replay_scenario(scenario, &log) {
+            Ok(outcome) => outcome,
+            Err(error) => {
+                eprintln!("scenario[{}]: replay failed: {error}", scenario.name);
+                return false;
+            }
+        }
+    } else {
+        match run_scenario(scenario) {
+            Ok(outcome) => outcome,
+            Err(error) => {
+                eprintln!("scenario[{}]: run failed: {error}", scenario.name);
+                return false;
+            }
+        }
+    };
+    println!(
+        "scenario[{} v{}]: {} rounds cleared · {} submitted, {} admitted, {} shed, \
+         {} rejected, {} quarantined · paid {:.3} · fingerprint {:016x} · {:.2?}",
+        scenario.name,
+        scenario.version,
+        outcome.rounds_cleared,
+        outcome.bids_submitted,
+        outcome.admitted,
+        outcome.sheds,
+        outcome.rejections,
+        outcome.quarantined,
+        outcome.payment_total,
+        outcome.fingerprint(),
+        start.elapsed()
+    );
+    let mut ok = outcome.is_clean();
+    for violation in &outcome.violations {
+        eprintln!("  VIOLATION: {violation}");
+    }
+    for violation in &outcome.campaign_violations {
+        eprintln!("  VIOLATION: {violation}");
+    }
+
+    if let Some(path) = &options.record_trace {
+        if let Err(error) = std::fs::write(path, outcome.log.to_bytes()) {
+            eprintln!("  TRACE: cannot write {path}: {error}");
+            ok = false;
+        } else {
+            println!(
+                "  trace: {} ops ({} submits) recorded to {path}",
+                outcome.log.ops.len(),
+                outcome.log.submit_count()
+            );
+        }
+    }
+
+    if options.print_baseline {
+        println!("{}", outcome.baseline().to_toml());
+        return ok;
+    }
+    match &scenario.baseline {
+        Some(pinned) => {
+            if let Err(error) = pinned.check(&scenario.name, &outcome.baseline()) {
+                eprintln!("  BASELINE: {error}");
+                ok = false;
+            }
+        }
+        None => {
+            eprintln!(
+                "  BASELINE: scenario {:?} has no pinned [baseline]; run \
+                 `mcs-fuzz --scenario {} --print-baseline` and commit the block",
+                scenario.name, scenario.name
+            );
+            ok = false;
+        }
+    }
+
+    if options.verify_determinism {
+        let reference = outcome.fingerprint();
+        for (workers, payment_threads) in [(1usize, 1usize), (2, 4), (8, 1), (8, 4)] {
+            let run = run_scenario_with(
+                scenario,
+                &RunOptions {
+                    workers: Some(workers),
+                    payment_threads: Some(payment_threads),
+                    deviate: false,
+                },
+            );
+            match run {
+                Ok(variant) if variant.fingerprint() == reference => {}
+                Ok(variant) => {
+                    eprintln!(
+                        "  DETERMINISM BROKEN: workers={workers} \
+                         payment_threads={payment_threads} fingerprint {:016x} \
+                         != reference {reference:016x}",
+                        variant.fingerprint()
+                    );
+                    ok = false;
+                }
+                Err(error) => {
+                    eprintln!("  DETERMINISM: variant run failed: {error}");
+                    ok = false;
+                }
+            }
+        }
+    }
+
+    if scenario.strategy.is_some() && options.replay_trace.is_none() {
+        match check_online_sp(scenario, 1e-6) {
+            Ok(report) => {
+                println!(
+                    "  online SP: {} deviations played, {} profitable",
+                    report.checked,
+                    report.violations.len()
+                );
+                for violation in &report.violations {
+                    eprintln!("  SP VIOLATION: {violation}");
+                }
+                if !report.is_clean() || !report.deviating.is_clean() {
+                    ok = false;
+                }
+            }
+            Err(error) => {
+                eprintln!("  SP: twin sweep failed: {error}");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// Corpus mode: resolve `--scenario` to one file or the whole corpus
+/// and run each through [`run_scenario_cli`].
+fn scenario_fuzz(options: &Options) -> ExitCode {
+    let target = options.scenario.as_deref().expect("dispatched on Some");
+    let paths = if target == "all" {
+        match mcs_harness::scenario::corpus_paths() {
+            Ok(paths) => paths,
+            Err(error) => {
+                eprintln!("scenario: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    let mut failed = false;
+    let mut ran = 0usize;
+    if target == "all" {
+        for path in &paths {
+            match mcs_harness::scenario::load(&path.display().to_string()) {
+                Ok(scenario) => {
+                    ran += 1;
+                    if !run_scenario_cli(&scenario, options) {
+                        failed = true;
+                    }
+                }
+                Err(error) => {
+                    eprintln!("scenario[{}]: {error}", path.display());
+                    failed = true;
+                }
+            }
+        }
+        if ran == 0 {
+            eprintln!("scenario: corpus is empty");
+            failed = true;
+        }
+    } else {
+        match mcs_harness::scenario::load(target) {
+            Ok(scenario) => {
+                if !run_scenario_cli(&scenario, options) {
+                    failed = true;
+                }
+            }
+            Err(error) => {
+                eprintln!("scenario[{target}]: {error}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("scenario: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("scenario: corpus clean, baselines pinned, mechanism truthful");
+        ExitCode::SUCCESS
+    }
+}
+
 /// The fixed CI smoke matrix: a few seeds over both mechanism families,
 /// each verified clean and bitwise identical across worker counts.
 fn ci_smoke() -> ExitCode {
@@ -481,6 +717,9 @@ fn main() -> ExitCode {
         }
     };
 
+    if options.scenario.is_some() {
+        return scenario_fuzz(&options);
+    }
     if options.campaign_loop {
         return closed_loop_fuzz(&options);
     }

@@ -259,30 +259,30 @@ impl CampaignOutcome {
     }
 }
 
-/// FNV-1a, 64-bit.
-struct Fnv {
+/// FNV-1a, 64-bit — shared by every outcome fingerprint in this crate.
+pub(crate) struct Fnv {
     hash: u64,
 }
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv {
             hash: 0xcbf2_9ce4_8422_2325,
         }
     }
 
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
         for &byte in bytes {
             self.hash ^= byte as u64;
             self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn write_u64(&mut self, value: u64) {
+    pub(crate) fn write_u64(&mut self, value: u64) {
         self.write_bytes(&value.to_le_bytes());
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.hash
     }
 }

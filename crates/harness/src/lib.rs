@@ -48,6 +48,7 @@ pub mod closed_loop;
 pub mod inject;
 pub mod oracle;
 pub mod plan;
+pub mod scenario;
 pub mod stream;
 
 /// Convenient glob import: `use mcs_harness::prelude::*;`.
@@ -59,5 +60,9 @@ pub mod prelude {
     pub use crate::inject::{PlanInjector, CHAOS_PREFIX};
     pub use crate::oracle::{check_round, OracleConfig, OracleViolation};
     pub use crate::plan::{Fault, FaultPlan};
+    pub use crate::scenario::{
+        check_online_sp, replay_scenario, run_scenario, run_scenario_with, RunOptions, Scenario,
+        ScenarioError, ScenarioOutcome, SpReport,
+    };
     pub use crate::stream::{round_actions, splitmix64, Action};
 }

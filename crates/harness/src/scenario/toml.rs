@@ -1,0 +1,439 @@
+//! A minimal TOML-subset parser for scenario files.
+//!
+//! The repository vendors a JSON-oriented `serde` stand-in and bakes in
+//! no TOML crate, so the scenario corpus parses its own dialect — the
+//! subset of TOML a pinned-seed scenario actually needs:
+//!
+//! * `#` line and trailing comments (quote-aware);
+//! * `[table]` and `[dotted.table]` headers;
+//! * `key = value` with bare or dotted keys;
+//! * basic `"strings"` with `\" \\ \n \t` escapes;
+//! * integers (decimal with `_` separators, or `0x…` hex, parsed
+//!   unsigned — the natural spelling for pinned fingerprints and f64
+//!   bit patterns);
+//! * floats, booleans, and single-line `[a, b, c]` arrays.
+//!
+//! Output is the vendored [`serde::Value`] tree (tables become ordered
+//! maps), so the schema layer in [`super::spec`] shares one value
+//! vocabulary with the JSON side of the repository. Every diagnostic is
+//! a typed [`TomlError`] carrying the 1-based source line.
+
+use std::fmt;
+
+use serde::Value;
+
+/// A parse failure, attributed to its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line number of the offending input.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl TomlError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        TomlError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// Parses a scenario TOML document into a [`Value::Map`] tree.
+///
+/// # Errors
+///
+/// A [`TomlError`] naming the first offending line.
+pub fn parse(input: &str) -> Result<Value, TomlError> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    let mut current_path: Vec<String> = Vec::new();
+    for (index, raw_line) in input.lines().enumerate() {
+        let line_no = index + 1;
+        let line = strip_comment(raw_line, line_no)?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| TomlError::new(line_no, "unterminated table header"))?
+                .trim();
+            let path = parse_key_path(inner, line_no)?;
+            // Opening the same table twice would silently merge keys;
+            // TOML forbids it and so do we.
+            if table_exists(&root, &path) {
+                return Err(TomlError::new(
+                    line_no,
+                    format!("duplicate table [{}]", path.join(".")),
+                ));
+            }
+            table_mut(&mut root, &path, line_no)?;
+            current_path = path;
+            continue;
+        }
+        let eq = find_unquoted(line, '=')
+            .ok_or_else(|| TomlError::new(line_no, "expected `key = value`"))?;
+        let key_part = line[..eq].trim();
+        let value_part = line[eq + 1..].trim();
+        let key_path = parse_key_path(key_part, line_no)?;
+        let (leaf, parents) = key_path
+            .split_last()
+            .ok_or_else(|| TomlError::new(line_no, "empty key"))?;
+        let value = parse_value(value_part, line_no)?;
+        let mut full_parent = current_path.clone();
+        full_parent.extend(parents.iter().cloned());
+        let table = table_mut(&mut root, &full_parent, line_no)?;
+        if table.iter().any(|(k, _)| k == leaf) {
+            return Err(TomlError::new(line_no, format!("duplicate key {leaf:?}")));
+        }
+        table.push((leaf.clone(), value));
+    }
+    Ok(Value::Map(root))
+}
+
+/// Removes a `#` comment, ignoring `#` inside basic strings.
+fn strip_comment(line: &str, line_no: usize) -> Result<&str, TomlError> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, ch) in line.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_string = false;
+            }
+        } else if ch == '"' {
+            in_string = true;
+        } else if ch == '#' {
+            return Ok(&line[..i]);
+        }
+    }
+    if in_string {
+        return Err(TomlError::new(line_no, "unterminated string"));
+    }
+    Ok(line)
+}
+
+/// The byte offset of the first `needle` outside any string, if any.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, ch) in line.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_string = false;
+            }
+        } else if ch == '"' {
+            in_string = true;
+        } else if ch == needle {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Splits a bare or dotted key into validated segments.
+fn parse_key_path(input: &str, line_no: usize) -> Result<Vec<String>, TomlError> {
+    if input.is_empty() {
+        return Err(TomlError::new(line_no, "empty key"));
+    }
+    input
+        .split('.')
+        .map(|segment| {
+            let segment = segment.trim();
+            let bare = !segment.is_empty()
+                && segment
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+            if bare {
+                Ok(segment.to_string())
+            } else {
+                Err(TomlError::new(
+                    line_no,
+                    format!("invalid key segment {segment:?} (bare keys only)"),
+                ))
+            }
+        })
+        .collect()
+}
+
+/// Whether `path` already names an explicit or implicit table.
+fn table_exists(root: &[(String, Value)], path: &[String]) -> bool {
+    let mut current = root;
+    for segment in path {
+        match current.iter().find(|(k, _)| k == segment) {
+            Some((_, Value::Map(inner))) => current = inner,
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Navigates (creating as needed) to the table at `path`.
+fn table_mut<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'a mut Vec<(String, Value)>, TomlError> {
+    let mut current = root;
+    for segment in path {
+        let position = current.iter().position(|(k, _)| k == segment);
+        let index = match position {
+            Some(i) => i,
+            None => {
+                current.push((segment.clone(), Value::Map(Vec::new())));
+                current.len() - 1
+            }
+        };
+        current = match &mut current[index].1 {
+            Value::Map(inner) => inner,
+            _ => {
+                return Err(TomlError::new(
+                    line_no,
+                    format!("{segment:?} is a value, not a table"),
+                ))
+            }
+        };
+    }
+    Ok(current)
+}
+
+/// Parses one value token (string, bool, number, or array).
+fn parse_value(input: &str, line_no: usize) -> Result<Value, TomlError> {
+    if input.is_empty() {
+        return Err(TomlError::new(line_no, "missing value"));
+    }
+    if input.starts_with('"') {
+        return parse_string(input, line_no).map(Value::Str);
+    }
+    if input == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if input == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if input.starts_with('[') {
+        let inner = input
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| TomlError::new(line_no, "unterminated array"))?;
+        let mut items = Vec::new();
+        for element in split_array(inner, line_no)? {
+            items.push(parse_value(element.trim(), line_no)?);
+        }
+        return Ok(Value::Seq(items));
+    }
+    parse_number(input, line_no)
+}
+
+/// Parses a basic string with `\" \\ \n \t` escapes; the token must span
+/// the whole input.
+fn parse_string(input: &str, line_no: usize) -> Result<String, TomlError> {
+    let mut out = String::new();
+    let mut chars = input[1..].chars();
+    loop {
+        match chars.next() {
+            None => return Err(TomlError::new(line_no, "unterminated string")),
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(TomlError::new(
+                        line_no,
+                        format!("unsupported escape {other:?}"),
+                    ))
+                }
+            },
+            Some(ch) => out.push(ch),
+        }
+    }
+    if chars.next().is_some() {
+        return Err(TomlError::new(line_no, "trailing input after string"));
+    }
+    Ok(out)
+}
+
+/// Splits a single-line array body on top-level commas, respecting
+/// strings and nested brackets. A trailing comma is allowed.
+fn split_array(inner: &str, line_no: usize) -> Result<Vec<&str>, TomlError> {
+    let mut elements = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    for (i, ch) in inner.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_string = true,
+            '[' => depth += 1,
+            ']' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| TomlError::new(line_no, "unbalanced brackets"))?
+            }
+            ',' if depth == 0 => {
+                elements.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_string {
+        return Err(TomlError::new(line_no, "unterminated array"));
+    }
+    let tail = &inner[start..];
+    if !tail.trim().is_empty() {
+        elements.push(tail);
+    }
+    Ok(elements)
+}
+
+/// Parses an integer (decimal or `0x…` hex, `_` separators) or float.
+fn parse_number(input: &str, line_no: usize) -> Result<Value, TomlError> {
+    let cleaned: String = input.chars().filter(|&c| c != '_').collect();
+    if let Some(hex) = cleaned
+        .strip_prefix("0x")
+        .or_else(|| cleaned.strip_prefix("0X"))
+    {
+        return u64::from_str_radix(hex, 16)
+            .map(Value::U64)
+            .map_err(|_| TomlError::new(line_no, format!("invalid hex integer {input:?}")));
+    }
+    let looks_float = cleaned.contains(['.', 'e', 'E']);
+    if !looks_float {
+        if let Ok(value) = cleaned.parse::<u64>() {
+            return Ok(Value::U64(value));
+        }
+        if let Ok(value) = cleaned.parse::<i64>() {
+            return Ok(Value::I64(value));
+        }
+    }
+    if let Ok(value) = cleaned.parse::<f64>() {
+        if value.is_finite() {
+            return Ok(Value::F64(value));
+        }
+    }
+    Err(TomlError::new(line_no, format!("invalid value {input:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table<'a>(value: &'a Value, key: &str) -> &'a Value {
+        let map = value.as_map().expect("map");
+        &map.iter().find(|(k, _)| k == key).expect(key).1
+    }
+
+    #[test]
+    fn tables_keys_and_values_parse() {
+        let doc = r#"
+# a scenario
+[scenario]
+name = "diurnal-weather" # trailing comment
+seed = 0xDEAD_BEEF
+rounds = 12
+[arrival]
+base = 8.5
+amplitude = 0.5
+bursts = 2
+flags = [true, false]
+epsilons = [0.5, 0.1, 0.01]
+[a.b]
+deep = -3
+"#;
+        let value = parse(doc).expect("parses");
+        let scenario = table(&value, "scenario");
+        assert_eq!(
+            table(scenario, "name"),
+            &Value::Str("diurnal-weather".into())
+        );
+        assert_eq!(table(scenario, "seed"), &Value::U64(0xDEAD_BEEF));
+        assert_eq!(table(scenario, "rounds"), &Value::U64(12));
+        let arrival = table(&value, "arrival");
+        assert_eq!(table(arrival, "base"), &Value::F64(8.5));
+        assert_eq!(
+            table(arrival, "flags"),
+            &Value::Seq(vec![Value::Bool(true), Value::Bool(false)])
+        );
+        assert_eq!(
+            table(arrival, "epsilons"),
+            &Value::Seq(vec![Value::F64(0.5), Value::F64(0.1), Value::F64(0.01)])
+        );
+        let deep = table(table(&value, "a"), "b");
+        assert_eq!(table(deep, "deep"), &Value::I64(-3));
+    }
+
+    #[test]
+    fn strings_support_escapes_and_hashes() {
+        let value = parse("s = \"a # not comment \\\"q\\\" \\n\"").expect("parses");
+        assert_eq!(
+            table(&value, "s"),
+            &Value::Str("a # not comment \"q\" \n".into())
+        );
+    }
+
+    #[test]
+    fn empty_arrays_parse() {
+        let value = parse("xs = []").expect("parses");
+        assert_eq!(table(&value, "xs"), &Value::Seq(Vec::new()));
+    }
+
+    #[test]
+    fn errors_carry_the_offending_line() {
+        let cases = [
+            ("ok = 1\n[broken", 2, "unterminated table"),
+            ("x 1", 1, "key = value"),
+            ("x = ", 1, "missing value"),
+            ("x = \"abc", 1, "unterminated string"),
+            ("x = zebra", 1, "invalid value"),
+            ("x = 1\nx = 2", 2, "duplicate key"),
+            ("[a]\nk = 1\n[a]", 3, "duplicate table"),
+            ("x = 1\n[x]", 2, "not a table"),
+            ("x = [1, 2", 1, "unterminated array"),
+            ("x = 0xZZ", 1, "invalid hex"),
+            ("a..b = 1", 1, "invalid key segment"),
+        ];
+        for (doc, line, needle) in cases {
+            let error = parse(doc).expect_err(doc);
+            assert_eq!(error.line, line, "{doc:?} -> {error}");
+            assert!(error.to_string().contains(needle), "{doc:?} -> {error}");
+        }
+    }
+
+    #[test]
+    fn dotted_keys_nest_under_the_current_table() {
+        let value = parse("[outer]\ninner.leaf = 7").expect("parses");
+        let outer = table(&value, "outer");
+        let inner = table(outer, "inner");
+        assert_eq!(table(inner, "leaf"), &Value::U64(7));
+    }
+}

@@ -1,0 +1,74 @@
+//! Corpus regression: every shipped scenario carries a pinned
+//! `[baseline]` and reproduces it bitwise at every worker ×
+//! payment-thread combination. Editing a scenario without re-pinning
+//! its baseline fails here; shipping a scenario without a baseline
+//! fails here too.
+
+use mcs_harness::scenario::{corpus_paths, load, run_scenario_with, RunOptions};
+
+/// The determinism matrix every scenario must hold its fingerprint
+/// across.
+const MATRIX: [(usize, usize); 6] = [(1, 1), (1, 4), (2, 1), (2, 4), (8, 1), (8, 4)];
+
+#[test]
+fn the_corpus_is_complete_pinned_and_worker_count_invariant() {
+    let paths = corpus_paths().expect("scenarios/ exists");
+    assert!(
+        paths.len() >= 5,
+        "the corpus must ship at least five scenarios, found {}",
+        paths.len()
+    );
+    for path in paths {
+        let scenario = load(&path.display().to_string())
+            .unwrap_or_else(|error| panic!("{}: {error}", path.display()));
+        let pinned = scenario.baseline.unwrap_or_else(|| {
+            panic!(
+                "{} ships without a [baseline]; run \
+                 `mcs-fuzz --scenario {} --print-baseline` and commit the block",
+                path.display(),
+                scenario.name
+            )
+        });
+        for (workers, payment_threads) in MATRIX {
+            let outcome = run_scenario_with(
+                &scenario,
+                &RunOptions {
+                    workers: Some(workers),
+                    payment_threads: Some(payment_threads),
+                    deviate: false,
+                },
+            )
+            .unwrap_or_else(|error| panic!("{} ({workers}w): {error}", scenario.name));
+            assert!(
+                outcome.is_clean(),
+                "{} ({workers}w/{payment_threads}p): {:?} {:?}",
+                scenario.name,
+                outcome.violations,
+                outcome.campaign_violations
+            );
+            pinned
+                .check(&scenario.name, &outcome.baseline())
+                .unwrap_or_else(|error| {
+                    panic!(
+                        "{} at workers={workers} payment_threads={payment_threads}: {error}",
+                        scenario.name
+                    )
+                });
+        }
+    }
+}
+
+#[test]
+fn corpus_names_match_their_file_stems() {
+    for path in corpus_paths().expect("scenarios/ exists") {
+        let scenario = load(&path.display().to_string()).expect("loads");
+        let stem = path.file_stem().and_then(|s| s.to_str()).expect("utf-8");
+        assert_eq!(
+            scenario.name,
+            stem,
+            "{}: scenario.name must equal the file stem so \
+             `mcs-fuzz --scenario <name>` resolves it",
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the scenario generators: arrival curves hit their
+//! configured mean rate and conserve burst mass, shock fields stay
+//! inside their configured ranges and bite only inside region × window,
+//! and everything is a pure function of its seed.
+
+use mcs_harness::scenario::arrival::ArrivalCurve;
+use mcs_harness::scenario::shock::ShockField;
+use mcs_harness::scenario::spec::{ArrivalSpec, ShockSpec};
+use mcs_mobility::grid::Cell;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn diurnal_mean_tracks_the_configured_base_rate(
+        seed in 0u64..1_000,
+        base in 2.0f64..40.0,
+        amplitude in 0.0f64..0.5,
+        period in 2u64..24,
+        phase in 0.0f64..1.0,
+        periods in 2u64..6,
+    ) {
+        // The ranges keep the trough at one bid or more (base ≥ 2,
+        // amplitude < 0.5), mirroring the schema validator's rule.
+        let spec = ArrivalSpec {
+            base,
+            amplitude,
+            period,
+            phase,
+            bursts: 0,
+            burst_mass: 0,
+            burst_width: 1,
+        };
+        // Whole periods only: the sinusoid must integrate out.
+        let rounds = period * periods;
+        let curve = ArrivalCurve::generate(&spec, seed, rounds);
+        let mean = curve.base_total() as f64 / rounds as f64;
+        prop_assert!(
+            (mean - base).abs() <= 1.0,
+            "mean rate {mean} strayed from configured base {base}"
+        );
+        for round in 0..rounds {
+            let count = curve.base_count(round) as f64;
+            prop_assert!(
+                count >= (base * (1.0 - amplitude)).floor()
+                    && count <= (base * (1.0 + amplitude)).ceil(),
+                "round {round} count {count} left the diurnal envelope"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_mass_is_conserved_exactly(
+        seed in 0u64..1_000,
+        base in 2.0f64..10.0,
+        rounds in 4u64..40,
+        bursts in 1u32..6,
+        burst_mass in 1u32..50,
+        burst_width in 1u64..8,
+    ) {
+        let spec = ArrivalSpec {
+            base,
+            amplitude: 0.0,
+            period: 24,
+            phase: 0.0,
+            bursts,
+            burst_mass,
+            burst_width,
+        };
+        let curve = ArrivalCurve::generate(&spec, seed, rounds);
+        prop_assert_eq!(curve.burst_total(), bursts as u64 * burst_mass as u64);
+        prop_assert_eq!(curve.total(), curve.base_total() + curve.burst_total());
+    }
+
+    #[test]
+    fn shock_multipliers_stay_probabilities_and_respect_their_window(
+        seed in 0u64..1_000,
+        rounds in 4u64..32,
+        count in 1u32..6,
+        lo in 0.05f64..0.5,
+        spread in 0.0f64..0.4,
+    ) {
+        let spec = ShockSpec {
+            grid_width: 6,
+            grid_height: 6,
+            count,
+            multiplier_min: lo,
+            multiplier_max: lo + spread,
+            duration_min: 1,
+            duration_max: 6,
+            region_width: 3,
+            region_height: 3,
+        };
+        let field = ShockField::generate(&spec, seed, rounds);
+        prop_assert_eq!(field.events().len(), count as usize);
+        for event in field.events() {
+            prop_assert!(event.start < event.end && event.end <= rounds);
+            prop_assert!((lo..=lo + spread).contains(&event.multiplier));
+        }
+        for round in 0..rounds {
+            for x in 0..6u32 {
+                for y in 0..6u32 {
+                    let cell = Cell { x, y };
+                    let multiplier = field.multiplier(round, cell);
+                    prop_assert!(
+                        (0.0..=1.0).contains(&multiplier),
+                        "multiplier {multiplier} left [0, 1]"
+                    );
+                    let covered = field
+                        .events()
+                        .iter()
+                        .any(|event| event.covers(round, cell));
+                    if !covered {
+                        // Weather must not bite outside region × window.
+                        prop_assert_eq!(multiplier, 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_pure_functions_of_their_seed(
+        seed in 0u64..10_000,
+        rounds in 4u64..32,
+    ) {
+        let arrival = ArrivalSpec {
+            base: 6.0,
+            amplitude: 0.4,
+            period: 8,
+            phase: 0.25,
+            bursts: 2,
+            burst_mass: 9,
+            burst_width: 2,
+        };
+        let shocks = ShockSpec {
+            grid_width: 5,
+            grid_height: 5,
+            count: 3,
+            multiplier_min: 0.3,
+            multiplier_max: 0.9,
+            duration_min: 1,
+            duration_max: 4,
+            region_width: 2,
+            region_height: 2,
+        };
+        let curve_a = ArrivalCurve::generate(&arrival, seed, rounds);
+        let curve_b = ArrivalCurve::generate(&arrival, seed, rounds);
+        prop_assert_eq!(&curve_a, &curve_b);
+        let field_a = ShockField::generate(&shocks, seed, rounds);
+        let field_b = ShockField::generate(&shocks, seed, rounds);
+        prop_assert_eq!(&field_a, &field_b);
+        for user in 0..32u32 {
+            prop_assert_eq!(field_a.home_cell(user), field_b.home_cell(user));
+        }
+    }
+}

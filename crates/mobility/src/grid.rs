@@ -40,6 +40,54 @@ pub struct Cell {
     pub y: u32,
 }
 
+/// A rectangular block of grid cells: columns `[x, x + width)` crossed
+/// with rows `[y, y + height)`.
+///
+/// Regions are the spatial key for correlated processes over the grid —
+/// a weather front, a network outage, a flash crowd — anything that
+/// affects every user *in an area* at once rather than independently.
+/// The scenario harness samples regional PoS shocks keyed on regions of
+/// the campaign's [`CityGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Leftmost column covered.
+    pub x: u32,
+    /// Topmost row covered.
+    pub y: u32,
+    /// Covered width in cells.
+    pub width: u32,
+    /// Covered height in cells.
+    pub height: u32,
+}
+
+impl Region {
+    /// Whether `cell` lies inside this region.
+    pub fn contains(&self, cell: Cell) -> bool {
+        cell.x >= self.x
+            && cell.x < self.x.saturating_add(self.width)
+            && cell.y >= self.y
+            && cell.y < self.y.saturating_add(self.height)
+    }
+
+    /// Number of cells covered (before any grid clamping).
+    pub fn cell_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}..{})x[{}..{})",
+            self.x,
+            self.x.saturating_add(self.width),
+            self.y,
+            self.y.saturating_add(self.height)
+        )
+    }
+}
+
 /// A rectangular city grid of square cells.
 ///
 /// # Examples
@@ -137,6 +185,32 @@ impl CityGrid {
     pub fn locations(&self) -> impl Iterator<Item = LocationId> {
         (0..self.cell_count() as u32).map(LocationId::new)
     }
+
+    /// Clips `region` to this grid's bounds. An off-grid region clamps
+    /// to a zero-area region at the nearest corner.
+    pub fn clamp_region(&self, region: Region) -> Region {
+        let x = region.x.min(self.width);
+        let y = region.y.min(self.height);
+        Region {
+            x,
+            y,
+            width: region.width.min(self.width - x),
+            height: region.height.min(self.height - y),
+        }
+    }
+
+    /// The location ids inside `region` (clipped to the grid), in
+    /// row-major order.
+    pub fn region_locations(&self, region: Region) -> Vec<LocationId> {
+        let clipped = self.clamp_region(region);
+        let mut ids = Vec::with_capacity(clipped.cell_count());
+        for y in clipped.y..clipped.y + clipped.height {
+            for x in clipped.x..clipped.x + clipped.width {
+                ids.extend(self.location(Cell { x, y }));
+            }
+        }
+        ids
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +256,68 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dimension_panics() {
         let _ = CityGrid::new(0, 3, 2.0);
+    }
+
+    #[test]
+    fn regions_contain_exactly_their_rectangle() {
+        let region = Region {
+            x: 2,
+            y: 3,
+            width: 4,
+            height: 2,
+        };
+        assert!(region.contains(Cell { x: 2, y: 3 }));
+        assert!(region.contains(Cell { x: 5, y: 4 }));
+        assert!(!region.contains(Cell { x: 6, y: 3 }));
+        assert!(!region.contains(Cell { x: 2, y: 5 }));
+        assert!(!region.contains(Cell { x: 1, y: 3 }));
+        assert_eq!(region.cell_count(), 8);
+        assert_eq!(region.to_string(), "[2..6)x[3..5)");
+    }
+
+    #[test]
+    fn region_locations_clip_to_the_grid() {
+        let grid = CityGrid::new(5, 5, 1.0);
+        let inside = Region {
+            x: 1,
+            y: 1,
+            width: 2,
+            height: 2,
+        };
+        let ids = grid.region_locations(inside);
+        assert_eq!(ids.len(), 4);
+        for id in &ids {
+            assert!(inside.contains(grid.cell(*id)));
+        }
+        // Overhanging regions clamp instead of panicking.
+        let overhang = Region {
+            x: 4,
+            y: 4,
+            width: 3,
+            height: 3,
+        };
+        assert_eq!(grid.region_locations(overhang).len(), 1);
+        let off = Region {
+            x: 9,
+            y: 9,
+            width: 2,
+            height: 2,
+        };
+        assert!(grid.region_locations(off).is_empty());
+        assert_eq!(grid.clamp_region(off).cell_count(), 0);
+    }
+
+    #[test]
+    fn regions_round_trip_through_json() {
+        let region = Region {
+            x: 1,
+            y: 2,
+            width: 3,
+            height: 4,
+        };
+        let json = serde_json::to_string(&region).unwrap();
+        let back: Region = serde_json::from_str(&json).unwrap();
+        assert_eq!(region, back);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! * [`postmortem`] — [`PostMortem`]: the JSON artifact dumped when the
 //!   degrade path quarantines a round, reconstructing every admitted bid
 //!   from the round's causal trace.
+//! * [`replay`] — [`ReplayLog`]: a versioned, checksummed binary trace
+//!   of engine drive operations (submit/tick/flush/drain) that replays
+//!   bit-exactly, cross-checkable against the recorder's admitted-bid
+//!   events.
 //! * [`prom`] — minimal, NaN-safe Prometheus text rendering.
 //! * [`export`] — [`ExportServer`]: a std-only HTTP endpoint serving
 //!   `/metrics` (Prometheus) and `/metrics.json` from any
@@ -28,12 +32,14 @@ pub mod event;
 pub mod export;
 pub mod postmortem;
 pub mod prom;
+pub mod replay;
 pub mod ring;
 
 pub use event::{EventKind, RawEvent, Stage, TraceEvent};
 pub use export::{ExportServer, MetricsSource};
 pub use postmortem::{BidRecord, PostMortem, TaskDeclaration};
 pub use prom::{PromKind, PromWriter};
+pub use replay::{ReplayBid, ReplayError, ReplayLog, ReplayOp};
 pub use ring::{ClockMode, FlightRecorder};
 
 /// Convenience glob import for downstream crates.
@@ -42,5 +48,6 @@ pub mod prelude {
     pub use crate::export::{ExportServer, MetricsSource};
     pub use crate::postmortem::{BidRecord, PostMortem, TaskDeclaration};
     pub use crate::prom::{PromKind, PromWriter};
+    pub use crate::replay::{ReplayBid, ReplayError, ReplayLog, ReplayOp};
     pub use crate::ring::{ClockMode, FlightRecorder};
 }

@@ -249,6 +249,7 @@ impl Engine {
         self.metrics.record(Stage::Ingest, start.elapsed());
         match outcome {
             Ok(closed) => {
+                self.injector.observe_admitted(RoundId(round_id), bid);
                 self.recorder.record(RawEvent::new(
                     EventKind::BidAdmitted,
                     round_id,
@@ -864,6 +865,33 @@ mod tests {
             Err(IngestError::InvalidCost { .. })
         ));
         assert_eq!(e.metrics().snapshot().bids_rejected, 1);
+    }
+
+    /// An injector logging every admitted bid it observes, to prove the
+    /// ingest observation hook fires only for admitted bids and carries
+    /// the round id the bid will clear under.
+    #[derive(Debug, Default)]
+    struct AdmitLog(std::sync::Mutex<Vec<(u64, u32)>>);
+
+    impl crate::fault::FaultInjector for AdmitLog {
+        fn observe_admitted(&self, round: RoundId, bid: &Bid) {
+            self.0.lock().unwrap().push((round.0, bid.user));
+        }
+    }
+
+    #[test]
+    fn observe_admitted_sees_exactly_the_admitted_bids() {
+        let mut config = EngineConfig::default().with_seed(3);
+        config.batch.max_bids = 2;
+        let tasks = vec![Task::with_requirement(TaskId::new(0), 0.8).unwrap()];
+        let log = Arc::new(AdmitLog::default());
+        let mut e = Engine::with_injector(config, tasks, log.clone());
+        // A rejected bid is never observed.
+        assert!(e.submit(&bid(0, -1.0, 0.5)).is_err());
+        e.submit(&bid(0, 2.0, 0.6)).unwrap();
+        e.submit(&bid(1, 2.0, 0.7)).unwrap(); // closes round 0
+        e.submit(&bid(2, 2.0, 0.6)).unwrap(); // opens round 1
+        assert_eq!(*log.0.lock().unwrap(), vec![(0u64, 0u32), (0, 1), (1, 2)]);
     }
 
     /// An injector flipping every report, to prove results and

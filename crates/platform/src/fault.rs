@@ -42,6 +42,17 @@ pub trait FaultInjector: std::fmt::Debug + Send + Sync {
         None
     }
 
+    /// Ingest hook: observes every bid *after* it was validated and
+    /// admitted to the round that will close as `round`. Unlike
+    /// [`FaultInjector::corrupt_bid`] this hook cannot alter the bid —
+    /// it exists so scenario harnesses can key per-user state (shocked
+    /// true PoS, strategy assignments, replay logs) on the concrete
+    /// engine round id the bid landed in. Runs on the single-threaded
+    /// control path, in admission order.
+    fn observe_admitted(&self, round: RoundId, bid: &Bid) {
+        let _ = (round, bid);
+    }
+
     /// Batch hook: may reorder the closed-but-undrained rounds handed to
     /// the shard pool. Results are keyed by round id, so a correct engine
     /// produces identical output for any order — chaos campaigns assert

@@ -39,6 +39,15 @@ echo "==> closed-loop campaign smoke (mcs-fuzz --campaign --ci-smoke)"
 # sanity, payout conservation, and fingerprint determinism must all hold.
 cargo run --release -p mcs-harness --bin mcs-fuzz -- --campaign --ci-smoke
 
+echo "==> scenario corpus smoke (mcs-fuzz --scenario all)"
+# Every shipped scenario in scenarios/ must load, run clean at several
+# worker × payment-thread combinations, match its pinned [baseline]
+# bitwise, and (where a [strategy] section is present) survive the
+# online strategy-proofness sweep. A scenario without a committed
+# baseline fails this tier.
+cargo run --release -p mcs-harness --bin mcs-fuzz -- \
+  --scenario all --verify-determinism
+
 echo "==> campaign_convergence bench smoke (--test)"
 cargo bench -p mcs-bench --bench campaign_convergence -- --test
 

@@ -4,6 +4,7 @@
 # deterministic across worker/payment-thread counts.
 #
 #   scripts/fuzz.sh              # default sweep (~a few minutes)
+#   scripts/fuzz.sh --scenarios  # scenario-corpus sweep instead
 #   SEEDS="1 2 3" ROUNDS=500 scripts/fuzz.sh
 #
 # A failing campaign prints its seed and fingerprint; replay it with
@@ -17,6 +18,25 @@ ROUNDS="${ROUNDS:-200}"
 FAULTS="${FAULTS:-0.5}"
 
 cargo build --release -p mcs-harness
+
+if [ "${1:-}" = "--scenarios" ]; then
+  # Sweep the shipped scenario corpus: every scenario must run clean,
+  # hold its pinned baseline bitwise across the worker matrix, and
+  # pass the online SP sweep where it declares a [strategy] section.
+  status=0
+  for toml in scenarios/*.toml; do
+    name="$(basename "$toml" .toml)"
+    if ! target/release/mcs-fuzz --scenario "$name" --verify-determinism; then
+      status=1
+    fi
+  done
+  if [ "$status" -ne 0 ]; then
+    echo "fuzz: scenario sweep FAILED (see violations above)"
+    exit "$status"
+  fi
+  echo "fuzz: scenario corpus clean and deterministic."
+  exit 0
+fi
 
 status=0
 for seed in $SEEDS; do
