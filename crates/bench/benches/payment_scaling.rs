@@ -16,17 +16,26 @@
 //!   workspaces carry over and syncing is a delta patch;
 //! * `fast_alloc` — allocation only (no payments), the 1M smoke tier.
 //!
+//! Warm-context rows also carry the kernel's drained
+//! [`ProfCounters`] — heap pops, bisection probes saved, index-reuse
+//! hit rate, resident arena bytes — so a perf regression can be read
+//! next to the counter that moved. The n=10k tier additionally times
+//! profiled (per-clear [`ClearContext::take_prof`], the shard-worker
+//! shape under `EngineConfig::profiling`) against unprofiled clears and
+//! records the overhead, which must stay ≤ 5%.
+//!
 //! Modes: `--test` asserts fast/reference bitwise equivalence on a small
 //! instance; `--smoke` adds a warm-vs-cold bitwise check plus a timed
-//! n=10k clear (the CI tier); `--profile [n]` pins a hot clear loop for
-//! `scripts/profile.sh` to hang perf on.
+//! n=10k clear and the profiling-overhead bound (the CI tier);
+//! `--profile [n]` pins a hot clear loop for `scripts/profile.sh` to
+//! hang perf on.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 use criterion::{BenchmarkId, Criterion};
 use mcs_bench::synthetic_multi_task;
-use mcs_core::indexed::ClearContext;
+use mcs_core::indexed::{ClearContext, ProfCounters};
 use mcs_core::mechanism::{contingent_reward, WinnerDetermination};
 use mcs_core::multi_task::{reference, MultiTaskMechanism};
 use mcs_core::types::{TypeProfile, UserId};
@@ -129,6 +138,28 @@ fn allocate_fast(profile: &TypeProfile, context: &mut ClearContext) -> usize {
         .winner_count()
 }
 
+/// Times warm clears with and without the per-clear counter drain a
+/// profiling-enabled shard worker performs ([`ClearContext::take_prof`]
+/// after every round), returning `(plain_ns, profiled_ns,
+/// overhead_pct)`. The counters themselves are always accumulated by
+/// the kernel; the drain is the only thing the profiling flag adds, so
+/// this is exactly the marginal cost of `EngineConfig::profiling`.
+fn profiling_overhead(n: usize, runs: usize) -> (u128, u128, f64) {
+    let profile = synthetic_multi_task(n, TASKS, REQUIREMENT, 1000 + n as u64);
+    let mut context = ClearContext::new();
+    // Warm the arena so both measurements see the steady state.
+    black_box(clear_fast_warm(&profile, 1, &mut context));
+    let plain = median_ns(runs, || {
+        black_box(clear_fast_warm(black_box(&profile), 1, &mut context));
+    });
+    let profiled = median_ns(runs, || {
+        black_box(clear_fast_warm(black_box(&profile), 1, &mut context));
+        black_box(context.take_prof());
+    });
+    let overhead_pct = (profiled as f64 / plain as f64 - 1.0).max(0.0) * 100.0;
+    (plain, profiled, overhead_pct)
+}
+
 /// Median wall-clock nanoseconds of `runs` timed executions.
 fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
     let mut samples: Vec<u128> = (0..runs)
@@ -143,18 +174,63 @@ fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
 }
 
 /// A `{mechanism, n, median_ns}` JSON row; `ns_per_bid` is derived.
+/// Warm-context rows attach the kernel counters drained over `clears`
+/// timed clears; the profiled n=10k row attaches its overhead.
 struct Row {
     mechanism: &'static str,
     n: usize,
     median_ns: u128,
+    kernel: Option<(ProfCounters, usize)>,
+    profiling_overhead_pct: Option<f64>,
+}
+
+impl Row {
+    fn plain(mechanism: &'static str, n: usize, median_ns: u128) -> Row {
+        Row {
+            mechanism,
+            n,
+            median_ns,
+            kernel: None,
+            profiling_overhead_pct: None,
+        }
+    }
 }
 
 fn write_json(rows: &[Row]) {
     let mut json = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
         let ns_per_bid = row.median_ns / row.n as u128;
+        let mut extra = String::new();
+        if let Some((kernel, clears)) = &row.kernel {
+            let reuse_rate = if kernel.prepares > 0 {
+                kernel.reuse_hits as f64 / kernel.prepares as f64
+            } else {
+                0.0
+            };
+            extra.push_str(&format!(
+                ", \"kernel\": {{\"clears\": {clears}, \"prepares\": {}, \
+                 \"reuse_hits\": {}, \"reuse_hit_rate\": {reuse_rate:.3}, \
+                 \"sync_patched\": {}, \"sync_reflattened\": {}, \
+                 \"heap_pops\": {}, \"stale_reevals\": {}, \
+                 \"probes_requested\": {}, \"probes_run\": {}, \
+                 \"probes_saved\": {}, \"resident_bytes\": {}}}",
+                kernel.prepares,
+                kernel.reuse_hits,
+                kernel.sync_patched,
+                kernel.sync_reflattened,
+                kernel.heap_pops,
+                kernel.stale_reevals,
+                kernel.probes_requested,
+                kernel.probes_run,
+                kernel.probes_saved(),
+                kernel.resident_bytes,
+            ));
+        }
+        if let Some(pct) = row.profiling_overhead_pct {
+            extra.push_str(&format!(", \"profiling_overhead_pct\": {pct:.2}"));
+        }
         json.push_str(&format!(
-            "  {{\"mechanism\": \"{}\", \"n\": {}, \"tasks\": {TASKS}, \"median_ns\": {}, \"ns_per_bid\": {ns_per_bid}}}{}\n",
+            "  {{\"mechanism\": \"{}\", \"n\": {}, \"tasks\": {TASKS}, \"median_ns\": {}, \"ns_per_bid\": {ns_per_bid}{extra}}}{}\n",
             row.mechanism,
             row.n,
             row.median_ns,
@@ -223,6 +299,17 @@ fn ci_smoke() {
         "payment_scaling ci-smoke: n={n} cleared end to end in {:.2} ms ({} winners). ok",
         elapsed.as_secs_f64() * 1e3,
         quotes.len()
+    );
+    let (plain, profiled, overhead_pct) = profiling_overhead(n, 5);
+    println!(
+        "payment_scaling ci-smoke: profiling overhead at n={n}: \
+         plain {:.2} ms, profiled {:.2} ms ({overhead_pct:.2}%). ok",
+        plain as f64 / 1e6,
+        profiled as f64 / 1e6
+    );
+    assert!(
+        overhead_pct <= 5.0,
+        "profiling overhead {overhead_pct:.2}% exceeds the 5% budget"
     );
 }
 
@@ -304,16 +391,8 @@ fn main() {
             fast as f64 / 1e6,
             slow as f64 / fast as f64
         );
-        rows.push(Row {
-            mechanism: "reference",
-            n,
-            median_ns: slow,
-        });
-        rows.push(Row {
-            mechanism: "fast",
-            n,
-            median_ns: fast,
-        });
+        rows.push(Row::plain("reference", n, slow));
+        rows.push(Row::plain("fast", n, fast));
     }
 
     // Fast-engine-only tier: full clear + whole-round payments, cold and
@@ -331,9 +410,13 @@ fn main() {
         let cold = median_ns(runs, || {
             black_box(clear_fast(black_box(&profile), threads));
         });
+        // Zero the context's accumulated counters so the drained kernel
+        // row covers exactly the timed clears.
+        let _ = context.take_prof();
         let warm = median_ns(runs, || {
             black_box(clear_fast_warm(black_box(&profile), threads, &mut context));
         });
+        let kernel = context.take_prof();
         println!(
             "n={n} tasks={TASKS} winners={winners}: fast {:.2} ms, warm {:.2} ms ({:.0} / {:.0} ns per bid)",
             cold as f64 / 1e6,
@@ -341,15 +424,23 @@ fn main() {
             cold as f64 / n as f64,
             warm as f64 / n as f64
         );
-        rows.push(Row {
-            mechanism: "fast",
-            n,
-            median_ns: cold,
-        });
+        println!(
+            "  kernel over {runs} warm clears: {} heap pops, {} of {} probes saved, \
+             {} prepares ({} reused), {:.1} MiB resident",
+            kernel.heap_pops,
+            kernel.probes_saved(),
+            kernel.probes_requested,
+            kernel.prepares,
+            kernel.reuse_hits,
+            kernel.resident_bytes as f64 / (1024.0 * 1024.0)
+        );
+        rows.push(Row::plain("fast", n, cold));
         rows.push(Row {
             mechanism: "fast_warm",
             n,
             median_ns: warm,
+            kernel: Some((kernel, runs)),
+            profiling_overhead_pct: None,
         });
     }
 
@@ -363,9 +454,11 @@ fn main() {
         // Warm the arena once so the timed pass measures the steady
         // state (sync + seeded run), not the first flatten.
         let winners = allocate_fast(&profile, &mut context);
+        let _ = context.take_prof();
         let alloc = median_ns(1, || {
             black_box(allocate_fast(black_box(&profile), &mut context));
         });
+        let kernel = context.take_prof();
         println!(
             "n={n} tasks={TASKS} winners={winners}: allocation {:.2} ms ({:.0} ns per bid)",
             alloc as f64 / 1e6,
@@ -375,6 +468,31 @@ fn main() {
             mechanism: "fast_alloc",
             n,
             median_ns: alloc,
+            kernel: Some((kernel, 1)),
+            profiling_overhead_pct: None,
+        });
+    }
+
+    // The marginal cost of `EngineConfig::profiling` at the CI-pinned
+    // size: per-clear counter drain vs none, on one warm context.
+    {
+        let n = 10_000;
+        let (plain, profiled, overhead_pct) = profiling_overhead(n, 7);
+        println!(
+            "n={n} profiling overhead: plain {:.2} ms, profiled {:.2} ms ({overhead_pct:.2}%)",
+            plain as f64 / 1e6,
+            profiled as f64 / 1e6
+        );
+        assert!(
+            overhead_pct <= 5.0,
+            "profiling overhead {overhead_pct:.2}% exceeds the 5% budget"
+        );
+        rows.push(Row {
+            mechanism: "fast_warm_profiled",
+            n,
+            median_ns: profiled,
+            kernel: None,
+            profiling_overhead_pct: Some(overhead_pct),
         });
     }
 

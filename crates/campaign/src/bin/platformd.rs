@@ -15,7 +15,8 @@
 //!           [--trace-capacity EVENTS] [--hold-ms MS]
 //!           [--admission-high BIDS] [--admission-low BIDS]
 //!           [--shed-policy tail-drop|seeded-uniform] [--shed-rate P]
-//!           [--clear-budget BIDS]
+//!           [--clear-budget BIDS] [--profile]
+//!           [--slo-budget FILE] [--slo-baseline FILE]
 //!           [--campaign] [--campaign-rounds N] [--campaign-deadline N]
 //!           [--calibration off|history|mobility] [--failure-rate P]
 //! ```
@@ -46,6 +47,15 @@
 //! * `--clear-budget` per-round clearing budget in bids; larger rounds
 //!   clear partially and quarantine the remainder (default 0 =
 //!   unlimited)
+//! * `--profile` drain the clearing kernel's profiling counters (heap
+//!   pops, probes saved, index reuse, arena bytes) into `/metrics`;
+//!   outcomes are bitwise identical either way
+//! * `--slo-budget` open-loop only: load a JSON [`SloBudget`] and serve
+//!   a live verdict at `/slo` (plus `/healthz`); breaches are recorded
+//!   as trace events and printed at exit, and never alter clearing
+//! * `--slo-baseline` pinned [`SloBaseline`] JSON for the drift budgets
+//!   (overpayment ratio, coverage slack); without it drift budgets are
+//!   skipped
 //! * `--campaign` run one closed-loop campaign instead of the open-loop
 //!   round stream; `--multi` (default 5 tasks) sizes the published task
 //!   set, `--metrics-addr` serves `mcs_campaign_*` telemetry
@@ -89,6 +99,9 @@ struct Options {
     shed_policy: String,
     shed_rate: f64,
     clear_budget: usize,
+    profile: bool,
+    slo_budget: Option<String>,
+    slo_baseline: Option<String>,
     campaign: bool,
     campaign_rounds: u64,
     campaign_deadline: u64,
@@ -115,6 +128,9 @@ impl Options {
             shed_policy: "tail-drop".to_string(),
             shed_rate: 0.5,
             clear_budget: 0,
+            profile: false,
+            slo_budget: None,
+            slo_baseline: None,
             campaign: false,
             campaign_rounds: 16,
             campaign_deadline: 0,
@@ -146,6 +162,9 @@ impl Options {
                 "--shed-policy" => options.shed_policy = value("--shed-policy")?,
                 "--shed-rate" => options.shed_rate = parse(&value("--shed-rate")?)?,
                 "--clear-budget" => options.clear_budget = parse(&value("--clear-budget")?)?,
+                "--profile" => options.profile = true,
+                "--slo-budget" => options.slo_budget = Some(value("--slo-budget")?),
+                "--slo-baseline" => options.slo_baseline = Some(value("--slo-baseline")?),
                 "--campaign" => options.campaign = true,
                 "--campaign-rounds" => {
                     options.campaign_rounds = parse(&value("--campaign-rounds")?)?
@@ -162,7 +181,8 @@ impl Options {
                          [--trace-capacity EVENTS] [--hold-ms MS] \
                          [--admission-high BIDS] [--admission-low BIDS] \
                          [--shed-policy tail-drop|seeded-uniform] [--shed-rate P] \
-                         [--clear-budget BIDS] [--campaign] [--campaign-rounds N] \
+                         [--clear-budget BIDS] [--profile] [--slo-budget FILE] \
+                         [--slo-baseline FILE] [--campaign] [--campaign-rounds N] \
                          [--campaign-deadline N] [--calibration off|history|mobility] \
                          [--failure-rate P]"
                         .to_string())
@@ -201,7 +221,8 @@ impl Options {
             .with_workers(self.workers)
             .with_seed(self.seed)
             .with_payment_threads(self.payment_threads)
-            .with_admission(self.admission()?);
+            .with_admission(self.admission()?)
+            .with_profiling(self.profile);
         config.batch.max_bids = self.users;
         config.alpha = sim.alpha;
         config.epsilon = sim.epsilon;
@@ -228,6 +249,29 @@ impl Options {
 fn parse<T: std::str::FromStr>(text: &str) -> Result<T, String> {
     text.parse()
         .map_err(|_| format!("could not parse {text:?}"))
+}
+
+/// Loads the `--slo-budget` / `--slo-baseline` JSON pair, if given.
+fn load_slo(options: &Options) -> Result<Option<(SloBudget, Option<SloBaseline>)>, String> {
+    let Some(path) = &options.slo_budget else {
+        if options.slo_baseline.is_some() {
+            return Err("--slo-baseline needs --slo-budget".to_string());
+        }
+        return Ok(None);
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|error| format!("cannot read {path}: {error}"))?;
+    let budget: SloBudget =
+        serde_json::from_str(&text).map_err(|error| format!("{path}: {error}"))?;
+    let baseline = match &options.slo_baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|error| format!("cannot read {path}: {error}"))?;
+            Some(serde_json::from_str(&text).map_err(|error| format!("{path}: {error}"))?)
+        }
+        None => None,
+    };
+    Ok(Some((budget, baseline)))
 }
 
 /// A fixed dataset-derived population re-bidding every campaign round.
@@ -433,6 +477,10 @@ fn main() -> ExitCode {
         }
     };
     if options.campaign {
+        if options.slo_budget.is_some() || options.slo_baseline.is_some() {
+            eprintln!("--slo-budget/--slo-baseline watch the open-loop engine, not --campaign");
+            return ExitCode::from(2);
+        }
         return run_campaign(&options);
     }
 
@@ -469,22 +517,50 @@ fn main() -> ExitCode {
     };
     let mut engine = Engine::new(config, tasks);
 
+    // The watchdog wraps the live metrics handle; it is pure telemetry,
+    // so clearing below never knows whether one is attached.
+    let watch = match load_slo(&options) {
+        Ok(Some((budget, baseline))) => Some(std::sync::Arc::new(SloWatch::new(
+            engine.metrics_handle(),
+            engine.recorder_handle(),
+            budget,
+            baseline,
+        ))),
+        Ok(None) => None,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
     // The exporter holds its own Arc to the metrics, so it serves live
     // values for the whole run (and through --hold-ms).
     let server = match &options.metrics_addr {
-        Some(addr) => match ExportServer::spawn(addr, engine.metrics_handle()) {
-            Ok(server) => {
-                println!(
-                    "metrics: serving http://{0}/metrics (Prometheus) and http://{0}/metrics.json",
-                    server.local_addr()
-                );
-                Some(server)
+        Some(addr) => {
+            let source: std::sync::Arc<dyn MetricsSource> = match &watch {
+                Some(watch) => std::sync::Arc::clone(watch) as _,
+                None => engine.metrics_handle(),
+            };
+            match ExportServer::spawn(addr, source) {
+                Ok(server) => {
+                    println!(
+                        "metrics: serving http://{0}/metrics (Prometheus), \
+                         http://{0}/metrics.json, and http://{0}/healthz{1}",
+                        server.local_addr(),
+                        if watch.is_some() {
+                            "; SLO verdict at /slo"
+                        } else {
+                            ""
+                        }
+                    );
+                    Some(server)
+                }
+                Err(error) => {
+                    eprintln!("cannot bind metrics endpoint {addr}: {error}");
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(error) => {
-                eprintln!("cannot bind metrics endpoint {addr}: {error}");
-                return ExitCode::FAILURE;
-            }
-        },
+        }
         None => None,
     };
 
@@ -580,6 +656,27 @@ fn main() -> ExitCode {
         engine.ledger().rounds_settled()
     );
     println!("{}", engine.metrics_json());
+    if let Some(watch) = &watch {
+        let report = watch.evaluate();
+        println!(
+            "slo: {} budgets evaluated, {} breached",
+            report.evaluated,
+            report.breaches.len()
+        );
+        for breach in &report.breaches {
+            println!(
+                "  SLO BREACH: {}{} observed {:.3} > limit {:.3}",
+                breach.kind.name(),
+                breach
+                    .stage
+                    .as_deref()
+                    .map(|stage| format!("[{stage}]"))
+                    .unwrap_or_default(),
+                breach.observed,
+                breach.limit
+            );
+        }
+    }
     if options.hold_ms > 0 {
         println!(
             "holding for {} ms so the metrics endpoint stays up",

@@ -41,6 +41,9 @@ pub struct RoundEcon {
     pub residual_before: f64,
     /// Total residual requirement after absorbing its executions.
     pub residual_after: f64,
+    /// Mean |calibrated − declared| any-task PoS over this round's
+    /// calibration decisions (0 when nothing was offered).
+    pub pos_divergence_mean: f64,
     /// Whether the round was quarantined instead of cleared.
     pub quarantined: bool,
 }
@@ -238,7 +241,7 @@ impl MetricsSource for CampaignMetrics {
         let rounds = self.rounds();
         // (family name, help text, per-round reader) for the labelled gauges.
         type PerRoundGauge = (&'static str, &'static str, fn(&RoundEcon) -> f64);
-        let per_round: [PerRoundGauge; 5] = [
+        let per_round: [PerRoundGauge; 6] = [
             (
                 "mcs_campaign_round_payout",
                 "Settled payout of each campaign round.",
@@ -263,6 +266,11 @@ impl MetricsSource for CampaignMetrics {
                 "mcs_campaign_round_bids_gated",
                 "Calibration-gated bids in each campaign round.",
                 |r| r.bids_gated as f64,
+            ),
+            (
+                "mcs_campaign_round_pos_divergence",
+                "Mean |calibrated - declared| any-task PoS per campaign round.",
+                |r| r.pos_divergence_mean,
             ),
         ];
         for (name, help, read) in per_round {
@@ -337,6 +345,7 @@ mod tests {
             payout: 12.5,
             residual_after: 1.25,
             winners: 3,
+            pos_divergence_mean: 0.125,
             ..RoundEcon::default()
         });
         metrics.record_round(RoundEcon {
@@ -352,8 +361,13 @@ mod tests {
         assert!(prom.contains("mcs_campaign_round_payout{round=\"1\"} 4"));
         assert!(prom.contains("mcs_campaign_round_residual_after{round=\"1\"} 0"));
         assert!(prom.contains("mcs_campaign_residual_open 0"));
+        assert!(prom.contains("mcs_campaign_round_pos_divergence{round=\"0\"} 0.125"));
         let json = metrics.json();
         assert!(json.contains("\"economics\""));
         assert!(json.contains("residual_after"));
+        assert!(json.contains("pos_divergence_mean"));
+        // The exposition honours the offline lint: every family declared,
+        // counters named *_total, no duplicate series.
+        assert_eq!(mcs_obs::prom::lint(&prom), Vec::<String>::new());
     }
 }

@@ -361,6 +361,7 @@ impl CampaignRunner {
             offered.retain(|bid| !bid.tasks.is_empty());
             let mut admitted = Vec::new();
             let mut decisions: Vec<(UserId, CalibrationDecision)> = Vec::new();
+            let mut divergence_sum = 0.0f64;
             for bid in offered.iter() {
                 let user = UserId::new(bid.user);
                 let declared_any = 1.0
@@ -371,11 +372,17 @@ impl CampaignRunner {
                 let decision = calibrator.decide(&history, user, Pos::saturating(declared_any));
                 self.metrics
                     .calibration(decision.divergence().abs(), !decision.admitted);
+                divergence_sum += decision.divergence().abs();
                 decisions.push((user, decision));
                 if decision.admitted {
                     admitted.push(bid.clone());
                 }
             }
+            let round_divergence_mean = if decisions.is_empty() {
+                0.0
+            } else {
+                divergence_sum / decisions.len() as f64
+            };
 
             let mut engine_config = self.config.engine;
             engine_config.batch.max_bids = admitted.len().max(1);
@@ -489,6 +496,7 @@ impl CampaignRunner {
                 payout: record.payout,
                 residual_before: record.total_residual_before(),
                 residual_after: record.total_residual_after(),
+                pos_divergence_mean: round_divergence_mean,
                 quarantined: record.quarantined,
             });
             rounds.push(record);

@@ -124,6 +124,95 @@ impl BitSet {
     }
 }
 
+/// Clearing-kernel profiling counters: what the hot path actually did.
+///
+/// Counting is branch-free — plain `u64` increments on fields that live
+/// in the already-hot [`Workspace`]/[`ClearContext`] cache lines — so the
+/// counters are always maintained; the *surfacing* (atomic drains into
+/// engine metrics) is what an engine's profiling flag gates. Counters are
+/// pure telemetry: nothing in the clearing path ever reads them back, so
+/// selections, payments, and fingerprints are bitwise independent of them.
+///
+/// Two conservation laws hold by construction and are checked by the
+/// harness oracle:
+///
+/// * `probes_saved_warm_start + probes_saved_loss_scan + probes_run ==
+///   probes_requested` — every bisection step is decided exactly once.
+/// * `reuse_hits + sync_patched + sync_reflattened == prepares` — every
+///   prepared round syncs in exactly one mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfCounters {
+    /// Rounds prepared through a [`ClearContext`] (arena checkouts).
+    pub prepares: u64,
+    /// Prepares whose [`IndexedProfile::sync_with`] found the index
+    /// bitwise up to date ([`SyncMode::Unchanged`]) — the reuse hits.
+    pub reuse_hits: u64,
+    /// Prepares that delta-patched rows/requirements in place.
+    pub sync_patched: u64,
+    /// Prepares that re-flattened the index from scratch.
+    pub sync_reflattened: u64,
+    /// Heap-seed rebuilds (one per prepare that changed the index).
+    pub seed_rebuilds: u64,
+    /// Retained user rows patched across all syncs.
+    pub users_patched: u64,
+    /// User rows appended across all syncs.
+    pub users_appended: u64,
+    /// Resident arena footprint of the last prepared index + seeds, bytes
+    /// (a gauge: latest value, not a sum).
+    pub resident_bytes: u64,
+    /// Lazy-greedy heap pops across all runs.
+    pub heap_pops: u64,
+    /// Pops whose bound was stale: re-evaluated against the current
+    /// residuals and re-queued instead of selected.
+    pub stale_reevals: u64,
+    /// Bisection steps requested across all critical-bid searches.
+    pub probes_requested: u64,
+    /// Steps that ran the real greedy probe.
+    pub probes_run: u64,
+    /// Steps skipped by the Algorithm-5 warm-start certificate.
+    pub probes_saved_warm_start: u64,
+    /// Steps skipped by the θ₋ᵢ base-run loss scan
+    /// ([`IndexedProfile::probe_loses`]).
+    pub probes_saved_loss_scan: u64,
+}
+
+impl ProfCounters {
+    /// Folds `other` into this accumulator (sums counters, takes the
+    /// latest non-zero resident-bytes gauge).
+    pub fn merge(&mut self, other: &ProfCounters) {
+        self.prepares += other.prepares;
+        self.reuse_hits += other.reuse_hits;
+        self.sync_patched += other.sync_patched;
+        self.sync_reflattened += other.sync_reflattened;
+        self.seed_rebuilds += other.seed_rebuilds;
+        self.users_patched += other.users_patched;
+        self.users_appended += other.users_appended;
+        if other.resident_bytes != 0 {
+            self.resident_bytes = other.resident_bytes;
+        }
+        self.heap_pops += other.heap_pops;
+        self.stale_reevals += other.stale_reevals;
+        self.probes_requested += other.probes_requested;
+        self.probes_run += other.probes_run;
+        self.probes_saved_warm_start += other.probes_saved_warm_start;
+        self.probes_saved_loss_scan += other.probes_saved_loss_scan;
+    }
+
+    /// Total bisection steps skipped without running the greedy.
+    pub fn probes_saved(&self) -> u64 {
+        self.probes_saved_warm_start + self.probes_saved_loss_scan
+    }
+
+    /// Whether the counters satisfy their conservation laws (see the
+    /// struct docs) — the harness oracle's check.
+    pub fn is_conserved(&self) -> bool {
+        self.probes_saved() + self.probes_run == self.probes_requested
+            && self.reuse_hits + self.sync_patched + self.sync_reflattened == self.prepares
+            && self.reuse_hits <= self.prepares
+            && self.stale_reevals <= self.heap_pops
+    }
+}
+
 /// A dense snapshot of a [`TypeProfile`], built once per round and shared
 /// (immutably) by every greedy re-run and payment computation — or kept
 /// alive *across* rounds and delta-patched via
@@ -527,6 +616,18 @@ impl IndexedProfile {
         heapify(heap);
     }
 
+    /// Bytes resident in this index's flattened arrays (capacities, not
+    /// lengths — what the arena actually holds onto across rounds).
+    pub fn resident_bytes(&self) -> usize {
+        self.user_ids.capacity() * size_of::<UserId>()
+            + (self.costs.capacity() + self.totals.capacity() + self.entry_q.capacity())
+                * size_of::<f64>()
+            + self.offsets.capacity() * size_of::<usize>()
+            + (self.entry_task.capacity() + self.lookup.capacity()) * size_of::<u32>()
+            + self.requirements.capacity() * size_of::<f64>()
+            + self.task_ids.capacity() * size_of::<TaskId>()
+    }
+
     /// Runs the lazy greedy to exhaustion, recording into `workspace` and
     /// returning a borrowed view over its buffers — the zero-allocation
     /// path every bisection probe takes. See [`Record`] for what gets
@@ -566,7 +667,9 @@ impl IndexedProfile {
                     .position(|&r| r > CONTRIBUTION_TOLERANCE);
                 break;
             };
+            workspace.prof.heap_pops += 1;
             if top.version != version {
+                workspace.prof.stale_reevals += 1;
                 // Stale upper bound: refresh against the current residuals
                 // and re-queue. Capped contributions only shrink, so a
                 // candidate that drops to zero is gone for good — exactly
@@ -914,6 +1017,9 @@ pub struct Workspace {
     pub(crate) scaled: Vec<f64>,
     /// The θ₋ᵢ base run the payment probes' loss scan compares against.
     pub(crate) base: BaseRun,
+    /// Kernel profiling counters accumulated by runs in this workspace;
+    /// [`WorkspacePool::give_back`] folds them into the pool accumulator.
+    pub(crate) prof: ProfCounters,
 }
 
 impl Workspace {
@@ -1089,6 +1195,9 @@ impl SyncStats {
 #[derive(Debug, Default)]
 pub struct WorkspacePool {
     free: Mutex<Vec<Workspace>>,
+    /// Profiling counters folded out of returned workspaces, drained by
+    /// [`ClearContext::take_prof`].
+    prof: Mutex<ProfCounters>,
 }
 
 impl WorkspacePool {
@@ -1106,12 +1215,24 @@ impl WorkspacePool {
             .unwrap_or_default()
     }
 
-    /// Returns a workspace (and its grown buffers) to the pool.
-    pub fn give_back(&self, workspace: Workspace) {
+    /// Returns a workspace (and its grown buffers) to the pool, folding
+    /// its profiling counters into the pool accumulator.
+    pub fn give_back(&self, mut workspace: Workspace) {
+        let counters = std::mem::take(&mut workspace.prof);
+        self.prof
+            .lock()
+            .expect("workspace prof mutex")
+            .merge(&counters);
         self.free
             .lock()
             .expect("workspace pool mutex")
             .push(workspace);
+    }
+
+    /// Drains (returns and zeroes) the accumulated profiling counters of
+    /// every workspace returned so far.
+    pub fn drain_prof(&self) -> ProfCounters {
+        std::mem::take(&mut *self.prof.lock().expect("workspace prof mutex"))
     }
 
     /// How many workspaces are parked in the pool.
@@ -1130,6 +1251,9 @@ pub struct ClearContext {
     index: Option<IndexedProfile>,
     seeds: HeapSeeds,
     workspaces: WorkspacePool,
+    /// Context-level profiling: prepare/sync/seed accounting; workspace
+    /// counters merge in on [`ClearContext::take_prof`].
+    prof: ProfCounters,
 }
 
 impl ClearContext {
@@ -1154,7 +1278,20 @@ impl ClearContext {
         let index = self.index.as_ref().expect("index just ensured");
         if sync.mode != SyncMode::Unchanged {
             index.rebuild_seeds(&mut self.seeds);
+            self.prof.seed_rebuilds += 1;
         }
+        self.prof.prepares += 1;
+        match sync.mode {
+            SyncMode::Unchanged => self.prof.reuse_hits += 1,
+            SyncMode::Patched => self.prof.sync_patched += 1,
+            SyncMode::Reflattened => self.prof.sync_reflattened += 1,
+        }
+        self.prof.users_patched += sync.users_patched as u64;
+        self.prof.users_appended += sync.users_appended as u64;
+        self.prof.resident_bytes = (index.resident_bytes()
+            + self.seeds.entries.capacity() * size_of::<HeapEntry>()
+            + self.seeds.slot_of.capacity() * size_of::<u32>())
+            as u64;
         PreparedRound {
             index,
             seeds: &self.seeds,
@@ -1166,6 +1303,17 @@ impl ClearContext {
     /// The persistent index, if a round has been prepared.
     pub fn index(&self) -> Option<&IndexedProfile> {
         self.index.as_ref()
+    }
+
+    /// Drains (returns and zeroes) every profiling counter this context
+    /// accumulated: its own prepare/sync accounting plus the counters of
+    /// every workspace returned to its pool. Requires all checked-out
+    /// workspaces to have been given back — counters still held by a
+    /// live workspace are simply not in this drain yet.
+    pub fn take_prof(&mut self) -> ProfCounters {
+        let mut counters = std::mem::take(&mut self.prof);
+        counters.merge(&self.workspaces.drain_prof());
+        counters
     }
 }
 
@@ -1562,5 +1710,69 @@ mod tests {
         let again = pool.checkout();
         assert!(again.index().is_some());
         assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn prof_counters_account_for_prepares_and_pops() {
+        let p = profile(&[(1.0, &[(0, 0.6)]), (2.0, &[(0, 0.5)])], &[(0, 0.5)]);
+        let mut context = ClearContext::new();
+        {
+            let prepared = context.prepare(&p);
+            let mut ws = prepared.workspaces.checkout();
+            let run = prepared.index.run_in(
+                &mut ws,
+                RunOptions {
+                    seeds: Some(prepared.seeds),
+                    ..RunOptions::default()
+                },
+                Record::Selection,
+            );
+            assert!(run.is_complete());
+            prepared.workspaces.give_back(ws);
+        }
+        context.prepare(&p); // unchanged: a reuse hit
+        let prof = context.take_prof();
+        assert_eq!(prof.prepares, 2);
+        assert_eq!(prof.reuse_hits, 1);
+        assert_eq!(prof.sync_reflattened, 1);
+        assert_eq!(prof.seed_rebuilds, 1);
+        assert!(prof.heap_pops >= 1);
+        assert!(prof.resident_bytes > 0);
+        assert!(prof.is_conserved(), "{prof:?}");
+        // Drained: a second take starts from zero.
+        assert_eq!(context.take_prof(), ProfCounters::default());
+    }
+
+    #[test]
+    fn prof_counters_merge_sums_and_keeps_latest_gauge() {
+        let mut a = ProfCounters {
+            prepares: 1,
+            reuse_hits: 1,
+            resident_bytes: 64,
+            heap_pops: 3,
+            ..ProfCounters::default()
+        };
+        let b = ProfCounters {
+            prepares: 2,
+            sync_patched: 2,
+            resident_bytes: 128,
+            heap_pops: 5,
+            stale_reevals: 1,
+            probes_requested: 4,
+            probes_run: 1,
+            probes_saved_warm_start: 2,
+            probes_saved_loss_scan: 1,
+            ..ProfCounters::default()
+        };
+        assert!(b.is_conserved());
+        a.merge(&b);
+        assert_eq!(a.prepares, 3);
+        assert_eq!(a.heap_pops, 8);
+        assert_eq!(a.resident_bytes, 128);
+        assert_eq!(a.probes_saved(), 3);
+        assert!(a.is_conserved(), "{a:?}");
+        // A zero gauge never clobbers the latest value.
+        a.merge(&ProfCounters::default());
+        assert_eq!(a.resident_bytes, 128);
     }
 }

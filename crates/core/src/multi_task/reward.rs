@@ -160,7 +160,9 @@ pub(crate) fn critical_of_winner(
     let mut hi = 1.0f64;
     for _ in 0..BISECTION_STEPS {
         let mid = 0.5 * (lo + hi);
+        workspace.prof.probes_requested += 1;
         let wins = if mid < skip_below {
+            workspace.prof.probes_saved_warm_start += 1;
             false
         } else {
             // The probe declaration round-trips each scaled entry through
@@ -174,8 +176,10 @@ pub(crate) fn critical_of_winner(
                     .map(|&q| scaled_entry(q, mid)),
             );
             if base.is_complete() && indexed.probe_loses(position, &scaled, &base) {
+                workspace.prof.probes_saved_loss_scan += 1;
                 false
             } else {
+                workspace.prof.probes_run += 1;
                 let probe = indexed.run_in(
                     workspace,
                     RunOptions {

@@ -562,6 +562,7 @@ fn run_scenario_cli(scenario: &Scenario, options: &Options) -> bool {
                     workers: Some(workers),
                     payment_threads: Some(payment_threads),
                     deviate: false,
+                    profiling: true,
                 },
             );
             match run {

@@ -175,6 +175,13 @@ pub enum OracleViolation {
         /// What the trace is missing or got wrong.
         detail: String,
     },
+    /// The clearing-kernel profiling counters do not satisfy their
+    /// conservation laws (see [`check_kernel`]) — the profiler is
+    /// miscounting, or a drain lost part of a round's counts.
+    KernelUnbalanced {
+        /// Which conservation law broke and the numbers involved.
+        detail: String,
+    },
     /// The oracle itself failed to evaluate an invariant.
     OracleError {
         /// The offending round.
@@ -247,11 +254,66 @@ impl fmt::Display for OracleViolation {
             OracleViolation::TraceIncomplete { round, detail } => {
                 write!(f, "{round}: trace incomplete: {detail}")
             }
+            OracleViolation::KernelUnbalanced { detail } => {
+                write!(f, "kernel counters unbalanced: {detail}")
+            }
             OracleViolation::OracleError { round, detail } => {
                 write!(f, "{round}: oracle error: {detail}")
             }
         }
     }
+}
+
+/// Checks the clearing-kernel profiling counters' conservation laws
+/// over a drained [`KernelSnapshot`](mcs_platform::metrics::KernelSnapshot):
+///
+/// * every bisection probe is accounted for exactly once —
+///   `probes_saved_warm_start + probes_saved_loss_scan + probes_run ==
+///   probes_requested`;
+/// * every prepare resolved to exactly one sync mode —
+///   `reuse_hits + sync_patched + sync_reflattened == prepares`
+///   (which also gives `reuse_hits ≤ prepares`, the checkout bound);
+/// * a stale-bound re-evaluation implies a pop —
+///   `stale_reevals ≤ heap_pops`.
+///
+/// The counters are pure telemetry, so a broken law never means wrong
+/// payments — it means the profiler itself is lying, which would poison
+/// every perf conclusion drawn from it.
+pub fn check_kernel(kernel: &mcs_platform::metrics::KernelSnapshot) -> Vec<OracleViolation> {
+    let mut violations = Vec::new();
+    let probes_accounted =
+        kernel.probes_saved_warm_start + kernel.probes_saved_loss_scan + kernel.probes_run;
+    if probes_accounted != kernel.probes_requested {
+        violations.push(OracleViolation::KernelUnbalanced {
+            detail: format!(
+                "probes: saved_warm_start {} + saved_loss_scan {} + run {} = {probes_accounted} \
+                 != requested {}",
+                kernel.probes_saved_warm_start,
+                kernel.probes_saved_loss_scan,
+                kernel.probes_run,
+                kernel.probes_requested
+            ),
+        });
+    }
+    let prepares_accounted = kernel.reuse_hits + kernel.sync_patched + kernel.sync_reflattened;
+    if prepares_accounted != kernel.prepares {
+        violations.push(OracleViolation::KernelUnbalanced {
+            detail: format!(
+                "prepares: reuse_hits {} + sync_patched {} + sync_reflattened {} = \
+                 {prepares_accounted} != prepares {}",
+                kernel.reuse_hits, kernel.sync_patched, kernel.sync_reflattened, kernel.prepares
+            ),
+        });
+    }
+    if kernel.stale_reevals > kernel.heap_pops {
+        violations.push(OracleViolation::KernelUnbalanced {
+            detail: format!(
+                "stale_reevals {} exceeds heap_pops {}",
+                kernel.stale_reevals, kernel.heap_pops
+            ),
+        });
+    }
+    violations
 }
 
 /// Checks every per-round invariant; see the module docs for the list.

@@ -48,7 +48,7 @@ use mcs_campaign::runner::{CampaignConfig as LoopConfig, CampaignRunner};
 
 use crate::campaign::Fnv;
 use crate::closed_loop::{check_campaign, ClosedLoopViolation};
-use crate::oracle::{check_round, OracleConfig, OracleViolation};
+use crate::oracle::{check_kernel, check_round, OracleConfig, OracleViolation};
 
 use super::arrival::ArrivalCurve;
 use super::population::{Deviation, Population, TrueType};
@@ -68,6 +68,11 @@ pub struct RunOptions {
     pub payment_threads: Option<usize>,
     /// Play the `[strategy]` deviations instead of the truthful stream.
     pub deviate: bool,
+    /// Drain kernel profiling counters into metrics during the run. The
+    /// counters are pure telemetry, so the fingerprint is unchanged;
+    /// the driver additionally holds them to their conservation laws
+    /// (see [`crate::oracle::check_kernel`]).
+    pub profiling: bool,
 }
 
 /// Everything one scenario run produced.
@@ -376,6 +381,9 @@ fn run_platform(
     if let Some(payment_threads) = options.payment_threads {
         engine_config = engine_config.with_payment_threads(payment_threads);
     }
+    if options.profiling {
+        engine_config = engine_config.with_profiling(true);
+    }
     let tasks = scenario.published_tasks();
     let curve = ArrivalCurve::generate(&scenario.arrival, scenario.seed, scenario.rounds);
     let field = scenario
@@ -531,6 +539,19 @@ fn run_platform(
     }
 
     let snapshot = engine.metrics().snapshot();
+    // With profiling on, the drained kernel counters must satisfy their
+    // conservation laws; with it off they must all be zero (nothing may
+    // leak into metrics without the flag).
+    if engine_config.profiling {
+        outcome.violations.extend(check_kernel(&snapshot.kernel));
+    } else if snapshot.kernel != Default::default() {
+        outcome.violations.push(OracleViolation::KernelUnbalanced {
+            detail: format!(
+                "profiling is off but kernel counters drained anyway: {:?}",
+                snapshot.kernel
+            ),
+        });
+    }
     outcome.balances = ledger.balances().clone();
     outcome.payment_total = ledger.total_paid();
     outcome.social_cost_total = snapshot.economics.social_cost_total;
@@ -635,6 +656,9 @@ fn run_campaign_mode(
     if let Some(payment_threads) = options.payment_threads {
         engine_config = engine_config.with_payment_threads(payment_threads);
     }
+    if options.profiling {
+        engine_config = engine_config.with_profiling(true);
+    }
     // The population must cover every campaign round (initial +
     // residual re-auctions), whatever the scenario horizon says.
     let horizon = scenario.rounds.max(campaign_spec.max_rounds);
@@ -716,6 +740,7 @@ mod tests {
                     workers: Some(workers),
                     payment_threads: Some(payment_threads),
                     deviate: false,
+                    profiling: true,
                 },
             )
             .expect("runs");

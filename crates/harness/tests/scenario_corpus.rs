@@ -1,14 +1,25 @@
 //! Corpus regression: every shipped scenario carries a pinned
 //! `[baseline]` and reproduces it bitwise at every worker ×
-//! payment-thread combination. Editing a scenario without re-pinning
-//! its baseline fails here; shipping a scenario without a baseline
-//! fails here too.
+//! payment-thread combination — with kernel profiling on for half the
+//! matrix, since the profiler must be invisible to fingerprints.
+//! Editing a scenario without re-pinning its baseline fails here;
+//! shipping a scenario without a baseline fails here too.
 
 use mcs_harness::scenario::{corpus_paths, load, run_scenario_with, RunOptions};
 
 /// The determinism matrix every scenario must hold its fingerprint
-/// across.
-const MATRIX: [(usize, usize); 6] = [(1, 1), (1, 4), (2, 1), (2, 4), (8, 1), (8, 4)];
+/// across: (workers, payment threads, kernel profiling). The pinned
+/// baselines were recorded with profiling off, so the profiled cells
+/// double as the profiling-changes-nothing check — and the driver holds
+/// their drained counters to the conservation laws.
+const MATRIX: [(usize, usize, bool); 6] = [
+    (1, 1, false),
+    (1, 4, true),
+    (2, 1, true),
+    (2, 4, false),
+    (8, 1, false),
+    (8, 4, true),
+];
 
 #[test]
 fn the_corpus_is_complete_pinned_and_worker_count_invariant() {
@@ -29,13 +40,14 @@ fn the_corpus_is_complete_pinned_and_worker_count_invariant() {
                 scenario.name
             )
         });
-        for (workers, payment_threads) in MATRIX {
+        for (workers, payment_threads, profiling) in MATRIX {
             let outcome = run_scenario_with(
                 &scenario,
                 &RunOptions {
                     workers: Some(workers),
                     payment_threads: Some(payment_threads),
                     deviate: false,
+                    profiling,
                 },
             )
             .unwrap_or_else(|error| panic!("{} ({workers}w): {error}", scenario.name));

@@ -1,0 +1,778 @@
+//! Offline trace analysis: the library behind the `mcs-obs` CLI.
+//!
+//! Three artifact families come out of a run — binary `MCSTRACE` drive
+//! logs ([`ReplayLog`]), quarantine [`PostMortem`] JSON, and bare JSON
+//! arrays of [`TraceEvent`]s (a flight-recorder snapshot) — and this
+//! module turns any of them into per-round stage timelines, an
+//! economics timeseries, collapsed flamegraph stacks, and structural
+//! diffs. Everything here is read-only over already-recorded data; the
+//! analyses can never feed back into clearing.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, Stage, TraceEvent};
+use crate::postmortem::PostMortem;
+use crate::replay::{ReplayLog, ReplayOp, REPLAY_MAGIC};
+use crate::slo::SloKind;
+
+/// Any trace artifact the CLI can ingest, discriminated by content.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceInput {
+    /// A binary `MCSTRACE` drive log.
+    Ops(ReplayLog),
+    /// A quarantine post-mortem (pretty JSON object).
+    PostMortem(Box<PostMortem>),
+    /// A bare JSON array of trace events.
+    Events(Vec<TraceEvent>),
+}
+
+impl TraceInput {
+    /// Sniffs `bytes` by content: the `MCSTRACE` magic wins, then a
+    /// post-mortem object, then an event array.
+    ///
+    /// # Errors
+    ///
+    /// A rendered explanation when the bytes match none of the three
+    /// formats (a corrupt `MCSTRACE` log reports its decode error).
+    pub fn sniff(bytes: &[u8]) -> Result<TraceInput, String> {
+        if bytes.starts_with(&REPLAY_MAGIC) {
+            return ReplayLog::from_bytes(bytes)
+                .map(TraceInput::Ops)
+                .map_err(|error| error.to_string());
+        }
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| "neither an MCSTRACE log nor UTF-8 JSON".to_string())?;
+        if let Ok(pm) = serde_json::from_str::<PostMortem>(text) {
+            return Ok(TraceInput::PostMortem(Box::new(pm)));
+        }
+        if let Ok(events) = serde_json::from_str::<Vec<TraceEvent>>(text) {
+            return Ok(TraceInput::Events(events));
+        }
+        Err(
+            "unrecognized input: expected an MCSTRACE v1 log, a post-mortem \
+             JSON object, or a JSON array of trace events"
+                .to_string(),
+        )
+    }
+
+    /// What this input is, for report headers.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceInput::Ops(_) => "MCSTRACE drive log",
+            TraceInput::PostMortem(_) => "quarantine post-mortem",
+            TraceInput::Events(_) => "trace-event snapshot",
+        }
+    }
+
+    /// The trace events this input carries, if any (drive logs carry
+    /// none: they record inputs, not pipeline spans).
+    pub fn events(&self) -> Option<&[TraceEvent]> {
+        match self {
+            TraceInput::Ops(_) => None,
+            TraceInput::PostMortem(pm) => Some(&pm.events),
+            TraceInput::Events(events) => Some(events),
+        }
+    }
+}
+
+/// One violated budget decoded back out of a [`EventKind::SloBreach`]
+/// trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedBreach {
+    /// The breached budget's name (`SloKind::name`), or the raw code
+    /// rendered when the event came from a newer build.
+    pub budget: String,
+    /// The offending stage, for per-stage latency breaches.
+    pub stage: Option<Stage>,
+    /// The round count the watchdog saw at evaluation time.
+    pub round: u64,
+    /// The observed value.
+    pub observed: f64,
+    /// The configured ceiling.
+    pub limit: f64,
+}
+
+/// Decodes every SLO breach event in `events`, in recorded order.
+pub fn breaches(events: &[TraceEvent]) -> Vec<DecodedBreach> {
+    events
+        .iter()
+        .filter(|event| event.kind == EventKind::SloBreach)
+        .map(|event| DecodedBreach {
+            budget: SloKind::from_code(event.a)
+                .map(|kind| kind.name().to_string())
+                .unwrap_or_else(|| format!("budget#{}", event.a)),
+            stage: event.stage,
+            round: event.round,
+            observed: f64::from_bits(event.b),
+            limit: f64::from_bits(event.c),
+        })
+        .collect()
+}
+
+/// Per-round economics extracted from the cleared/settled events.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RoundEcon {
+    /// Winners the round cleared with.
+    pub winners: u64,
+    /// Social cost at clearing.
+    pub social_cost: f64,
+    /// Winners actually paid at settlement.
+    pub paid_winners: u64,
+    /// Settlement total.
+    pub paid: f64,
+    /// Whether the round was quarantined.
+    pub quarantined: bool,
+}
+
+/// The economics timeseries: round id → [`RoundEcon`], in round order.
+pub fn econ_timeseries(events: &[TraceEvent]) -> BTreeMap<u64, RoundEcon> {
+    let mut rounds: BTreeMap<u64, RoundEcon> = BTreeMap::new();
+    for event in events {
+        let econ = rounds.entry(event.round).or_default();
+        match event.kind {
+            EventKind::RoundCleared => {
+                econ.winners = event.a;
+                econ.social_cost = f64::from_bits(event.b);
+            }
+            EventKind::RoundSettled => {
+                econ.paid_winners = event.a;
+                econ.paid = f64::from_bits(event.b);
+            }
+            EventKind::RoundQuarantined => econ.quarantined = true,
+            _ => {}
+        }
+    }
+    rounds
+}
+
+// BTreeMap needs Ord on the key; Stage deliberately doesn't implement
+// it (stage codes are wire format, not an ordering), so key by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StageKey(Stage);
+
+impl Ord for StageKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.index().cmp(&other.0.index())
+    }
+}
+
+impl PartialOrd for StageKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Aggregate stage timings: per stage, span-exit count and total
+/// elapsed nanoseconds (zero under the logical clock, which records
+/// no durations).
+fn stage_totals(events: &[TraceEvent]) -> BTreeMap<StageKey, (u64, u64)> {
+    let mut totals: BTreeMap<StageKey, (u64, u64)> = BTreeMap::new();
+    for event in events {
+        if event.kind == EventKind::StageExit {
+            if let Some(stage) = event.stage {
+                let (count, ns) = totals.entry(StageKey(stage)).or_default();
+                *count += 1;
+                *ns += event.a;
+            }
+        }
+    }
+    totals
+}
+
+/// Renders a full human report for any input: header, per-round stage
+/// timeline, economics timeseries, and decoded SLO breaches.
+pub fn report(input: &TraceInput) -> String {
+    let mut out = String::new();
+    match input {
+        TraceInput::Ops(log) => report_ops(log, &mut out),
+        TraceInput::PostMortem(pm) => {
+            let _ = writeln!(
+                out,
+                "post-mortem: round {} quarantined with {} bidders: {}",
+                pm.round, pm.bidders, pm.error
+            );
+            let _ = writeln!(
+                out,
+                "  trace {} ({} events, {} bids reconstructed){}",
+                if pm.complete {
+                    "complete"
+                } else {
+                    "INCOMPLETE"
+                },
+                pm.events.len(),
+                pm.bids.len(),
+                if pm.wrapped { " [ring wrapped]" } else { "" }
+            );
+            report_events(&pm.events, &mut out);
+        }
+        TraceInput::Events(events) => {
+            let _ = writeln!(out, "trace-event snapshot: {} events", events.len());
+            report_events(events, &mut out);
+        }
+    }
+    out
+}
+
+fn render_op(op: &ReplayOp) -> String {
+    match op {
+        ReplayOp::Submit(bid) => format!(
+            "submit user={} cost={} tasks={}",
+            bid.user,
+            bid.cost(),
+            bid.tasks.len()
+        ),
+        ReplayOp::Tick => "tick".to_string(),
+        ReplayOp::Flush => "flush".to_string(),
+        ReplayOp::Drain => "drain".to_string(),
+    }
+}
+
+fn report_ops(log: &ReplayLog, out: &mut String) {
+    let (mut ticks, mut flushes, mut drains) = (0u64, 0u64, 0u64);
+    for op in &log.ops {
+        match op {
+            ReplayOp::Submit(_) => {}
+            ReplayOp::Tick => ticks += 1,
+            ReplayOp::Flush => flushes += 1,
+            ReplayOp::Drain => drains += 1,
+        }
+    }
+    let _ = writeln!(
+        out,
+        "MCSTRACE v1: label {:?} seed {}, {} ops = {} submits / {} ticks / {} flushes / {} drains",
+        log.label,
+        log.seed,
+        log.ops.len(),
+        log.submit_count(),
+        ticks,
+        flushes,
+        drains
+    );
+    // Segment the stream at flush boundaries: in scenario traces one
+    // segment is one round's worth of submissions.
+    let mut segment = 0usize;
+    let mut submits = 0u64;
+    let mut users: BTreeSet<u32> = BTreeSet::new();
+    let mut cost_total = 0.0f64;
+    let mut task_total = 0u64;
+    for op in &log.ops {
+        match op {
+            ReplayOp::Submit(bid) => {
+                submits += 1;
+                users.insert(bid.user);
+                let cost = bid.cost();
+                if cost.is_finite() {
+                    cost_total += cost;
+                }
+                task_total += bid.tasks.len() as u64;
+            }
+            ReplayOp::Flush => {
+                let _ = writeln!(
+                    out,
+                    "  segment {:>3}: {} submits from {} users, declared cost {:.2}, \
+                     {:.1} tasks/bid",
+                    segment,
+                    submits,
+                    users.len(),
+                    cost_total,
+                    if submits > 0 {
+                        task_total as f64 / submits as f64
+                    } else {
+                        0.0
+                    }
+                );
+                segment += 1;
+                submits = 0;
+                users.clear();
+                cost_total = 0.0;
+                task_total = 0;
+            }
+            ReplayOp::Tick | ReplayOp::Drain => {}
+        }
+    }
+    if submits > 0 {
+        let _ = writeln!(
+            out,
+            "  segment {:>3}: {} submits from {} users, declared cost {:.2} (unflushed)",
+            segment,
+            submits,
+            users.len(),
+            cost_total
+        );
+    }
+}
+
+fn report_events(events: &[TraceEvent], out: &mut String) {
+    let mut rounds: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for event in events {
+        rounds.entry(event.round).or_default().push(event);
+    }
+    for (round, round_events) in &rounds {
+        let closed = round_events
+            .iter()
+            .find(|event| event.kind == EventKind::RoundClosed)
+            .map(|event| event.a);
+        let mut stages: BTreeMap<StageKey, (u64, u64)> = BTreeMap::new();
+        for event in round_events {
+            if event.kind == EventKind::StageExit {
+                if let Some(stage) = event.stage {
+                    let (count, ns) = stages.entry(StageKey(stage)).or_default();
+                    *count += 1;
+                    *ns += event.a;
+                }
+            }
+        }
+        let stage_line = stages
+            .iter()
+            .map(|(StageKey(stage), (count, ns))| {
+                if *ns > 0 {
+                    format!("{} {:.1}us x{}", stage.name(), *ns as f64 / 1e3, count)
+                } else {
+                    format!("{} x{}", stage.name(), count)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "round {:>4}: {}{}",
+            round,
+            closed.map_or(String::new(), |bidders| format!("{bidders} bidders; ")),
+            if stage_line.is_empty() {
+                "no stage spans".to_string()
+            } else {
+                stage_line
+            }
+        );
+    }
+    let econ = econ_timeseries(events);
+    let cleared: Vec<_> = econ
+        .iter()
+        .filter(|(_, e)| e.winners > 0 || e.paid_winners > 0 || e.quarantined)
+        .collect();
+    if !cleared.is_empty() {
+        let _ = writeln!(out, "economics (round, winners, social cost, paid):");
+        for (round, e) in cleared {
+            let _ = writeln!(
+                out,
+                "  {:>6}  {:>4}  {:>12.4}  {:>12.4}{}",
+                round,
+                e.winners,
+                e.social_cost,
+                e.paid,
+                if e.quarantined { "  [quarantined]" } else { "" }
+            );
+        }
+    }
+    let violated = breaches(events);
+    if !violated.is_empty() {
+        let _ = writeln!(out, "slo breaches:");
+        for breach in &violated {
+            let _ = writeln!(
+                out,
+                "  {}{} at round count {}: observed {:.3} > limit {:.3}",
+                breach.budget,
+                breach
+                    .stage
+                    .map(|stage| format!("[{}]", stage.name()))
+                    .unwrap_or_default(),
+                breach.round,
+                breach.observed,
+                breach.limit
+            );
+        }
+    }
+}
+
+/// Collapsed flamegraph stacks (`frame;frame value` per line) from the
+/// input's stage spans, ready for Brendan Gregg's `flamegraph.pl`.
+///
+/// Allocate and pay nest under shard (they are its sub-spans); shard's
+/// own line carries its *self* time. Values are total nanoseconds, or
+/// span counts when the trace was recorded under the logical clock
+/// (which has no durations).
+///
+/// # Errors
+///
+/// Drive logs record inputs, not spans, so `Ops` inputs are refused;
+/// so is an event trace with no stage spans at all.
+pub fn flame(input: &TraceInput) -> Result<String, String> {
+    let events = input.events().ok_or(
+        "an MCSTRACE drive log records inputs, not stage spans; \
+                pass a post-mortem or a trace-event snapshot",
+    )?;
+    let totals = stage_totals(events);
+    if totals.is_empty() {
+        return Err("no stage spans in this trace".to_string());
+    }
+    // Under the logical clock every duration is zero; fall back to span
+    // counts so the flame still has shape.
+    let by_time = totals.values().any(|&(_, ns)| ns > 0);
+    let lookup = |stage: Stage| -> u64 {
+        totals
+            .get(&StageKey(stage))
+            .map(|&(count, ns)| if by_time { ns } else { count })
+            .unwrap_or(0)
+    };
+    let mut lines: Vec<String> = Vec::new();
+    for stage in [Stage::Shed, Stage::Ingest, Stage::Batch, Stage::Settle] {
+        let v = lookup(stage);
+        if v > 0 {
+            lines.push(format!("engine;{} {}", stage.name(), v));
+        }
+    }
+    let shard = lookup(Stage::Shard);
+    let allocate = lookup(Stage::Allocate);
+    let pay = lookup(Stage::Pay);
+    if allocate > 0 {
+        lines.push(format!("engine;shard;allocate {allocate}"));
+    }
+    if pay > 0 {
+        lines.push(format!("engine;shard;pay {pay}"));
+    }
+    let shard_self = shard.saturating_sub(allocate + pay);
+    if shard_self > 0 {
+        lines.push(format!("engine;shard {shard_self}"));
+    }
+    Ok(lines.join("\n") + "\n")
+}
+
+/// The outcome of diffing two trace artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOutcome {
+    /// Whether the two inputs are bitwise-equivalent.
+    pub identical: bool,
+    /// The rendered report: either a match summary or the first
+    /// diverging position plus the economics delta.
+    pub text: String,
+}
+
+/// Diffs two artifacts of the same family: first diverging op/event,
+/// plus the economics delta between the streams.
+///
+/// # Errors
+///
+/// When the inputs are different artifact families (an op log only
+/// compares against an op log).
+pub fn diff(a: &TraceInput, b: &TraceInput) -> Result<DiffOutcome, String> {
+    match (a, b) {
+        (TraceInput::Ops(left), TraceInput::Ops(right)) => Ok(diff_ops(left, right)),
+        _ => match (a.events(), b.events()) {
+            (Some(left), Some(right)) => Ok(diff_events(left, right)),
+            _ => Err(format!(
+                "cannot diff a {} against a {}",
+                a.kind_name(),
+                b.kind_name()
+            )),
+        },
+    }
+}
+
+fn declared_cost_total(log: &ReplayLog) -> f64 {
+    log.ops
+        .iter()
+        .filter_map(|op| match op {
+            ReplayOp::Submit(bid) => Some(bid.cost()).filter(|cost| cost.is_finite()),
+            _ => None,
+        })
+        .sum()
+}
+
+fn diff_ops(a: &ReplayLog, b: &ReplayLog) -> DiffOutcome {
+    let mut out = String::new();
+    let mut identical = true;
+    if a.seed != b.seed {
+        identical = false;
+        let _ = writeln!(out, "seed: {} != {}", a.seed, b.seed);
+    }
+    if a.label != b.label {
+        identical = false;
+        let _ = writeln!(out, "label: {:?} != {:?}", a.label, b.label);
+    }
+    let diverged = a
+        .ops
+        .iter()
+        .zip(&b.ops)
+        .position(|(left, right)| left != right);
+    match diverged {
+        Some(index) => {
+            identical = false;
+            let _ = writeln!(
+                out,
+                "first diverging op at index {index}:\n  left:  {}\n  right: {}",
+                render_op(&a.ops[index]),
+                render_op(&b.ops[index])
+            );
+        }
+        None if a.ops.len() != b.ops.len() => {
+            identical = false;
+            let (longer, name) = if a.ops.len() > b.ops.len() {
+                (&a.ops[b.ops.len()], "left")
+            } else {
+                (&b.ops[a.ops.len()], "right")
+            };
+            let _ = writeln!(
+                out,
+                "op counts differ: {} vs {}; {} continues with: {}",
+                a.ops.len(),
+                b.ops.len(),
+                name,
+                render_op(longer)
+            );
+        }
+        None => {}
+    }
+    if identical {
+        let _ = writeln!(
+            out,
+            "identical: {} ops ({} submits), seed {}, label {:?}",
+            a.ops.len(),
+            a.submit_count(),
+            a.seed,
+            a.label
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "economics delta: submits {:+}, declared cost {:+.4}",
+            b.submit_count() as i64 - a.submit_count() as i64,
+            declared_cost_total(b) - declared_cost_total(a)
+        );
+    }
+    DiffOutcome {
+        identical,
+        text: out,
+    }
+}
+
+fn econ_summary(events: &[TraceEvent]) -> (u64, u64, f64, f64) {
+    let econ = econ_timeseries(events);
+    let cleared = econ.values().filter(|e| e.winners > 0).count() as u64;
+    let winners: u64 = econ.values().map(|e| e.winners).sum();
+    let social: f64 = econ.values().map(|e| e.social_cost).sum();
+    let paid: f64 = econ.values().map(|e| e.paid).sum();
+    (cleared, winners, social, paid)
+}
+
+fn diff_events(a: &[TraceEvent], b: &[TraceEvent]) -> DiffOutcome {
+    let mut out = String::new();
+    let mut identical = true;
+    let diverged = a.iter().zip(b).position(|(left, right)| left != right);
+    match diverged {
+        Some(index) => {
+            identical = false;
+            let _ = writeln!(
+                out,
+                "first diverging event at index {index}:\n  left:  {:?}\n  right: {:?}",
+                a[index], b[index]
+            );
+        }
+        None if a.len() != b.len() => {
+            identical = false;
+            let _ = writeln!(out, "event counts differ: {} vs {}", a.len(), b.len());
+        }
+        None => {}
+    }
+    let (cleared_a, winners_a, social_a, paid_a) = econ_summary(a);
+    let (cleared_b, winners_b, social_b, paid_b) = econ_summary(b);
+    if identical {
+        let _ = writeln!(
+            out,
+            "identical: {} events, {} cleared rounds, social cost {:.4}, paid {:.4}",
+            a.len(),
+            cleared_a,
+            social_a,
+            paid_a
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "economics delta: cleared rounds {:+}, winners {:+}, \
+             social cost {:+.4}, paid {:+.4}",
+            cleared_b as i64 - cleared_a as i64,
+            winners_b as i64 - winners_a as i64,
+            social_b - social_a,
+            paid_b - paid_a
+        );
+    }
+    DiffOutcome {
+        identical,
+        text: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RawEvent;
+    use crate::replay::ReplayBid;
+    use crate::ring::{ClockMode, FlightRecorder};
+
+    fn sample_log() -> ReplayLog {
+        let mut log = ReplayLog::new(9, "diurnal@1");
+        for user in 0..3u32 {
+            log.push(ReplayOp::Submit(ReplayBid {
+                user,
+                cost_bits: (2.0 + user as f64).to_bits(),
+                tasks: vec![(0, 0.5f64.to_bits())],
+            }));
+        }
+        log.push(ReplayOp::Flush);
+        log.push(ReplayOp::Drain);
+        log
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let recorder = FlightRecorder::new(64, ClockMode::Logical);
+        recorder.record(RawEvent::new(EventKind::RoundClosed, 0, 3, 0, 0));
+        recorder.record(RawEvent::enter(Stage::Shard, 0));
+        recorder.record(RawEvent::exit(Stage::Allocate, 0, 700));
+        recorder.record(RawEvent::exit(Stage::Pay, 0, 200));
+        recorder.record(RawEvent::exit(Stage::Shard, 0, 1000));
+        recorder.record(RawEvent::new(
+            EventKind::RoundCleared,
+            0,
+            2,
+            7.5f64.to_bits(),
+            0,
+        ));
+        recorder.record(RawEvent::new(
+            EventKind::RoundSettled,
+            0,
+            2,
+            8.25f64.to_bits(),
+            0,
+        ));
+        recorder.snapshot()
+    }
+
+    #[test]
+    fn sniffing_discriminates_all_three_families() {
+        let log = sample_log();
+        assert_eq!(
+            TraceInput::sniff(&log.to_bytes()).unwrap(),
+            TraceInput::Ops(log)
+        );
+
+        let events = sample_events();
+        let json = serde_json::to_string(&events).unwrap();
+        assert_eq!(
+            TraceInput::sniff(json.as_bytes()).unwrap(),
+            TraceInput::Events(events.clone())
+        );
+
+        let pm = PostMortem::from_trace(0, 3, "boom".to_string(), events, false);
+        let sniffed = TraceInput::sniff(pm.to_json().as_bytes()).unwrap();
+        assert_eq!(sniffed, TraceInput::PostMortem(Box::new(pm)));
+
+        assert!(TraceInput::sniff(b"not a trace").is_err());
+        assert!(TraceInput::sniff(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn ops_reports_segment_at_flush_boundaries() {
+        let text = report(&TraceInput::Ops(sample_log()));
+        assert!(text.contains("seed 9"), "{text}");
+        assert!(
+            text.contains("3 submits / 0 ticks / 1 flushes / 1 drains"),
+            "{text}"
+        );
+        assert!(
+            text.contains("segment   0: 3 submits from 3 users"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn event_reports_carry_stages_economics_and_breaches() {
+        let mut events = sample_events();
+        events.push(TraceEvent {
+            seq: 99,
+            at: 99,
+            kind: EventKind::SloBreach,
+            stage: Some(Stage::Shard),
+            round: 1,
+            a: SloKind::StageP99.code(),
+            b: 5000.0f64.to_bits(),
+            c: 1000.0f64.to_bits(),
+        });
+        let text = report(&TraceInput::Events(events.clone()));
+        assert!(text.contains("3 bidders"), "{text}");
+        assert!(text.contains("allocate 0.7us x1"), "{text}");
+        assert!(text.contains("economics"), "{text}");
+        assert!(text.contains("7.5000"), "{text}");
+        assert!(text.contains("8.2500"), "{text}");
+        assert!(text.contains("stage_p99[shard]"), "{text}");
+
+        let decoded = breaches(&events);
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].budget, "stage_p99");
+        assert_eq!(decoded[0].observed, 5000.0);
+        assert_eq!(decoded[0].limit, 1000.0);
+    }
+
+    #[test]
+    fn flame_nests_allocate_and_pay_under_shard_with_self_time() {
+        let text = flame(&TraceInput::Events(sample_events())).unwrap();
+        assert!(text.contains("engine;shard;allocate 700\n"), "{text}");
+        assert!(text.contains("engine;shard;pay 200\n"), "{text}");
+        // 1000 total - 700 allocate - 200 pay = 100 self.
+        assert!(text.contains("engine;shard 100\n"), "{text}");
+        assert!(flame(&TraceInput::Ops(sample_log())).is_err());
+    }
+
+    #[test]
+    fn flame_falls_back_to_span_counts_without_durations() {
+        let recorder = FlightRecorder::new(16, ClockMode::Logical);
+        recorder.record(RawEvent::exit(Stage::Ingest, 0, 0));
+        recorder.record(RawEvent::exit(Stage::Ingest, 0, 0));
+        let text = flame(&TraceInput::Events(recorder.snapshot())).unwrap();
+        assert_eq!(text, "engine;ingest 2\n");
+    }
+
+    #[test]
+    fn identical_logs_diff_clean_and_edits_are_located() {
+        let log = sample_log();
+        let outcome = diff(&TraceInput::Ops(log.clone()), &TraceInput::Ops(log.clone())).unwrap();
+        assert!(outcome.identical, "{}", outcome.text);
+        assert!(
+            outcome.text.contains("identical: 5 ops"),
+            "{}",
+            outcome.text
+        );
+
+        let mut edited = log.clone();
+        if let ReplayOp::Submit(bid) = &mut edited.ops[1] {
+            bid.cost_bits = 99.0f64.to_bits();
+        }
+        let outcome = diff(&TraceInput::Ops(log), &TraceInput::Ops(edited)).unwrap();
+        assert!(!outcome.identical);
+        assert!(
+            outcome.text.contains("first diverging op at index 1"),
+            "{}",
+            outcome.text
+        );
+        assert!(outcome.text.contains("economics delta"), "{}", outcome.text);
+    }
+
+    #[test]
+    fn event_diffs_report_the_economics_delta() {
+        let a = sample_events();
+        let mut b = a.clone();
+        b.retain(|event| event.kind != EventKind::RoundSettled);
+        let outcome = diff(&TraceInput::Events(a.clone()), &TraceInput::Events(b)).unwrap();
+        assert!(!outcome.identical);
+        assert!(outcome.text.contains("paid -8.2500"), "{}", outcome.text);
+
+        let clean = diff(&TraceInput::Events(a.clone()), &TraceInput::Events(a)).unwrap();
+        assert!(clean.identical);
+
+        // Families never cross-diff.
+        assert!(diff(
+            &TraceInput::Ops(sample_log()),
+            &TraceInput::Events(sample_events())
+        )
+        .is_err());
+    }
+}

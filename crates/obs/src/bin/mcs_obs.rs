@@ -1,0 +1,106 @@
+//! `mcs-obs` — post-mortem and trace analysis for recorded runs.
+//!
+//! Ingests any artifact a run leaves behind — a checksummed `MCSTRACE`
+//! drive log (`mcs-fuzz --record-trace`), a quarantine post-mortem JSON
+//! object, or a JSON array of flight-recorder trace events — sniffing
+//! the format from content, never from the file name.
+//!
+//! ```text
+//! mcs-obs report FILE [--flame] [--fail-on-breach]
+//! mcs-obs diff A B
+//! ```
+//!
+//! * `report` renders per-round stage timelines, the economics
+//!   timeseries (winners, social cost, payout per round), and any SLO
+//!   breaches the watchdog recorded. `--flame` instead emits collapsed
+//!   flamegraph stacks (`frame;frame value`) ready for
+//!   `flamegraph.pl`; `--fail-on-breach` exits 1 when the trace holds
+//!   any `SloBreach` event — the CI hook for calm-scenario runs.
+//! * `diff` compares two artifacts of the same family: prints the
+//!   first diverging op/event and the economics delta, exits 0 only on
+//!   bitwise equivalence. `diff TRACE TRACE` is the determinism smoke:
+//!   a trace must diff clean against itself.
+//!
+//! Exit codes: 0 clean, 1 divergence or breach, 2 usage/decode errors.
+
+use std::process::ExitCode;
+
+use mcs_obs::analyze::{breaches, diff, flame, report, TraceInput};
+
+fn load(path: &str) -> Result<TraceInput, String> {
+    let bytes = std::fs::read(path).map_err(|error| format!("cannot read {path}: {error}"))?;
+    TraceInput::sniff(&bytes).map_err(|error| format!("{path}: {error}"))
+}
+
+fn usage() -> String {
+    "usage: mcs-obs report FILE [--flame] [--fail-on-breach]\n       mcs-obs diff A B".to_string()
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "report" => {
+            let mut path = None;
+            let mut want_flame = false;
+            let mut fail_on_breach = false;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--flame" => want_flame = true,
+                    "--fail-on-breach" => fail_on_breach = true,
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown flag {other}\n{}", usage()))
+                    }
+                    other => {
+                        if path.replace(other).is_some() {
+                            return Err(format!("report takes one file\n{}", usage()));
+                        }
+                    }
+                }
+            }
+            let path = path.ok_or_else(usage)?;
+            let input = load(path)?;
+            if want_flame {
+                print!("{}", flame(&input)?);
+            } else {
+                print!("{}: {}", input.kind_name(), report(&input));
+            }
+            let breached = input.events().map_or(0, |events| breaches(events).len());
+            if fail_on_breach && breached > 0 {
+                eprintln!("mcs-obs: {breached} SLO breach event(s) in the trace");
+                return Ok(ExitCode::FAILURE);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let paths: Vec<&String> = args[1..].iter().collect();
+            let [a, b] = paths.as_slice() else {
+                return Err(format!("diff takes exactly two files\n{}", usage()));
+            };
+            let outcome = diff(&load(a)?, &load(b)?)?;
+            print!("{}", outcome.text);
+            Ok(if outcome.identical {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

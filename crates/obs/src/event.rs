@@ -137,10 +137,16 @@ pub enum EventKind {
     /// any-task PoS as `f64` bits (equal to `b` when calibration is off
     /// or the user has no usable history).
     PosCalibrated,
+    /// The SLO watchdog observed a budget violation (see `crate::slo`).
+    /// Purely diagnostic — a breach never alters clearing. `stage` is
+    /// set for per-stage latency breaches. `a` = breached budget code
+    /// (see `SloKind::code`), `b` = observed value as `f64` bits,
+    /// `c` = budget limit as `f64` bits.
+    SloBreach,
 }
 
 impl EventKind {
-    const ALL: [EventKind; 14] = [
+    const ALL: [EventKind; 15] = [
         EventKind::BidAdmitted,
         EventKind::BidTask,
         EventKind::BidRejected,
@@ -155,6 +161,7 @@ impl EventKind {
         EventKind::CampaignRoundOpened,
         EventKind::ResidualReauction,
         EventKind::PosCalibrated,
+        EventKind::SloBreach,
     ];
 
     fn code(self) -> u64 {

@@ -25,6 +25,18 @@ pub trait MetricsSource: Send + Sync {
     fn prometheus(&self) -> String;
     /// The JSON payload for `GET /metrics.json`.
     fn json(&self) -> String;
+    /// The JSON payload for `GET /slo` — the latest SLO watchdog report
+    /// (see `crate::slo`). `None` (the default) means no watchdog is
+    /// configured and the route answers 404.
+    fn slo(&self) -> Option<String> {
+        None
+    }
+    /// The JSON payload for `GET /healthz`. The default is a bare
+    /// liveness body; sources that own a flight recorder override this
+    /// to report ring-wrap status and last-round age.
+    fn healthz(&self) -> String {
+        "{\"status\":\"ok\"}".to_string()
+    }
 }
 
 /// A running metrics endpoint. Stops (and joins its thread) on drop.
@@ -103,10 +115,19 @@ fn answer(stream: TcpStream, source: &dyn MetricsSource) -> std::io::Result<()> 
             source.prometheus(),
         ),
         "/metrics.json" | "/metrics.json/" => ("200 OK", "application/json", source.json()),
+        "/healthz" | "/healthz/" => ("200 OK", "application/json", source.healthz()),
+        "/slo" | "/slo/" => match source.slo() {
+            Some(body) => ("200 OK", "application/json", body),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no SLO budget configured\n".to_string(),
+            ),
+        },
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found: try /metrics or /metrics.json\n".to_string(),
+            "not found: try /metrics, /metrics.json, /slo, or /healthz\n".to_string(),
         ),
     };
     let mut stream = reader.into_inner();
@@ -159,6 +180,51 @@ mod tests {
 
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.0 404"));
+    }
+
+    #[test]
+    fn healthz_defaults_to_liveness_and_slo_to_404() {
+        let server = ExportServer::spawn("127.0.0.1:0", Arc::new(FakeSource)).unwrap();
+        let addr = server.local_addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200 OK"));
+        assert!(health.contains("{\"status\":\"ok\"}"));
+
+        // FakeSource keeps the default `slo()` — no watchdog configured.
+        let slo = get(addr, "/slo");
+        assert!(slo.starts_with("HTTP/1.0 404"));
+        assert!(slo.contains("no SLO budget configured"));
+    }
+
+    struct WatchedSource;
+
+    impl MetricsSource for WatchedSource {
+        fn prometheus(&self) -> String {
+            String::new()
+        }
+        fn json(&self) -> String {
+            "{}".to_string()
+        }
+        fn slo(&self) -> Option<String> {
+            Some("{\"evaluated\":3,\"breaches\":[]}".to_string())
+        }
+        fn healthz(&self) -> String {
+            "{\"status\":\"ok\",\"ring\":{\"wrapped\":false}}".to_string()
+        }
+    }
+
+    #[test]
+    fn sources_can_override_slo_and_healthz() {
+        let server = ExportServer::spawn("127.0.0.1:0", Arc::new(WatchedSource)).unwrap();
+        let addr = server.local_addr();
+
+        let slo = get(addr, "/slo");
+        assert!(slo.starts_with("HTTP/1.0 200 OK"));
+        assert!(slo.contains("\"evaluated\":3"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.contains("\"wrapped\":false"));
     }
 
     #[test]

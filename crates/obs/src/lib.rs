@@ -15,10 +15,18 @@
 //!   of engine drive operations (submit/tick/flush/drain) that replays
 //!   bit-exactly, cross-checkable against the recorder's admitted-bid
 //!   events.
-//! * [`prom`] — minimal, NaN-safe Prometheus text rendering.
+//! * [`prom`] — minimal, NaN-safe Prometheus text rendering, plus an
+//!   offline exposition lint.
+//! * [`slo`] — the SLO watchdog: declarative budgets ([`SloBudget`])
+//!   evaluated against live telemetry into typed [`SloBreach`]es,
+//!   strictly outside the clearing path.
 //! * [`export`] — [`ExportServer`]: a std-only HTTP endpoint serving
-//!   `/metrics` (Prometheus) and `/metrics.json` from any
-//!   [`MetricsSource`].
+//!   `/metrics` (Prometheus), `/metrics.json`, `/slo`, and `/healthz`
+//!   from any [`MetricsSource`].
+//! * [`analyze`] — offline analysis over recorded artifacts (drive
+//!   logs, post-mortems, event snapshots): stage timelines, economics
+//!   timeseries, collapsed flamegraph stacks, and trace diffing — the
+//!   library behind the `mcs-obs` CLI.
 //!
 //! The crate depends only on the vendored `serde` stack, so it sits
 //! *below* `mcs-platform` in the dependency graph: the platform calls
@@ -28,19 +36,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod event;
 pub mod export;
 pub mod postmortem;
 pub mod prom;
 pub mod replay;
 pub mod ring;
+pub mod slo;
 
+pub use analyze::{DecodedBreach, DiffOutcome, TraceInput};
 pub use event::{EventKind, RawEvent, Stage, TraceEvent};
 pub use export::{ExportServer, MetricsSource};
 pub use postmortem::{BidRecord, PostMortem, TaskDeclaration};
 pub use prom::{PromKind, PromWriter};
 pub use replay::{ReplayBid, ReplayError, ReplayLog, ReplayOp};
 pub use ring::{ClockMode, FlightRecorder};
+pub use slo::{
+    SloBaseline, SloBreach, SloBudget, SloInputs, SloKind, SloReport, StageBudget, StageObservation,
+};
 
 /// Convenience glob import for downstream crates.
 pub mod prelude {
@@ -50,4 +64,8 @@ pub mod prelude {
     pub use crate::prom::{PromKind, PromWriter};
     pub use crate::replay::{ReplayBid, ReplayError, ReplayLog, ReplayOp};
     pub use crate::ring::{ClockMode, FlightRecorder};
+    pub use crate::slo::{
+        SloBaseline, SloBreach, SloBudget, SloInputs, SloKind, SloReport, StageBudget,
+        StageObservation,
+    };
 }

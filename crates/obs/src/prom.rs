@@ -6,7 +6,15 @@
 //! exactly once, label values are escaped, and non-finite floats are
 //! rendered as `0` with the family intact (a scraped payload must never
 //! contain `NaN`).
+//!
+//! [`lint`] closes the loop offline: it re-parses a rendered payload and
+//! reports structural defects (samples without headers, duplicate
+//! families, counters not named `*_total`, unparseable values) so a CI
+//! test can hold every exposed family to the format without a live
+//! Prometheus. [`counter_samples`] extracts the counter values from a
+//! payload so two consecutive scrapes can be checked for monotonicity.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// A metric family's type, as declared in its `# TYPE` header.
@@ -85,6 +93,107 @@ fn escape(value: &str) -> String {
         .replace('\n', "\\n")
 }
 
+/// The family name of a sample line: everything before the first `{`
+/// or whitespace.
+fn family_of(line: &str) -> &str {
+    line.split(|c: char| c == '{' || c.is_whitespace())
+        .next()
+        .unwrap_or("")
+}
+
+/// Structural lint of a text exposition payload. Returns one
+/// human-readable issue per defect (empty = clean):
+///
+/// * a `# TYPE` or `# HELP` header repeated for the same family,
+/// * a `# TYPE` without a `# HELP` (or vice versa),
+/// * a sample whose family was never declared,
+/// * a family declared `counter` whose name does not end in `_total`,
+/// * a sample value that does not parse as a finite float,
+/// * the same `name{labels}` series emitted twice.
+pub fn lint(text: &str) -> Vec<String> {
+    let mut issues = Vec::new();
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut helps: BTreeSet<&str> = BTreeSet::new();
+    let mut series: BTreeSet<&str> = BTreeSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !helps.insert(name) {
+                issues.push(format!("duplicate # HELP for family {name}"));
+            }
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut words = rest.split_whitespace();
+            let name = words.next().unwrap_or("");
+            let kind = words.next().unwrap_or("");
+            if types.insert(name, kind).is_some() {
+                issues.push(format!("duplicate # TYPE for family {name}"));
+            }
+            if kind == "counter" && !name.ends_with("_total") {
+                issues.push(format!("counter family {name} is not named *_total"));
+            }
+        } else if let Some(comment) = line.strip_prefix('#') {
+            issues.push(format!("unrecognized comment: #{comment}"));
+        } else {
+            let family = family_of(line);
+            if !types.contains_key(family) {
+                issues.push(format!("sample for undeclared family {family}"));
+            }
+            if !helps.contains(family) {
+                issues.push(format!("family {family} has no # HELP"));
+            }
+            let key = line.rsplit_once(' ').map_or(line, |(k, _)| k);
+            if !series.insert(key) {
+                issues.push(format!("series {key} emitted twice"));
+            }
+            let value = line.rsplit(' ').next().unwrap_or("");
+            match value.parse::<f64>() {
+                Ok(v) if v.is_finite() => {}
+                _ => issues.push(format!("series {key} has non-finite value {value:?}")),
+            }
+        }
+    }
+    for name in helps {
+        if !types.contains_key(name) {
+            issues.push(format!("family {name} has # HELP but no # TYPE"));
+        }
+    }
+    issues
+}
+
+/// Every counter sample in a payload, as `(name{labels}, value)` pairs
+/// in exposition order — the raw material for a "counters are monotone
+/// across scrapes" check.
+pub fn counter_samples(text: &str) -> Vec<(String, f64)> {
+    let mut counters: BTreeSet<&str> = BTreeSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut words = rest.split_whitespace();
+            let name = words.next().unwrap_or("");
+            if words.next() == Some("counter") {
+                counters.insert(name);
+            }
+        }
+    }
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if !counters.contains(family_of(line)) {
+            continue;
+        }
+        if let Some((key, value)) = line.rsplit_once(' ') {
+            if let Ok(value) = value.parse::<f64>() {
+                samples.push((key.to_string(), value));
+            }
+        }
+    }
+    samples
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +233,70 @@ mod tests {
         let mut w = PromWriter::new();
         w.labelled("m", "l", "a\"b\\c\nd", 1.0);
         assert_eq!(w.finish(), "m{l=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn lint_accepts_well_formed_payloads() {
+        let mut w = PromWriter::new();
+        w.family("mcs_rounds_total", PromKind::Counter, "Rounds cleared.");
+        w.sample("mcs_rounds_total", 3.0);
+        w.family("mcs_stage_p99_ns", PromKind::Gauge, "Stage p99 latency.");
+        w.labelled("mcs_stage_p99_ns", "stage", "shard", 10.0);
+        w.labelled("mcs_stage_p99_ns", "stage", "pay", 20.0);
+        assert_eq!(lint(&w.finish()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lint_catches_each_defect() {
+        let orphan = "mcs_orphan 1\n";
+        let issues = lint(orphan);
+        assert!(issues.iter().any(|i| i.contains("undeclared family")));
+        assert!(issues.iter().any(|i| i.contains("no # HELP")));
+
+        let duplicate = "\
+# HELP mcs_x_total x
+# TYPE mcs_x_total counter
+# HELP mcs_x_total x again
+# TYPE mcs_x_total counter
+mcs_x_total 1
+";
+        let issues = lint(duplicate);
+        assert!(issues.iter().any(|i| i.contains("duplicate # HELP")));
+        assert!(issues.iter().any(|i| i.contains("duplicate # TYPE")));
+
+        let misnamed = "# HELP mcs_bad c\n# TYPE mcs_bad counter\nmcs_bad 1\n";
+        assert!(lint(misnamed)
+            .iter()
+            .any(|i| i.contains("not named *_total")));
+
+        let nan = "# HELP mcs_g g\n# TYPE mcs_g gauge\nmcs_g NaN\n";
+        assert!(lint(nan).iter().any(|i| i.contains("non-finite")));
+
+        let twice = "\
+# HELP mcs_g g
+# TYPE mcs_g gauge
+mcs_g{stage=\"shard\"} 1
+mcs_g{stage=\"shard\"} 2
+";
+        assert!(lint(twice).iter().any(|i| i.contains("emitted twice")));
+    }
+
+    #[test]
+    fn counter_samples_extract_only_counters() {
+        let mut w = PromWriter::new();
+        w.family("mcs_rounds_total", PromKind::Counter, "Rounds.");
+        w.sample("mcs_rounds_total", 5.0);
+        w.family("mcs_backlog", PromKind::Gauge, "Backlog depth.");
+        w.sample("mcs_backlog", 9.0);
+        w.family("mcs_shed_total", PromKind::Counter, "Shed bids.");
+        w.labelled("mcs_shed_total", "reason", "overload", 2.0);
+        let samples = counter_samples(&w.finish());
+        assert_eq!(
+            samples,
+            vec![
+                ("mcs_rounds_total".to_string(), 5.0),
+                ("mcs_shed_total{reason=\"overload\"}".to_string(), 2.0),
+            ]
+        );
     }
 }

@@ -123,6 +123,14 @@ impl FlightRecorder {
         self.recorded() > self.capacity() as u64
     }
 
+    /// Nanoseconds since the recorder was created — the clock wall-mode
+    /// event timestamps are measured on, so `epoch_elapsed_ns() - at`
+    /// is an event's age. Meaningless (but still monotone) in logical
+    /// mode.
+    pub fn epoch_elapsed_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
     /// Records one event. Lock-free, allocation-free; a no-op on a
     /// disabled recorder.
     pub fn record(&self, event: RawEvent) {

@@ -1,0 +1,472 @@
+//! The SLO watchdog: declarative service-level budgets evaluated
+//! against live telemetry.
+//!
+//! A [`SloBudget`] pins what "healthy" means for a deployment —
+//! nanoseconds of shard work per bid, per-stage p99 latency ceilings,
+//! and how far live economics (overpayment ratio, mean coverage slack)
+//! may drift from a scenario's pinned baseline. [`evaluate`] compares a
+//! budget against a point-in-time [`SloInputs`] snapshot and returns
+//! every violated budget as a typed [`SloBreach`].
+//!
+//! The watchdog is strictly *observational*: it reads snapshots the
+//! pipeline already publishes and never feeds anything back into
+//! clearing, so outcomes and fingerprints are bitwise identical with or
+//! without a budget configured. Breaches surface three ways, all
+//! outside the decision path:
+//!
+//! * as [`EventKind::SloBreach`] trace events in the flight recorder
+//!   (via [`SloBreach::to_raw_event`]),
+//! * as the JSON body of the exporter's `GET /slo` route
+//!   (via [`SloReport::to_json`]),
+//! * as hard failures in CI tiers that assert a calm scenario stays
+//!   inside budget.
+//!
+//! This crate sits below the platform, so the inputs are deliberately
+//! plain data: whoever owns live metrics (the platform's `Metrics`, the
+//! campaign daemon) flattens its snapshot into an [`SloInputs`] and the
+//! watchdog stays dependency-free.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventKind, RawEvent, Stage};
+
+/// A per-stage p99 latency ceiling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageBudget {
+    /// Lower-case stage name (see `Stage::name`), e.g. `"shard"`.
+    pub stage: String,
+    /// Ceiling on the stage's p99 latency in nanoseconds.
+    pub max_p99_ns: u64,
+}
+
+/// Declarative service-level budgets. Every field is optional; an empty
+/// budget evaluates to an empty report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SloBudget {
+    /// Ceiling on mean shard-stage nanoseconds per received bid.
+    #[serde(default)]
+    pub max_ns_per_bid: Option<f64>,
+    /// Per-stage p99 latency ceilings.
+    #[serde(default)]
+    pub stage_p99: Vec<StageBudget>,
+    /// Ceiling on `|live − baseline|` of the overpayment ratio. Needs a
+    /// baseline that pins `overpayment_ratio`.
+    #[serde(default)]
+    pub max_overpayment_drift: Option<f64>,
+    /// Ceiling on `|live − baseline|` of the mean coverage slack. Needs
+    /// a baseline that pins `coverage_slack_mean`.
+    #[serde(default)]
+    pub max_coverage_slack_drift: Option<f64>,
+}
+
+impl SloBudget {
+    /// Whether any budget is actually set.
+    pub fn is_empty(&self) -> bool {
+        self.max_ns_per_bid.is_none()
+            && self.stage_p99.is_empty()
+            && self.max_overpayment_drift.is_none()
+            && self.max_coverage_slack_drift.is_none()
+    }
+}
+
+/// Pinned economics a drift budget measures against — typically a
+/// scenario's `[baseline]` table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SloBaseline {
+    /// Expected overpayment ratio (`None` when the scenario pins none).
+    #[serde(default)]
+    pub overpayment_ratio: Option<f64>,
+    /// Expected mean coverage slack.
+    #[serde(default)]
+    pub coverage_slack_mean: Option<f64>,
+}
+
+/// One stage's live latency summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageObservation {
+    /// Lower-case stage name.
+    pub stage: String,
+    /// Spans recorded for the stage.
+    pub count: u64,
+    /// Total nanoseconds across those spans.
+    pub total_ns: u64,
+    /// The stage's p99 latency in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// A point-in-time flattening of live telemetry for the watchdog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SloInputs {
+    /// Rounds cleared so far; economics budgets are skipped at 0 (there
+    /// is nothing to drift yet).
+    pub rounds_cleared: u64,
+    /// Bids received so far; the ns-per-bid budget is skipped at 0.
+    pub bids_received: u64,
+    /// Per-stage latency summaries.
+    #[serde(default)]
+    pub stages: Vec<StageObservation>,
+    /// Live overpayment ratio, when defined.
+    #[serde(default)]
+    pub overpayment_ratio: Option<f64>,
+    /// Live mean coverage slack, when defined.
+    #[serde(default)]
+    pub coverage_slack_mean: Option<f64>,
+}
+
+impl SloInputs {
+    fn stage(&self, name: &str) -> Option<&StageObservation> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+}
+
+/// Which budget a breach violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SloKind {
+    /// Mean shard nanoseconds per bid exceeded `max_ns_per_bid`.
+    NsPerBid,
+    /// A stage's p99 latency exceeded its `StageBudget`.
+    StageP99,
+    /// The overpayment ratio drifted beyond `max_overpayment_drift`.
+    OverpaymentDrift,
+    /// Mean coverage slack drifted beyond `max_coverage_slack_drift`.
+    CoverageSlackDrift,
+}
+
+impl SloKind {
+    /// Stable numeric code carried in a breach event's `a` word.
+    pub fn code(self) -> u64 {
+        match self {
+            SloKind::NsPerBid => 0,
+            SloKind::StageP99 => 1,
+            SloKind::OverpaymentDrift => 2,
+            SloKind::CoverageSlackDrift => 3,
+        }
+    }
+
+    /// The budget a breach event's `a` word names; `None` for codes
+    /// from a newer build.
+    pub fn from_code(code: u64) -> Option<SloKind> {
+        match code {
+            0 => Some(SloKind::NsPerBid),
+            1 => Some(SloKind::StageP99),
+            2 => Some(SloKind::OverpaymentDrift),
+            3 => Some(SloKind::CoverageSlackDrift),
+            _ => None,
+        }
+    }
+
+    /// Lower-snake-case budget name, as used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloKind::NsPerBid => "ns_per_bid",
+            SloKind::StageP99 => "stage_p99",
+            SloKind::OverpaymentDrift => "overpayment_drift",
+            SloKind::CoverageSlackDrift => "coverage_slack_drift",
+        }
+    }
+}
+
+/// One violated budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloBreach {
+    /// Which budget was violated.
+    pub kind: SloKind,
+    /// The offending stage, for [`SloKind::StageP99`] breaches.
+    #[serde(default)]
+    pub stage: Option<String>,
+    /// The observed value (ns, ns, or absolute drift).
+    pub observed: f64,
+    /// The configured ceiling it exceeded.
+    pub limit: f64,
+}
+
+impl SloBreach {
+    /// This breach as a flight-recorder event for `round` — the typed
+    /// [`EventKind::SloBreach`] carrying the budget code and both values
+    /// as `f64` bits.
+    pub fn to_raw_event(&self, round: u64) -> RawEvent {
+        let mut event = RawEvent::new(
+            EventKind::SloBreach,
+            round,
+            self.kind.code(),
+            self.observed.to_bits(),
+            self.limit.to_bits(),
+        );
+        event.stage = self
+            .stage
+            .as_deref()
+            .and_then(|name| Stage::ALL.into_iter().find(|s| s.name() == name));
+        event
+    }
+}
+
+/// The result of one watchdog pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SloReport {
+    /// How many individual budgets were actually evaluated (set *and*
+    /// had the data they needed).
+    pub evaluated: u64,
+    /// Every violated budget, in budget-declaration order.
+    pub breaches: Vec<SloBreach>,
+}
+
+impl SloReport {
+    /// Whether every evaluated budget held.
+    pub fn ok(&self) -> bool {
+        self.breaches.is_empty()
+    }
+
+    /// The report as compact JSON — the `GET /slo` body.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("slo report serializes")
+    }
+}
+
+/// Evaluates `budget` against `inputs`, measuring drift budgets against
+/// `baseline`. Pure and side-effect free: the caller decides what to do
+/// with the breaches (record events, fail CI, nothing) — clearing never
+/// sees them.
+///
+/// Budgets whose data is missing are *skipped*, not breached: the
+/// ns-per-bid budget needs at least one bid, stage budgets need a span
+/// for that stage, and drift budgets need both a live value and a
+/// pinned baseline. A watchdog that screamed before traffic arrived
+/// would train operators to ignore it.
+pub fn evaluate(
+    budget: &SloBudget,
+    baseline: Option<&SloBaseline>,
+    inputs: &SloInputs,
+) -> SloReport {
+    let mut report = SloReport::default();
+
+    if let Some(limit) = budget.max_ns_per_bid {
+        if inputs.bids_received > 0 {
+            if let Some(shard) = inputs.stage(Stage::Shard.name()) {
+                report.evaluated += 1;
+                let observed = shard.total_ns as f64 / inputs.bids_received as f64;
+                if observed > limit {
+                    report.breaches.push(SloBreach {
+                        kind: SloKind::NsPerBid,
+                        stage: None,
+                        observed,
+                        limit,
+                    });
+                }
+            }
+        }
+    }
+
+    for stage_budget in &budget.stage_p99 {
+        let Some(observation) = inputs.stage(&stage_budget.stage) else {
+            continue;
+        };
+        if observation.count == 0 {
+            continue;
+        }
+        report.evaluated += 1;
+        if observation.p99_ns > stage_budget.max_p99_ns {
+            report.breaches.push(SloBreach {
+                kind: SloKind::StageP99,
+                stage: Some(stage_budget.stage.clone()),
+                observed: observation.p99_ns as f64,
+                limit: stage_budget.max_p99_ns as f64,
+            });
+        }
+    }
+
+    if inputs.rounds_cleared > 0 {
+        if let (Some(limit), Some(live), Some(pinned)) = (
+            budget.max_overpayment_drift,
+            inputs.overpayment_ratio,
+            baseline.and_then(|b| b.overpayment_ratio),
+        ) {
+            report.evaluated += 1;
+            let observed = (live - pinned).abs();
+            if observed > limit {
+                report.breaches.push(SloBreach {
+                    kind: SloKind::OverpaymentDrift,
+                    stage: None,
+                    observed,
+                    limit,
+                });
+            }
+        }
+        if let (Some(limit), Some(live), Some(pinned)) = (
+            budget.max_coverage_slack_drift,
+            inputs.coverage_slack_mean,
+            baseline.and_then(|b| b.coverage_slack_mean),
+        ) {
+            report.evaluated += 1;
+            let observed = (live - pinned).abs();
+            if observed > limit {
+                report.breaches.push(SloBreach {
+                    kind: SloKind::CoverageSlackDrift,
+                    stage: None,
+                    observed,
+                    limit,
+                });
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn full_budget() -> SloBudget {
+        SloBudget {
+            max_ns_per_bid: Some(50_000.0),
+            stage_p99: vec![
+                StageBudget {
+                    stage: "shard".to_string(),
+                    max_p99_ns: 1_000_000,
+                },
+                StageBudget {
+                    stage: "settle".to_string(),
+                    max_p99_ns: 500_000,
+                },
+            ],
+            max_overpayment_drift: Some(0.25),
+            max_coverage_slack_drift: Some(0.1),
+        }
+    }
+
+    fn baseline() -> SloBaseline {
+        SloBaseline {
+            overpayment_ratio: Some(1.4),
+            coverage_slack_mean: Some(0.3),
+        }
+    }
+
+    fn calm_inputs() -> SloInputs {
+        SloInputs {
+            rounds_cleared: 10,
+            bids_received: 100,
+            stages: vec![
+                StageObservation {
+                    stage: "shard".to_string(),
+                    count: 10,
+                    total_ns: 2_000_000, // 20k ns/bid, under 50k
+                    p99_ns: 400_000,
+                },
+                StageObservation {
+                    stage: "settle".to_string(),
+                    count: 10,
+                    total_ns: 100_000,
+                    p99_ns: 90_000,
+                },
+            ],
+            overpayment_ratio: Some(1.5),
+            coverage_slack_mean: Some(0.32),
+        }
+    }
+
+    #[test]
+    fn calm_inputs_hold_every_budget() {
+        let report = evaluate(&full_budget(), Some(&baseline()), &calm_inputs());
+        assert!(report.ok(), "{report:?}");
+        // ns/bid + two stages + two drifts.
+        assert_eq!(report.evaluated, 5);
+    }
+
+    #[test]
+    fn each_budget_breaches_independently() {
+        let budget = full_budget();
+        let base = baseline();
+
+        let mut slow = calm_inputs();
+        slow.stages[0].total_ns = 50_000_001 * 100; // > 50k ns/bid
+        let report = evaluate(&budget, Some(&base), &slow);
+        assert_eq!(report.breaches.len(), 1);
+        assert_eq!(report.breaches[0].kind, SloKind::NsPerBid);
+        assert!(report.breaches[0].observed > report.breaches[0].limit);
+
+        let mut spiky = calm_inputs();
+        spiky.stages[1].p99_ns = 600_000;
+        let report = evaluate(&budget, Some(&base), &spiky);
+        assert_eq!(report.breaches.len(), 1);
+        assert_eq!(report.breaches[0].kind, SloKind::StageP99);
+        assert_eq!(report.breaches[0].stage.as_deref(), Some("settle"));
+
+        let mut overpaying = calm_inputs();
+        overpaying.overpayment_ratio = Some(2.0); // drift 0.6 > 0.25
+        let report = evaluate(&budget, Some(&base), &overpaying);
+        assert_eq!(report.breaches.len(), 1);
+        assert_eq!(report.breaches[0].kind, SloKind::OverpaymentDrift);
+
+        let mut slack = calm_inputs();
+        slack.coverage_slack_mean = Some(0.9);
+        let report = evaluate(&budget, Some(&base), &slack);
+        assert_eq!(report.breaches.len(), 1);
+        assert_eq!(report.breaches[0].kind, SloKind::CoverageSlackDrift);
+    }
+
+    #[test]
+    fn missing_data_skips_budgets_instead_of_breaching() {
+        // No traffic at all: nothing is evaluated, nothing breaches.
+        let report = evaluate(&full_budget(), Some(&baseline()), &SloInputs::default());
+        assert!(report.ok());
+        assert_eq!(report.evaluated, 0);
+
+        // No baseline: drift budgets are skipped even with live values.
+        let report = evaluate(&full_budget(), None, &calm_inputs());
+        assert!(report.ok());
+        assert_eq!(report.evaluated, 3);
+
+        // Empty budget against anything is trivially green.
+        assert!(SloBudget::default().is_empty());
+        let report = evaluate(&SloBudget::default(), Some(&baseline()), &calm_inputs());
+        assert_eq!(report.evaluated, 0);
+    }
+
+    #[test]
+    fn breaches_become_typed_trace_events() {
+        let breach = SloBreach {
+            kind: SloKind::StageP99,
+            stage: Some("pay".to_string()),
+            observed: 2_000_000.0,
+            limit: 1_500_000.0,
+        };
+        let raw = breach.to_raw_event(42);
+        let event = TraceEvent::decode(0, TraceEvent::encode(&raw, 0)).unwrap();
+        assert_eq!(event.kind, EventKind::SloBreach);
+        assert_eq!(event.stage, Some(Stage::Pay));
+        assert_eq!(event.round, 42);
+        assert_eq!(event.a, SloKind::StageP99.code());
+        assert_eq!(f64::from_bits(event.b), 2_000_000.0);
+        assert_eq!(f64::from_bits(event.c), 1_500_000.0);
+
+        // Non-stage breaches carry no stage byte.
+        let drift = SloBreach {
+            kind: SloKind::OverpaymentDrift,
+            stage: None,
+            observed: 0.5,
+            limit: 0.25,
+        };
+        assert_eq!(drift.to_raw_event(0).stage, None);
+    }
+
+    #[test]
+    fn budgets_and_reports_round_trip_through_json() {
+        let budget = full_budget();
+        let json = serde_json::to_string(&budget).unwrap();
+        let back: SloBudget = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, budget);
+
+        // A sparse budget parses with everything else defaulted.
+        let sparse: SloBudget = serde_json::from_str("{\"max_ns_per_bid\":1000.0}").unwrap();
+        assert_eq!(sparse.max_ns_per_bid, Some(1000.0));
+        assert!(sparse.stage_p99.is_empty());
+
+        let mut bad = calm_inputs();
+        bad.overpayment_ratio = Some(9.0);
+        let report = evaluate(&budget, Some(&baseline()), &bad);
+        let parsed: SloReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert!(!parsed.ok());
+    }
+}

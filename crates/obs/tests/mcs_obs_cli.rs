@@ -1,0 +1,146 @@
+//! End-to-end tests for the `mcs-obs` binary: real process, real files,
+//! real exit codes — the same contract `scripts/ci.sh` relies on.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use mcs_obs::replay::{ReplayBid, ReplayLog, ReplayOp};
+use mcs_obs::ring::{ClockMode, FlightRecorder};
+use mcs_obs::{EventKind, RawEvent, SloKind, Stage};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcs-obs"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("mcs-obs-cli-{}-{name}", std::process::id()));
+    path
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).to_string()
+}
+
+fn sample_log() -> ReplayLog {
+    let mut log = ReplayLog::new(7, "cli-test@1");
+    for user in 0..4u32 {
+        log.push(ReplayOp::Submit(ReplayBid {
+            user,
+            cost_bits: (1.0 + user as f64).to_bits(),
+            tasks: vec![(0, 0.6f64.to_bits())],
+        }));
+    }
+    log.push(ReplayOp::Flush);
+    log.push(ReplayOp::Drain);
+    log
+}
+
+#[test]
+fn report_and_self_diff_on_a_drive_log() {
+    let path = scratch("log.trace");
+    std::fs::write(&path, sample_log().to_bytes()).unwrap();
+
+    let output = bin().arg("report").arg(&path).output().unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = stdout(&output);
+    assert!(text.contains("MCSTRACE drive log"), "{text}");
+    assert!(text.contains("4 submits"), "{text}");
+
+    // A trace diffs clean against itself — determinism smoke for CI.
+    let output = bin().arg("diff").arg(&path).arg(&path).output().unwrap();
+    assert!(output.status.success(), "{output:?}");
+    assert!(stdout(&output).contains("identical"), "{output:?}");
+
+    // An edited trace diverges with exit code 1 and a located op.
+    let mut edited = sample_log();
+    if let ReplayOp::Submit(bid) = &mut edited.ops[2] {
+        bid.cost_bits = 50.0f64.to_bits();
+    }
+    let other = scratch("edited.trace");
+    std::fs::write(&other, edited.to_bytes()).unwrap();
+    let output = bin().arg("diff").arg(&path).arg(&other).output().unwrap();
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let text = stdout(&output);
+    assert!(text.contains("first diverging op at index 2"), "{text}");
+    assert!(text.contains("economics delta"), "{text}");
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&other).ok();
+}
+
+#[test]
+fn flame_and_breach_gate_on_an_event_snapshot() {
+    let recorder = FlightRecorder::new(64, ClockMode::Logical);
+    recorder.record(RawEvent::new(EventKind::RoundClosed, 0, 2, 0, 0));
+    recorder.record(RawEvent::exit(Stage::Allocate, 0, 300));
+    recorder.record(RawEvent::exit(Stage::Pay, 0, 100));
+    recorder.record(RawEvent::exit(Stage::Shard, 0, 500));
+    recorder.record(RawEvent::new(
+        EventKind::RoundCleared,
+        0,
+        1,
+        3.5f64.to_bits(),
+        0,
+    ));
+    let events = recorder.snapshot();
+    let path = scratch("events.json");
+    std::fs::write(&path, serde_json::to_string(&events).unwrap()).unwrap();
+
+    let output = bin()
+        .arg("report")
+        .arg(&path)
+        .arg("--flame")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = stdout(&output);
+    assert!(text.contains("engine;shard;allocate 300"), "{text}");
+    assert!(text.contains("engine;shard 100"), "{text}");
+
+    // Calm trace: --fail-on-breach passes.
+    let output = bin()
+        .arg("report")
+        .arg(&path)
+        .arg("--fail-on-breach")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+
+    // One breach event flips the gate to exit 1.
+    recorder.record(RawEvent {
+        kind: EventKind::SloBreach,
+        stage: None,
+        round: 1,
+        a: SloKind::NsPerBid.code(),
+        b: 9000.0f64.to_bits(),
+        c: 100.0f64.to_bits(),
+    });
+    std::fs::write(&path, serde_json::to_string(&recorder.snapshot()).unwrap()).unwrap();
+    let output = bin()
+        .arg("report")
+        .arg(&path)
+        .arg("--fail-on-breach")
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    assert!(stdout(&output).contains("ns_per_bid"), "{output:?}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn junk_input_and_bad_usage_exit_2() {
+    let path = scratch("junk.bin");
+    std::fs::write(&path, b"definitely not a trace").unwrap();
+    let output = bin().arg("report").arg(&path).output().unwrap();
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+
+    let output = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+
+    let output = bin().arg("diff").arg(&path).output().unwrap();
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+
+    std::fs::remove_file(&path).ok();
+}

@@ -156,6 +156,15 @@ pub struct EngineConfig {
     /// where it also deserializes to `true`.
     #[serde(default = "default_reuse_index")]
     pub reuse_index: bool,
+    /// Drain each shard worker's kernel profiling counters (heap pops,
+    /// bisection probes saved, sync modes, arena bytes — see
+    /// `mcs_core::indexed::ProfCounters`) into the engine metrics after
+    /// every round. The counters are pure telemetry: outcomes and
+    /// fingerprints are bitwise identical with profiling on or off; the
+    /// flag only gates the atomic drain into `/metrics`. Defaults to
+    /// `false` and deserializes to `false` when absent.
+    #[serde(default)]
+    pub profiling: bool,
 }
 
 /// Serde default for [`EngineConfig::reuse_index`]: configs written
@@ -176,6 +185,7 @@ impl Default for EngineConfig {
             trace: TraceConfig::default(),
             admission: AdmissionConfig::default(),
             reuse_index: true,
+            profiling: false,
         }
     }
 }
@@ -215,6 +225,12 @@ impl EngineConfig {
     /// This configuration with cross-round index reuse toggled.
     pub fn with_reuse_index(mut self, reuse: bool) -> Self {
         self.reuse_index = reuse;
+        self
+    }
+
+    /// This configuration with kernel profiling toggled.
+    pub fn with_profiling(mut self, profiling: bool) -> Self {
+        self.profiling = profiling;
         self
     }
 }
@@ -285,6 +301,18 @@ mod tests {
         assert!(!legacy.contains("reuse_index"), "{legacy}");
         let back: EngineConfig = serde_json::from_str(&legacy).unwrap();
         assert!(back.reuse_index);
+    }
+
+    #[test]
+    fn profiling_defaults_off_and_legacy_json_still_parses() {
+        let config = EngineConfig::default();
+        assert!(!config.profiling);
+        assert!(config.with_profiling(true).profiling);
+        let json = serde_json::to_string(&EngineConfig::default()).unwrap();
+        let legacy = json.replace(",\"profiling\":false", "");
+        assert!(!legacy.contains("profiling"), "{legacy}");
+        let back: EngineConfig = serde_json::from_str(&legacy).unwrap();
+        assert!(!back.profiling);
     }
 
     #[test]

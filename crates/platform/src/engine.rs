@@ -190,6 +190,12 @@ impl Engine {
         &self.recorder
     }
 
+    /// A shared handle to the flight recorder, e.g. for an SLO watchdog
+    /// that outlives a borrow of the engine.
+    pub fn recorder_handle(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.recorder)
+    }
+
     /// Every surviving trace event, in recording order.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.recorder.snapshot()

@@ -82,6 +82,7 @@ pub mod ingest;
 pub mod metrics;
 pub mod settle;
 pub mod shard;
+pub mod watch;
 
 /// Convenient glob import: `use mcs_platform::prelude::*;`.
 pub mod prelude {
@@ -97,5 +98,9 @@ pub mod prelude {
     pub use crate::metrics::{EconSnapshot, Metrics, MetricsSnapshot, RoundEconomics, Stage};
     pub use crate::settle::{Ledger, RewardQuote, RoundSettlement};
     pub use crate::shard::{clear_round, ClearedRound, ShardPool};
-    pub use mcs_obs::{ClockMode, ExportServer, FlightRecorder, PostMortem, TraceEvent};
+    pub use crate::watch::SloWatch;
+    pub use mcs_obs::{
+        ClockMode, ExportServer, FlightRecorder, PostMortem, SloBaseline, SloBudget, SloReport,
+        StageBudget, TraceEvent,
+    };
 }

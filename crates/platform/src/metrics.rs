@@ -163,6 +163,29 @@ pub struct Metrics {
     econ_social_sum: AtomicF64,
     econ_slack_sum: AtomicF64,
     econ_redundancy_sum: AtomicF64,
+    kernel: KernelCounters,
+}
+
+/// Atomic accumulators for the clearing-kernel profiling counters
+/// ([`mcs_core::indexed::ProfCounters`]) drained out of shard workers.
+/// All counters except the resident-bytes gauge are monotone sums; the
+/// gauge keeps the per-worker maximum, the interesting bound for memory.
+#[derive(Debug, Default)]
+struct KernelCounters {
+    prepares: AtomicU64,
+    reuse_hits: AtomicU64,
+    sync_patched: AtomicU64,
+    sync_reflattened: AtomicU64,
+    seed_rebuilds: AtomicU64,
+    users_patched: AtomicU64,
+    users_appended: AtomicU64,
+    heap_pops: AtomicU64,
+    stale_reevals: AtomicU64,
+    probes_requested: AtomicU64,
+    probes_run: AtomicU64,
+    probes_saved_warm_start: AtomicU64,
+    probes_saved_loss_scan: AtomicU64,
+    arena_resident_bytes: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -190,6 +213,7 @@ impl Metrics {
             econ_social_sum: AtomicF64::zero(),
             econ_slack_sum: AtomicF64::zero(),
             econ_redundancy_sum: AtomicF64::zero(),
+            kernel: KernelCounters::default(),
         }
     }
 
@@ -247,6 +271,38 @@ impl Metrics {
         self.stages[stage.index()].record(elapsed);
     }
 
+    /// Drains one batch of clearing-kernel profiling counters into the
+    /// atomic accumulators — called by shard workers per cleared round
+    /// when `EngineConfig::profiling` is on. Telemetry only: nothing in
+    /// the clearing or settlement path reads these back.
+    pub fn record_kernel(&self, prof: &mcs_core::indexed::ProfCounters) {
+        let k = &self.kernel;
+        k.prepares.fetch_add(prof.prepares, Ordering::Relaxed);
+        k.reuse_hits.fetch_add(prof.reuse_hits, Ordering::Relaxed);
+        k.sync_patched
+            .fetch_add(prof.sync_patched, Ordering::Relaxed);
+        k.sync_reflattened
+            .fetch_add(prof.sync_reflattened, Ordering::Relaxed);
+        k.seed_rebuilds
+            .fetch_add(prof.seed_rebuilds, Ordering::Relaxed);
+        k.users_patched
+            .fetch_add(prof.users_patched, Ordering::Relaxed);
+        k.users_appended
+            .fetch_add(prof.users_appended, Ordering::Relaxed);
+        k.heap_pops.fetch_add(prof.heap_pops, Ordering::Relaxed);
+        k.stale_reevals
+            .fetch_add(prof.stale_reevals, Ordering::Relaxed);
+        k.probes_requested
+            .fetch_add(prof.probes_requested, Ordering::Relaxed);
+        k.probes_run.fetch_add(prof.probes_run, Ordering::Relaxed);
+        k.probes_saved_warm_start
+            .fetch_add(prof.probes_saved_warm_start, Ordering::Relaxed);
+        k.probes_saved_loss_scan
+            .fetch_add(prof.probes_saved_loss_scan, Ordering::Relaxed);
+        k.arena_resident_bytes
+            .fetch_max(prof.resident_bytes, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter and histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let rounds_closed = self.rounds_closed.load(Ordering::Relaxed);
@@ -288,6 +344,26 @@ impl Metrics {
                 } else {
                     rounds_degraded as f64 / rounds_closed as f64
                 },
+            },
+            kernel: {
+                let k = &self.kernel;
+                let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+                KernelSnapshot {
+                    prepares: load(&k.prepares),
+                    reuse_hits: load(&k.reuse_hits),
+                    sync_patched: load(&k.sync_patched),
+                    sync_reflattened: load(&k.sync_reflattened),
+                    seed_rebuilds: load(&k.seed_rebuilds),
+                    users_patched: load(&k.users_patched),
+                    users_appended: load(&k.users_appended),
+                    heap_pops: load(&k.heap_pops),
+                    stale_reevals: load(&k.stale_reevals),
+                    probes_requested: load(&k.probes_requested),
+                    probes_run: load(&k.probes_run),
+                    probes_saved_warm_start: load(&k.probes_saved_warm_start),
+                    probes_saved_loss_scan: load(&k.probes_saved_loss_scan),
+                    arena_resident_bytes: load(&k.arena_resident_bytes),
+                }
             },
         }
     }
@@ -357,6 +433,57 @@ pub struct EconSnapshot {
     pub quarantine_rate: f64,
 }
 
+/// A point-in-time copy of the clearing-kernel profiling counters (see
+/// `mcs_core::indexed::ProfCounters` for field semantics). All zeros
+/// unless the engine runs with `EngineConfig::profiling` on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelSnapshot {
+    /// Rounds prepared through a clearing arena.
+    pub prepares: u64,
+    /// Prepares that found the persistent index bitwise unchanged.
+    pub reuse_hits: u64,
+    /// Prepares that delta-patched the index in place.
+    pub sync_patched: u64,
+    /// Prepares that re-flattened the index from scratch.
+    pub sync_reflattened: u64,
+    /// Heap-seed rebuilds.
+    pub seed_rebuilds: u64,
+    /// Retained user rows patched across syncs.
+    pub users_patched: u64,
+    /// User rows appended across syncs.
+    pub users_appended: u64,
+    /// Lazy-greedy heap pops.
+    pub heap_pops: u64,
+    /// Stale-bound pops re-evaluated and re-queued.
+    pub stale_reevals: u64,
+    /// Bisection steps requested across critical-bid searches.
+    pub probes_requested: u64,
+    /// Steps that ran the real greedy probe.
+    pub probes_run: u64,
+    /// Steps skipped by the warm-start certificate.
+    pub probes_saved_warm_start: u64,
+    /// Steps skipped by the base-run loss scan.
+    pub probes_saved_loss_scan: u64,
+    /// Largest clearing-arena footprint any worker reported, bytes.
+    pub arena_resident_bytes: u64,
+}
+
+impl KernelSnapshot {
+    /// Total bisection steps skipped without running the greedy.
+    pub fn probes_saved(&self) -> u64 {
+        self.probes_saved_warm_start + self.probes_saved_loss_scan
+    }
+
+    /// `reuse_hits / prepares`, or 0 before any round was prepared.
+    pub fn reuse_hit_rate(&self) -> f64 {
+        if self.prepares == 0 {
+            0.0
+        } else {
+            self.reuse_hits as f64 / self.prepares as f64
+        }
+    }
+}
+
 /// A point-in-time copy of the engine's metrics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -384,9 +511,36 @@ pub struct MetricsSnapshot {
     pub stages: Vec<StageSnapshot>,
     /// Aggregate economic quality of the cleared rounds.
     pub economics: EconSnapshot,
+    /// Clearing-kernel profiling counters (all zeros unless profiling is
+    /// on; absent in older serialized snapshots, where it reads as zeros).
+    #[serde(default)]
+    pub kernel: KernelSnapshot,
 }
 
 impl MetricsSnapshot {
+    /// Flattens this snapshot into the SLO watchdog's input shape (see
+    /// `mcs_obs::slo`): per-stage latency summaries plus the economics
+    /// the drift budgets compare against a pinned baseline.
+    pub fn slo_inputs(&self) -> mcs_obs::SloInputs {
+        mcs_obs::SloInputs {
+            rounds_cleared: self.rounds_cleared,
+            bids_received: self.bids_received,
+            stages: self
+                .stages
+                .iter()
+                .map(|stage| mcs_obs::StageObservation {
+                    stage: stage.stage.clone(),
+                    count: stage.count,
+                    total_ns: stage.total_ns,
+                    p99_ns: stage.p99_ns,
+                })
+                .collect(),
+            overpayment_ratio: self.economics.overpayment_ratio,
+            coverage_slack_mean: (self.economics.rounds > 0)
+                .then_some(self.economics.coverage_slack_mean),
+        }
+    }
+
     /// Renders this snapshot as Prometheus text exposition (0.0.4).
     /// Non-finite values render as `0`; the payload never contains `NaN`.
     pub fn to_prometheus(&self) -> String {
@@ -510,6 +664,95 @@ impl MetricsSnapshot {
             w.family(name, PromKind::Gauge, help);
             w.sample(name, value);
         }
+
+        let k = &self.kernel;
+        let kernel_counters: [(&str, u64, &str); 13] = [
+            (
+                "mcs_kernel_prepares_total",
+                k.prepares,
+                "Rounds prepared through a clearing arena.",
+            ),
+            (
+                "mcs_kernel_reuse_hits_total",
+                k.reuse_hits,
+                "Prepares that found the persistent index unchanged.",
+            ),
+            (
+                "mcs_kernel_sync_patched_total",
+                k.sync_patched,
+                "Prepares that delta-patched the index in place.",
+            ),
+            (
+                "mcs_kernel_sync_reflattened_total",
+                k.sync_reflattened,
+                "Prepares that re-flattened the index from scratch.",
+            ),
+            (
+                "mcs_kernel_seed_rebuilds_total",
+                k.seed_rebuilds,
+                "Heap-seed rebuilds after index changes.",
+            ),
+            (
+                "mcs_kernel_users_patched_total",
+                k.users_patched,
+                "Retained user rows patched across index syncs.",
+            ),
+            (
+                "mcs_kernel_users_appended_total",
+                k.users_appended,
+                "User rows appended across index syncs.",
+            ),
+            (
+                "mcs_kernel_heap_pops_total",
+                k.heap_pops,
+                "Lazy-greedy heap pops across all runs.",
+            ),
+            (
+                "mcs_kernel_stale_reevals_total",
+                k.stale_reevals,
+                "Stale-bound pops re-evaluated and re-queued.",
+            ),
+            (
+                "mcs_kernel_probes_requested_total",
+                k.probes_requested,
+                "Bisection steps requested across critical-bid searches.",
+            ),
+            (
+                "mcs_kernel_probes_run_total",
+                k.probes_run,
+                "Bisection steps that ran the real greedy probe.",
+            ),
+            (
+                "mcs_kernel_probes_saved_warm_start_total",
+                k.probes_saved_warm_start,
+                "Bisection steps skipped by the warm-start certificate.",
+            ),
+            (
+                "mcs_kernel_probes_saved_loss_scan_total",
+                k.probes_saved_loss_scan,
+                "Bisection steps skipped by the base-run loss scan.",
+            ),
+        ];
+        for (name, value, help) in kernel_counters {
+            w.family(name, PromKind::Counter, help);
+            w.sample(name, value as f64);
+        }
+        let kernel_gauges: [(&str, f64, &str); 2] = [
+            (
+                "mcs_arena_resident_bytes",
+                k.arena_resident_bytes as f64,
+                "Largest clearing-arena footprint any worker reported, bytes.",
+            ),
+            (
+                "mcs_kernel_reuse_hit_rate",
+                k.reuse_hit_rate(),
+                "Reuse hits over prepares (0 until a round is prepared).",
+            ),
+        ];
+        for (name, value, help) in kernel_gauges {
+            w.family(name, PromKind::Gauge, help);
+            w.sample(name, value);
+        }
         w.finish()
     }
 }
@@ -540,6 +783,58 @@ mod tests {
         assert_eq!(snap.rounds_partial, 1);
         assert_eq!(snap.winners_selected, 3);
         assert_eq!(snap.economics.quarantine_rate, 1.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_passes_lint_and_counters_stay_monotone() {
+        let m = Metrics::new();
+        m.bid_received();
+        m.round_closed();
+        m.round_cleared(2);
+        m.record(Stage::Shard, Duration::from_micros(50));
+        m.record_kernel(&mcs_core::indexed::ProfCounters {
+            prepares: 1,
+            heap_pops: 4,
+            resident_bytes: 128,
+            ..Default::default()
+        });
+
+        let first = m.to_prometheus();
+        assert_eq!(
+            mcs_obs::prom::lint(&first),
+            Vec::<String>::new(),
+            "exposition has structural defects"
+        );
+        // Every family the snapshot exposes must carry HELP and TYPE.
+        for line in first.lines().filter(|l| !l.starts_with('#')) {
+            let family = line.split(['{', ' ']).next().unwrap();
+            assert!(first.contains(&format!("# HELP {family} ")), "{family}");
+            assert!(first.contains(&format!("# TYPE {family} ")), "{family}");
+        }
+
+        // A second scrape after more traffic: every counter series is
+        // monotone non-decreasing.
+        m.bid_received();
+        m.round_cleared(1);
+        m.record_kernel(&mcs_core::indexed::ProfCounters {
+            prepares: 2,
+            ..Default::default()
+        });
+        let second = m.to_prometheus();
+        assert_eq!(mcs_obs::prom::lint(&second), Vec::<String>::new());
+        let before: std::collections::BTreeMap<String, f64> =
+            mcs_obs::prom::counter_samples(&first).into_iter().collect();
+        let after: std::collections::BTreeMap<String, f64> =
+            mcs_obs::prom::counter_samples(&second)
+                .into_iter()
+                .collect();
+        assert!(!before.is_empty());
+        assert_eq!(before.len(), after.len(), "counter families changed");
+        for (series, &was) in &before {
+            let now = after[series];
+            assert!(now >= was, "{series} went backwards: {was} -> {now}");
+        }
+        assert!(after["mcs_kernel_prepares_total"] > before["mcs_kernel_prepares_total"]);
     }
 
     #[test]
@@ -658,6 +953,96 @@ mod tests {
             names,
             ["ingest", "batch", "shard", "allocate", "pay", "settle", "shed"]
         );
+    }
+
+    #[test]
+    fn kernel_counters_accumulate_and_keep_the_byte_high_water_mark() {
+        use mcs_core::indexed::ProfCounters;
+        let m = Metrics::new();
+        m.record_kernel(&ProfCounters {
+            prepares: 2,
+            reuse_hits: 1,
+            sync_patched: 1,
+            heap_pops: 10,
+            stale_reevals: 3,
+            probes_requested: 6,
+            probes_run: 2,
+            probes_saved_warm_start: 3,
+            probes_saved_loss_scan: 1,
+            resident_bytes: 4096,
+            ..ProfCounters::default()
+        });
+        m.record_kernel(&ProfCounters {
+            prepares: 1,
+            sync_reflattened: 1,
+            seed_rebuilds: 1,
+            heap_pops: 5,
+            resident_bytes: 1024, // smaller: the gauge keeps the max
+            ..ProfCounters::default()
+        });
+        let k = m.snapshot().kernel;
+        assert_eq!(k.prepares, 3);
+        assert_eq!(k.reuse_hits, 1);
+        assert_eq!(k.heap_pops, 15);
+        assert_eq!(k.probes_saved(), 4);
+        assert_eq!(k.probes_saved() + k.probes_run, k.probes_requested);
+        assert_eq!(k.arena_resident_bytes, 4096);
+        assert!((k.reuse_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // The families render with their zero-state siblings intact.
+        let text = m.to_prometheus();
+        assert!(text.contains("mcs_kernel_heap_pops_total 15"));
+        assert!(text.contains("mcs_arena_resident_bytes 4096"));
+    }
+
+    #[test]
+    fn concurrent_kernel_recording_and_scraping_stay_consistent() {
+        use mcs_core::indexed::ProfCounters;
+        let m = std::sync::Arc::new(Metrics::new());
+        let writers = 4u64;
+        let per_writer = 250u64;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let m = std::sync::Arc::clone(&m);
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        m.record_kernel(&ProfCounters {
+                            prepares: 1,
+                            reuse_hits: 1,
+                            heap_pops: 7,
+                            probes_requested: 3,
+                            probes_run: 1,
+                            probes_saved_warm_start: 1,
+                            probes_saved_loss_scan: 1,
+                            resident_bytes: 100 + w * per_writer + i,
+                            ..ProfCounters::default()
+                        });
+                    }
+                });
+            }
+            // Scrape concurrently. Mid-drain snapshots need not satisfy
+            // the conservation laws (relaxed atomics have no cross-field
+            // ordering), but each counter must be monotone scrape over
+            // scrape and the text exposition must stay well-formed.
+            let m = std::sync::Arc::clone(&m);
+            scope.spawn(move || {
+                let mut last = KernelSnapshot::default();
+                for _ in 0..200 {
+                    let k = m.snapshot().kernel;
+                    assert!(k.prepares >= last.prepares);
+                    assert!(k.heap_pops >= last.heap_pops);
+                    assert!(k.probes_requested >= last.probes_requested);
+                    assert!(k.arena_resident_bytes >= last.arena_resident_bytes);
+                    last = k;
+                    assert!(!m.to_prometheus().contains("NaN"));
+                }
+            });
+        });
+        let k = m.snapshot().kernel;
+        let total = writers * per_writer;
+        assert_eq!(k.prepares, total);
+        assert_eq!(k.heap_pops, total * 7);
+        assert_eq!(k.probes_saved() + k.probes_run, k.probes_requested);
+        assert_eq!(k.arena_resident_bytes, 100 + total - 1);
     }
 
     #[test]

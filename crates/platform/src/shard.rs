@@ -363,6 +363,15 @@ impl ShardPool {
                                 Some(recorder),
                             )
                         }));
+                        // Drain this round's kernel counters before any panic
+                        // cleanup can discard the arena (a panicked
+                        // round's partial counts still count the work it
+                        // did). Gated: draining is the only profiling
+                        // cost that leaves the worker's cache lines.
+                        if config.profiling {
+                            let context = pooled.as_mut().unwrap_or(&mut fresh);
+                            metrics.record_kernel(&context.take_prof());
+                        }
                         if caught.is_err() {
                             // A panic can leave the arena half-patched
                             // (e.g. mid seed rebuild); discard it rather
@@ -661,6 +670,64 @@ mod tests {
         assert_eq!(stage("allocate").count, 2);
         assert_eq!(stage("pay").count, 2);
         assert_eq!(stage("shard").count, 2);
+    }
+
+    #[test]
+    fn profiling_drains_kernel_counters_without_changing_outcomes() {
+        let config = EngineConfig::default().with_seed(7);
+        let rounds: Vec<Round> = (0..4).map(multi_task_round).collect();
+        let plain_metrics = Metrics::new();
+        let plain = ShardPool::new(2).clear_all(
+            rounds.clone(),
+            &config,
+            &NoFaults,
+            &plain_metrics,
+            &FlightRecorder::disabled(),
+        );
+        let prof_metrics = Metrics::new();
+        let profiled = ShardPool::new(2).clear_all(
+            rounds.clone(),
+            &config.with_profiling(true),
+            &NoFaults,
+            &prof_metrics,
+            &FlightRecorder::disabled(),
+        );
+        assert_eq!(plain, profiled);
+        // Profiling off: the kernel families stay zero.
+        assert_eq!(plain_metrics.snapshot().kernel.prepares, 0);
+        // Profiling on: every round prepared an arena, payments probed,
+        // and the conservation laws hold over the drained sums.
+        // Two prepares per multi-task round: the allocate phase syncs the
+        // arena and the pay phase re-prepares (a reuse hit on an
+        // unchanged profile).
+        let k = prof_metrics.snapshot().kernel;
+        assert_eq!(k.prepares, 8);
+        assert_eq!(
+            k.reuse_hits + k.sync_patched + k.sync_reflattened,
+            k.prepares
+        );
+        assert!(k.heap_pops > 0);
+        assert!(k.probes_requested > 0);
+        assert_eq!(k.probes_saved() + k.probes_run, k.probes_requested);
+        assert!(k.arena_resident_bytes > 0);
+        // Identical rounds on a persistent arena: later prepares are
+        // reuse hits.
+        assert!(k.reuse_hits > 0, "{k:?}");
+        // Throwaway contexts (reuse off) drain too.
+        let throwaway_metrics = Metrics::new();
+        ShardPool::new(1).clear_all(
+            rounds,
+            &config.with_profiling(true).with_reuse_index(false),
+            &NoFaults,
+            &throwaway_metrics,
+            &FlightRecorder::disabled(),
+        );
+        let t = throwaway_metrics.snapshot().kernel;
+        assert_eq!(t.prepares, 8);
+        // A throwaway context reflattens once per round; the pay-phase
+        // re-prepare within the round still hits the fresh index.
+        assert_eq!(t.sync_reflattened, 4);
+        assert_eq!(t.reuse_hits, 4);
     }
 
     #[test]

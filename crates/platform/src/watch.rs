@@ -1,0 +1,246 @@
+//! The platform side of the SLO watchdog: a [`MetricsSource`] wrapper
+//! that serves the engine's metrics unchanged *and* evaluates a
+//! declarative [`SloBudget`] on every `/slo` request.
+//!
+//! [`SloWatch`] owns shared handles to the engine's [`Metrics`] and
+//! [`FlightRecorder`], so it keeps serving after the engine is dropped
+//! (or while it is busy draining). Each evaluation flattens the live
+//! snapshot through [`MetricsSnapshot::slo_inputs`], runs
+//! `mcs_obs::slo::evaluate`, and records every breach into the flight
+//! recorder as a typed
+//! [`EventKind::SloBreach`](mcs_obs::EventKind::SloBreach) event —
+//! diagnostics only, nothing feeds back into clearing, so outcomes and
+//! fingerprints are identical with or without a watchdog attached.
+//!
+//! The wrapper also upgrades `/healthz` from the exporter's bare
+//! liveness default to a real health report: ring-wrap status (has the
+//! flight recorder overwritten history?), collision count, and the age
+//! of the last cleared round.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mcs_obs::slo::evaluate;
+use mcs_obs::{EventKind, FlightRecorder, MetricsSource, SloBaseline, SloBudget, SloReport};
+use serde::Serialize;
+
+use crate::metrics::Metrics;
+
+/// A metrics source with an attached SLO watchdog and health report.
+#[derive(Debug)]
+pub struct SloWatch {
+    metrics: Arc<Metrics>,
+    recorder: Arc<FlightRecorder>,
+    budget: SloBudget,
+    baseline: Option<SloBaseline>,
+    breaches_recorded: AtomicU64,
+}
+
+/// The `/healthz` body [`SloWatch`] serves.
+#[derive(Debug, Serialize)]
+struct Health {
+    status: &'static str,
+    ring: RingHealth,
+    rounds_cleared: u64,
+    /// Nanoseconds since the last `RoundCleared` event; `null` before
+    /// the first cleared round or under the logical clock (whose
+    /// timestamps are sequence numbers, not durations).
+    last_round_age_ns: Option<u64>,
+}
+
+#[derive(Debug, Serialize)]
+struct RingHealth {
+    capacity: usize,
+    recorded: u64,
+    collisions: u64,
+    wrapped: bool,
+}
+
+impl SloWatch {
+    /// Wraps `metrics` with a watchdog evaluating `budget`; drift
+    /// budgets measure against `baseline` when one is pinned.
+    pub fn new(
+        metrics: Arc<Metrics>,
+        recorder: Arc<FlightRecorder>,
+        budget: SloBudget,
+        baseline: Option<SloBaseline>,
+    ) -> Self {
+        SloWatch {
+            metrics,
+            recorder,
+            budget,
+            baseline,
+            breaches_recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs one watchdog pass over the live snapshot, recording each
+    /// breach as a trace event tagged with the current cleared-round
+    /// count.
+    pub fn evaluate(&self) -> SloReport {
+        let snapshot = self.metrics.snapshot();
+        let report = evaluate(&self.budget, self.baseline.as_ref(), &snapshot.slo_inputs());
+        for breach in &report.breaches {
+            self.recorder
+                .record(breach.to_raw_event(snapshot.rounds_cleared));
+            self.breaches_recorded.fetch_add(1, Ordering::Relaxed);
+        }
+        report
+    }
+
+    /// Breach events recorded across all evaluations so far.
+    pub fn breaches_recorded(&self) -> u64 {
+        self.breaches_recorded.load(Ordering::Relaxed)
+    }
+
+    /// The health report served at `/healthz`.
+    pub fn health(&self) -> String {
+        let last_cleared_at = self
+            .recorder
+            .snapshot()
+            .iter()
+            .filter(|event| event.kind == EventKind::RoundCleared)
+            .map(|event| event.at)
+            .max();
+        let last_round_age_ns = if self.recorder.is_logical() {
+            None
+        } else {
+            last_cleared_at.map(|at| self.recorder.epoch_elapsed_ns().saturating_sub(at))
+        };
+        let health = Health {
+            status: if self.recorder.collisions() == 0 {
+                "ok"
+            } else {
+                "degraded"
+            },
+            ring: RingHealth {
+                capacity: self.recorder.capacity(),
+                recorded: self.recorder.recorded(),
+                collisions: self.recorder.collisions(),
+                wrapped: self.recorder.wrapped(),
+            },
+            rounds_cleared: self.metrics.snapshot().rounds_cleared,
+            last_round_age_ns,
+        };
+        serde_json::to_string(&health).expect("health serializes")
+    }
+}
+
+impl MetricsSource for SloWatch {
+    fn prometheus(&self) -> String {
+        self.metrics.to_prometheus()
+    }
+
+    fn json(&self) -> String {
+        self.metrics.to_json()
+    }
+
+    fn slo(&self) -> Option<String> {
+        Some(self.evaluate().to_json())
+    }
+
+    fn healthz(&self) -> String {
+        self.health()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::engine::Engine;
+    use crate::ingest::Bid;
+    use mcs_core::types::{Task, TaskId};
+    use mcs_obs::StageBudget;
+
+    fn cleared_engine() -> Engine {
+        let mut config = EngineConfig::default().with_seed(11).with_workers(2);
+        config.batch.max_bids = 3;
+        let task = Task::with_requirement(TaskId::new(0), 0.8).unwrap();
+        let mut engine = Engine::new(config, vec![task]);
+        for (user, cost, pos) in [(0, 2.0, 0.6), (1, 2.5, 0.7), (2, 3.0, 0.5)] {
+            engine
+                .submit(&Bid {
+                    user,
+                    cost,
+                    tasks: vec![(0, pos)],
+                })
+                .unwrap();
+        }
+        assert_eq!(engine.drain(), 1);
+        engine
+    }
+
+    #[test]
+    fn generous_budget_stays_green_and_health_reports_the_ring() {
+        let engine = cleared_engine();
+        let watch = SloWatch::new(
+            engine.metrics_handle(),
+            engine.recorder_handle(),
+            SloBudget {
+                max_ns_per_bid: Some(f64::MAX),
+                stage_p99: vec![StageBudget {
+                    stage: "shard".to_string(),
+                    max_p99_ns: u64::MAX,
+                }],
+                ..SloBudget::default()
+            },
+            None,
+        );
+        let report = watch.evaluate();
+        assert!(report.ok(), "{report:?}");
+        assert!(report.evaluated >= 2);
+        assert_eq!(watch.breaches_recorded(), 0);
+
+        let slo = watch.slo().unwrap();
+        assert!(slo.contains("\"breaches\":[]"), "{slo}");
+
+        let health = watch.health();
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        assert!(health.contains("\"wrapped\":false"), "{health}");
+        assert!(health.contains("\"rounds_cleared\":1"), "{health}");
+        // The engine runs the wall clock by default, so the cleared
+        // round has a real age.
+        assert!(health.contains("\"last_round_age_ns\":"), "{health}");
+        assert!(!health.contains("\"last_round_age_ns\":null"), "{health}");
+
+        // The wrapper serves the engine's metrics unchanged.
+        assert_eq!(watch.prometheus(), engine.metrics().to_prometheus());
+    }
+
+    #[test]
+    fn breaches_are_recorded_as_trace_events_and_never_touch_outcomes() {
+        let engine = cleared_engine();
+        let fingerprint_before = engine.metrics().snapshot();
+        let watch = SloWatch::new(
+            engine.metrics_handle(),
+            engine.recorder_handle(),
+            SloBudget {
+                // Impossible ceilings: any cleared round breaches both.
+                max_ns_per_bid: Some(0.0),
+                stage_p99: vec![StageBudget {
+                    stage: "shard".to_string(),
+                    max_p99_ns: 0,
+                }],
+                ..SloBudget::default()
+            },
+            None,
+        );
+        let report = watch.evaluate();
+        assert_eq!(report.breaches.len(), 2, "{report:?}");
+        assert_eq!(watch.breaches_recorded(), 2);
+
+        let breach_events: Vec<_> = engine
+            .recorder()
+            .snapshot()
+            .into_iter()
+            .filter(|event| event.kind == EventKind::SloBreach)
+            .collect();
+        assert_eq!(breach_events.len(), 2);
+        // Tagged with the cleared-round count at evaluation time.
+        assert!(breach_events.iter().all(|event| event.round == 1));
+
+        // Watching is read-only: the metrics snapshot is unchanged.
+        assert_eq!(engine.metrics().snapshot(), fingerprint_before);
+    }
+}

@@ -6,6 +6,11 @@
 # The full grid is: reference + fast at n ∈ {100, 500, 1000}, fast
 # (cold and warm-arena) at n ∈ {10k, 100k}, and a 1M-user
 # allocation-only smoke — all at 50 tasks, with ns/bid derived per row.
+# Arena-path rows carry a nested "kernel" object (prepares, reuse hits,
+# heap pops, probes requested/run/saved, resident bytes) drained from the
+# clearing kernel's profiling counters, and a fast_warm_profiled row
+# records the measured profiling overhead at n=10k — asserted ≤ 5% in
+# both the full run and the --smoke tier.
 #
 # Usage:
 #   scripts/bench.sh            # full grid (minutes; refreshes the JSON)

@@ -57,19 +57,32 @@ echo "==> campaign e2e smoke (platformd --campaign)"
 cargo run --release -p mcs-campaign --bin platformd -- \
   --campaign --campaign-rounds 16 --failure-rate 0.3 --seed 42
 
-echo "==> metrics endpoint smoke (platformd --metrics-addr)"
-# Serve a short run on a fixed port, scrape both endpoints, and check the
+echo "==> metrics endpoint smoke (platformd --metrics-addr --profile --slo-budget)"
+# Serve a short run on a fixed port, scrape every endpoint, and check the
 # Prometheus payload is well-formed. Scraping uses bash's /dev/tcp so the
 # gate has no dependency on curl. Admission control is engaged with a
 # watermark below the synthesized backlog so the shed counters are
-# exercised live.
+# exercised live; the rounds are multi-task (--multi) because only the
+# greedy multi-task path runs on the arena-backed clearing kernel whose
+# profiling counters --profile drains into the mcs_kernel_* families; a
+# deliberately generous SLO budget rides along and must report zero
+# breaches — this run is calm by that budget's definition.
 METRICS_PORT=19464
+SMOKE_DIR="$(mktemp -d)"
+cat > "${SMOKE_DIR}/slo-budget.json" <<'SLO'
+{
+  "max_ns_per_bid": 1e12,
+  "stage_p99": [{"stage": "shard", "max_p99_ns": 1000000000000}]
+}
+SLO
 cargo run --release -p mcs-campaign --bin platformd -- \
-  --rounds 12 --users 10 --snapshot-every 6 \
+  --rounds 12 --users 10 --snapshot-every 6 --multi 3 \
   --admission-high 25 --admission-low 10 --clear-budget 8 \
-  --metrics-addr "127.0.0.1:${METRICS_PORT}" --hold-ms 4000 &
+  --profile --slo-budget "${SMOKE_DIR}/slo-budget.json" \
+  --metrics-addr "127.0.0.1:${METRICS_PORT}" --hold-ms 4000 \
+  > "${SMOKE_DIR}/platformd.log" &
 PLATFORMD_PID=$!
-trap 'kill "${PLATFORMD_PID}" 2>/dev/null || true' EXIT
+trap 'kill "${PLATFORMD_PID}" 2>/dev/null || true; rm -rf "${SMOKE_DIR}"' EXIT
 sleep 1
 scrape() {
   exec 3<>"/dev/tcp/127.0.0.1/${METRICS_PORT}" || return 1
@@ -82,8 +95,10 @@ for attempt in 1 2 3 4 5; do
   sleep 1
 done
 JSON="$(scrape /metrics.json)"
+HEALTH="$(scrape /healthz)"
+SLO_REPORT="$(scrape /slo)"
 wait "${PLATFORMD_PID}"
-trap - EXIT
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
 echo "${PROM}" | grep -q '^mcs_bids_received_total ' || {
   echo "metrics smoke: mcs_bids_received_total missing"; exit 1; }
 echo "${PROM}" | grep -q '^mcs_rounds_cleared_total ' || {
@@ -101,6 +116,41 @@ if echo "${PROM}" | grep -Eqi ' [+-]?(nan|inf)$'; then
 fi
 echo "${JSON}" | grep -q '"economics"' || {
   echo "metrics smoke: JSON snapshot missing economics"; exit 1; }
-echo "metrics smoke: both endpoints healthy"
+echo "${PROM}" | grep -q '^mcs_kernel_prepares_total ' || {
+  echo "metrics smoke: kernel profiler families missing under --profile"; exit 1; }
+echo "${PROM}" | grep -Eq '^mcs_kernel_heap_pops_total [1-9]' || {
+  echo "metrics smoke: mcs_kernel_heap_pops_total missing or zero"; exit 1; }
+echo "${HEALTH}" | grep -q '"status":"ok"' || {
+  echo "metrics smoke: /healthz not ok: ${HEALTH}"; exit 1; }
+echo "${HEALTH}" | grep -q '"rounds_cleared"' || {
+  echo "metrics smoke: /healthz missing rounds_cleared"; exit 1; }
+echo "${SLO_REPORT}" | grep -q '"breaches":\[\]' || {
+  echo "metrics smoke: SLO breaches under a generous budget: ${SLO_REPORT}"; exit 1; }
+grep -q 'slo: .* breached' "${SMOKE_DIR}/platformd.log" || {
+  echo "metrics smoke: platformd printed no SLO verdict"; exit 1; }
+if grep -q 'SLO BREACH' "${SMOKE_DIR}/platformd.log"; then
+  echo "metrics smoke: platformd reported a breach in a calm run"; exit 1
+fi
+rm -rf "${SMOKE_DIR}"
+trap - EXIT
+echo "metrics smoke: all four endpoints healthy, SLO verdict clean"
+
+echo "==> trace analysis smoke (mcs-fuzz --record-trace + mcs-obs)"
+# Record the calm-baseline scenario's checksummed drive log, render it
+# with mcs-obs, and require the trace to diff clean against itself —
+# exit 0 from `diff` is the determinism contract CI leans on.
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "${OBS_DIR}"' EXIT
+cargo run --release -p mcs-harness --bin mcs-fuzz -- \
+  --scenario calm-baseline --record-trace "${OBS_DIR}/calm.trace"
+REPORT="$(cargo run --release -p mcs-obs --bin mcs-obs -- report "${OBS_DIR}/calm.trace")"
+echo "${REPORT}" | grep -q 'MCSTRACE drive log' || {
+  echo "trace smoke: mcs-obs report did not recognise the drive log"; exit 1; }
+cargo run --release -p mcs-obs --bin mcs-obs -- \
+  diff "${OBS_DIR}/calm.trace" "${OBS_DIR}/calm.trace" || {
+  echo "trace smoke: a trace must diff clean against itself"; exit 1; }
+rm -rf "${OBS_DIR}"
+trap - EXIT
+echo "trace smoke: report rendered, self-diff identical"
 
 echo "CI green."

@@ -13,6 +13,11 @@
 # Usage:
 #   scripts/profile.sh [n]        # profile warm clears at n users (default 10k)
 #   PERF_OUT=perf.data scripts/profile.sh 100000
+#
+# For stage-level flames of a *recorded run* (no perf needed), feed a
+# flight-recorder event snapshot through the trace CLI instead:
+#   mcs-obs report events.json --flame | "${FLAMEGRAPH_DIR}/flamegraph.pl"
+# — same collapsed-stack format this script pipes perf output into.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
