@@ -8,6 +8,14 @@
 //! admission gating, and residual re-auction until full coverage or the
 //! budget runs out.
 //!
+//! With `--nodes N`, stands up an in-process geo-sharded cluster
+//! instead: the city grid is split into vertical bands, tasks pin to
+//! band regions, each round is routed, two-phase cleared, and settled by
+//! the `mcs-cluster` coordinator over a loopback transport spanning `N`
+//! nodes (each with a replicated follower). The run prints throughput
+//! plus the deployment-invariant cluster fingerprint — the same seed at
+//! `--nodes 1` and `--nodes 8` must print the same fingerprint.
+//!
 //! ```text
 //! platformd [--rounds N] [--users N] [--workers N] [--seed S]
 //!           [--multi TASKS] [--payment-threads N] [--paper]
@@ -19,6 +27,7 @@
 //!           [--slo-budget FILE] [--slo-baseline FILE]
 //!           [--campaign] [--campaign-rounds N] [--campaign-deadline N]
 //!           [--calibration off|history|mobility] [--failure-rate P]
+//!           [--nodes N] [--bands N]
 //! ```
 //!
 //! * `--rounds`  rounds to synthesize (default 200)
@@ -67,15 +76,22 @@
 //!   or `mobility` (history blended with Markov-model visit predictions
 //!   from the dataset)
 //! * `--failure-rate` injected execution-failure probability (default 0)
+//! * `--nodes` run the round stream through an `mcs-cluster` loopback
+//!   deployment of N nodes instead of a single engine; prints per-node
+//!   throughput and the deployment-invariant fingerprint (0 = off)
+//! * `--bands` vertical grid bands (= region shards) for `--nodes`
+//!   (default 8, the grid width)
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use mcs_campaign::prelude::*;
+use mcs_cluster::{Cluster, ClusterConfig, ClusterParams, TaskSite, Topology};
 use mcs_core::types::{Task, TaskId, UserId};
+use mcs_mobility::grid::{Cell, CityGrid};
 use mcs_mobility::serve::VisitOracle;
-use mcs_obs::MetricsSource;
+use mcs_obs::{merge_shard_traces, MetricsSource};
 use mcs_platform::prelude::*;
 use mcs_sim::config::{DatasetParams, SimParams};
 use mcs_sim::population::{Dataset, Population, PopulationBuilder};
@@ -107,6 +123,8 @@ struct Options {
     campaign_deadline: u64,
     calibration: String,
     failure_rate: f64,
+    nodes: u32,
+    bands: usize,
 }
 
 impl Options {
@@ -136,6 +154,8 @@ impl Options {
             campaign_deadline: 0,
             calibration: "history".to_string(),
             failure_rate: 0.0,
+            nodes: 0,
+            bands: 8,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -174,6 +194,8 @@ impl Options {
                 }
                 "--calibration" => options.calibration = value("--calibration")?,
                 "--failure-rate" => options.failure_rate = parse(&value("--failure-rate")?)?,
+                "--nodes" => options.nodes = parse(&value("--nodes")?)?,
+                "--bands" => options.bands = parse(&value("--bands")?)?,
                 "--help" | "-h" => {
                     return Err("usage: platformd [--rounds N] [--users N] [--workers N] \
                          [--seed S] [--multi TASKS] [--payment-threads N] [--paper] \
@@ -184,7 +206,7 @@ impl Options {
                          [--clear-budget BIDS] [--profile] [--slo-budget FILE] \
                          [--slo-baseline FILE] [--campaign] [--campaign-rounds N] \
                          [--campaign-deadline N] [--calibration off|history|mobility] \
-                         [--failure-rate P]"
+                         [--failure-rate P] [--nodes N] [--bands N]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -468,6 +490,143 @@ fn run_campaign(options: &Options) -> ExitCode {
     }
 }
 
+/// Publishes `count` tasks spread across the grid's bands, so a
+/// multi-band topology has work in several regions and (for users
+/// bidding on task sets that span bands) a non-trivial straddler phase.
+fn cluster_sites(count: usize, requirement: f64, grid: &CityGrid) -> Vec<TaskSite> {
+    (0..count)
+        .map(|i| TaskSite {
+            task: Task::with_requirement(TaskId::new(i as u32), requirement)
+                .expect("valid requirement"),
+            cell: Cell {
+                x: ((i * grid.width() as usize) / count) as u32,
+                y: (i % grid.height() as usize) as u32,
+            },
+        })
+        .collect()
+}
+
+fn run_cluster(options: &Options) -> ExitCode {
+    let params = options.dataset_params();
+    let sim = SimParams::default();
+    let task_count = options.multi.unwrap_or(4);
+
+    let start = Instant::now();
+    let dataset = Dataset::build(params);
+    println!(
+        "dataset: {} taxis, {} slots, built in {:.2?}",
+        params.taxi_count,
+        params.slots,
+        start.elapsed()
+    );
+    let builder = PopulationBuilder::new(&dataset, sim);
+
+    let grid = CityGrid::new(8, 4, 1.0);
+    let bands = options.bands.clamp(1, grid.width() as usize);
+    let sites = cluster_sites(task_count, sim.pos_requirement, &grid);
+    let topology = match Topology::bands(grid, bands, sites) {
+        Ok(topology) => topology,
+        Err(error) => {
+            eprintln!("cannot build cluster topology: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let regions: Vec<u32> = topology.active_regions().collect();
+    let cluster_params = ClusterParams {
+        seed: options.seed,
+        workers: options.workers,
+        payment_threads: options.payment_threads,
+        alpha: sim.alpha,
+        epsilon: sim.epsilon,
+        trace_capacity: options.trace_capacity,
+    };
+    let config = ClusterConfig::new(options.nodes).with_params(cluster_params);
+    let mut cluster = Cluster::loopback(topology, config);
+    println!(
+        "cluster: {} nodes (replicated), {} bands, {} active region shards: {:?}",
+        options.nodes,
+        bands,
+        regions.len(),
+        regions
+    );
+
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut bids_total = 0u64;
+    let mut rejected = 0u64;
+    let mut shards_cleared = 0u64;
+    let mut quarantined = 0u64;
+    let run_start = Instant::now();
+    for round in 0..options.rounds {
+        let population = match builder.multi_task(task_count, options.users, &mut rng) {
+            Ok(population) => population,
+            Err(error) => {
+                eprintln!("round {round}: cannot build population: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let bids: Vec<Bid> = population
+            .profile
+            .users()
+            .iter()
+            .map(|user| Bid {
+                user: user.id().index() as u32,
+                cost: user.cost().value(),
+                tasks: user
+                    .tasks()
+                    .map(|(task, pos)| (task.index() as u32, pos.value()))
+                    .collect(),
+            })
+            .collect();
+        bids_total += bids.len() as u64;
+        match cluster.run_round(&bids) {
+            Ok(report) => {
+                rejected += report.rejected as u64;
+                shards_cleared += report.cleared_shards.len() as u64;
+                quarantined += u64::from(report.quarantined);
+            }
+            Err(error) => {
+                eprintln!("round {round}: cluster error: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let elapsed = run_start.elapsed();
+    println!(
+        "cluster: {} rounds ({} sub-round clears) over {} nodes in {:.2?} \
+         ({:.0} bids/s), {} bids ({} rejected), {} rounds quarantined",
+        options.rounds,
+        shards_cleared,
+        options.nodes,
+        elapsed,
+        bids_total as f64 / elapsed.as_secs_f64(),
+        bids_total,
+        rejected,
+        quarantined
+    );
+    let merged = merge_shard_traces(&cluster.shard_traces());
+    println!(
+        "trace: {} events across shards after canonical merge",
+        merged.len()
+    );
+    let outcome = cluster.outcome();
+    println!(
+        "ledger: {} users paid, total {:.2} over {} rounds",
+        outcome.ledger.balances().len(),
+        outcome.ledger.total_paid(),
+        outcome.ledger.rounds_settled()
+    );
+    for quarantine in &outcome.quarantines {
+        println!(
+            "  quarantined round {}: {}",
+            quarantine.round, quarantine.post_mortem
+        );
+    }
+    // The summary line must diff clean across node counts: same seed,
+    // same fingerprint, any deployment.
+    println!("cluster: fingerprint {:016x}", cluster.fingerprint());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let options = match Options::parse() {
         Ok(options) => options,
@@ -476,6 +635,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if options.nodes > 0 {
+        if options.campaign {
+            eprintln!("--nodes runs the cluster coordinator, not --campaign");
+            return ExitCode::from(2);
+        }
+        if options.slo_budget.is_some() || options.slo_baseline.is_some() {
+            eprintln!("--slo-budget/--slo-baseline watch the single-engine loop, not --nodes");
+            return ExitCode::from(2);
+        }
+        return run_cluster(&options);
+    }
     if options.campaign {
         if options.slo_budget.is_some() || options.slo_baseline.is_some() {
             eprintln!("--slo-budget/--slo-baseline watch the open-loop engine, not --campaign");

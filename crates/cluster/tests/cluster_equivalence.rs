@@ -1,0 +1,261 @@
+//! The cluster's headline theorem, property-tested: for ANY profile,
+//! ANY band partition of the grid, and ANY node count, an N-node
+//! deployment produces bitwise-identical allocations, quotes,
+//! settlements, ledgers, and fingerprints to the 1-node run — and both
+//! agree with the transport-free [`ground_truth`] oracle.
+//!
+//! Placement is the only thing that varies across deployments, and
+//! placement must never be observable in an outcome bit. A second suite
+//! forces straddler-heavy profiles (every user spans at least two
+//! regions) so the phase-2 merge path carries the proof too.
+
+use mcs_cluster::{
+    ground_truth, Cluster, ClusterConfig, ClusterOutcome, ClusterParams, TaskSite, Topology,
+};
+use mcs_core::types::{Task, TaskId};
+use mcs_mobility::grid::{Cell, CityGrid};
+use mcs_platform::ingest::Bid;
+use proptest::prelude::*;
+
+const GRID_WIDTH: u32 = 8;
+const GRID_HEIGHT: u32 = 4;
+
+/// A generated auction: task sites, a band partition, a seed, and a
+/// few rounds of bids.
+#[derive(Debug, Clone)]
+struct Profile {
+    sites: Vec<TaskSite>,
+    bands: usize,
+    seed: u64,
+    rounds: Vec<Vec<Bid>>,
+}
+
+fn build_topology(profile: &Profile) -> Topology {
+    let grid = CityGrid::new(GRID_WIDTH, GRID_HEIGHT, 1.0);
+    Topology::bands(grid, profile.bands, profile.sites.clone()).expect("generated sites are valid")
+}
+
+/// Runs the profile through a replicated loopback deployment of
+/// `nodes` nodes and returns the full outcome.
+fn deploy(profile: &Profile, nodes: u32) -> ClusterOutcome {
+    let params = ClusterParams::default().with_seed(profile.seed);
+    let config = ClusterConfig::new(nodes).with_params(params);
+    let mut cluster = Cluster::loopback(build_topology(profile), config);
+    for bids in &profile.rounds {
+        cluster
+            .run_round(bids)
+            .expect("loopback transports never fail");
+    }
+    cluster.outcome().clone()
+}
+
+/// Task sites: 2–6 tasks scattered anywhere on the grid. When
+/// `spread` is set, the first task pins to the west edge and the last
+/// to the east edge so multi-band partitions always split the set.
+fn arb_sites(spread: bool) -> impl Strategy<Value = Vec<TaskSite>> {
+    proptest::collection::vec((0.3f64..0.9, 0..GRID_WIDTH, 0..GRID_HEIGHT), 2..6usize).prop_map(
+        move |specs| {
+            let last = specs.len() - 1;
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (requirement, x, y))| TaskSite {
+                    task: Task::with_requirement(TaskId::new(i as u32), requirement)
+                        .expect("generated requirement is valid"),
+                    cell: Cell {
+                        x: if spread && i == 0 {
+                            0
+                        } else if spread && i == last {
+                            GRID_WIDTH - 1
+                        } else {
+                            x
+                        },
+                        y,
+                    },
+                })
+                .collect()
+        },
+    )
+}
+
+/// Rounds of bids over `task_count` published tasks. Each user draws a
+/// per-task inclusion flag and PoS declaration; user ids are the
+/// per-round index, so rounds are always well-formed. With
+/// `straddler_heavy`, the first and last tasks (pinned to opposite
+/// grid edges by [`arb_sites`]) are always in the set, so every bidder
+/// spans at least two regions of any ≥2-band partition.
+fn arb_rounds(task_count: u32, straddler_heavy: bool) -> impl Strategy<Value = Vec<Vec<Bid>>> {
+    let n = task_count as usize;
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (
+                0.1f64..5.0,
+                proptest::collection::vec((any::<bool>(), 0.05f64..0.95), n..=n),
+            ),
+            0..10usize,
+        ),
+        1..4usize,
+    )
+    .prop_map(move |rounds| {
+        rounds
+            .into_iter()
+            .map(|users| {
+                users
+                    .into_iter()
+                    .enumerate()
+                    .map(|(user, (cost, prefs))| {
+                        let mut tasks: Vec<(u32, f64)> = prefs
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, (include, _))| *include)
+                            .map(|(task, (_, pos))| (task as u32, *pos))
+                            .collect();
+                        let forced: &[usize] = if straddler_heavy { &[0, n - 1] } else { &[0] };
+                        for &task in forced {
+                            if (straddler_heavy || tasks.is_empty())
+                                && !tasks.iter().any(|(t, _)| *t as usize == task)
+                            {
+                                tasks.push((task as u32, prefs[task].1));
+                            }
+                        }
+                        tasks.sort_by_key(|a| a.0);
+                        Bid {
+                            user: user as u32,
+                            cost,
+                            tasks,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+/// The composed profile strategy. `straddler_heavy` forces spread task
+/// sites, every user onto ≥2 tasks, and ≥2 bands, so every bidder's
+/// task set crosses a region boundary.
+fn arb_profile(straddler_heavy: bool) -> impl Strategy<Value = Profile> {
+    let min_bands = if straddler_heavy { 2usize } else { 1 };
+    (arb_sites(straddler_heavy), min_bands..=8usize, any::<u64>()).prop_flat_map(
+        move |(sites, bands, seed)| {
+            let task_count = sites.len() as u32;
+            arb_rounds(task_count, straddler_heavy).prop_map(move |rounds| Profile {
+                sites: sites.clone(),
+                bands,
+                seed,
+                rounds,
+            })
+        },
+    )
+}
+
+/// Asserts every outcome bit of `outcome` equals `reference`.
+fn assert_bitwise_equal(outcome: &ClusterOutcome, reference: &ClusterOutcome, label: &str) {
+    // Allocations and quotes live inside the per-(round, shard) results.
+    assert_eq!(
+        outcome.results, reference.results,
+        "{label}: cleared results diverged"
+    );
+    assert_eq!(
+        outcome.settlements, reference.settlements,
+        "{label}: settlements diverged"
+    );
+    assert_eq!(
+        outcome.ledger.balances(),
+        reference.ledger.balances(),
+        "{label}: ledger balances diverged"
+    );
+    assert_eq!(
+        outcome.ledger.total_paid().to_bits(),
+        reference.ledger.total_paid().to_bits(),
+        "{label}: total paid diverged"
+    );
+    assert_eq!(
+        outcome.fingerprint(),
+        reference.fingerprint(),
+        "{label}: fingerprints diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random profiles × random partitions × nodes ∈ {1, 2, 4, 8}:
+    /// every deployment is bitwise the 1-node run, and the mirror
+    /// oracle agrees.
+    #[test]
+    fn every_deployment_is_bitwise_the_single_node_run(profile in arb_profile(false)) {
+        let reference = deploy(&profile, 1);
+        for nodes in [2u32, 4, 8] {
+            let outcome = deploy(&profile, nodes);
+            assert_bitwise_equal(&outcome, &reference, &format!("{nodes} nodes"));
+        }
+        let params = ClusterParams::default().with_seed(profile.seed);
+        let truth = ground_truth(&build_topology(&profile), params, &profile.rounds);
+        assert_bitwise_equal(&truth, &reference, "ground truth");
+    }
+
+    /// The same theorem under straddler-heavy load: every user spans at
+    /// least two regions, so phase 2 (the coordinator's straddler
+    /// merge) decides essentially every outcome bit.
+    #[test]
+    fn straddler_heavy_profiles_stay_deployment_invariant(profile in arb_profile(true)) {
+        let reference = deploy(&profile, 1);
+        for nodes in [2u32, 4, 8] {
+            let outcome = deploy(&profile, nodes);
+            assert_bitwise_equal(&outcome, &reference, &format!("{nodes} nodes, straddler-heavy"));
+        }
+        let params = ClusterParams::default().with_seed(profile.seed);
+        let truth = ground_truth(&build_topology(&profile), params, &profile.rounds);
+        assert_bitwise_equal(&truth, &reference, "ground truth, straddler-heavy");
+    }
+}
+
+/// A deterministic spot check that the straddler generator actually
+/// produces cross-region bidders (the property above would pass
+/// vacuously if phase 2 never ran).
+#[test]
+fn straddler_generation_reaches_phase_two() {
+    let grid = CityGrid::new(GRID_WIDTH, GRID_HEIGHT, 1.0);
+    let sites = vec![
+        TaskSite {
+            task: Task::with_requirement(TaskId::new(0), 0.6).unwrap(),
+            cell: Cell { x: 0, y: 0 },
+        },
+        TaskSite {
+            task: Task::with_requirement(TaskId::new(1), 0.6).unwrap(),
+            cell: Cell {
+                x: GRID_WIDTH - 1,
+                y: 0,
+            },
+        },
+    ];
+    let topology = Topology::bands(grid, 2, sites).unwrap();
+    let straddler_shard = topology.straddler_shard();
+    let profile = Profile {
+        sites: topology.sites().to_vec(),
+        bands: 2,
+        seed: 11,
+        rounds: vec![vec![
+            Bid {
+                user: 0,
+                cost: 1.0,
+                tasks: vec![(0, 0.9), (1, 0.9)],
+            },
+            Bid {
+                user: 1,
+                cost: 1.2,
+                tasks: vec![(0, 0.8), (1, 0.8)],
+            },
+        ]],
+    };
+    let outcome = deploy(&profile, 2);
+    assert!(
+        outcome
+            .results
+            .keys()
+            .any(|&(_, shard)| shard == straddler_shard),
+        "two-region task sets must clear in the straddler shard"
+    );
+    assert_bitwise_equal(&deploy(&profile, 1), &outcome, "straddler spot check");
+}

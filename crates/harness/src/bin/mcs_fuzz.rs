@@ -11,6 +11,7 @@
 //!          [--verify-determinism] [--ci-smoke] [--soak] [--campaign]
 //!          [--scenario NAME|PATH|all] [--record-trace FILE]
 //!          [--replay-trace FILE] [--print-baseline]
+//!          [--cluster] [--nodes N] [--bands B]
 //! ```
 //!
 //! * `--seed`    campaign seed: bid stream, fault plan, execution draws (default 1)
@@ -48,6 +49,18 @@
 //!   Scenarios with a `[strategy]` section also run the online SP twin
 //!   sweep. Add `--verify-determinism` for the worker × payment-thread
 //!   fingerprint matrix.
+//! * `--cluster` deployment mode: runs every pinned corpus scenario
+//!   through `mcs-cluster` deployments and requires (a) 1-node and
+//!   `--nodes`-node loopback runs to produce bitwise-identical
+//!   fingerprints, (b) the in-process `ClusterMirror` ground truth to
+//!   agree, and (c) the three cluster chaos campaigns to hold: node
+//!   loss fails over with an unchanged fingerprint, partition
+//!   quarantines the round with a complete post-mortem, duplicate
+//!   delivery is absorbed bit for bit. Add `--verify-determinism` to
+//!   widen the node matrix and run the loopback-vs-TCP transport
+//!   equivalence check over real ephemeral-port sockets.
+//! * `--nodes` cluster node count for `--cluster` (default 3)
+//! * `--bands` region bands (= shards) for `--cluster` (default 6)
 //! * `--record-trace FILE` write the run's checksummed drive log
 //! * `--replay-trace FILE` replay a recorded log instead of generating
 //!   bids; the outcome must still match the pinned baseline bitwise
@@ -90,6 +103,9 @@ struct Options {
     record_trace: Option<String>,
     replay_trace: Option<String>,
     print_baseline: bool,
+    cluster: bool,
+    nodes: u32,
+    bands: u32,
 }
 
 impl Options {
@@ -111,6 +127,9 @@ impl Options {
             record_trace: None,
             replay_trace: None,
             print_baseline: false,
+            cluster: false,
+            nodes: 3,
+            bands: 6,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -135,12 +154,16 @@ impl Options {
                 "--record-trace" => options.record_trace = Some(value("--record-trace")?),
                 "--replay-trace" => options.replay_trace = Some(value("--replay-trace")?),
                 "--print-baseline" => options.print_baseline = true,
+                "--cluster" => options.cluster = true,
+                "--nodes" => options.nodes = parse(&value("--nodes")?)?,
+                "--bands" => options.bands = parse(&value("--bands")?)?,
                 "--help" | "-h" => {
                     return Err("usage: mcs-fuzz [--seed S] [--rounds N] [--faults F] \
                          [--tasks T] [--bids B] [--workers W] [--payment-threads P] \
                          [--drain-every D] [--verify-determinism] [--ci-smoke] [--soak] \
                          [--campaign] [--scenario NAME|PATH|all] [--record-trace FILE] \
-                         [--replay-trace FILE] [--print-baseline]"
+                         [--replay-trace FILE] [--print-baseline] \
+                         [--cluster] [--nodes N] [--bands B]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -566,15 +589,37 @@ fn run_scenario_cli(scenario: &Scenario, options: &Options) -> bool {
                 },
             );
             match run {
-                Ok(variant) if variant.fingerprint() == reference => {}
                 Ok(variant) => {
-                    eprintln!(
-                        "  DETERMINISM BROKEN: workers={workers} \
-                         payment_threads={payment_threads} fingerprint {:016x} \
-                         != reference {reference:016x}",
-                        variant.fingerprint()
-                    );
-                    ok = false;
+                    if variant.fingerprint() != reference {
+                        eprintln!(
+                            "  DETERMINISM BROKEN: workers={workers} \
+                             payment_threads={payment_threads} fingerprint {:016x} \
+                             != reference {reference:016x}",
+                            variant.fingerprint()
+                        );
+                        ok = false;
+                    }
+                    // Fingerprints alone once hid a profiled-cell gap:
+                    // every sweep cell must ALSO reproduce the pinned
+                    // totals bit for bit, profiling on or off.
+                    if variant.payment_total.to_bits() != outcome.payment_total.to_bits() {
+                        eprintln!(
+                            "  DETERMINISM BROKEN: workers={workers} \
+                             payment_threads={payment_threads} payment total \
+                             {:?} != reference {:?}",
+                            variant.payment_total, outcome.payment_total
+                        );
+                        ok = false;
+                    }
+                    if let Some(pinned) = &scenario.baseline {
+                        if let Err(error) = pinned.check(&scenario.name, &variant.baseline()) {
+                            eprintln!(
+                                "  BASELINE (workers={workers} \
+                                 payment_threads={payment_threads}): {error}"
+                            );
+                            ok = false;
+                        }
+                    }
                 }
                 Err(error) => {
                     eprintln!("  DETERMINISM: variant run failed: {error}");
@@ -666,6 +711,223 @@ fn scenario_fuzz(options: &Options) -> ExitCode {
     }
 }
 
+/// The node hosting a scenario topology's first active region — a chaos
+/// target that is guaranteed to actually receive traffic.
+fn cluster_busy_node(scenario: &Scenario, nodes: u32, bands: u32) -> u32 {
+    let topology = scenario_topology(scenario, bands);
+    let region = topology
+        .active_regions()
+        .next()
+        .expect("scenario publishes tasks");
+    topology.node_of_region(region, nodes)
+}
+
+/// Runs one scenario through the full cluster battery: 1-node vs N-node
+/// equivalence, the mirror oracle, the three chaos campaigns, and (with
+/// `--verify-determinism`) a wider node matrix plus loopback-vs-TCP
+/// transport equivalence. Returns whether everything held.
+fn run_cluster_cli(scenario: &Scenario, options: &Options) -> bool {
+    let (nodes, bands) = (options.nodes.max(1), options.bands.max(1));
+    let start = Instant::now();
+    let single = match run_cluster_scenario(scenario, 1, bands, &FaultPlan::new()) {
+        Ok(run) => run,
+        Err(error) => {
+            eprintln!("cluster[{}]: 1-node run failed: {error}", scenario.name);
+            return false;
+        }
+    };
+    let deployed = match run_cluster_scenario(scenario, nodes, bands, &FaultPlan::new()) {
+        Ok(run) => run,
+        Err(error) => {
+            eprintln!(
+                "cluster[{}]: {nodes}-node run failed: {error}",
+                scenario.name
+            );
+            return false;
+        }
+    };
+    println!(
+        "cluster[{} v{}]: {} rounds · {} bands · 1-node {:016x} vs {nodes}-node {:016x} · {:.2?}",
+        scenario.name,
+        scenario.version,
+        scenario.rounds,
+        bands,
+        single.fingerprint,
+        deployed.fingerprint,
+        start.elapsed()
+    );
+    let mut ok = true;
+    if deployed.fingerprint != single.fingerprint {
+        eprintln!(
+            "  EQUIVALENCE BROKEN: {nodes}-node fingerprint {:016x} != 1-node {:016x}",
+            deployed.fingerprint, single.fingerprint
+        );
+        ok = false;
+    }
+    let mirror = ClusterMirror::of_scenario(scenario, bands).fingerprint();
+    if mirror != single.fingerprint {
+        eprintln!(
+            "  MIRROR DISAGREES: ground truth {mirror:016x} != deployment {:016x}",
+            single.fingerprint
+        );
+        ok = false;
+    }
+
+    // Chaos: node loss must fail over with an unchanged fingerprint.
+    let target = cluster_busy_node(scenario, nodes, bands);
+    let mut plan = FaultPlan::new();
+    plan.schedule(1, Fault::NodeLoss(target));
+    match run_cluster_scenario(scenario, nodes, bands, &plan) {
+        Ok(run) => {
+            if !run.promoted_nodes().contains(&target) {
+                eprintln!("  NODE LOSS: node {target} never failed over to its follower");
+                ok = false;
+            }
+            if run.fingerprint != single.fingerprint {
+                eprintln!(
+                    "  NODE LOSS: post-failover fingerprint {:016x} != fault-free {:016x}",
+                    run.fingerprint, single.fingerprint
+                );
+                ok = false;
+            } else {
+                println!("  node loss: node {target} promoted its follower, fingerprint unchanged");
+            }
+        }
+        Err(error) => {
+            eprintln!("  NODE LOSS: campaign failed: {error}");
+            ok = false;
+        }
+    }
+
+    // Chaos: a partition must quarantine the round with a post-mortem,
+    // never silently diverge.
+    let mut plan = FaultPlan::new();
+    plan.schedule(1, Fault::NetPartition(target));
+    match run_cluster_scenario(scenario, nodes, bands, &plan) {
+        Ok(run) => {
+            let quarantine = run
+                .outcome
+                .quarantines
+                .iter()
+                .find(|q| q.round == 1 && q.post_mortem.contains("\"cause\":\"partition\""));
+            if run.quarantined_rounds() == 0 || quarantine.is_none() {
+                eprintln!(
+                    "  PARTITION: round 1 was not quarantined with a typed partition post-mortem"
+                );
+                ok = false;
+            } else {
+                println!(
+                    "  partition: {} round(s) quarantined with complete post-mortems",
+                    run.quarantined_rounds()
+                );
+            }
+        }
+        Err(error) => {
+            eprintln!("  PARTITION: campaign failed: {error}");
+            ok = false;
+        }
+    }
+
+    // Chaos: duplicate delivery must be absorbed by the idempotency
+    // cache.
+    let mut plan = FaultPlan::new();
+    plan.schedule(0, Fault::DuplicateDelivery);
+    plan.schedule(2, Fault::DuplicateDelivery);
+    match run_cluster_scenario(scenario, nodes, bands, &plan) {
+        Ok(run) if run.fingerprint == single.fingerprint => {
+            println!("  duplicate delivery: absorbed, fingerprint unchanged");
+        }
+        Ok(run) => {
+            eprintln!(
+                "  DUPLICATE DELIVERY: fingerprint drifted to {:016x} (expected {:016x})",
+                run.fingerprint, single.fingerprint
+            );
+            ok = false;
+        }
+        Err(error) => {
+            eprintln!("  DUPLICATE DELIVERY: campaign failed: {error}");
+            ok = false;
+        }
+    }
+
+    if options.verify_determinism {
+        for other in [2u32, 4, 8] {
+            if other == nodes {
+                continue;
+            }
+            match run_cluster_scenario(scenario, other, bands, &FaultPlan::new()) {
+                Ok(run) if run.fingerprint == single.fingerprint => {}
+                Ok(run) => {
+                    eprintln!(
+                        "  EQUIVALENCE BROKEN: {other}-node fingerprint {:016x} != {:016x}",
+                        run.fingerprint, single.fingerprint
+                    );
+                    ok = false;
+                }
+                Err(error) => {
+                    eprintln!("  EQUIVALENCE: {other}-node run failed: {error}");
+                    ok = false;
+                }
+            }
+        }
+        match run_cluster_scenario_tcp(scenario, nodes, bands) {
+            Ok(run) if run.fingerprint == single.fingerprint => {
+                println!("  transport: TCP deployment matches loopback bitwise");
+            }
+            Ok(run) => {
+                eprintln!(
+                    "  TRANSPORT DIVERGED: TCP fingerprint {:016x} != loopback {:016x}",
+                    run.fingerprint, single.fingerprint
+                );
+                ok = false;
+            }
+            Err(error) => {
+                eprintln!("  TRANSPORT: TCP run failed: {error}");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// Deployment mode: the whole pinned corpus through the cluster battery.
+fn cluster_fuzz(options: &Options) -> ExitCode {
+    let paths = match mcs_harness::scenario::corpus_paths() {
+        Ok(paths) => paths,
+        Err(error) => {
+            eprintln!("cluster: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    let mut ran = 0usize;
+    for path in &paths {
+        match mcs_harness::scenario::load(&path.display().to_string()) {
+            Ok(scenario) => {
+                ran += 1;
+                if !run_cluster_cli(&scenario, options) {
+                    failed = true;
+                }
+            }
+            Err(error) => {
+                eprintln!("cluster[{}]: {error}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if ran == 0 {
+        eprintln!("cluster: corpus is empty");
+        failed = true;
+    }
+    if failed {
+        eprintln!("cluster: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("cluster: {ran} scenarios deployment-invariant, chaos survived, mirrors agree");
+        ExitCode::SUCCESS
+    }
+}
+
 /// The fixed CI smoke matrix: a few seeds over both mechanism families,
 /// each verified clean and bitwise identical across worker counts.
 fn ci_smoke() -> ExitCode {
@@ -718,6 +980,9 @@ fn main() -> ExitCode {
         }
     };
 
+    if options.cluster {
+        return cluster_fuzz(&options);
+    }
     if options.scenario.is_some() {
         return scenario_fuzz(&options);
     }

@@ -28,6 +28,11 @@
 //!   `mcs-campaign` (residual monotonicity, termination, calibration
 //!   sanity, payout conservation); `mcs-fuzz --campaign` drives those
 //!   loops under the same fault flavors.
+//! * [`cluster`] — chaos at the deployment layer: a fault-injecting
+//!   [`NodeTransport`](mcs_cluster::transport::NodeTransport) wrapper
+//!   (node loss, partition, duplicate delivery), the scenario→cluster
+//!   bridge, and the [`ClusterMirror`](cluster::ClusterMirror) ground-
+//!   truth oracle; `mcs-fuzz --cluster` drives it.
 //!
 //! The `mcs-fuzz` binary drives campaigns from the command line; see
 //! `scripts/ci.sh` (smoke) and `scripts/fuzz.sh` (long campaigns).
@@ -45,6 +50,7 @@
 
 pub mod campaign;
 pub mod closed_loop;
+pub mod cluster;
 pub mod inject;
 pub mod oracle;
 pub mod plan;
@@ -57,6 +63,10 @@ pub mod prelude {
         run_campaign, silence_injected_panics, CampaignConfig, CampaignOutcome,
     };
     pub use crate::closed_loop::{check_campaign, ClosedLoopViolation};
+    pub use crate::cluster::{
+        run_cluster_scenario, run_cluster_scenario_tcp, scenario_params, scenario_rounds,
+        scenario_topology, ClusterMirror, ClusterRun, FaultyTransport,
+    };
     pub use crate::inject::{PlanInjector, CHAOS_PREFIX};
     pub use crate::oracle::{check_round, OracleConfig, OracleViolation};
     pub use crate::plan::{Fault, FaultPlan};

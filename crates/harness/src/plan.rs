@@ -62,6 +62,18 @@ pub enum Fault {
     /// Admission: sustain this-many× oversubscription across the round —
     /// after every base bid, `factor − 1` extra bids arrive.
     Oversubscribe(u32),
+    /// Cluster: the node's primary replica dies mid-round — its first
+    /// `Clear` of the fault round still lands, every later call is
+    /// unreachable. The coordinator must promote the follower and the
+    /// cluster fingerprint must not change.
+    NodeLoss(u32),
+    /// Cluster: the node is fully partitioned for the fault round (both
+    /// replicas unreachable); the round must quarantine with a typed
+    /// cause and a complete post-mortem, never a silent partial clear.
+    NetPartition(u32),
+    /// Cluster: every `Clear` of the fault round is delivered twice; the
+    /// node-side idempotency cache must absorb the duplicates bit-free.
+    DuplicateDelivery,
 }
 
 impl Fault {
@@ -80,6 +92,10 @@ impl Fault {
             Fault::ShardPanic | Fault::InfeasibleRound => "shard",
             Fault::FlipReports | Fault::DropAndRebuild => "settle",
             Fault::BurstArrival(_) | Fault::Oversubscribe(_) => "admission",
+            // Cluster faults attack the coordinator/node layer, never the
+            // single-engine pipeline; `FaultPlan::generate` deliberately
+            // excludes them so existing engine campaigns are unchanged.
+            Fault::NodeLoss(_) | Fault::NetPartition(_) | Fault::DuplicateDelivery => "cluster",
         }
     }
 
@@ -221,6 +237,21 @@ mod tests {
             plan.schedule(round, Fault::Oversubscribe(10));
         }
         assert_eq!(plan.trace_headroom(20), 10);
+    }
+
+    #[test]
+    fn cluster_faults_are_typed_but_never_generated() {
+        assert_eq!(Fault::NodeLoss(2).stage(), "cluster");
+        assert_eq!(Fault::NetPartition(0).stage(), "cluster");
+        assert_eq!(Fault::DuplicateDelivery.stage(), "cluster");
+        // Engine campaigns must never draw a cluster fault: the stage
+        // census below (`every_stage_is_reachable_from_generation`)
+        // would catch one, but check directly too.
+        let plan = FaultPlan::generate(7, 2000, 1.0);
+        assert!(plan
+            .rounds()
+            .flat_map(|r| plan.faults_for(r).iter())
+            .all(|fault| fault.stage() != "cluster"));
     }
 
     #[test]

@@ -58,11 +58,32 @@ fn the_corpus_is_complete_pinned_and_worker_count_invariant() {
                 outcome.violations,
                 outcome.campaign_violations
             );
+            // Assert the totals directly (not just through the
+            // fingerprint) in EVERY cell — profiled cells included —
+            // so a profiling-dependent payment drift can never hide
+            // behind a hash that happens not to cover its field.
+            assert_eq!(
+                outcome.payment_total.to_bits(),
+                pinned.payment_total_bits,
+                "{} ({workers}w/{payment_threads}p profiling={profiling}): \
+                 payment total {:?} != pinned {:?}",
+                scenario.name,
+                outcome.payment_total,
+                f64::from_bits(pinned.payment_total_bits)
+            );
+            assert_eq!(
+                outcome.baseline().social_cost_total_bits,
+                pinned.social_cost_total_bits,
+                "{} ({workers}w/{payment_threads}p profiling={profiling}): \
+                 social-cost total drifted",
+                scenario.name
+            );
             pinned
                 .check(&scenario.name, &outcome.baseline())
                 .unwrap_or_else(|error| {
                     panic!(
-                        "{} at workers={workers} payment_threads={payment_threads}: {error}",
+                        "{} at workers={workers} payment_threads={payment_threads} \
+                         profiling={profiling}: {error}",
                         scenario.name
                     )
                 });

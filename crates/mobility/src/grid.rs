@@ -199,6 +199,62 @@ impl CityGrid {
         }
     }
 
+    /// Partitions the grid into `bands` vertical column bands of
+    /// near-equal width, each spanning the full grid height.
+    ///
+    /// Band `i` covers columns `[i·W/n, (i+1)·W/n)`, so the bands are
+    /// pairwise disjoint, cover every cell, and are a pure function of
+    /// `(width, height, bands)` — the deterministic region key the
+    /// cluster layer shards the auction by.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bands` is zero or exceeds the grid width (a band must
+    /// hold at least one column).
+    pub fn partition_bands(&self, bands: usize) -> Vec<Region> {
+        assert!(bands > 0, "a partition needs at least one band");
+        assert!(
+            bands <= self.width as usize,
+            "cannot cut {} columns into {bands} bands",
+            self.width
+        );
+        let width = self.width as usize;
+        (0..bands)
+            .map(|i| {
+                let x = (i * width / bands) as u32;
+                let next = ((i + 1) * width / bands) as u32;
+                Region {
+                    x,
+                    y: 0,
+                    width: next - x,
+                    height: self.height,
+                }
+            })
+            .collect()
+    }
+
+    /// Whether `regions` tile this grid exactly: every cell lies in
+    /// exactly one region.
+    pub fn is_partition(&self, regions: &[Region]) -> bool {
+        let mut covered = vec![false; self.cell_count()];
+        for region in regions {
+            for id in self.region_locations(*region) {
+                if covered[id.index()] {
+                    return false;
+                }
+                covered[id.index()] = true;
+            }
+        }
+        covered.iter().all(|&c| c)
+    }
+
+    /// The index of the first region in `regions` containing `cell`, or
+    /// `None` when no region does (or the cell is off-grid).
+    pub fn region_of_cell(&self, regions: &[Region], cell: Cell) -> Option<usize> {
+        self.location(cell)?;
+        regions.iter().position(|region| region.contains(cell))
+    }
+
     /// The location ids inside `region` (clipped to the grid), in
     /// row-major order.
     pub fn region_locations(&self, region: Region) -> Vec<LocationId> {
@@ -305,6 +361,74 @@ mod tests {
         };
         assert!(grid.region_locations(off).is_empty());
         assert_eq!(grid.clamp_region(off).cell_count(), 0);
+    }
+
+    #[test]
+    fn band_partitions_tile_the_grid_exactly() {
+        for (w, h, n) in [
+            (20u32, 20u32, 1usize),
+            (20, 20, 3),
+            (20, 20, 8),
+            (7, 3, 7),
+            (5, 9, 2),
+        ] {
+            let grid = CityGrid::new(w, h, 1.0);
+            let bands = grid.partition_bands(n);
+            assert_eq!(bands.len(), n);
+            assert!(grid.is_partition(&bands), "{w}x{h} into {n} bands");
+            // Every band spans the full height and at least one column.
+            for band in &bands {
+                assert_eq!(band.height, h);
+                assert!(band.width >= 1);
+            }
+            // Deterministic: the same cut twice is identical.
+            assert_eq!(bands, grid.partition_bands(n));
+        }
+    }
+
+    #[test]
+    fn region_of_cell_resolves_band_membership() {
+        let grid = CityGrid::new(8, 4, 1.0);
+        let bands = grid.partition_bands(4);
+        for id in grid.locations() {
+            let cell = grid.cell(id);
+            let band = grid.region_of_cell(&bands, cell).expect("partition covers");
+            assert!(bands[band].contains(cell));
+        }
+        assert_eq!(grid.region_of_cell(&bands, Cell { x: 8, y: 0 }), None);
+    }
+
+    #[test]
+    fn overlapping_or_gappy_regions_are_not_partitions() {
+        let grid = CityGrid::new(4, 4, 1.0);
+        let overlap = [
+            Region {
+                x: 0,
+                y: 0,
+                width: 3,
+                height: 4,
+            },
+            Region {
+                x: 2,
+                y: 0,
+                width: 2,
+                height: 4,
+            },
+        ];
+        assert!(!grid.is_partition(&overlap));
+        let gap = [Region {
+            x: 0,
+            y: 0,
+            width: 3,
+            height: 4,
+        }];
+        assert!(!grid.is_partition(&gap));
+    }
+
+    #[test]
+    #[should_panic(expected = "bands")]
+    fn too_many_bands_panic() {
+        let _ = CityGrid::new(3, 3, 1.0).partition_bands(4);
     }
 
     #[test]

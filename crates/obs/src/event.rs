@@ -78,7 +78,9 @@ impl Stage {
         }
     }
 
-    fn from_index(index: usize) -> Option<Stage> {
+    /// The stage at `index` in [`Stage::ALL`], for wire codecs that
+    /// ship stages as their index.
+    pub fn from_index(index: usize) -> Option<Stage> {
         Stage::ALL.get(index).copied()
     }
 }
@@ -164,14 +166,17 @@ impl EventKind {
         EventKind::SloBreach,
     ];
 
-    fn code(self) -> u64 {
+    /// Stable numeric code of this kind (its position in the fixed
+    /// `ALL` table), used by recorder slots and wire codecs.
+    pub fn code(self) -> u64 {
         EventKind::ALL
             .iter()
             .position(|&k| k == self)
             .expect("every kind is in ALL") as u64
     }
 
-    fn from_code(code: u64) -> Option<EventKind> {
+    /// The kind for a [`EventKind::code`] value, `None` if out of range.
+    pub fn from_code(code: u64) -> Option<EventKind> {
         EventKind::ALL.get(code as usize).copied()
     }
 }

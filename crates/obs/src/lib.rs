@@ -39,6 +39,7 @@
 pub mod analyze;
 pub mod event;
 pub mod export;
+pub mod merge;
 pub mod postmortem;
 pub mod prom;
 pub mod replay;
@@ -48,6 +49,7 @@ pub mod slo;
 pub use analyze::{DecodedBreach, DiffOutcome, TraceInput};
 pub use event::{EventKind, RawEvent, Stage, TraceEvent};
 pub use export::{ExportServer, MetricsSource};
+pub use merge::{merge_shard_traces, MergedTraceEvent};
 pub use postmortem::{BidRecord, PostMortem, TaskDeclaration};
 pub use prom::{PromKind, PromWriter};
 pub use replay::{ReplayBid, ReplayError, ReplayLog, ReplayOp};
@@ -60,6 +62,7 @@ pub use slo::{
 pub mod prelude {
     pub use crate::event::{EventKind, RawEvent, Stage, TraceEvent};
     pub use crate::export::{ExportServer, MetricsSource};
+    pub use crate::merge::{merge_shard_traces, MergedTraceEvent};
     pub use crate::postmortem::{BidRecord, PostMortem, TaskDeclaration};
     pub use crate::prom::{PromKind, PromWriter};
     pub use crate::replay::{ReplayBid, ReplayError, ReplayLog, ReplayOp};

@@ -107,6 +107,28 @@ impl Ledger {
         }
     }
 
+    /// Replays a settlement produced by another ledger's
+    /// [`Ledger::settle`] — the replication path: a follower folds the
+    /// primary's settlement stream into its checkpoint without ever
+    /// seeing the cleared rounds themselves.
+    ///
+    /// The accumulation order is identical to [`Ledger::settle`]'s
+    /// (ascending user id, per-round total summed user by user), so a
+    /// ledger rebuilt purely from replayed settlements is bitwise equal
+    /// to the one that settled the rounds first-hand.
+    pub fn apply_settlement(&mut self, settlement: &RoundSettlement) {
+        let mut total = 0.0;
+        for (&user, &payout) in &settlement.payouts {
+            *self.balances.entry(user).or_insert(0.0) += payout;
+            *self.scope_balances.entry(user).or_insert(0.0) += payout;
+            total += payout;
+        }
+        self.total_paid += total;
+        self.rounds_settled += 1;
+        self.scope_paid += total;
+        self.scope_rounds += 1;
+    }
+
     /// The user's accumulated balance (0 if she never won).
     pub fn balance(&self, user: UserId) -> f64 {
         self.balances.get(&user).copied().unwrap_or(0.0)
@@ -238,6 +260,28 @@ mod tests {
         );
         assert!((ledger.scope_balances()[&UserId::new(0)] - 6.0).abs() < 1e-12);
         assert!((ledger.balance(UserId::new(0)) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replayed_settlements_rebuild_an_identical_ledger() {
+        let rounds = [
+            cleared(0, &[(0, 5.0, -1.0), (2, 3.25, -0.5)], &[0]),
+            cleared(1, &[(1, 4.0, -2.0), (0, 0.1, -0.7)], &[1]),
+            cleared(2, &[(2, 6.5, 0.25)], &[2]),
+        ];
+        let mut primary = Ledger::new();
+        let settlements: Vec<RoundSettlement> =
+            rounds.iter().map(|round| primary.settle(round)).collect();
+        let mut follower = Ledger::new();
+        for settlement in &settlements {
+            follower.apply_settlement(settlement);
+        }
+        // Bitwise: same accumulation order, same values, same struct.
+        assert_eq!(primary, follower);
+        assert_eq!(
+            primary.total_paid().to_bits(),
+            follower.total_paid().to_bits()
+        );
     }
 
     #[test]

@@ -48,6 +48,36 @@ echo "==> scenario corpus smoke (mcs-fuzz --scenario all)"
 cargo run --release -p mcs-harness --bin mcs-fuzz -- \
   --scenario all --verify-determinism
 
+echo "==> cluster equivalence smoke (mcs-fuzz --cluster --nodes 3 --verify-determinism)"
+# Every pinned scenario deployed as a geo-sharded cluster: a 1-node and
+# a 3-node loopback run (plus 2/4/8 under --verify-determinism) must
+# produce bitwise-identical fingerprints, the in-process mirror oracle
+# must agree, the three cluster chaos faults (node loss, partition,
+# duplicate delivery) must fail over / quarantine / dedup without a
+# silently divergent bit, and a TCP deployment over real ephemeral-port
+# sockets must match loopback exactly (transport equivalence).
+cargo run --release -p mcs-harness --bin mcs-fuzz -- \
+  --cluster --nodes 3 --verify-determinism
+
+echo "==> cluster e2e smoke (platformd --nodes)"
+# The same seed through 1-node and 3-node platformd cluster deployments
+# must print the same deployment-invariant fingerprint.
+CLUSTER_DIR="$(mktemp -d)"
+trap 'rm -rf "${CLUSTER_DIR}"' EXIT
+cargo run --release -p mcs-campaign --bin platformd -- \
+  --nodes 1 --rounds 16 --users 24 --multi 4 --seed 42 \
+  | tee "${CLUSTER_DIR}/one.log" | tail -1
+cargo run --release -p mcs-campaign --bin platformd -- \
+  --nodes 3 --rounds 16 --users 24 --multi 4 --seed 42 \
+  | tee "${CLUSTER_DIR}/three.log" | tail -1
+ONE="$(grep '^cluster: fingerprint' "${CLUSTER_DIR}/one.log")"
+THREE="$(grep '^cluster: fingerprint' "${CLUSTER_DIR}/three.log")"
+[ -n "${ONE}" ] && [ "${ONE}" = "${THREE}" ] || {
+  echo "cluster smoke: 1-node (${ONE}) != 3-node (${THREE})"; exit 1; }
+rm -rf "${CLUSTER_DIR}"
+trap - EXIT
+echo "cluster smoke: 1-node and 3-node deployments agree bitwise"
+
 echo "==> campaign_convergence bench smoke (--test)"
 cargo bench -p mcs-bench --bench campaign_convergence -- --test
 

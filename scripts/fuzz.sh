@@ -5,6 +5,7 @@
 #
 #   scripts/fuzz.sh              # default sweep (~a few minutes)
 #   scripts/fuzz.sh --scenarios  # scenario-corpus sweep instead
+#   scripts/fuzz.sh --cluster    # geo-sharded deployment sweep
 #   SEEDS="1 2 3" ROUNDS=500 scripts/fuzz.sh
 #
 # A failing campaign prints its seed and fingerprint; replay it with
@@ -35,6 +36,28 @@ if [ "${1:-}" = "--scenarios" ]; then
     exit "$status"
   fi
   echo "fuzz: scenario corpus clean and deterministic."
+  exit 0
+fi
+
+if [ "${1:-}" = "--cluster" ]; then
+  # Deployment sweep: the whole corpus through the cluster battery at
+  # several node counts and band partitions. Every cell must be bitwise
+  # the 1-node run, survive the three chaos faults, and (once per
+  # configuration) match a real-socket TCP deployment.
+  status=0
+  for nodes in 2 3 5 8; do
+    for bands in 4 6 8; do
+      if ! target/release/mcs-fuzz \
+          --cluster --nodes "$nodes" --bands "$bands" --verify-determinism; then
+        status=1
+      fi
+    done
+  done
+  if [ "$status" -ne 0 ]; then
+    echo "fuzz: cluster sweep FAILED (see violations above)"
+    exit "$status"
+  fi
+  echo "fuzz: cluster deployments equivalent, chaos survived."
   exit 0
 fi
 
